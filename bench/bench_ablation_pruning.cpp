@@ -1,0 +1,72 @@
+// Ablation: the contribution of each pruning/filter family, one rule
+// disabled at a time, on a dataset with strong redundancy traps
+// (shuttle-like) and a mixed one (adult-like). Columns: partitions
+// evaluated, wall time, patterns reported — showing what each rule buys
+// in search-space reduction and output compactness.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace sdadcs::bench {
+namespace {
+
+struct Variant {
+  const char* label;
+  void (*tweak)(core::MinerConfig*);
+};
+
+void RunDataset(const std::string& name) {
+  Bench b = Load(name);
+  std::printf("\n%s:\n", name.c_str());
+  std::printf("  %-26s %12s %10s %10s\n", "variant", "partitions",
+              "seconds", "patterns");
+
+  const Variant kVariants[] = {
+      {"full SDAD-CS", [](core::MinerConfig*) {}},
+      {"- redundancy (Eq.14-16)",
+       [](core::MinerConfig* c) { c->redundancy_pruning = false; }},
+      {"- pure-space rule",
+       [](core::MinerConfig* c) { c->pure_space_pruning = false; }},
+      {"- chi-square bound",
+       [](core::MinerConfig* c) { c->chi_bound_pruning = false; }},
+      {"- productivity (Eq.17)",
+       [](core::MinerConfig* c) { c->productivity_filter = false; }},
+      {"- independently-prod.",
+       [](core::MinerConfig* c) {
+         c->independently_productive_filter = false;
+       }},
+      {"- optimistic estimates",
+       [](core::MinerConfig* c) { c->optimistic_pruning = false; }},
+      {"- merging",
+       [](core::MinerConfig* c) { c->merge_spaces = false; }},
+      {"none (NP)",
+       [](core::MinerConfig* c) {
+         c->meaningful_pruning = false;
+         c->optimistic_pruning = false;
+       }},
+  };
+  for (const Variant& v : kVariants) {
+    core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+    v.tweak(&cfg);
+    AlgoRun run = RunSdad(b, cfg);
+    std::printf("  %-26s %12llu %10.3f %10zu\n", v.label,
+                static_cast<unsigned long long>(run.partitions),
+                run.seconds, run.patterns.size());
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::PrintHeader(
+      "Ablation: pruning rules (partitions / time / patterns)");
+  sdadcs::bench::RunDataset("shuttle");
+  sdadcs::bench::RunDataset("adult");
+  std::printf(
+      "\nreading: each disabled rule should raise partitions and/or "
+      "pattern counts relative to the full configuration; the NP row is "
+      "the paper's no-pruning reference.\n");
+  return 0;
+}

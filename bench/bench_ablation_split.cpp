@@ -1,0 +1,69 @@
+// Ablation: median vs mean axis splits (the paper: "divides each
+// continuous attribute at the median or mean (we use median)"). On
+// symmetric data the two agree; on skewed data the mean chases the tail
+// and the recursion needs more levels to reach the same boundary.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "synth/simulated.h"
+#include "synth/uci_like.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::bench {
+namespace {
+
+// Skewed 1-D dataset: group a occupies the upper tail of a lognormal.
+Bench MakeSkewedBench() {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(71);
+  for (int i = 0; i < 3000; ++i) {
+    double v = std::exp(rng.Gaussian(0.0, 1.0));
+    b.AppendCategorical(g, v > 3.0 ? "tail" : "body");
+    b.AppendContinuous(x, v);
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  return LoadNamed(
+      {"skewed", std::move(db).value(), "g", {"tail", "body"}});
+}
+
+void RunDataset(const char* label, const Bench& b) {
+  std::printf("\n%s:\n", label);
+  std::printf("  %-8s %12s %10s %10s %10s\n", "split", "partitions",
+              "seconds", "patterns", "best diff");
+  for (core::SplitKind kind :
+       {core::SplitKind::kMedian, core::SplitKind::kMean}) {
+    core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+    cfg.split = kind;
+    cfg.sdad_max_level = 5;
+    AlgoRun run = RunSdad(b, cfg);
+    double best = run.patterns.empty() ? 0.0 : run.patterns.front().diff;
+    std::printf("  %-8s %12llu %10.3f %10zu %10.3f\n",
+                kind == core::SplitKind::kMedian ? "median" : "mean",
+                static_cast<unsigned long long>(run.partitions),
+                run.seconds, run.patterns.size(), best);
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::PrintHeader("Ablation: median vs mean splits");
+  sdadcs::bench::RunDataset("uniform simulated-3 (symmetric)",
+                            sdadcs::bench::LoadNamed(
+                                {"sim3", sdadcs::synth::MakeSimulated3(1500),
+                                 "Group", {"Group1", "Group2"}}));
+  sdadcs::bench::RunDataset("lognormal tail group (skewed)",
+                            sdadcs::bench::MakeSkewedBench());
+  std::printf(
+      "\nreading: on symmetric data the two splits behave alike; on the "
+      "skewed data the median recovers the tail boundary with contrasts "
+      "at least as strong as the mean's, which is why the paper uses "
+      "the median.\n");
+  return 0;
+}

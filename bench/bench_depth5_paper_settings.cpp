@@ -1,0 +1,43 @@
+// Paper-faithful depth run: the experiments in Section 5 stunt the
+// search tree at FIVE levels. The table/figure benches use depth 2 to
+// keep the whole suite fast; this binary re-runs the small datasets at
+// the paper's depth 5 to demonstrate that the engine (pruning, lattice
+// aliveness, SDAD-CS recursion) holds up at the published setting.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Paper settings: depth-5 runs on the small datasets");
+  std::printf("%-15s | %10s %12s %10s | %12s %12s\n", "dataset", "SDAD(s)",
+              "SDAD(#)", "patterns", "SDAD-NP(#)", "NP patterns");
+  for (const char* name :
+       {"breast", "mammography", "transfusion", "ionosphere", "adult"}) {
+    Bench b = Load(name);
+    core::MinerConfig cfg = PaperConfig(/*depth=*/5);
+    AlgoRun sdad = RunSdad(b, cfg);
+    AlgoRun np = RunSdadNp(b, cfg);
+    std::printf("%-15s | %10.3f %12llu %10zu | %12llu %12zu\n", name,
+                sdad.seconds,
+                static_cast<unsigned long long>(sdad.partitions),
+                sdad.patterns.size(),
+                static_cast<unsigned long long>(np.partitions),
+                np.patterns.size());
+  }
+  std::printf(
+      "\nreading: deeper trees widen the NP/SDAD partition gap (the "
+      "prune table pays off most at depth), and the filtered pattern "
+      "count stays compact while NP saturates its top-k.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 1 reproduction: the order in which attribute combinations are
+// generated and explored for a 4-attribute mixed dataset (a, b
+// categorical; c, d continuous), and how pruning information from one
+// level suppresses combinations at the next — the property the paper
+// adopts the Webb & Zhang ordering for.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/search.h"
+#include "core/support.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 1: search order over attribute combinations");
+
+  // A 4-attribute dataset where attribute 'a' is a *pure* marker of one
+  // group: every combination containing 'a' dies after level 1.
+  data::DatasetBuilder builder;
+  int g = builder.AddCategorical("group");
+  int a = builder.AddCategorical("a");
+  int bb = builder.AddCategorical("b");
+  int c = builder.AddContinuous("c");
+  int d = builder.AddContinuous("d");
+  util::Rng rng(81);
+  for (int i = 0; i < 1200; ++i) {
+    bool g1 = i % 2 == 0;
+    builder.AppendCategorical(g, g1 ? "G1" : "G2");
+    builder.AppendCategorical(a, g1 ? "yes" : "no");  // pure marker
+    builder.AppendCategorical(bb, rng.Bernoulli(0.5) ? "x" : "y");
+    builder.AppendContinuous(c, rng.Gaussian(g1 ? 0.0 : 0.6, 1.0));
+    builder.AppendContinuous(d, rng.NextDouble());
+  }
+  auto db_or = std::move(builder).Build();
+  SDADCS_CHECK(db_or.ok());
+  Bench bench = LoadNamed(
+      {"fig1", std::move(db_or).value(), "group", {"G1", "G2"}});
+  (void)a;
+  (void)bb;
+  (void)c;
+  (void)d;
+
+  auto name_of = [&](int attr) {
+    return bench.nd.db.schema().attribute(attr).name;
+  };
+
+  core::MinerConfig cfg = PaperConfig(/*depth=*/4);
+  core::PruneTable table;
+  core::TopK topk(100, cfg.delta);
+  core::MiningCounters counters;
+  core::MiningContext ctx;
+  ctx.db = &bench.nd.db;
+  ctx.gi = &bench.gi;
+  ctx.cfg = &cfg;
+  ctx.prune_table = &table;
+  ctx.topk = &topk;
+  ctx.counters = &counters;
+  ctx.group_sizes = core::GroupSizes(bench.gi);
+  std::vector<int> attrs = {1, 2, 3, 4};
+  for (int attr : attrs) {
+    if (bench.nd.db.is_continuous(attr)) {
+      ctx.root_bounds[attr] = core::ComputeRootBounds(
+          bench.nd.db, attr, bench.gi.base_selection());
+    }
+  }
+
+  core::LatticeSearch search(ctx);
+  int order = 0;
+  std::vector<std::vector<int>> alive_prev;
+  for (int level = 1; level <= 4; ++level) {
+    std::vector<std::vector<int>> candidates =
+        core::GenerateLevelCandidates(level, attrs, alive_prev);
+    if (candidates.empty()) break;
+    std::printf("level %d:\n", level);
+    std::vector<std::vector<int>> alive_cur;
+    for (const std::vector<int>& combo : candidates) {
+      bool alive = search.MineCombo(combo);
+      std::string label;
+      for (int attr : combo) {
+        if (!label.empty()) label += ",";
+        label += name_of(attr);
+      }
+      std::printf("  %2d. {%s}%s\n", ++order, label.c_str(),
+                  alive ? "" : "   [dead: not extended]");
+      if (alive) alive_cur.push_back(combo);
+    }
+    std::sort(alive_cur.begin(), alive_cur.end());
+    alive_prev = std::move(alive_cur);
+  }
+
+  std::printf(
+      "\nreading: attribute 'a' is a pure marker (PR = 1), so every "
+      "combination containing it is suppressed after level 1 — the "
+      "numbered exploration order with early pruning is what Figure 1 "
+      "illustrates. %zu prune-table entries, %llu lookups hit.\n",
+      table.size(),
+      static_cast<unsigned long long>(counters.pruned_lookup));
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

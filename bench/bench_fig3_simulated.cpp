@@ -1,0 +1,89 @@
+// Figure 3 reproduction: the four simulated litmus tests, comparing the
+// bins/contrasts found by SDAD-CS, MVD, the Fayyad entropy method and
+// Cortana-Interval. The paper's qualitative claims:
+//   3a: SDAD-CS splits only Attr1 (pure halves); MVD keys on the
+//       correlation; Cortana adds a meaningless box.
+//   3b: X-shape — only multivariate contrasts exist; entropy finds no
+//       bins at all.
+//   3c: contrasts at level 1 only; Cortana reports deeper boxes.
+//   3d: level-2 blocks; the univariate projections are pruned as not
+//       independently productive.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "discretize/fayyad.h"
+#include "discretize/mvd.h"
+#include "synth/simulated.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void PrintCuts(const Bench& b, const std::string& label,
+               const std::vector<discretize::AttributeBins>& bins) {
+  std::printf("-- %s cut points --\n", label.c_str());
+  for (const auto& ab : bins) {
+    std::printf("  %s:", b.nd.db.schema().attribute(ab.attr).name.c_str());
+    if (ab.cuts.empty()) {
+      std::printf(" (none)");
+    } else {
+      for (double c : ab.cuts) std::printf(" %.3f", c);
+    }
+    std::printf("\n");
+  }
+}
+
+int MaxLevel(const AlgoRun& run) {
+  int mx = 0;
+  for (const auto& p : run.patterns) {
+    mx = std::max<int>(mx, static_cast<int>(p.itemset.size()));
+  }
+  return mx;
+}
+
+void RunOne(const std::string& title, data::Dataset db) {
+  PrintHeader(title);
+  Bench b = LoadNamed({"sim", std::move(db), "Group", {"Group1", "Group2"}});
+  core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+  cfg.measure = core::MeasureKind::kSurprising;
+
+  AlgoRun sdad = RunSdad(b, cfg);
+  PrintPatterns(b, sdad, 8);
+
+  std::vector<int> cont;
+  for (size_t a = 0; a < b.nd.db.num_attributes(); ++a) {
+    if (b.nd.db.is_continuous(static_cast<int>(a))) {
+      cont.push_back(static_cast<int>(a));
+    }
+  }
+  discretize::MvdDiscretizer::Options mvd_opt;
+  mvd_opt.instances_per_bin = 100;
+  discretize::MvdDiscretizer mvd(mvd_opt);
+  PrintCuts(b, "MVD", mvd.Discretize(b.nd.db, b.gi, cont));
+  discretize::FayyadMdlDiscretizer fayyad;
+  PrintCuts(b, "Entropy (Fayyad MDL)", fayyad.Discretize(b.nd.db, b.gi, cont));
+
+  AlgoRun cortana = RunCortana(b, cfg);
+  PrintPatterns(b, cortana, 5);
+
+  std::printf("shape: SDAD-CS patterns=%zu (max level %d), "
+              "Cortana patterns=%zu (max level %d)\n",
+              sdad.patterns.size(), MaxLevel(sdad), cortana.patterns.size(),
+              MaxLevel(cortana));
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  using sdadcs::bench::RunOne;
+  RunOne("Figure 3a: Simulated Dataset 1 (separable + correlated attrs)",
+         sdadcs::synth::MakeSimulated1(1000));
+  RunOne("Figure 3b: Simulated Dataset 2 (X-shaped Gaussians)",
+         sdadcs::synth::MakeSimulated2(1000));
+  RunOne("Figure 3c: Simulated Dataset 3 (uniform, level-1 rule only)",
+         sdadcs::synth::MakeSimulated3(1000));
+  RunOne("Figure 3d: Simulated Dataset 4 (level-2 blocks)",
+         sdadcs::synth::MakeSimulated4(2000));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 4 reproduction: per-bin group supports and purity ratio for
+// the Adult attributes age and hours-per-week (Doctorate vs Bachelors),
+// over equal-frequency display bins.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/interest.h"
+#include "discretize/equal_bins.h"
+#include "util/string_util.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void PrintHistogram(const Bench& b, const std::string& attr_name,
+                    int num_bins) {
+  int attr = *b.nd.db.schema().IndexOf(attr_name);
+  discretize::EqualFrequencyDiscretizer disc(num_bins);
+  auto bins = disc.Discretize(b.nd.db, b.gi, {attr});
+  const discretize::AttributeBins& ab = bins[0];
+
+  std::printf("\n%s (equal-frequency bins; supports per group + PR):\n",
+              attr_name.c_str());
+  std::printf("  %-18s %10s %10s %8s\n", "bin",
+              b.gi.group_name(0).c_str(), b.gi.group_name(1).c_str(), "PR");
+  const auto& col = b.nd.db.continuous(attr);
+  for (size_t bin = 0; bin < ab.num_bins(); ++bin) {
+    double lo;
+    double hi;
+    ab.BoundsOf(bin, &lo, &hi);
+    std::vector<double> counts(2, 0.0);
+    for (uint32_t r : b.gi.base_selection()) {
+      double v = col.value(r);
+      if (std::isnan(v)) continue;
+      if (ab.BinOf(v) == bin) counts[b.gi.group_of(r)] += 1.0;
+    }
+    std::vector<double> supports = {
+        counts[0] / static_cast<double>(b.gi.group_size(0)),
+        counts[1] / static_cast<double>(b.gi.group_size(1))};
+    char label[64];
+    std::snprintf(label, sizeof(label), "(%s, %s]",
+                  util::FormatDouble(lo, 4).c_str(),
+                  util::FormatDouble(hi, 4).c_str());
+    std::printf("  %-18s %10.3f %10.3f %8.3f\n", label, supports[0],
+                supports[1], core::PurityRatio(supports));
+  }
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 4: Adult age & hours-per-week supports and purity ratio");
+  Bench b = Load("adult");
+  std::printf("groups: %s (n=%zu) vs %s (n=%zu)\n",
+              b.gi.group_name(0).c_str(), b.gi.group_size(0),
+              b.gi.group_name(1).c_str(), b.gi.group_size(1));
+  PrintHistogram(b, "age", 10);
+  PrintHistogram(b, "hours_per_week", 10);
+  std::printf(
+      "\npaper-shape check: young-age bins are Bachelors-pure (PR near 1,"
+      " Doctorate support near 0); the 50+ hours bins lean Doctorate.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

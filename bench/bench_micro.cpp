@@ -1,0 +1,231 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives of the
+// miner: support counting, median partitioning, chi-square testing,
+// prune-table lookups and itemset covers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimistic.h"
+#include "core/pruning.h"
+#include "core/space.h"
+#include "core/support.h"
+#include "data/group_info.h"
+#include "data/index.h"
+#include "data/sort_index.h"
+#include "stats/chi_squared.h"
+#include "stats/fisher.h"
+#include "stream/window_miner.h"
+#include "synth/uci_like.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs {
+namespace {
+
+struct Fixture {
+  synth::NamedDataset nd;
+  data::GroupInfo gi;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture{synth::MakeAdultLike(), {}};
+    auto gi = data::GroupInfo::CreateForValues(
+        f->nd.db, *f->nd.db.schema().IndexOf("education"), f->nd.groups);
+    SDADCS_CHECK(gi.ok());
+    f->gi = std::move(gi).value();
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_CountMatchesOneInterval(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  core::Itemset itemset({core::Item::Interval(age, 30.0, 50.0)});
+  for (auto _ : state) {
+    auto gc = core::CountMatches(f.nd.db, f.gi, itemset,
+                                 f.gi.base_selection());
+    benchmark::DoNotOptimize(gc.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.gi.total()));
+}
+BENCHMARK(BM_CountMatchesOneInterval);
+
+void BM_CountMatchesThreeItems(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  int hours = *f.nd.db.schema().IndexOf("hours_per_week");
+  int occ = *f.nd.db.schema().IndexOf("occupation");
+  core::Itemset itemset({core::Item::Interval(age, 30.0, 50.0),
+                         core::Item::Interval(hours, 35.0, 60.0),
+                         core::Item::Categorical(occ, 0)});
+  for (auto _ : state) {
+    auto gc = core::CountMatches(f.nd.db, f.gi, itemset,
+                                 f.gi.base_selection());
+    benchmark::DoNotOptimize(gc.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.gi.total()));
+}
+BENCHMARK(BM_CountMatchesThreeItems);
+
+void BM_MedianInSelection(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  for (auto _ : state) {
+    double m = data::MedianInSelection(f.nd.db, age, f.gi.base_selection());
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MedianInSelection);
+
+void BM_FindCombsTwoAxes(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  int hours = *f.nd.db.schema().IndexOf("hours_per_week");
+  core::Space space;
+  space.bounds = {{age, 18.0, 90.0}, {hours, 0.0, 99.0}};
+  space.rows = f.gi.base_selection();
+  std::vector<double> medians = core::PartitionMedians(f.nd.db, space);
+  for (auto _ : state) {
+    auto cells = core::FindCombs(f.nd.db, space, medians);
+    benchmark::DoNotOptimize(cells.data());
+  }
+}
+BENCHMARK(BM_FindCombsTwoAxes);
+
+void BM_ChiSquaredPresence(benchmark::State& state) {
+  std::vector<double> counts = {321.0, 1743.0};
+  std::vector<double> sizes = {594.0, 8025.0};
+  for (auto _ : state) {
+    auto res = stats::ChiSquaredPresenceTest(counts, sizes);
+    benchmark::DoNotOptimize(res.p_value);
+  }
+}
+BENCHMARK(BM_ChiSquaredPresence);
+
+void BM_ChiSquaredCritical(benchmark::State& state) {
+  for (auto _ : state) {
+    double c = stats::ChiSquaredCritical(0.05, 1);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ChiSquaredCritical);
+
+void BM_FisherExactSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    double p = stats::FisherExactTwoSided(8, 2, 1, 9);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_FisherExactSmall);
+
+void BM_OptimisticEstimate(benchmark::State& state) {
+  core::OptimisticInput in;
+  in.db_size = 8619;
+  in.level = 2;
+  in.num_continuous = 2;
+  in.counts = {120.0, 900.0};
+  in.space_total = 1020.0;
+  in.group_sizes = {594.0, 8025.0};
+  for (auto _ : state) {
+    double oe = core::OptimisticMeasure(in);
+    benchmark::DoNotOptimize(oe);
+  }
+}
+BENCHMARK(BM_OptimisticEstimate);
+
+void BM_PruneTableLookup(benchmark::State& state) {
+  core::PruneTable table;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double lo = rng.Uniform(0.0, 50.0);
+    table.Insert(core::Itemset({core::Item::Interval(
+                     static_cast<int>(rng.NextBelow(8)), lo, lo + 5.0)}),
+                 core::PruneReason::kMinSupport);
+  }
+  core::Itemset probe({core::Item::Interval(3, 10.0, 12.0),
+                       core::Item::Interval(6, 20.0, 22.0)});
+  for (auto _ : state) {
+    bool hit = table.CanPrune(probe);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PruneTableLookup);
+
+void BM_SelectionFilter(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  const auto& col = f.nd.db.continuous(age);
+  for (auto _ : state) {
+    data::Selection sel = f.gi.base_selection().Filter(
+        [&](uint32_t r) { return col.value(r) > 40.0; });
+    benchmark::DoNotOptimize(sel.rows().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.gi.total()));
+}
+BENCHMARK(BM_SelectionFilter);
+
+void BM_IndexRangeVsScan_Index(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  data::ContinuousIndex idx = data::ContinuousIndex::Build(f.nd.db, age);
+  for (auto _ : state) {
+    size_t n = idx.CountInRange(30.0, 50.0);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_IndexRangeVsScan_Index);
+
+void BM_IndexRangeVsScan_Scan(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  const auto& col = f.nd.db.continuous(age);
+  for (auto _ : state) {
+    size_t n = 0;
+    for (uint32_t r = 0; r < f.nd.db.num_rows(); ++r) {
+      double v = col.value(r);
+      if (!std::isnan(v) && v > 30.0 && v <= 50.0) ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_IndexRangeVsScan_Scan);
+
+void BM_CategoricalIndexLookup(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int occ = *f.nd.db.schema().IndexOf("occupation");
+  data::CategoricalIndex idx = data::CategoricalIndex::Build(f.nd.db, occ);
+  int32_t code = f.nd.db.categorical(occ).CodeOf("Prof-specialty");
+  for (auto _ : state) {
+    const data::Selection& rows = idx.RowsFor(code);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_CategoricalIndexLookup);
+
+void BM_StreamAppend(benchmark::State& state) {
+  stream::StreamConfig cfg;
+  cfg.window_rows = 4000;
+  cfg.min_rows = 1u << 30;  // never mine: isolate the append path
+  stream::WindowMiner miner(
+      cfg,
+      {{"g", data::AttributeType::kCategorical},
+       {"x", data::AttributeType::kContinuous}},
+      "g");
+  util::Rng rng(123);
+  for (auto _ : state) {
+    auto st = miner.Append({stream::StreamValue::Category("a"),
+                            stream::StreamValue::Number(rng.NextDouble())});
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamAppend);
+
+}  // namespace
+}  // namespace sdadcs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Extension experiment: drift-detection latency of the sliding-window
+// stream miner. A regime change (the failure cause moves) is injected
+// at a known stream position; the table reports how many rows pass
+// before a mining pass flags the change, as a function of window size
+// and stride — the latency/recompute trade-off a deployment tunes.
+
+#include <cstdio>
+
+#include "stream/window_miner.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::bench {
+namespace {
+
+using stream::StreamConfig;
+using stream::StreamValue;
+using stream::WindowMiner;
+
+// Feeds `rows` parts under a boundary regime; returns the first stream
+// position at/after `drift_at` where a pass reported drift (0 = never).
+uint64_t MeasureDetectionRow(size_t window, size_t stride,
+                             uint64_t drift_at, uint64_t total_rows) {
+  StreamConfig cfg;
+  cfg.window_rows = window;
+  cfg.stride = stride;
+  cfg.min_rows = std::min(window, static_cast<size_t>(600));
+  cfg.miner.max_depth = 1;
+  WindowMiner miner(cfg,
+                    {{"g", data::AttributeType::kCategorical},
+                     {"x", data::AttributeType::kContinuous}},
+                    "g");
+  util::Rng rng(37);
+  for (uint64_t i = 0; i < total_rows; ++i) {
+    double threshold = i < drift_at ? 8.0 : 3.0;
+    double x = rng.Uniform(0.0, 10.0);
+    const char* g = x > threshold ? "bad" : "good";
+    auto delta =
+        miner.Append({StreamValue::Category(g), StreamValue::Number(x)});
+    SDADCS_CHECK(delta.ok());
+    if (delta->has_value() && i >= drift_at && (*delta)->drifted()) {
+      return (*delta)->rows_seen;
+    }
+  }
+  return 0;
+}
+
+void Run() {
+  std::printf(
+      "\n== Stream extension: drift-detection latency vs window/stride "
+      "==\n");
+  const uint64_t kDriftAt = 6000;
+  const uint64_t kTotal = 16000;
+  std::printf("regime change at row %llu; %llu rows total\n",
+              static_cast<unsigned long long>(kDriftAt),
+              static_cast<unsigned long long>(kTotal));
+  std::printf("%10s %10s %14s %14s\n", "window", "stride", "detected@row",
+              "latency(rows)");
+  for (size_t window : {1500u, 3000u, 6000u}) {
+    for (size_t stride : {500u, 1500u, 3000u}) {
+      uint64_t at = MeasureDetectionRow(window, stride, kDriftAt, kTotal);
+      if (at == 0) {
+        std::printf("%10zu %10zu %14s %14s\n", window, stride, "never",
+                    "-");
+      } else {
+        std::printf("%10zu %10zu %14llu %14llu\n", window, stride,
+                    static_cast<unsigned long long>(at),
+                    static_cast<unsigned long long>(at - kDriftAt));
+      }
+    }
+  }
+  std::printf(
+      "\nreading: shorter strides detect sooner (latency tracks the "
+      "stride); oversized windows dilute the new regime and can delay "
+      "the report past one stride.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 3 reproduction: the top contrast sets Cortana reports on Adult
+// at depth 2, the singleton itemsets needed to compute their expected
+// supports, and the expected supports themselves — showing that most of
+// the top patterns are not meaningful (statistically equal to the
+// expectation, or redundant), which is exactly what SDAD-CS filters.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/meaningful.h"
+#include "core/support.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3: Top Contrast Sets for Adult with Cortana");
+  Bench b = Load("adult");
+  core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+
+  AlgoRun cortana = RunCortana(b, cfg);
+  std::printf("Top 5 contrasts found by Cortana:\n");
+  size_t top = std::min<size_t>(5, cortana.patterns.size());
+  PrintPatterns(b, {"Cortana-Interval",
+                    {cortana.patterns.begin(),
+                     cortana.patterns.begin() + top},
+                    0.0,
+                    0},
+                top);
+
+  // Required singleton itemsets + expected supports of the top patterns
+  // under independence of their parts (Table 3's a/b/c rows).
+  std::printf("\nExpected supports under independence of the parts:\n");
+  for (size_t i = 0; i < top; ++i) {
+    const core::ContrastPattern& p = cortana.patterns[i];
+    if (p.itemset.size() != 2) continue;
+    core::Itemset first({p.itemset.item(0)});
+    core::Itemset second({p.itemset.item(1)});
+    auto s1 = core::CountMatches(b.nd.db, b.gi, first,
+                                 b.gi.base_selection())
+                  .Supports(b.gi);
+    auto s2 = core::CountMatches(b.nd.db, b.gi, second,
+                                 b.gi.base_selection())
+                  .Supports(b.gi);
+    std::printf("  %s:\n", p.itemset.ToString(b.nd.db).c_str());
+    std::printf("      observed supp = (%.2f, %.2f)   expected = "
+                "(%.2f, %.2f)\n",
+                p.supports[0], p.supports[1], s1[0] * s2[0], s1[1] * s2[1]);
+  }
+
+  // Meaningfulness verdicts over the whole Cortana list.
+  std::vector<core::ContrastPattern> head(
+      cortana.patterns.begin(),
+      cortana.patterns.begin() +
+          std::min<size_t>(20, cortana.patterns.size()));
+  core::MeaningfulnessReport report =
+      core::ClassifyPatterns(b.nd.db, b.gi, cfg, head);
+  std::printf("\nVerdicts on Cortana's top %zu patterns:\n", head.size());
+  for (size_t i = 0; i < head.size(); ++i) {
+    std::printf("  %2zu. [%-28s] %s\n", i + 1,
+                core::PatternClassName(report.classes[i]),
+                head[i].itemset.ToString(b.nd.db).c_str());
+  }
+  std::printf("\nmeaningful=%d redundant=%d unproductive=%d "
+              "not_indep_productive=%d\n",
+              report.meaningful, report.redundant, report.unproductive,
+              report.not_independently_productive);
+  std::printf(
+      "paper-shape check: only a small minority of Cortana's top "
+      "patterns survive the meaningfulness tests.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 4 reproduction: mean support difference of the top-k contrasts
+// on every evaluation dataset, for SDAD-CS NP, MVD, Entropy and
+// Cortana-Interval. k = min(100, size of the smallest result list), as
+// in the paper; a trailing '*' marks algorithms whose per-pattern
+// difference distribution is NOT significantly different from
+// SDAD-CS NP under the Wilcoxon–Mann–Whitney test.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "stats/wilcoxon.h"
+#include "util/string_util.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 4: Quantitative Analysis (mean support difference)");
+  std::printf("%-15s %12s %12s %12s %18s\n", "dataset", "SDAD-CS-NP",
+              "MVD", "Entropy", "Cortana-Interval");
+
+  for (const std::string& name : synth::UciLikeNames()) {
+    Bench b = Load(name);
+    core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+
+    AlgoRun np = RunSdadNp(b, cfg);
+    AlgoRun mvd = RunMvd(b, cfg);
+    AlgoRun entropy = RunEntropy(b, cfg);
+    AlgoRun cortana = RunCortana(b, cfg);
+
+    // k = the shortest non-empty list, capped at 100.
+    size_t k = 100;
+    for (const AlgoRun* run : {&np, &mvd, &entropy, &cortana}) {
+      if (!run->patterns.empty()) {
+        k = std::min(k, run->patterns.size());
+      }
+    }
+
+    std::vector<double> base = TopDiffs(np, k);
+    auto cell = [&](const AlgoRun& run) {
+      std::vector<double> diffs = TopDiffs(run, k);
+      std::string s = util::StrFormat("%.2f", MeanOf(diffs));
+      if (!diffs.empty() && !base.empty()) {
+        stats::MannWhitneyResult mw = stats::MannWhitneyTest(base, diffs);
+        if (!mw.valid || mw.p_value >= 0.05) s += "*";
+      }
+      return s;
+    };
+
+    std::printf("%-15s %12.2f %12s %12s %18s\n", name.c_str(),
+                MeanOf(base), cell(mvd).c_str(), cell(entropy).c_str(),
+                cell(cortana).c_str());
+  }
+  std::printf(
+      "\n('*' = not significantly different from SDAD-CS NP, Wilcoxon "
+      "Mann-Whitney at 0.05)\n"
+      "paper-shape check: SDAD-CS NP and Cortana lead (usually "
+      "indistinguishable); MVD and Entropy trail.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

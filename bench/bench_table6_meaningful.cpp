@@ -1,0 +1,44 @@
+// Table 6 reproduction: number of meaningful vs meaningless contrasts
+// in the unfiltered top-100 of each dataset (SDAD-CS NP output,
+// classified with the redundancy / productivity / independent-
+// productivity tests).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/meaningful.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 6: Number of Meaningful Contrasts in the top 100");
+  std::printf("%-15s %12s %12s   %s\n", "dataset", "meaningful",
+              "meaningless", "(redundant/unproductive/not-indep)");
+
+  for (const std::string& name : synth::UciLikeNames()) {
+    Bench b = Load(name);
+    core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+    AlgoRun np = RunSdadNp(b, cfg);
+    std::vector<core::ContrastPattern> head(
+        np.patterns.begin(),
+        np.patterns.begin() + std::min<size_t>(100, np.patterns.size()));
+    core::MeaningfulnessReport report =
+        core::ClassifyPatterns(b.nd.db, b.gi, cfg, head);
+    std::printf("%-15s %12d %12d   (%d/%d/%d)  [of %zu]\n", name.c_str(),
+                report.meaningful, report.meaningless(), report.redundant,
+                report.unproductive,
+                report.not_independently_productive, head.size());
+  }
+  std::printf(
+      "\npaper-shape check: the majority of unfiltered top patterns are "
+      "meaningless on most datasets.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 7 reproduction: contrast sets on the semiconductor packaging
+// data (failed parts vs a population sample). The planted mechanism is
+// the rear lane of chip-attach module SCE running hot; the table should
+// surface the module/tool/row categorical contrasts and the elevated
+// reflow thermal statistics, ordered by support difference.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "synth/manufacturing.h"
+
+namespace sdadcs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 7: Contrast Sets for Manufacturing Data");
+  synth::ManufacturingOptions opt;
+  opt.population = 4000;
+  opt.fails = 600;
+  Bench b = LoadNamed(synth::MakeManufacturing(opt));
+
+  core::MinerConfig cfg = PaperConfig(/*depth=*/2);
+  cfg.sdad_max_level = 4;
+  AlgoRun sdad = RunSdad(b, cfg);
+
+  std::printf("%-58s %10s %12s %10s\n", "contrast set", "supp.diff",
+              "supp(Popul.)", "supp(Fail)");
+  size_t shown = 0;
+  for (const core::ContrastPattern& p : sdad.patterns) {
+    if (shown >= 14) break;
+    // Group 0 = Fail, group 1 = Population (Load order).
+    std::printf("%-58s %10.2f %12.2f %10.2f\n",
+                p.itemset.ToString(b.nd.db).c_str(), p.diff, p.supports[1],
+                p.supports[0]);
+    ++shown;
+  }
+  std::printf("\n(%zu contrasts total, %.2f s, %llu partitions)\n",
+              sdad.patterns.size(), sdad.seconds,
+              static_cast<unsigned long long>(sdad.partitions));
+  std::printf(
+      "paper-shape check: cam_entity=SCE / placement_tool=JVF / "
+      "cam_row_location=Rear plus elevated reflow thermals "
+      "(peak temperature, peak std, time above liquidus, die temp) lead "
+      "the list; noise sensors do not.\n");
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

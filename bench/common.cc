@@ -1,0 +1,134 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "discretize/fayyad.h"
+#include "discretize/mvd.h"
+#include "subgroup/beam.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sdadcs::bench {
+
+core::MinerConfig PaperConfig(int depth) {
+  core::MinerConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.delta = 0.1;
+  cfg.max_depth = depth;
+  cfg.top_k = 100;
+  cfg.measure = core::MeasureKind::kSupportDiff;
+  return cfg;
+}
+
+Bench Load(const std::string& name, uint64_t seed) {
+  return LoadNamed(synth::MakeUciLike(name, seed));
+}
+
+Bench LoadNamed(synth::NamedDataset nd) {
+  auto attr = nd.db.schema().IndexOf(nd.group_attr);
+  SDADCS_CHECK(attr.ok());
+  auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+  SDADCS_CHECK(gi.ok());
+  return Bench{std::move(nd), std::move(gi).value()};
+}
+
+AlgoRun RunSdad(const Bench& b, const core::MinerConfig& cfg) {
+  core::Miner miner(cfg);
+  auto result = miner.MineWithGroups(b.nd.db, b.gi);
+  SDADCS_CHECK(result.ok());
+  return {"SDAD-CS", std::move(result->contrasts), result->elapsed_seconds,
+          result->counters.partitions_evaluated};
+}
+
+AlgoRun RunSdadNp(const Bench& b, core::MinerConfig cfg) {
+  cfg.meaningful_pruning = false;
+  cfg.optimistic_pruning = false;
+  core::Miner miner(cfg);
+  auto result = miner.MineWithGroups(b.nd.db, b.gi);
+  SDADCS_CHECK(result.ok());
+  return {"SDAD-CS NP", std::move(result->contrasts),
+          result->elapsed_seconds, result->counters.partitions_evaluated};
+}
+
+namespace {
+
+AlgoRun RunBinned(const Bench& b, const core::MinerConfig& cfg,
+                  const discretize::Discretizer& disc,
+                  const std::string& label) {
+  discretize::BinnedMinerConfig bcfg;
+  bcfg.alpha = cfg.alpha;
+  bcfg.delta = cfg.delta;
+  bcfg.max_depth = cfg.max_depth;
+  bcfg.top_k = cfg.top_k;
+  bcfg.min_coverage = cfg.min_coverage;
+  bcfg.measure = cfg.measure;
+  discretize::BinnedMinerStats stats;
+  util::WallTimer timer;
+  std::vector<core::ContrastPattern> patterns =
+      discretize::DiscretizeAndMine(b.nd.db, b.gi, disc, bcfg, &stats);
+  return {label, std::move(patterns), timer.Seconds(),
+          stats.partitions_evaluated};
+}
+
+}  // namespace
+
+AlgoRun RunMvd(const Bench& b, const core::MinerConfig& cfg) {
+  discretize::MvdDiscretizer::Options opt;
+  opt.alpha = cfg.alpha;
+  opt.delta = 0.01;  // the paper runs MVD with delta = 0.01 of the data
+  return RunBinned(b, cfg, discretize::MvdDiscretizer(opt), "MVD");
+}
+
+AlgoRun RunEntropy(const Bench& b, const core::MinerConfig& cfg) {
+  return RunBinned(b, cfg, discretize::FayyadMdlDiscretizer(), "Entropy");
+}
+
+AlgoRun RunCortana(const Bench& b, const core::MinerConfig& cfg) {
+  subgroup::BeamConfig bcfg;
+  bcfg.beam_width = 100;
+  bcfg.max_depth = cfg.max_depth;
+  bcfg.min_quality = 0.01;
+  bcfg.min_coverage = 2;
+  bcfg.top_k = cfg.top_k;
+  subgroup::BeamSubgroupDiscovery beam(bcfg);
+  subgroup::BeamStats stats;
+  util::WallTimer timer;
+  std::vector<core::ContrastPattern> patterns =
+      beam.DiscoverContrasts(b.nd.db, b.gi, cfg.measure, &stats);
+  return {"Cortana-Interval", std::move(patterns), timer.Seconds(),
+          stats.descriptions_evaluated};
+}
+
+std::vector<double> TopDiffs(const AlgoRun& run, size_t k) {
+  std::vector<double> out;
+  out.reserve(std::min(k, run.patterns.size()));
+  for (size_t i = 0; i < run.patterns.size() && i < k; ++i) {
+    out.push_back(run.patterns[i].diff);
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void PrintPatterns(const Bench& b, const AlgoRun& run, size_t k) {
+  std::printf("-- %s --\n", run.algorithm.c_str());
+  if (run.patterns.empty()) {
+    std::printf("  (no contrasts found)\n");
+    return;
+  }
+  for (size_t i = 0; i < run.patterns.size() && i < k; ++i) {
+    std::printf("  %2zu. %s\n", i + 1,
+                run.patterns[i].ToString(b.nd.db, b.gi).c_str());
+  }
+}
+
+}  // namespace sdadcs::bench

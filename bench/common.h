@@ -1,0 +1,71 @@
+#ifndef SDADCS_BENCH_COMMON_H_
+#define SDADCS_BENCH_COMMON_H_
+
+// Shared harness for the table/figure reproduction binaries: runs each
+// algorithm (SDAD-CS, SDAD-CS NP, MVD, Fayyad entropy, Cortana-Interval)
+// with the paper's experimental settings and prints aligned rows.
+
+#include <string>
+#include <vector>
+
+#include "core/contrast.h"
+#include "core/miner.h"
+#include "data/group_info.h"
+#include "discretize/binned_miner.h"
+#include "synth/uci_like.h"
+
+namespace sdadcs::bench {
+
+/// Experimental setup of Section 5: alpha = 0.05, delta = 0.1, search
+/// tree stunted at `depth` levels, top-100 patterns.
+core::MinerConfig PaperConfig(int depth = 2);
+
+/// Output of one algorithm on one dataset.
+struct AlgoRun {
+  std::string algorithm;
+  std::vector<core::ContrastPattern> patterns;  ///< sorted by measure
+  double seconds = 0.0;
+  uint64_t partitions = 0;
+};
+
+/// Resolved dataset + its GroupInfo.
+struct Bench {
+  synth::NamedDataset nd;
+  data::GroupInfo gi;
+};
+
+/// Materializes a named dataset and its two-group GroupInfo.
+Bench Load(const std::string& name, uint64_t seed = 7);
+Bench LoadNamed(synth::NamedDataset nd);
+
+/// SDAD-CS with all meaningfulness machinery (the paper's algorithm).
+AlgoRun RunSdad(const Bench& b, const core::MinerConfig& cfg);
+
+/// SDAD-CS NP: meaningfulness pruning/filters off.
+AlgoRun RunSdadNp(const Bench& b, core::MinerConfig cfg);
+
+/// MVD global discretization followed by STUCCO-style mining.
+AlgoRun RunMvd(const Bench& b, const core::MinerConfig& cfg);
+
+/// Fayyad-Irani entropy/MDL discretization followed by mining.
+AlgoRun RunEntropy(const Bench& b, const core::MinerConfig& cfg);
+
+/// Cortana-Interval: WRAcc beam search run once per group, pooled.
+AlgoRun RunCortana(const Bench& b, const core::MinerConfig& cfg);
+
+/// Support differences of the strongest `k` patterns (for Table 4 and
+/// the Wilcoxon comparison).
+std::vector<double> TopDiffs(const AlgoRun& run, size_t k);
+
+/// Mean of `values` (0 when empty).
+double MeanOf(const std::vector<double>& values);
+
+/// Prints "== <title> ==" with surrounding blank lines.
+void PrintHeader(const std::string& title);
+
+/// Prints the top `k` patterns of a run, one per line, with supports.
+void PrintPatterns(const Bench& b, const AlgoRun& run, size_t k);
+
+}  // namespace sdadcs::bench
+
+#endif  // SDADCS_BENCH_COMMON_H_

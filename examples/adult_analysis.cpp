@@ -1,0 +1,83 @@
+// Domain example: reproduce the paper's Adult case study (Section 5.5).
+// Contrast Doctorate vs Bachelors on age / hours-per-week / occupation,
+// compare the Purity-Ratio and Support-Difference views, and show the
+// independently-productive filter at work.
+//
+// Run: ./build/examples/adult_analysis
+
+#include <cstdio>
+
+#include "core/meaningful.h"
+#include "core/miner.h"
+#include "synth/uci_like.h"
+
+namespace {
+
+using sdadcs::core::ContrastPattern;
+using sdadcs::core::MeasureKind;
+using sdadcs::core::Miner;
+using sdadcs::core::MinerConfig;
+
+void PrintTop(const sdadcs::synth::NamedDataset& nd,
+              const sdadcs::data::GroupInfo& gi, const char* title,
+              const std::vector<ContrastPattern>& patterns, size_t k) {
+  std::printf("\n%s\n", title);
+  for (size_t i = 0; i < patterns.size() && i < k; ++i) {
+    std::printf("  %2zu. %s\n", i + 1,
+                patterns[i].ToString(nd.db, gi).c_str());
+  }
+  if (patterns.empty()) std::printf("  (none)\n");
+}
+
+int Run() {
+  sdadcs::synth::NamedDataset adult = sdadcs::synth::MakeAdultLike();
+  auto gi = sdadcs::data::GroupInfo::CreateForValues(
+      adult.db, adult.db.schema().IndexOf(adult.group_attr).value(),
+      adult.groups);
+  if (!gi.ok()) {
+    std::fprintf(stderr, "%s\n", gi.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Adult-like data: %zu rows; %s=%zu vs %s=%zu\n",
+              adult.db.num_rows(), gi->group_name(0).c_str(),
+              gi->group_size(0), gi->group_name(1).c_str(),
+              gi->group_size(1));
+
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.attributes = {"age", "hours_per_week", "occupation"};
+
+  // View 1: optimize Purity Ratio — favors homogeneous regions such as
+  // the Bachelors-only young-age band.
+  cfg.measure = MeasureKind::kPurityRatio;
+  auto pr = Miner(cfg).MineWithGroups(adult.db, *gi);
+  if (!pr.ok()) return 1;
+  PrintTop(adult, *gi, "Top contrasts, Purity Ratio view:", pr->contrasts,
+           6);
+
+  // View 2: optimize support difference — favors wide, covering bins.
+  cfg.measure = MeasureKind::kSupportDiff;
+  auto sd = Miner(cfg).MineWithGroups(adult.db, *gi);
+  if (!sd.ok()) return 1;
+  PrintTop(adult, *gi, "Top contrasts, Support Difference view:",
+           sd->contrasts, 6);
+
+  // What the meaningfulness machinery throws away: rerun without it and
+  // classify the raw list.
+  cfg.meaningful_pruning = false;
+  auto raw = Miner(cfg).MineWithGroups(adult.db, *gi);
+  if (!raw.ok()) return 1;
+  auto report = sdadcs::core::ClassifyPatterns(adult.db, *gi, cfg,
+                                               raw->contrasts);
+  std::printf(
+      "\nWithout the filters the miner reports %zu patterns; "
+      "classification: %d meaningful, %d redundant, %d unproductive, "
+      "%d explained by specializations.\n",
+      raw->contrasts.size(), report.meaningful, report.redundant,
+      report.unproductive, report.not_independently_productive);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

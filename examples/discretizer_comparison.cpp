@@ -1,0 +1,82 @@
+// Domain example: why supervised *dynamic adaptive* discretization
+// matters. On the X-shaped data of Figure 3b, global discretizers either
+// find nothing (Fayyad MDL) or produce bins that a downstream miner
+// cannot turn into strong contrasts, while SDAD-CS discretizes inside
+// the joint space and recovers the quadrants.
+//
+// Run: ./build/examples/discretizer_comparison
+
+#include <cstdio>
+
+#include "core/miner.h"
+#include "discretize/binned_miner.h"
+#include "discretize/equal_bins.h"
+#include "discretize/fayyad.h"
+#include "discretize/mvd.h"
+#include "synth/simulated.h"
+
+namespace {
+
+using sdadcs::core::ContrastPattern;
+
+double BestDiff(const std::vector<ContrastPattern>& patterns) {
+  double best = 0.0;
+  for (const ContrastPattern& p : patterns) best = std::max(best, p.diff);
+  return best;
+}
+
+int Run() {
+  sdadcs::data::Dataset db = sdadcs::synth::MakeSimulated2(1500);
+  auto gi = sdadcs::data::GroupInfo::Create(
+      db, db.schema().IndexOf("Group").value());
+  if (!gi.ok()) return 1;
+  std::printf("X-shaped dataset: %zu rows, 2 continuous attributes, no "
+              "univariate signal.\n\n",
+              db.num_rows());
+
+  sdadcs::discretize::BinnedMinerConfig bcfg;
+  bcfg.max_depth = 2;
+
+  std::printf("%-28s %14s %12s\n", "pipeline", "#contrasts", "best diff");
+  struct Entry {
+    const char* label;
+    const sdadcs::discretize::Discretizer* disc;
+  };
+  sdadcs::discretize::EqualWidthDiscretizer ew(4);
+  sdadcs::discretize::EqualFrequencyDiscretizer ef(4);
+  sdadcs::discretize::FayyadMdlDiscretizer fayyad;
+  sdadcs::discretize::MvdDiscretizer mvd;
+  for (const Entry& e : std::initializer_list<Entry>{
+           {"equal-width(4) + miner", &ew},
+           {"equal-frequency(4) + miner", &ef},
+           {"Fayyad MDL + miner", &fayyad},
+           {"MVD + miner", &mvd}}) {
+    auto patterns =
+        sdadcs::discretize::DiscretizeAndMine(db, *gi, *e.disc, bcfg);
+    std::printf("%-28s %14zu %12.3f\n", e.label, patterns.size(),
+                BestDiff(patterns));
+  }
+
+  sdadcs::core::MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.measure = sdadcs::core::MeasureKind::kSurprising;
+  auto sdad = sdadcs::core::Miner(cfg).MineWithGroups(db, *gi);
+  if (!sdad.ok()) return 1;
+  std::printf("%-28s %14zu %12.3f\n", "SDAD-CS (this library)",
+              sdad->contrasts.size(), BestDiff(sdad->contrasts));
+
+  std::printf("\nSDAD-CS quadrant contrasts:\n");
+  for (size_t i = 0; i < sdad->contrasts.size() && i < 4; ++i) {
+    std::printf("  %s\n",
+                sdad->contrasts[i].ToString(db, *gi).c_str());
+  }
+  std::printf(
+      "\nGlobal pre-binning evaluates each attribute in isolation, where "
+      "the X-data carries no information; SDAD-CS bins *while* searching "
+      "the joint space, so the interaction survives.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,85 @@
+// Domain example: "analyzing the difference between machines" (Section
+// 6). For each chip-attach module on the simulated line, contrast the
+// parts it processed against everything else (one-vs-rest) — module SCE
+// should stand out through its rear lane's thermal profile and fail
+// association, while the healthy modules show nothing actionable.
+//
+// Run: ./build/examples/machine_comparison
+
+#include <cstdio>
+
+#include "core/miner.h"
+#include "core/report.h"
+#include "core/stability.h"
+#include "synth/manufacturing.h"
+
+namespace {
+
+int Run() {
+  sdadcs::synth::ManufacturingOptions opt;
+  opt.population = 3000;
+  opt.fails = 500;
+  opt.noise_continuous = 4;
+  opt.noise_categorical = 2;
+  sdadcs::synth::NamedDataset mfg = sdadcs::synth::MakeManufacturing(opt);
+  int cam_attr = mfg.db.schema().IndexOf("cam_entity").value();
+  const auto& cam_col = mfg.db.categorical(cam_attr);
+
+  sdadcs::core::MinerConfig cfg;
+  cfg.max_depth = 2;
+  // Exclude identifiers functionally tied to the machine itself; we
+  // want to know what is different ABOUT each machine's parts.
+  cfg.attributes = {"cohort",
+                    "cam_row_location",
+                    "cam_peak_temperature",
+                    "cam_peak_temp_std",
+                    "cam_time_above_liquidus",
+                    "die_temp_above_std"};
+  sdadcs::core::Miner miner(cfg);
+
+  for (int32_t code = 0; code < cam_col.cardinality(); ++code) {
+    const std::string& machine = cam_col.ValueOf(code);
+    auto gi = sdadcs::data::GroupInfo::CreateOneVsRest(mfg.db, cam_attr,
+                                                       machine);
+    if (!gi.ok()) continue;
+    auto result = miner.MineWithGroups(mfg.db, *gi);
+    if (!result.ok()) continue;
+
+    std::printf("\n=== machine %s (n=%zu) vs rest (n=%zu): %zu contrasts\n",
+                machine.c_str(), gi->group_size(0), gi->group_size(1),
+                result->contrasts.size());
+    if (result->contrasts.empty()) {
+      std::printf("  nothing distinguishes this machine's parts.\n");
+      continue;
+    }
+    std::fputs(sdadcs::core::FormatPatternsTable(mfg.db, *gi,
+                                                 result->contrasts, 5)
+                   .c_str(),
+               stdout);
+
+    // Are these differences stable, or sampling artifacts?
+    sdadcs::core::StabilityConfig scfg;
+    scfg.replicates = 5;
+    auto stability =
+        sdadcs::core::AnalyzeStability(mfg.db, *gi, cfg, scfg);
+    if (stability.ok() && !stability->patterns.empty()) {
+      std::printf("  stability (rediscovery over %d subsamples):\n",
+                  stability->replicates);
+      size_t shown = 0;
+      for (const auto& ps : stability->patterns) {
+        if (shown++ >= 3) break;
+        std::printf("    %.0f%%  %s\n", 100.0 * ps.frequency,
+                    ps.pattern.itemset.ToString(mfg.db).c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nReading: SCE's parts differ from the line (rear-lane thermal "
+      "excursions, fail association) with near-100%% stable patterns; "
+      "the other modules show weak or no contrasts.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

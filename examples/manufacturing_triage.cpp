@@ -1,0 +1,66 @@
+// Domain example: the paper's motivating use case (Sections 1 and 6) —
+// triaging final-test failures on a semiconductor packaging line. A
+// simulated line plants a hot rear lane on one chip-attach module; the
+// miner must point the engineer at the module, the lane, and the reflow
+// thermals, without drowning the report in noise-sensor patterns.
+//
+// Run: ./build/examples/manufacturing_triage
+
+#include <cstdio>
+
+#include "core/miner.h"
+#include "synth/manufacturing.h"
+
+namespace {
+
+using sdadcs::core::ContrastPattern;
+using sdadcs::core::Miner;
+using sdadcs::core::MinerConfig;
+
+int Run() {
+  sdadcs::synth::ManufacturingOptions opt;
+  opt.population = 4000;
+  opt.fails = 600;
+  sdadcs::synth::NamedDataset mfg = sdadcs::synth::MakeManufacturing(opt);
+  auto gi = sdadcs::data::GroupInfo::CreateForValues(
+      mfg.db, mfg.db.schema().IndexOf(mfg.group_attr).value(), mfg.groups);
+  if (!gi.ok()) {
+    std::fprintf(stderr, "%s\n", gi.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Packaging-line extract: %zu parts (%zu failed, %zu "
+              "population sample), %zu attributes\n",
+              mfg.db.num_rows(), gi->group_size(0), gi->group_size(1),
+              mfg.db.num_attributes() - 1);
+
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.measure = sdadcs::core::MeasureKind::kSupportDiff;
+  Miner miner(cfg);
+  auto result = miner.MineWithGroups(mfg.db, *gi);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nTriage report (%zu contrasts, %.2f s):\n",
+              result->contrasts.size(), result->elapsed_seconds);
+  size_t shown = 0;
+  for (const ContrastPattern& p : result->contrasts) {
+    if (shown++ >= 10) break;
+    std::printf("  - %s\n", p.ToString(mfg.db, *gi).c_str());
+  }
+
+  std::printf(
+      "\nReading the report: failing parts concentrate on one chip-attach "
+      "module (and its dedicated placement tool) in the REAR lane, with "
+      "time-above-liquidus and peak reflow temperature elevated — i.e. "
+      "check the temperature control of that lane's reflow oven before "
+      "more scrap is produced.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

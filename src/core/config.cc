@@ -1,0 +1,22 @@
+#include "core/config.h"
+
+namespace sdadcs::core {
+
+void MiningCounters::Add(const MiningCounters& other) {
+  partitions_evaluated += other.partitions_evaluated;
+  sdad_calls += other.sdad_calls;
+  pruned_lookup += other.pruned_lookup;
+  pruned_min_support += other.pruned_min_support;
+  pruned_low_expected += other.pruned_low_expected;
+  pruned_redundant += other.pruned_redundant;
+  pruned_pure += other.pruned_pure;
+  pruned_oe_measure += other.pruned_oe_measure;
+  pruned_oe_chi2 += other.pruned_oe_chi2;
+  unproductive += other.unproductive;
+  not_independently_productive += other.not_independently_productive;
+  merges += other.merges;
+  chi2_tests += other.chi2_tests;
+  truncated_candidates += other.truncated_candidates;
+}
+
+}  // namespace sdadcs::core

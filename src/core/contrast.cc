@@ -1,0 +1,50 @@
+#include "core/contrast.h"
+
+#include <algorithm>
+
+#include "core/support.h"
+#include "stats/chi_squared.h"
+#include "util/string_util.h"
+
+namespace sdadcs::core {
+
+void ContrastPattern::ComputeStats(const data::GroupInfo& gi,
+                                   MeasureKind kind) {
+  GroupCounts gc;
+  gc.counts = counts;
+  supports = gc.Supports(gi);
+  diff = SupportDifference(supports);
+  purity = PurityRatio(supports);
+  measure = MeasureValue(kind, supports);
+  stats::ChiSquaredResult test =
+      stats::ChiSquaredPresenceTest(counts, GroupSizes(gi));
+  chi2 = test.statistic;
+  p_value = test.valid ? test.p_value : 1.0;
+  level = static_cast<int>(itemset.size());
+}
+
+std::string ContrastPattern::ToString(const data::Dataset& db,
+                                      const data::GroupInfo& gi) const {
+  std::string out = itemset.ToString(db);
+  out += "  [";
+  for (size_t g = 0; g < supports.size(); ++g) {
+    if (g > 0) out += " ";
+    out += util::StrFormat("supp(%s)=%.3f",
+                           gi.group_name(static_cast<int>(g)).c_str(),
+                           supports[g]);
+  }
+  out += util::StrFormat(" diff=%.3f pr=%.3f p=%s]", diff, purity,
+                         util::FormatDouble(p_value, 3).c_str());
+  return out;
+}
+
+void SortByMeasureDesc(std::vector<ContrastPattern>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const ContrastPattern& a, const ContrastPattern& b) {
+              if (a.measure != b.measure) return a.measure > b.measure;
+              if (a.level != b.level) return a.level < b.level;
+              return a.itemset.Key() < b.itemset.Key();
+            });
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,45 @@
+#ifndef SDADCS_CORE_CONTRAST_H_
+#define SDADCS_CORE_CONTRAST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interest.h"
+#include "core/itemset.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::core {
+
+/// A mined contrast pattern: an itemset together with its per-group
+/// statistics and the value of the interest measure it was mined under.
+struct ContrastPattern {
+  Itemset itemset;
+  std::vector<double> counts;    ///< per-group match counts
+  std::vector<double> supports;  ///< counts[g] / |g|
+  double diff = 0.0;             ///< support difference
+  double purity = 0.0;           ///< Purity Ratio (Eq. 12)
+  double measure = 0.0;          ///< value of the configured measure
+  double chi2 = 0.0;             ///< chi-square statistic of the 2×k test
+  double p_value = 1.0;          ///< its p-value
+  /// Normalized hyper-volume of the continuous part of the pattern
+  /// (product of interval lengths relative to each attribute's range);
+  /// drives the smallest-first merge order. 1.0 when purely categorical.
+  double hypervolume = 1.0;
+  int level = 0;                 ///< number of items
+
+  /// Fills supports/diff/purity/measure/chi2/p_value from counts.
+  void ComputeStats(const data::GroupInfo& gi, MeasureKind kind);
+
+  /// "<itemset>  [supp g0=0.48 g1=0.22 diff=0.26 pr=0.54 p=1e-12]".
+  std::string ToString(const data::Dataset& db,
+                       const data::GroupInfo& gi) const;
+};
+
+/// Sorts patterns by measure descending (ties: fewer items first, then
+/// key for determinism).
+void SortByMeasureDesc(std::vector<ContrastPattern>* patterns);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_CONTRAST_H_

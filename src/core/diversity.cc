@@ -1,0 +1,65 @@
+#include "core/diversity.h"
+
+#include <algorithm>
+
+namespace sdadcs::core {
+
+namespace {
+
+double Jaccard(const data::Selection& a, const data::Selection& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = a.Intersect(b).size();
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+std::vector<ContrastPattern> SelectDiverse(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<ContrastPattern>& patterns, double max_jaccard) {
+  std::vector<ContrastPattern> kept;
+  std::vector<data::Selection> kept_covers;
+  for (const ContrastPattern& p : patterns) {
+    data::Selection cover = p.itemset.Cover(db, gi.base_selection());
+    bool diverse = true;
+    for (const data::Selection& existing : kept_covers) {
+      if (Jaccard(cover, existing) >= max_jaccard) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      kept.push_back(p);
+      kept_covers.push_back(std::move(cover));
+    }
+  }
+  return kept;
+}
+
+CoverOverlap MeasureCoverOverlap(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<ContrastPattern>& patterns) {
+  CoverOverlap result;
+  if (patterns.size() < 2) return result;
+  std::vector<data::Selection> covers;
+  covers.reserve(patterns.size());
+  for (const ContrastPattern& p : patterns) {
+    covers.push_back(p.itemset.Cover(db, gi.base_selection()));
+  }
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < covers.size(); ++i) {
+    for (size_t j = i + 1; j < covers.size(); ++j) {
+      double jac = Jaccard(covers[i], covers[j]);
+      sum += jac;
+      result.max_jaccard = std::max(result.max_jaccard, jac);
+      ++pairs;
+    }
+  }
+  result.mean_jaccard = sum / static_cast<double>(pairs);
+  return result;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,39 @@
+#ifndef SDADCS_CORE_DIVERSITY_H_
+#define SDADCS_CORE_DIVERSITY_H_
+
+#include <vector>
+
+#include "core/contrast.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::core {
+
+/// Greedy cover-diverse selection, after van Leeuwen & Knobbe's "diverse
+/// subgroup set discovery" (cited in the paper's related work): walk the
+/// patterns in measure order and keep one only if its row cover overlaps
+/// every already-kept pattern's cover by less than `max_jaccard`.
+/// Complements the itemset-level redundancy filters with an
+/// extensional (row-level) notion of redundancy: two syntactically
+/// different patterns that select the same rows tell the user the same
+/// thing.
+///
+/// Returns the kept patterns in their original order. `max_jaccard` in
+/// (0, 1]; 1.0 keeps everything but exact-duplicate covers.
+std::vector<ContrastPattern> SelectDiverse(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<ContrastPattern>& patterns, double max_jaccard);
+
+/// Pairwise cover-overlap summary of a pattern list: the mean and max
+/// Jaccard similarity over all pairs (0 when fewer than 2 patterns).
+struct CoverOverlap {
+  double mean_jaccard = 0.0;
+  double max_jaccard = 0.0;
+};
+CoverOverlap MeasureCoverOverlap(const data::Dataset& db,
+                                 const data::GroupInfo& gi,
+                                 const std::vector<ContrastPattern>& patterns);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_DIVERSITY_H_

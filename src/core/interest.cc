@@ -1,0 +1,101 @@
+#include "core/interest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+const char* MeasureKindName(MeasureKind kind) {
+  switch (kind) {
+    case MeasureKind::kSupportDiff:
+      return "support_diff";
+    case MeasureKind::kPurityRatio:
+      return "purity_ratio";
+    case MeasureKind::kSurprising:
+      return "surprising";
+    case MeasureKind::kEntropyPurity:
+      return "entropy_purity";
+  }
+  return "unknown";
+}
+
+double SupportDifference(const std::vector<double>& supports) {
+  SDADCS_CHECK(!supports.empty());
+  auto [mn, mx] = std::minmax_element(supports.begin(), supports.end());
+  return *mx - *mn;
+}
+
+double PurityRatio(const std::vector<double>& supports) {
+  SDADCS_CHECK(supports.size() >= 2);
+  // Two largest supports; for two groups this is exactly Eq. 12.
+  double top1 = 0.0;
+  double top2 = 0.0;
+  for (double s : supports) {
+    if (s > top1) {
+      top2 = top1;
+      top1 = s;
+    } else if (s > top2) {
+      top2 = s;
+    }
+  }
+  if (top1 <= 0.0) return 0.0;
+  return 1.0 - top2 / top1;
+}
+
+double SurprisingMeasure(const std::vector<double>& supports) {
+  return PurityRatio(supports) * SupportDifference(supports);
+}
+
+double EntropyPurity(const std::vector<double>& supports) {
+  SDADCS_CHECK(supports.size() >= 2);
+  double total = 0.0;
+  for (double s : supports) total += s;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double s : supports) {
+    if (s <= 0.0) continue;
+    double p = s / total;
+    h -= p * std::log2(p);
+  }
+  return 1.0 - h / std::log2(static_cast<double>(supports.size()));
+}
+
+double MeasureValue(MeasureKind kind, const std::vector<double>& supports) {
+  switch (kind) {
+    case MeasureKind::kSupportDiff:
+      return SupportDifference(supports);
+    case MeasureKind::kPurityRatio:
+      return PurityRatio(supports);
+    case MeasureKind::kSurprising:
+      return SurprisingMeasure(supports);
+    case MeasureKind::kEntropyPurity:
+      return EntropyPurity(supports);
+  }
+  return 0.0;
+}
+
+bool MeasureNeedsTrivialBound(MeasureKind kind) {
+  return kind == MeasureKind::kPurityRatio ||
+         kind == MeasureKind::kEntropyPurity;
+}
+
+double WRAcc(const std::vector<double>& match_counts,
+             const std::vector<double>& group_sizes, int target_group) {
+  SDADCS_CHECK(match_counts.size() == group_sizes.size());
+  SDADCS_CHECK(target_group >= 0 &&
+               target_group < static_cast<int>(group_sizes.size()));
+  double n_total = 0.0;
+  double n_match = 0.0;
+  for (size_t g = 0; g < group_sizes.size(); ++g) {
+    n_total += group_sizes[g];
+    n_match += match_counts[g];
+  }
+  if (n_total <= 0.0 || n_match <= 0.0) return 0.0;
+  double precision = match_counts[target_group] / n_match;
+  double base_rate = group_sizes[target_group] / n_total;
+  return (n_match / n_total) * (precision - base_rate);
+}
+
+}  // namespace sdadcs::core

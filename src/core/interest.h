@@ -1,0 +1,64 @@
+#ifndef SDADCS_CORE_INTEREST_H_
+#define SDADCS_CORE_INTEREST_H_
+
+#include <string>
+#include <vector>
+
+namespace sdadcs::core {
+
+/// Which interest measure the miner optimizes. The paper uses support
+/// difference for the quantitative comparison (Table 4) and the
+/// Surprising Measure for the qualitative analyses; Purity Ratio is the
+/// homogeneity component of the latter.
+enum class MeasureKind {
+  kSupportDiff,
+  kPurityRatio,
+  kSurprising,
+  /// Entropy-based homogeneity (the paper: "any interest measure, such
+  /// as entropy, can also be used"): 1 - H(normalized supports)/log2(k),
+  /// 1 for a pure region, 0 for equal supports.
+  kEntropyPurity,
+};
+
+/// Returns a stable name ("support_diff", "purity_ratio", "surprising").
+const char* MeasureKindName(MeasureKind kind);
+
+/// Support difference (Eq. 2 generalized to k groups):
+/// max_g supports[g] - min_g supports[g].
+double SupportDifference(const std::vector<double>& supports);
+
+/// Purity Ratio (Eq. 12): 1 - min/max of the two largest supports; 1.0
+/// when only one group is present in the region, 0.0 when the two
+/// dominant groups are equally represented (relative to group size).
+double PurityRatio(const std::vector<double>& supports);
+
+/// Surprising Measure (Eq. 13): PurityRatio * SupportDifference.
+double SurprisingMeasure(const std::vector<double>& supports);
+
+/// Entropy-based homogeneity: 1 - H(supports / sum) / log2(k); 0 when
+/// all supports vanish or are equal, 1 when one group owns the region.
+double EntropyPurity(const std::vector<double>& supports);
+
+/// True when an interest measure can reach its maximum in an arbitrarily
+/// small pure sub-region (kPurityRatio, kEntropyPurity): the
+/// support-difference optimistic estimate of Eq. 11 does NOT bound such
+/// measures, so the top-k oe pruning must fall back to the trivial bound
+/// (1.0 for any non-empty space). For kSupportDiff and kSurprising the
+/// Eq. 11 bound is valid (the paper: "the optimistic estimate for
+/// Surprising Measure is the same as Equation 11, since in the best
+/// case PR will always be 1").
+bool MeasureNeedsTrivialBound(MeasureKind kind);
+
+/// Dispatches on `kind`.
+double MeasureValue(MeasureKind kind, const std::vector<double>& supports);
+
+/// Weighted relative accuracy of a description w.r.t. `target_group`:
+/// (n_c / N) * (n_cg / n_c - N_g / N). The paper cites [21] for the
+/// equivalence of WRAcc ranking and support-difference ranking; the
+/// Cortana-Interval baseline optimizes this.
+double WRAcc(const std::vector<double>& match_counts,
+             const std::vector<double>& group_sizes, int target_group);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_INTEREST_H_

@@ -1,0 +1,55 @@
+#include "core/item.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sdadcs::core {
+
+bool Item::Matches(const data::Dataset& db, uint32_t row) const {
+  if (kind == Kind::kCategorical) {
+    const data::CategoricalColumn& col = db.categorical(attr);
+    return col.code(row) == code;  // kMissingCode never equals a value code
+  }
+  const data::ContinuousColumn& col = db.continuous(attr);
+  double v = col.value(row);
+  if (std::isnan(v)) return false;
+  return lo < v && v <= hi;
+}
+
+bool Item::ContainedIn(const Item& general) const {
+  if (attr != general.attr || kind != general.kind) return false;
+  if (kind == Kind::kCategorical) return code == general.code;
+  return general.lo <= lo && hi <= general.hi;
+}
+
+std::string Item::Key() const {
+  if (kind == Kind::kCategorical) {
+    return util::StrFormat("%d=%d", attr, code);
+  }
+  return util::StrFormat("%d:(%.17g,%.17g]", attr, lo, hi);
+}
+
+std::string Item::ToString(const data::Dataset& db) const {
+  const std::string& name = db.schema().attribute(attr).name;
+  if (kind == Kind::kCategorical) {
+    return name + " = " + db.categorical(attr).ValueOf(code);
+  }
+  bool lo_inf = std::isinf(lo) && lo < 0;
+  bool hi_inf = std::isinf(hi) && hi > 0;
+  if (lo_inf && hi_inf) return name + " = any";
+  if (lo_inf) return name + " <= " + util::FormatDouble(hi);
+  if (hi_inf) return name + " > " + util::FormatDouble(lo);
+  return util::FormatDouble(lo) + " < " + name +
+         " <= " + util::FormatDouble(hi);
+}
+
+bool ItemLess(const Item& a, const Item& b) {
+  if (a.attr != b.attr) return a.attr < b.attr;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.kind == Item::Kind::kCategorical) return a.code < b.code;
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return a.hi < b.hi;
+}
+
+}  // namespace sdadcs::core

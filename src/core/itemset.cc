@@ -1,0 +1,134 @@
+#include "core/itemset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sdadcs::core {
+
+Itemset::Itemset(std::vector<Item> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end(), ItemLess);
+  for (size_t i = 1; i < items_.size(); ++i) {
+    SDADCS_CHECK(items_[i - 1].attr != items_[i].attr);
+  }
+}
+
+bool Itemset::ConstrainsAttribute(int attr) const {
+  return ItemOn(attr) != nullptr;
+}
+
+const Item* Itemset::ItemOn(int attr) const {
+  for (const Item& it : items_) {
+    if (it.attr == attr) return &it;
+    if (it.attr > attr) break;
+  }
+  return nullptr;
+}
+
+Itemset Itemset::WithItem(const Item& it) const {
+  std::vector<Item> items;
+  items.reserve(items_.size() + 1);
+  for (const Item& existing : items_) {
+    if (existing.attr != it.attr) items.push_back(existing);
+  }
+  items.push_back(it);
+  return Itemset(std::move(items));
+}
+
+Itemset Itemset::WithoutAttribute(int attr) const {
+  std::vector<Item> items;
+  items.reserve(items_.size());
+  for (const Item& existing : items_) {
+    if (existing.attr != attr) items.push_back(existing);
+  }
+  return Itemset(std::move(items));
+}
+
+Itemset Itemset::WithoutIntervals() const {
+  std::vector<Item> items;
+  for (const Item& existing : items_) {
+    if (existing.kind == Item::Kind::kCategorical) items.push_back(existing);
+  }
+  return Itemset(std::move(items));
+}
+
+bool Itemset::Matches(const data::Dataset& db, uint32_t row) const {
+  for (const Item& it : items_) {
+    if (!it.Matches(db, row)) return false;
+  }
+  return true;
+}
+
+data::Selection Itemset::Cover(const data::Dataset& db,
+                               const data::Selection& sel) const {
+  return sel.Filter([this, &db](uint32_t r) { return Matches(db, r); });
+}
+
+bool Itemset::Specializes(const Itemset& other) const {
+  for (const Item& gen : other.items()) {
+    const Item* mine = ItemOn(gen.attr);
+    if (mine == nullptr || !mine->ContainedIn(gen)) return false;
+  }
+  return true;
+}
+
+std::vector<Itemset> Itemset::ProperSubsets() const {
+  std::vector<Itemset> out;
+  const size_t n = items_.size();
+  if (n < 2) return out;
+  SDADCS_CHECK(n < 20);  // the search tree is depth-limited; guard anyway
+  const uint32_t full = (1u << n) - 1;
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    std::vector<Item> items;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) items.push_back(items_[i]);
+    }
+    out.emplace_back(std::move(items));
+  }
+  return out;
+}
+
+Itemset Itemset::Complement(const Itemset& subset) const {
+  std::vector<Item> items;
+  for (const Item& it : items_) {
+    if (subset.ItemOn(it.attr) == nullptr) items.push_back(it);
+  }
+  return Itemset(std::move(items));
+}
+
+std::string Itemset::Key() const {
+  std::string key;
+  for (const Item& it : items_) {
+    if (!key.empty()) key += '|';
+    key += it.Key();
+  }
+  return key;
+}
+
+std::string Itemset::AttributeSignature() const {
+  std::string sig;
+  for (const Item& it : items_) {
+    if (!sig.empty()) sig += ',';
+    if (it.kind == Item::Kind::kCategorical) {
+      // Categorical items participate in containment only via equality,
+      // so the concrete code is part of the signature.
+      sig += util::StrFormat("%d=%d", it.attr, it.code);
+    } else {
+      sig += util::StrFormat("%d:R", it.attr);
+    }
+  }
+  return sig;
+}
+
+std::string Itemset::ToString(const data::Dataset& db) const {
+  if (items_.empty()) return "{}";
+  std::string out;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += items_[i].ToString(db);
+  }
+  return out;
+}
+
+}  // namespace sdadcs::core

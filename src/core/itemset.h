@@ -1,0 +1,83 @@
+#ifndef SDADCS_CORE_ITEMSET_H_
+#define SDADCS_CORE_ITEMSET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "data/dataset.h"
+#include "data/selection.h"
+
+namespace sdadcs::core {
+
+/// A conjunction of items, at most one per attribute, kept sorted by
+/// attribute index. The empty itemset matches every row.
+class Itemset {
+ public:
+  Itemset() = default;
+  explicit Itemset(std::vector<Item> items);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const Item& item(size_t i) const { return items_[i]; }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// True if some item constrains `attr`.
+  bool ConstrainsAttribute(int attr) const;
+
+  /// The item on `attr`, or nullptr.
+  const Item* ItemOn(int attr) const;
+
+  /// Copy of this itemset with `it` added (or replacing the existing item
+  /// on the same attribute).
+  Itemset WithItem(const Item& it) const;
+
+  /// Copy with the item on `attr` removed (no-op if absent).
+  Itemset WithoutAttribute(int attr) const;
+
+  /// Copy keeping only the categorical items (the fixed part of an
+  /// SDAD-CS call; interval items are re-derived from region bounds).
+  Itemset WithoutIntervals() const;
+
+  /// True if `row` satisfies every item.
+  bool Matches(const data::Dataset& db, uint32_t row) const;
+
+  /// Rows of `sel` matching every item.
+  data::Selection Cover(const data::Dataset& db,
+                        const data::Selection& sel) const;
+
+  /// True if every item of `other` is contained in (implied by) an item
+  /// of this itemset — i.e. this itemset is a specialization of `other`.
+  bool Specializes(const Itemset& other) const;
+
+  /// All non-empty proper subsets (2^n - 2 of them). n is small (the
+  /// search tree is stunted at depth 5), so this is cheap; used by the
+  /// productivity check which inspects every binary partition.
+  std::vector<Itemset> ProperSubsets() const;
+
+  /// Complement of `subset` within this itemset (items not in subset).
+  Itemset Complement(const Itemset& subset) const;
+
+  /// Canonical key for hashing / prune tables.
+  std::string Key() const;
+
+  /// Signature of the attribute set only (which attributes are
+  /// constrained, and how), ignoring the concrete values/bounds. Groups
+  /// prune-table entries so containment checks only scan entries over the
+  /// same attributes.
+  std::string AttributeSignature() const;
+
+  /// "item1 and item2 and ..." (or "{}" when empty).
+  std::string ToString(const data::Dataset& db) const;
+
+  friend bool operator==(const Itemset& a, const Itemset& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  std::vector<Item> items_;
+};
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_ITEMSET_H_

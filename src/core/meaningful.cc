@@ -1,0 +1,85 @@
+#include "core/meaningful.h"
+
+#include "core/productivity.h"
+#include "core/pruning.h"
+#include "core/sdad.h"
+#include "core/support.h"
+#include "core/topk.h"
+#include "stats/chi_squared.h"
+
+namespace sdadcs::core {
+
+const char* PatternClassName(PatternClass c) {
+  switch (c) {
+    case PatternClass::kMeaningful:
+      return "meaningful";
+    case PatternClass::kRedundant:
+      return "redundant";
+    case PatternClass::kUnproductive:
+      return "unproductive";
+    case PatternClass::kNotIndependentlyProductive:
+      return "not_independently_productive";
+  }
+  return "unknown";
+}
+
+MeaningfulnessReport ClassifyPatterns(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const MinerConfig& cfg, const std::vector<ContrastPattern>& patterns) {
+  // A throwaway context: classification reuses the mining primitives but
+  // does not touch any live search state.
+  PruneTable prune_table;
+  TopK topk(1, cfg.delta);
+  MiningCounters counters;
+  MiningContext ctx;
+  ctx.db = &db;
+  ctx.gi = &gi;
+  ctx.cfg = &cfg;
+  ctx.prune_table = &prune_table;
+  ctx.topk = &topk;
+  ctx.counters = &counters;
+  ctx.group_sizes = GroupSizes(gi);
+
+  MeaningfulnessReport report;
+  report.classes.assign(patterns.size(), PatternClass::kMeaningful);
+
+  std::vector<data::Selection> covers;
+  covers.reserve(patterns.size());
+  for (const ContrastPattern& p : patterns) {
+    covers.push_back(p.itemset.Cover(db, gi.base_selection()));
+  }
+
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const ContrastPattern& p = patterns[i];
+    if (IsRedundantAgainstSubsets(ctx, p)) {
+      report.classes[i] = PatternClass::kRedundant;
+      ++report.redundant;
+      continue;
+    }
+    if (!IsProductive(ctx, p)) {
+      report.classes[i] = PatternClass::kUnproductive;
+      ++report.unproductive;
+      continue;
+    }
+    bool independent = true;
+    for (size_t j = 0; j < patterns.size() && independent; ++j) {
+      if (i == j) continue;
+      if (patterns[j].itemset.size() <= p.itemset.size()) continue;
+      if (!patterns[j].itemset.Specializes(p.itemset)) continue;
+      data::Selection residual = covers[i].Minus(covers[j]);
+      GroupCounts gc = CountGroups(gi, residual);
+      stats::ChiSquaredResult res =
+          stats::ChiSquaredPresenceTest(gc.counts, ctx.group_sizes);
+      if (!res.valid || res.p_value >= cfg.alpha) independent = false;
+    }
+    if (!independent) {
+      report.classes[i] = PatternClass::kNotIndependentlyProductive;
+      ++report.not_independently_productive;
+      continue;
+    }
+    ++report.meaningful;
+  }
+  return report;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,49 @@
+#ifndef SDADCS_CORE_MEANINGFUL_H_
+#define SDADCS_CORE_MEANINGFUL_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/contrast.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::core {
+
+/// Classification of one pattern in a candidate list (Table 6 analysis:
+/// the majority of an unfiltered top-100 is typically meaningless).
+enum class PatternClass {
+  kMeaningful,
+  kRedundant,      ///< same support difference as a generalization
+  kUnproductive,   ///< fails Eq. 17 / significance of the parts
+  kNotIndependentlyProductive,  ///< explained by a specialization in the list
+};
+
+const char* PatternClassName(PatternClass c);
+
+/// Per-pattern classes and aggregate counts.
+struct MeaningfulnessReport {
+  std::vector<PatternClass> classes;
+  int meaningful = 0;
+  int redundant = 0;
+  int unproductive = 0;
+  int not_independently_productive = 0;
+
+  int meaningless() const {
+    return redundant + unproductive + not_independently_productive;
+  }
+};
+
+/// Applies the paper's three meaningfulness criteria to an *unfiltered*
+/// pattern list (e.g. the output of SDAD-CS NP or a baseline): redundancy
+/// against on-demand generalizations, productivity (Eq. 17), and
+/// independent productivity against specializations present in the list.
+/// Checks are applied in that order; the first failure labels the
+/// pattern.
+MeaningfulnessReport ClassifyPatterns(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const MinerConfig& cfg, const std::vector<ContrastPattern>& patterns);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_MEANINGFUL_H_

@@ -1,0 +1,126 @@
+#include "core/miner.h"
+
+#include <algorithm>
+
+#include "core/productivity.h"
+#include "core/search.h"
+#include "core/support.h"
+#include "util/timer.h"
+
+namespace sdadcs::core {
+
+double MiningResult::MeanSupportDifference(size_t k) const {
+  if (contrasts.empty()) return 0.0;
+  size_t n = std::min(k, contrasts.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += contrasts[i].diff;
+  return sum / static_cast<double>(n);
+}
+
+util::Status Miner::ValidateConfig() const {
+  if (config_.alpha <= 0.0 || config_.alpha >= 1.0) {
+    return util::Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (config_.delta <= 0.0 || config_.delta >= 1.0) {
+    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (config_.max_depth < 1) {
+    return util::Status::InvalidArgument("max_depth must be >= 1");
+  }
+  if (config_.sdad_max_level < 1) {
+    return util::Status::InvalidArgument("sdad_max_level must be >= 1");
+  }
+  if (config_.top_k < 1) {
+    return util::Status::InvalidArgument("top_k must be >= 1");
+  }
+  if (config_.min_coverage < 0) {
+    return util::Status::InvalidArgument("min_coverage must be >= 0");
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
+                                         const std::string& group_attr) const {
+  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
+  if (!attr.ok()) return attr.status();
+  util::StatusOr<data::GroupInfo> gi = data::GroupInfo::Create(db, *attr);
+  if (!gi.ok()) return gi.status();
+  return MineWithGroups(db, *gi);
+}
+
+util::StatusOr<MiningResult> Miner::Mine(
+    const data::Dataset& db, const std::string& group_attr,
+    const std::vector<std::string>& group_values) const {
+  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
+  if (!attr.ok()) return attr.status();
+  util::StatusOr<data::GroupInfo> gi =
+      data::GroupInfo::CreateForValues(db, *attr, group_values);
+  if (!gi.ok()) return gi.status();
+  return MineWithGroups(db, *gi);
+}
+
+util::StatusOr<MiningResult> Miner::MineWithGroups(
+    const data::Dataset& db, const data::GroupInfo& gi) const {
+  SDADCS_RETURN_IF_ERROR(ValidateConfig());
+  util::WallTimer timer;
+
+  // Resolve the attribute universe.
+  std::vector<int> attrs;
+  if (config_.attributes.empty()) {
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      if (static_cast<int>(a) != gi.group_attr()) {
+        attrs.push_back(static_cast<int>(a));
+      }
+    }
+  } else {
+    for (const std::string& name : config_.attributes) {
+      util::StatusOr<int> idx = db.schema().IndexOf(name);
+      if (!idx.ok()) return idx.status();
+      if (*idx == gi.group_attr()) {
+        return util::Status::InvalidArgument(
+            "attribute '" + name + "' is the group attribute");
+      }
+      attrs.push_back(*idx);
+    }
+  }
+  if (attrs.empty()) {
+    return util::Status::InvalidArgument("no attributes to mine");
+  }
+
+  PruneTable prune_table;
+  TopK topk(static_cast<size_t>(config_.top_k), config_.delta);
+  MiningCounters counters;
+
+  MiningContext ctx;
+  ctx.db = &db;
+  ctx.gi = &gi;
+  ctx.cfg = &config_;
+  ctx.prune_table = &prune_table;
+  ctx.topk = &topk;
+  ctx.counters = &counters;
+  ctx.group_sizes = GroupSizes(gi);
+  for (int a : attrs) {
+    if (db.is_continuous(a)) {
+      ctx.root_bounds[a] = ComputeRootBounds(db, a, gi.base_selection());
+    }
+  }
+
+  LatticeSearch search(ctx);
+  search.Run(attrs);
+
+  MiningResult result;
+  result.contrasts = topk.Sorted();
+  if (config_.meaningful_pruning &&
+      config_.independently_productive_filter) {
+    result.contrasts =
+        FilterIndependentlyProductive(ctx, std::move(result.contrasts));
+  }
+  result.counters = counters;
+  result.elapsed_seconds = timer.Seconds();
+  for (int g = 0; g < gi.num_groups(); ++g) {
+    result.group_names.push_back(gi.group_name(g));
+  }
+  return result;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,63 @@
+#ifndef SDADCS_CORE_MINER_H_
+#define SDADCS_CORE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/contrast.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+#include "util/status.h"
+
+namespace sdadcs::core {
+
+/// Output of one mining run.
+struct MiningResult {
+  /// Contrast patterns sorted by interest measure, descending.
+  std::vector<ContrastPattern> contrasts;
+  MiningCounters counters;
+  double elapsed_seconds = 0.0;
+  std::vector<std::string> group_names;
+
+  /// Mean support difference of the strongest `k` patterns — the metric
+  /// of Table 4. Averages over fewer patterns when the list is shorter;
+  /// 0 when empty.
+  double MeanSupportDifference(size_t k) const;
+};
+
+/// Public facade: configures and runs the full SDAD-CS contrast-set
+/// miner (search tree + SDAD-CS discretization + meaningfulness
+/// filters).
+///
+///   Miner miner(cfg);
+///   auto result = miner.Mine(db, "class", {"Doctorate", "Bachelors"});
+class Miner {
+ public:
+  explicit Miner(MinerConfig config) : config_(std::move(config)) {}
+
+  const MinerConfig& config() const { return config_; }
+
+  /// Mines contrasts between all values of `group_attr`.
+  util::StatusOr<MiningResult> Mine(const data::Dataset& db,
+                                    const std::string& group_attr) const;
+
+  /// Mines contrasts between the listed values of `group_attr`; rows
+  /// with other values are excluded from the analysis.
+  util::StatusOr<MiningResult> Mine(
+      const data::Dataset& db, const std::string& group_attr,
+      const std::vector<std::string>& group_values) const;
+
+  /// Mines against a pre-built GroupInfo (must refer to `db`).
+  util::StatusOr<MiningResult> MineWithGroups(
+      const data::Dataset& db, const data::GroupInfo& gi) const;
+
+ private:
+  util::Status ValidateConfig() const;
+
+  MinerConfig config_;
+};
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_MINER_H_

@@ -1,0 +1,68 @@
+#include "core/optimistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/chi_squared.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+double MaxInstancesChild(double db_size, int level, int num_continuous) {
+  SDADCS_CHECK(level >= 1);
+  SDADCS_CHECK(num_continuous >= 1);
+  return db_size /
+         (std::pow(2.0, level + 1) * static_cast<double>(num_continuous));
+}
+
+double OptimisticMeasure(const OptimisticInput& in) {
+  const size_t k = in.counts.size();
+  SDADCS_CHECK(k == in.group_sizes.size());
+  SDADCS_CHECK(k >= 2);
+  const double max_child =
+      MaxInstancesChild(in.db_size, in.level, in.num_continuous);
+
+  std::vector<double> max_supp(k);
+  std::vector<double> min_supp(k);
+  for (size_t g = 0; g < k; ++g) {
+    double supp = in.counts[g] / in.group_sizes[g];
+    // Eq. 7: a child's support can neither exceed what fits in the child
+    // nor the (monotone) support of the current space.
+    max_supp[g] = std::min(max_child / in.group_sizes[g], supp);
+    // Eqs. 8-10: a child of this space holding max_child rows must keep
+    // at least max_child - (other groups' rows in this space) rows of g.
+    double other_instances = in.space_total - in.counts[g];
+    double min_instances = max_child - other_instances;
+    min_supp[g] = std::max(0.0, min_instances / in.group_sizes[g]);
+  }
+
+  double best = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      best = std::max(best, max_supp[i] - min_supp[j]);
+    }
+  }
+  return best;
+}
+
+double MaxChildChiSquared(const std::vector<double>& counts,
+                          const std::vector<double>& group_sizes) {
+  const size_t k = counts.size();
+  SDADCS_CHECK(k == group_sizes.size());
+  SDADCS_CHECK(k >= 2 && k <= 16);
+  double best = 0.0;
+  const uint32_t corners = 1u << k;
+  std::vector<double> corner_counts(k);
+  for (uint32_t mask = 0; mask < corners; ++mask) {
+    for (size_t g = 0; g < k; ++g) {
+      corner_counts[g] = (mask & (1u << g)) ? counts[g] : 0.0;
+    }
+    stats::ChiSquaredResult res =
+        stats::ChiSquaredPresenceTest(corner_counts, group_sizes);
+    if (res.valid) best = std::max(best, res.statistic);
+  }
+  return best;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,53 @@
+#ifndef SDADCS_CORE_OPTIMISTIC_H_
+#define SDADCS_CORE_OPTIMISTIC_H_
+
+#include <vector>
+
+namespace sdadcs::core {
+
+/// Inputs to the child-space optimistic estimate of Eqs. 5-11.
+struct OptimisticInput {
+  /// |DB| of Eq. 6: the rows handed to the *outermost* SDAD-CS call of
+  /// the current search-tree node (the paper's worked example in
+  /// Section 4.4 evaluates Eq. 6 with the full 100-row DB while scoring
+  /// a level-1 half-space).
+  double db_size = 0.0;
+  /// Current level in the recursive tree of SDAD-CS (1 at the call's
+  /// first split).
+  int level = 1;
+  /// Number of continuous attributes being discretized, |ca|.
+  int num_continuous = 1;
+  /// Per-group match counts of the itemset in the current space r.
+  std::vector<double> counts;
+  /// Total rows in the current space r. Eq. 8 as printed subtracts the
+  /// group count from |DB|, but the text ("the number of instances of
+  /// the other groups ... in the current space r") and the Section 4.4
+  /// example (oe = 1 - 23/98 requires 25 - 2, not 25 - 52) both use the
+  /// space total; we follow the example.
+  double space_total = 0.0;
+  /// Global group sizes |g_k|.
+  std::vector<double> group_sizes;
+};
+
+/// Eq. 6: maximum number of instances a child space can hold,
+/// |DB| / (2^(level+1) * |ca|). Median splits distribute the points of a
+/// space evenly among its children, so no child can exceed this.
+double MaxInstancesChild(double db_size, int level, int num_continuous);
+
+/// Eq. 11: optimistic estimate of the support-difference (and therefore
+/// Surprising-Measure, since PR <= 1) obtainable in any child space:
+/// max over ordered group pairs of max_supp_gi - min_supp_gj, with
+/// max_supp from Eq. 7 and min_supp from Eqs. 8-10.
+double OptimisticMeasure(const OptimisticInput& in);
+
+/// Upper bound on the chi-square statistic achievable by any
+/// specialization of a pattern with the given per-group counts, following
+/// STUCCO: a specialization can only shrink each group's count, and the
+/// statistic over the feasible box [0, counts] is maximized at a corner,
+/// so all 2^k corners are enumerated (k = number of groups, small).
+double MaxChildChiSquared(const std::vector<double>& counts,
+                          const std::vector<double>& group_sizes);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_OPTIMISTIC_H_

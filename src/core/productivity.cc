@@ -1,0 +1,172 @@
+#include "core/productivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pruning.h"
+#include "core/support.h"
+#include "stats/chi_squared.h"
+#include "stats/fisher.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// Per-group counts of `itemset` over the analysis rows.
+GroupCounts CountOverBase(const MiningContext& ctx, const Itemset& itemset) {
+  return CountMatches(*ctx.db, *ctx.gi, itemset, ctx.gi->base_selection());
+}
+
+// Chi-square (or Fisher when sparse) test that parts `a` and `b` of a
+// pattern are positively dependent within group `g`.
+bool PartsDependentInGroup(MiningContext& ctx, const Itemset& a,
+                           const Itemset& b, int g, double alpha) {
+  const data::Dataset& db = *ctx.db;
+  const data::GroupInfo& gi = *ctx.gi;
+  double n11 = 0.0;  // a & b
+  double n10 = 0.0;  // a & !b
+  double n01 = 0.0;  // !a & b
+  double n00 = 0.0;
+  for (uint32_t r : gi.base_selection()) {
+    if (gi.group_of(r) != g) continue;
+    bool ma = a.Matches(db, r);
+    bool mb = b.Matches(db, r);
+    if (ma && mb) {
+      n11 += 1.0;
+    } else if (ma) {
+      n10 += 1.0;
+    } else if (mb) {
+      n01 += 1.0;
+    } else {
+      n00 += 1.0;
+    }
+  }
+  double total = n11 + n10 + n01 + n00;
+  if (total <= 0.0) return false;
+  double expected = (n11 + n10) * (n11 + n01) / total;
+  if (n11 <= expected) return false;  // not positively dependent
+
+  stats::ContingencyTable t(2, 2);
+  t.set_cell(0, 0, n11);
+  t.set_cell(0, 1, n10);
+  t.set_cell(1, 0, n01);
+  t.set_cell(1, 1, n00);
+  ++ctx.counters->chi2_tests;
+  if (t.MinExpected() < 5.0) {
+    // Sparse table: use the exact test in the positive direction.
+    double p = stats::FisherExactGreater(
+        static_cast<long long>(n11), static_cast<long long>(n10),
+        static_cast<long long>(n01), static_cast<long long>(n00));
+    return p < alpha;
+  }
+  stats::ChiSquaredResult res = stats::ChiSquaredTest(t);
+  return res.valid && res.p_value < alpha;
+}
+
+}  // namespace
+
+bool IsProductive(MiningContext& ctx, const ContrastPattern& pattern) {
+  const size_t n = pattern.itemset.size();
+  if (n < 2) return true;
+  SDADCS_CHECK(n < 20);
+
+  // Groups attaining the pattern's extreme supports: x dominant, y weak
+  // (the paper's |g_x| > |g_y| convention reduces to this for 2 groups).
+  size_t gx = 0;
+  size_t gy = 0;
+  for (size_t g = 1; g < pattern.supports.size(); ++g) {
+    if (pattern.supports[g] > pattern.supports[gx]) gx = g;
+    if (pattern.supports[g] < pattern.supports[gy]) gy = g;
+  }
+  const double diff_c = pattern.diff;
+  const double alpha = ctx.cfg->alpha;
+
+  // Every unordered binary partition once: masks with bit 0 set.
+  const uint32_t full = (1u << n) - 1;
+  for (uint32_t mask = 1; mask < full; mask += 2) {
+    std::vector<Item> part_a;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) part_a.push_back(pattern.itemset.item(i));
+    }
+    Itemset a(std::move(part_a));
+    Itemset b = pattern.itemset.Complement(a);
+
+    std::vector<double> sa = CountOverBase(ctx, a).Supports(*ctx.gi);
+    std::vector<double> sb = CountOverBase(ctx, b).Supports(*ctx.gi);
+    double expected_diff = sa[gx] * sb[gx] - sa[gy] * sb[gy];
+    if (diff_c <= expected_diff) return false;  // Eq. 17 violated
+
+    // Significance: the parts must be genuinely dependent in the
+    // dominant group, not just sampled high.
+    if (!PartsDependentInGroup(ctx, a, b, static_cast<int>(gx), alpha)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ContrastPattern> FilterIndependentlyProductive(
+    MiningContext& ctx, std::vector<ContrastPattern> patterns) {
+  const data::Dataset& db = *ctx.db;
+  const data::GroupInfo& gi = *ctx.gi;
+  const double alpha = ctx.cfg->alpha;
+
+  std::vector<data::Selection> covers;
+  covers.reserve(patterns.size());
+  for (const ContrastPattern& p : patterns) {
+    covers.push_back(p.itemset.Cover(db, gi.base_selection()));
+  }
+
+  std::vector<bool> keep(patterns.size(), true);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      if (i == j) continue;
+      // j must be a strict specialization of i present in the list.
+      if (patterns[j].itemset.size() <= patterns[i].itemset.size()) continue;
+      if (!patterns[j].itemset.Specializes(patterns[i].itemset)) continue;
+      // Residual cover of i outside j must remain a significant contrast,
+      // else i was "found only because of" the extra items of j.
+      data::Selection residual = covers[i].Minus(covers[j]);
+      GroupCounts gc = CountGroups(gi, residual);
+      ++ctx.counters->chi2_tests;
+      stats::ChiSquaredResult res =
+          stats::ChiSquaredPresenceTest(gc.counts, ctx.group_sizes);
+      if (!res.valid || res.p_value >= alpha) {
+        keep[i] = false;
+        break;
+      }
+    }
+  }
+
+  std::vector<ContrastPattern> out;
+  out.reserve(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (keep[i]) {
+      out.push_back(std::move(patterns[i]));
+    } else {
+      ++ctx.counters->not_independently_productive;
+    }
+  }
+  return out;
+}
+
+bool IsRedundantAgainstSubsets(MiningContext& ctx,
+                               const ContrastPattern& pattern) {
+  const size_t n = pattern.itemset.size();
+  if (n < 2) return false;
+  for (size_t i = 0; i < n; ++i) {
+    Itemset subset =
+        pattern.itemset.WithoutAttribute(pattern.itemset.item(i).attr);
+    GroupCounts gc = CountOverBase(ctx, subset);
+    std::vector<double> supports = gc.Supports(*ctx.gi);
+    double subset_diff = SupportDifference(supports);
+    if (StatisticallySameDifference(pattern.diff, subset_diff, supports,
+                                    ctx.group_sizes, ctx.cfg->alpha)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,40 @@
+#ifndef SDADCS_CORE_PRODUCTIVITY_H_
+#define SDADCS_CORE_PRODUCTIVITY_H_
+
+#include <vector>
+
+#include "core/contrast.h"
+#include "core/sdad.h"
+
+namespace sdadcs::core {
+
+/// Productivity test of Section 4.3 (Eq. 17): for *every* binary
+/// partition (a, c\a) of the pattern's itemset, the observed support
+/// difference must exceed the difference expected under independence of
+/// the parts, and the excess must be statistically significant. The
+/// significance of the dependence is confirmed with a chi-square test of
+/// the 2×2 co-occurrence table of a and c\a within the dominant group
+/// (Fisher's exact test when expected counts are small) — the "leverage"
+/// relationship the paper points out.
+///
+/// Patterns with fewer than two items are trivially productive.
+bool IsProductive(MiningContext& ctx, const ContrastPattern& pattern);
+
+/// Independent-productivity post-filter (Section 4.3): a pattern A is
+/// dropped when some specialization S of A in the list explains it —
+/// i.e. the rows covered by A but not by S no longer form a significant
+/// contrast. Returns the surviving patterns, order preserved; the number
+/// removed is added to ctx.counters->not_independently_productive.
+std::vector<ContrastPattern> FilterIndependentlyProductive(
+    MiningContext& ctx, std::vector<ContrastPattern> patterns);
+
+/// True if `pattern`'s support difference is statistically the same as
+/// that of one of its immediate generalizations (one item removed),
+/// computed on demand — the redundancy notion used to classify the
+/// unfiltered top-k in Table 6.
+bool IsRedundantAgainstSubsets(MiningContext& ctx,
+                               const ContrastPattern& pattern);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_PRODUCTIVITY_H_

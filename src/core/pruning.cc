@@ -1,0 +1,112 @@
+#include "core/pruning.h"
+
+#include <cmath>
+
+#include "stats/contingency.h"
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+const char* PruneReasonName(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kMinSupport:
+      return "min_support";
+    case PruneReason::kLowExpected:
+      return "low_expected";
+    case PruneReason::kRedundant:
+      return "redundant";
+    case PruneReason::kPure:
+      return "pure";
+    case PruneReason::kChiBound:
+      return "chi_bound";
+  }
+  return "unknown";
+}
+
+void PruneTable::Insert(const Itemset& itemset, PruneReason reason) {
+  buckets_[itemset.AttributeSignature()].push_back({itemset, reason});
+  ++num_entries_;
+}
+
+void PruneTable::MergeFrom(const PruneTable& other) {
+  for (const auto& [sig, entries] : other.buckets_) {
+    std::vector<Entry>& mine = buckets_[sig];
+    mine.insert(mine.end(), entries.begin(), entries.end());
+    num_entries_ += entries.size();
+  }
+}
+
+bool PruneTable::CanPrune(const Itemset& candidate) const {
+  PruneReason unused;
+  return CanPrune(candidate, &unused);
+}
+
+bool PruneTable::CanPrune(const Itemset& candidate,
+                          PruneReason* reason) const {
+  if (parent_ != nullptr && parent_->CanPrune(candidate, reason)) {
+    return true;
+  }
+  if (buckets_.empty()) return false;
+  const size_t n = candidate.size();
+  if (n == 0) return false;
+  SDADCS_CHECK(n < 20);
+  // Every non-empty attribute subset of the candidate identifies a
+  // bucket of potential generalizations.
+  const uint32_t full = (1u << n) - 1;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    std::vector<Item> items;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) items.push_back(candidate.item(i));
+    }
+    Itemset subset(std::move(items));
+    auto it = buckets_.find(subset.AttributeSignature());
+    if (it == buckets_.end()) continue;
+    for (const Entry& entry : it->second) {
+      if (subset.Specializes(entry.itemset)) {
+        *reason = entry.reason;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool BelowMinimumDeviation(const std::vector<double>& supports,
+                           double delta) {
+  for (double s : supports) {
+    if (s >= delta) return false;
+  }
+  return true;
+}
+
+bool LowExpectedCount(const std::vector<double>& counts,
+                      const std::vector<double>& group_sizes) {
+  stats::ContingencyTable t = stats::MakePresenceTable(counts, group_sizes);
+  return t.MinExpected() < 5.0;
+}
+
+bool StatisticallySameDifference(double diff_curr, double diff_subset,
+                                 const std::vector<double>& subset_supports,
+                                 const std::vector<double>& group_sizes,
+                                 double alpha) {
+  SDADCS_CHECK(subset_supports.size() == group_sizes.size());
+  SDADCS_CHECK(subset_supports.size() >= 2);
+  // Eqs. 14-15 use the two groups being contrasted; with k groups we take
+  // the extreme pair, matching the generalized support difference.
+  size_t hi = 0;
+  size_t lo = 0;
+  for (size_t g = 1; g < subset_supports.size(); ++g) {
+    if (subset_supports[g] > subset_supports[hi]) hi = g;
+    if (subset_supports[g] < subset_supports[lo]) lo = g;
+  }
+  double sx = subset_supports[hi];
+  double sy = subset_supports[lo];
+  double a = sx * (1.0 - sx) / group_sizes[hi];
+  double b = sy * (1.0 - sy) / group_sizes[lo];
+  double half_width = stats::TwoSidedCriticalZ(alpha) * std::sqrt(a + b);
+  return diff_curr >= diff_subset - half_width &&
+         diff_curr <= diff_subset + half_width;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,102 @@
+#ifndef SDADCS_CORE_PRUNING_H_
+#define SDADCS_CORE_PRUNING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/itemset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::core {
+
+/// Why an itemset (or region) entered the prune table.
+enum class PruneReason {
+  /// Support below δ in every group: no specialization can be large.
+  kMinSupport,
+  /// Expected contingency count below 5: the significance test is
+  /// unreliable here and only gets worse in sub-regions.
+  kLowExpected,
+  /// Support difference statistically identical to a subset's (Eqs.
+  /// 14-16): the region adds nothing; supersets would be redundant too.
+  kRedundant,
+  /// PR = 1: the region is pure. It *is* reported as a contrast, but
+  /// adding further items cannot improve on purity — any extension is
+  /// redundant (the toddler/adult height example of Section 4.3).
+  kPure,
+  /// The optimistic chi-square bound shows no specialization can be
+  /// significant (STUCCO's chi-square bound rule); the itemset itself
+  /// was already evaluated, only extensions are blocked.
+  kChiBound,
+};
+
+const char* PruneReasonName(PruneReason reason);
+
+/// The lookup table of Algorithm 1 (Line 7). Entries are itemsets whose
+/// entire region was ruled out; a candidate is prunable when it
+/// *specializes* any stored entry — equal categorical items and interval
+/// containment — because every stored reason is monotone under
+/// specialization.
+///
+/// Entries are bucketed by attribute signature so a lookup only scans
+/// entries over a subset of the candidate's attributes.
+class PruneTable {
+ public:
+  PruneTable() = default;
+
+  /// Chains a read-only parent table: lookups consult the parent first,
+  /// inserts stay local. Lets parallel workers share pooled knowledge
+  /// without copying it, and lets the pool absorb only each worker's
+  /// delta afterwards. The parent must outlive this table and must not
+  /// be mutated while workers hold it.
+  void set_parent(const PruneTable* parent) { parent_ = parent; }
+
+  /// Records that `itemset`'s whole region is pruned for `reason`.
+  void Insert(const Itemset& itemset, PruneReason reason);
+
+  /// True if `candidate` specializes any stored entry. The candidate's
+  /// own attribute subsets are enumerated (the tree depth caps the
+  /// itemset size, so this is at most 2^5 - 1 bucket probes).
+  bool CanPrune(const Itemset& candidate) const;
+
+  /// Like CanPrune but reports the matching reason.
+  bool CanPrune(const Itemset& candidate, PruneReason* reason) const;
+
+  size_t size() const { return num_entries_; }
+
+  /// Appends every entry of `other` (duplicates tolerated) — used by the
+  /// level-parallel miner to pool pruning knowledge between levels.
+  void MergeFrom(const PruneTable& other);
+
+ private:
+  struct Entry {
+    Itemset itemset;
+    PruneReason reason;
+  };
+  const PruneTable* parent_ = nullptr;
+  std::unordered_map<std::string, std::vector<Entry>> buckets_;
+  size_t num_entries_ = 0;
+};
+
+/// Minimum deviation size rule: true if no group reaches support δ.
+bool BelowMinimumDeviation(const std::vector<double>& supports,
+                           double delta);
+
+/// Expected-count rule: true if the presence/absence table of the counts
+/// has an expected cell below 5.
+bool LowExpectedCount(const std::vector<double>& counts,
+                      const std::vector<double>& group_sizes);
+
+/// Central-limit redundancy test of Eqs. 14-16: is `diff_curr`
+/// statistically indistinguishable from `diff_subset`, given the
+/// subset's per-group supports and the group sizes? `alpha` is converted
+/// to the two-sided normal critical value (see DESIGN.md).
+bool StatisticallySameDifference(double diff_curr, double diff_subset,
+                                 const std::vector<double>& subset_supports,
+                                 const std::vector<double>& group_sizes,
+                                 double alpha);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_PRUNING_H_

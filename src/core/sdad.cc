@@ -1,0 +1,363 @@
+#include "core/sdad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/optimistic.h"
+#include "core/support.h"
+#include "stats/chi_squared.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// Minimum rows a space must hold for further recursion to make sense:
+// below this every child fails the expected-count rule anyway.
+constexpr size_t kMinRowsToRecurse = 8;
+
+// Builds the full itemset of a cell: fixed categorical items plus one
+// interval item per axis.
+Itemset CellItemset(const Itemset& cat_items,
+                    const std::vector<AxisBound>& bounds) {
+  Itemset out = cat_items;
+  for (const Item& it : IntervalItems(bounds)) {
+    out = out.WithItem(it);
+  }
+  return out;
+}
+
+// Collects the root bounds of each axis of `bounds`, in order.
+std::vector<RootBounds> RootsFor(const MiningContext& ctx,
+                                 const std::vector<AxisBound>& bounds) {
+  std::vector<RootBounds> roots;
+  roots.reserve(bounds.size());
+  for (const AxisBound& b : bounds) {
+    auto it = ctx.root_bounds.find(b.attr);
+    SDADCS_CHECK(it != ctx.root_bounds.end());
+    roots.push_back(it->second);
+  }
+  return roots;
+}
+
+ContrastPattern MakePattern(MiningContext& ctx, Itemset itemset,
+                            std::vector<double> counts,
+                            const std::vector<AxisBound>& bounds) {
+  ContrastPattern p;
+  p.itemset = std::move(itemset);
+  p.counts = std::move(counts);
+  p.ComputeStats(*ctx.gi, ctx.cfg->measure);
+  p.hypervolume = HyperVolume(bounds, RootsFor(ctx, bounds));
+  return p;
+}
+
+// Extracts the axis bounds encoded in a pattern's interval items, in
+// attribute order (categorical items skipped).
+std::vector<AxisBound> BoundsOf(const ContrastPattern& p) {
+  std::vector<AxisBound> bounds;
+  for (const Item& it : p.itemset.items()) {
+    if (it.kind == Item::Kind::kInterval) {
+      bounds.push_back({it.attr, it.lo, it.hi});
+    }
+  }
+  return bounds;
+}
+
+// True if a and b are identical on every axis except exactly one, where
+// they are adjacent ((x,m] next to (m,y]). Returns the merged bounds.
+bool ContiguousBounds(const std::vector<AxisBound>& a,
+                      const std::vector<AxisBound>& b,
+                      std::vector<AxisBound>* merged) {
+  if (a.size() != b.size()) return false;
+  int touch_axis = -1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].attr != b[i].attr) return false;
+    if (a[i].lo == b[i].lo && a[i].hi == b[i].hi) continue;
+    if (touch_axis >= 0) return false;  // differs on two axes
+    if (a[i].hi == b[i].lo || b[i].hi == a[i].lo) {
+      touch_axis = static_cast<int>(i);
+    } else {
+      return false;
+    }
+  }
+  if (touch_axis < 0) return false;  // identical regions
+  *merged = a;
+  (*merged)[touch_axis].lo = std::min(a[touch_axis].lo, b[touch_axis].lo);
+  (*merged)[touch_axis].hi = std::max(a[touch_axis].hi, b[touch_axis].hi);
+  return true;
+}
+
+// Chi-square similarity of two regions' group distributions: true when
+// the hypothesis "same distribution" is NOT rejected at alpha (the merge
+// criterion of Lines 28-29; degenerate tables count as similar, which
+// lets adjacent pure regions of the same group coalesce).
+bool SimilarDistributions(MiningContext& ctx,
+                          const std::vector<double>& counts_a,
+                          const std::vector<double>& counts_b,
+                          double alpha) {
+  stats::ContingencyTable t(2, static_cast<int>(counts_a.size()));
+  for (size_t g = 0; g < counts_a.size(); ++g) {
+    t.set_cell(0, static_cast<int>(g), counts_a[g]);
+    t.set_cell(1, static_cast<int>(g), counts_b[g]);
+  }
+  ++ctx.counters->chi2_tests;
+  stats::ChiSquaredResult res = stats::ChiSquaredTest(t);
+  if (!res.valid) return true;
+  return res.p_value > alpha;
+}
+
+// Shares the categorical part and axis set? (Merging never mixes
+// patterns from different search-tree nodes.)
+bool SameProfile(const ContrastPattern& a, const ContrastPattern& b) {
+  if (a.itemset.size() != b.itemset.size()) return false;
+  for (size_t i = 0; i < a.itemset.size(); ++i) {
+    const Item& x = a.itemset.item(i);
+    const Item& y = b.itemset.item(i);
+    if (x.attr != y.attr || x.kind != y.kind) return false;
+    if (x.kind == Item::Kind::kCategorical && x.code != y.code) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double MiningContext::ChiCritical(double alpha, int dof) {
+  // Alphas in one run come from a small set (alpha / 2^level), so a
+  // quantized key is collision-safe in practice and exact for the
+  // values we generate.
+  int64_t key = static_cast<int64_t>(alpha * 1e12) * 64 + dof;
+  auto it = chi_critical_cache_.find(key);
+  if (it != chi_critical_cache_.end()) return it->second;
+  double value = stats::ChiSquaredCritical(alpha, dof);
+  chi_critical_cache_.emplace(key, value);
+  return value;
+}
+
+SdadCall MakeRootCall(const MiningContext& ctx, const Itemset& cat_items,
+                      const std::vector<int>& cont_attrs) {
+  SdadCall call;
+  call.cat_items = cat_items;
+  call.cont_attrs = cont_attrs;
+  call.level = 1;
+  call.parent_measure = 0.0;  // "initially set to 0"
+
+  const data::Dataset& db = *ctx.db;
+  call.space.bounds.reserve(cont_attrs.size());
+  for (int attr : cont_attrs) {
+    auto it = ctx.root_bounds.find(attr);
+    SDADCS_CHECK(it != ctx.root_bounds.end());
+    call.space.bounds.push_back({attr, it->second.lo, it->second.hi});
+  }
+  call.space.rows =
+      ctx.gi->base_selection().Filter([&](uint32_t r) {
+        if (!cat_items.Matches(db, r)) return false;
+        for (int attr : cont_attrs) {
+          if (db.continuous(attr).is_missing(r)) return false;
+        }
+        return true;
+      });
+  call.outer_db_size = static_cast<double>(call.space.rows.size());
+
+  GroupCounts root_counts = CountGroups(*ctx.gi, call.space.rows);
+  call.parent_supports = root_counts.Supports(*ctx.gi);
+  call.parent_diff = SupportDifference(call.parent_supports);
+  return call;
+}
+
+std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
+                                       const SdadCall& call) {
+  const MinerConfig& cfg = *ctx.cfg;
+  MiningCounters& counters = *ctx.counters;
+  ++counters.sdad_calls;
+
+  std::vector<ContrastPattern> d;       // contrasts (Line 2)
+  std::vector<ContrastPattern> d_temp;  // maybe-contrasts (Line 3)
+
+  std::vector<double> cuts = PartitionCuts(*ctx.db, call.space, cfg.split);
+  std::vector<Space> cells = FindCombs(*ctx.db, call.space, cuts);
+  if (cells.empty()) return {};
+
+  const int item_count = static_cast<int>(call.cat_items.size() +
+                                          call.cont_attrs.size());
+  const double alpha_level = cfg.AlphaForLevel(item_count);
+  const int dof = ctx.gi->num_groups() - 1;
+  const double chi2_critical = ctx.ChiCritical(alpha_level, dof);
+
+  for (const Space& cell : cells) {
+    Itemset itemset = CellItemset(call.cat_items, cell.bounds);
+    ++counters.partitions_evaluated;
+
+    if (cfg.meaningful_pruning && ctx.prune_table->CanPrune(itemset)) {
+      ++counters.pruned_lookup;
+      continue;
+    }
+
+    GroupCounts gc = CountGroups(*ctx.gi, cell.rows);
+    std::vector<double> supports = gc.Supports(*ctx.gi);
+    double diff = SupportDifference(supports);
+    double purity = PurityRatio(supports);
+    double measure = MeasureValue(cfg.measure, supports);
+
+    // Minimum deviation size: no group reaches delta -> nothing large can
+    // come out of this region.
+    if (BelowMinimumDeviation(supports, cfg.delta)) {
+      if (cfg.meaningful_pruning) {
+        ctx.prune_table->Insert(itemset, PruneReason::kMinSupport);
+      }
+      ++counters.pruned_min_support;
+      continue;
+    }
+    // Expected occurrence below 5: no reliable test here or deeper.
+    if (LowExpectedCount(gc.counts, ctx.group_sizes)) {
+      if (cfg.meaningful_pruning) {
+        ctx.prune_table->Insert(itemset, PruneReason::kLowExpected);
+      }
+      ++counters.pruned_low_expected;
+      continue;
+    }
+    // Redundancy vs the parent region (Eqs. 14-16): statistically the
+    // same support difference means the refinement adds nothing.
+    if (cfg.RedundancyPruningOn() &&
+        StatisticallySameDifference(diff, call.parent_diff,
+                                    call.parent_supports, ctx.group_sizes,
+                                    cfg.alpha)) {
+      ctx.prune_table->Insert(itemset, PruneReason::kRedundant);
+      ++counters.pruned_redundant;
+      continue;
+    }
+
+    const bool pure = purity >= 1.0 && gc.total() > 0.0;
+    bool can_recurse = call.level < cfg.sdad_max_level &&
+                       cell.rows.size() >= kMinRowsToRecurse;
+    if (pure && cfg.PureSpacePruningOn()) {
+      // A pure space cannot be improved; extensions are redundant
+      // (Section 4.3). Report it, never refine or extend it.
+      ctx.prune_table->Insert(itemset, PruneReason::kPure);
+      ++counters.pruned_pure;
+      can_recurse = false;
+    }
+
+    if (can_recurse && cfg.optimistic_pruning) {
+      // Eq. 11 bounds the achievable support difference; PR <= 1 makes
+      // it a bound on the Surprising Measure too. Pure-homogeneity
+      // measures can hit 1.0 in any non-empty child, so only the
+      // trivial bound applies there (MeasureNeedsTrivialBound).
+      double oe;
+      if (MeasureNeedsTrivialBound(cfg.measure)) {
+        oe = gc.total() > 0.0 ? 1.0 : 0.0;
+      } else {
+        OptimisticInput oe_in;
+        oe_in.db_size = call.outer_db_size;
+        oe_in.level = call.level;
+        oe_in.num_continuous = static_cast<int>(call.cont_attrs.size());
+        oe_in.counts = gc.counts;
+        oe_in.space_total = gc.total();
+        oe_in.group_sizes = ctx.group_sizes;
+        oe = OptimisticMeasure(oe_in);
+      }
+      if (oe <= ctx.topk->threshold()) {
+        ++counters.pruned_oe_measure;
+        can_recurse = false;
+      }
+    }
+    if (can_recurse && cfg.ChiBoundPruningOn() &&
+        MaxChildChiSquared(gc.counts, ctx.group_sizes) < chi2_critical) {
+      ++counters.pruned_oe_chi2;
+      can_recurse = false;
+    }
+
+    std::vector<ContrastPattern> d_child;
+    if (can_recurse) {
+      SdadCall child = call;
+      child.space = cell;
+      child.level = call.level + 1;
+      child.parent_measure = measure;
+      child.parent_supports = supports;
+      child.parent_diff = diff;
+      d_child = RunSdadCs(ctx, child);
+    }
+
+    if (!d_child.empty()) {
+      for (ContrastPattern& p : d_child) d.push_back(std::move(p));
+      continue;
+    }
+
+    // Lines 17-21: the cell itself, if large and significant.
+    if (diff <= cfg.delta) continue;
+    if (gc.total() < cfg.min_coverage) continue;
+    ++counters.chi2_tests;
+    stats::ChiSquaredResult test =
+        stats::ChiSquaredPresenceTest(gc.counts, ctx.group_sizes);
+    if (!test.valid || test.p_value >= alpha_level) continue;
+    ContrastPattern pattern =
+        MakePattern(ctx, std::move(itemset), gc.counts, cell.bounds);
+    if (measure > call.parent_measure) {
+      d.push_back(std::move(pattern));
+    } else {
+      d_temp.push_back(std::move(pattern));
+    }
+  }
+
+  // Lines 22-25: without at least one improving space, report nothing and
+  // let the caller keep the parent region instead.
+  if (d.empty()) return {};
+  for (ContrastPattern& p : d_temp) d.push_back(std::move(p));
+
+  if (call.level == 1 && cfg.merge_spaces) {
+    MergeContiguousSpaces(ctx, &d);
+  }
+  return d;
+}
+
+void MergeContiguousSpaces(MiningContext& ctx,
+                           std::vector<ContrastPattern>* patterns) {
+  const MinerConfig& cfg = *ctx.cfg;
+  auto by_volume = [](const ContrastPattern& a, const ContrastPattern& b) {
+    if (a.hypervolume != b.hypervolume) return a.hypervolume < b.hypervolume;
+    return a.itemset.Key() < b.itemset.Key();
+  };
+  std::sort(patterns->begin(), patterns->end(), by_volume);
+
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (size_t i = 0; i < patterns->size() && !merged_any; ++i) {
+      for (size_t j = i + 1; j < patterns->size() && !merged_any; ++j) {
+        ContrastPattern& a = (*patterns)[i];
+        ContrastPattern& b = (*patterns)[j];
+        if (!SameProfile(a, b)) continue;
+        std::vector<AxisBound> merged_bounds;
+        if (!ContiguousBounds(BoundsOf(a), BoundsOf(b), &merged_bounds)) {
+          continue;
+        }
+        if (!SimilarDistributions(ctx, a.counts, b.counts,
+                                  cfg.MergeAlpha())) {
+          continue;
+        }
+        // Regions from one SDAD-CS run are disjoint, so counts add.
+        std::vector<double> counts(a.counts.size());
+        for (size_t g = 0; g < counts.size(); ++g) {
+          counts[g] = a.counts[g] + b.counts[g];
+        }
+        ContrastPattern candidate = MakePattern(
+            ctx, CellItemset(a.itemset.WithoutIntervals(), merged_bounds),
+            counts, merged_bounds);
+        // The merged region must itself still be large and significant.
+        double alpha_level = cfg.AlphaForLevel(candidate.level);
+        if (candidate.diff <= cfg.delta ||
+            candidate.p_value >= alpha_level) {
+          continue;
+        }
+        ++ctx.counters->merges;
+        // Replace the pair by the union, keeping volume order.
+        patterns->erase(patterns->begin() + j);
+        patterns->erase(patterns->begin() + i);
+        patterns->push_back(std::move(candidate));
+        std::sort(patterns->begin(), patterns->end(), by_volume);
+        merged_any = true;
+      }
+    }
+  }
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,88 @@
+#ifndef SDADCS_CORE_SDAD_H_
+#define SDADCS_CORE_SDAD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/contrast.h"
+#include "core/pruning.h"
+#include "core/space.h"
+#include "core/topk.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::core {
+
+/// Shared state of one mining run, threaded through the search tree and
+/// every SDAD-CS recursion. Not thread-safe: parallel workers each get
+/// their own context.
+struct MiningContext {
+  const data::Dataset* db = nullptr;
+  const data::GroupInfo* gi = nullptr;
+  const MinerConfig* cfg = nullptr;
+  PruneTable* prune_table = nullptr;
+  TopK* topk = nullptr;
+  MiningCounters* counters = nullptr;
+  /// Global group sizes |g_k|.
+  std::vector<double> group_sizes;
+  /// Per continuous attribute: display/normalization bounds over the
+  /// analysis rows.
+  std::unordered_map<int, RootBounds> root_bounds;
+
+  /// Memoized chi-square critical values: the inverse survival function
+  /// costs ~13 µs per evaluation (bisection) and the same handful of
+  /// (alpha, dof) pairs recur throughout a run.
+  double ChiCritical(double alpha, int dof);
+
+ private:
+  std::unordered_map<int64_t, double> chi_critical_cache_;
+};
+
+/// Per-call arguments of Algorithm 1 beyond the shared context.
+struct SdadCall {
+  /// Fixed categorical items c of the itemsets being formed.
+  Itemset cat_items;
+  /// Continuous attributes ca to discretize (all constrained in every
+  /// returned pattern).
+  std::vector<int> cont_attrs;
+  /// Current space/region (the whole range of ca at the root call).
+  Space space;
+  /// Level in the recursive tree (1 at the root of this search node).
+  int level = 1;
+  /// |DB| of the outermost call at this search node (Eq. 6).
+  double outer_db_size = 0.0;
+  /// Parent's interest measure pm (0 at the root call).
+  double parent_measure = 0.0;
+  /// Parent region's per-group supports and support difference, used by
+  /// the redundancy test (Eqs. 14-16) on the child cells.
+  std::vector<double> parent_supports;
+  double parent_diff = 0.0;
+};
+
+/// Algorithm 1, SDAD-CS: recursively partitions the continuous space at
+/// per-axis medians, scores each cell, decides via the optimistic
+/// estimates whether to go deeper, and at level 1 merges contiguous
+/// statistically-similar cells (smallest hyper-volume first). Returns
+/// the contrast patterns found in this region (possibly empty — the
+/// caller then considers the region itself).
+std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
+                                       const SdadCall& call);
+
+/// Builds the root SdadCall for a search-tree node: rows are the base
+/// selection filtered by `cat_items` and by non-missingness on every
+/// continuous attribute; bounds are the attributes' root bounds.
+SdadCall MakeRootCall(const MiningContext& ctx, const Itemset& cat_items,
+                      const std::vector<int>& cont_attrs);
+
+/// The bottom-up merge phase (Lines 26-29), exposed for testing: sorts
+/// `patterns` by hyper-volume ascending and repeatedly merges pairs that
+/// are contiguous on exactly one axis, whose group distributions are not
+/// significantly different (chi-square at α), and whose union is still
+/// large and significant. Counts/stats of merged patterns are recomputed.
+void MergeContiguousSpaces(MiningContext& ctx,
+                           std::vector<ContrastPattern>* patterns);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_SDAD_H_

@@ -1,0 +1,284 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/optimistic.h"
+#include "core/productivity.h"
+#include "core/support.h"
+#include "stats/chi_squared.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// Total regions killed by monotone rules so far — used to decide whether
+// a combination produced anything worth extending.
+uint64_t MonotoneKills(const MiningCounters& c) {
+  return c.pruned_lookup + c.pruned_min_support + c.pruned_low_expected +
+         c.pruned_redundant + c.pruned_pure;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> GenerateLevelCandidates(
+    int level, const std::vector<int>& attrs,
+    const std::vector<std::vector<int>>& alive_prev) {
+  std::vector<std::vector<int>> candidates;
+  if (level == 1) {
+    for (int a : attrs) candidates.push_back({a});
+    return candidates;
+  }
+  auto is_alive = [&alive_prev](const std::vector<int>& combo) {
+    return std::binary_search(alive_prev.begin(), alive_prev.end(), combo);
+  };
+  // Apriori-style join: extend each alive combination with a larger
+  // attribute, then require every (level-1)-subset to be alive.
+  std::set<std::vector<int>> seen;
+  for (const std::vector<int>& base : alive_prev) {
+    if (static_cast<int>(base.size()) != level - 1) continue;
+    for (int a : attrs) {
+      if (a <= base.back()) continue;
+      std::vector<int> combo = base;
+      combo.push_back(a);
+      if (seen.count(combo) > 0) continue;
+      bool all_alive = true;
+      for (size_t drop = 0; drop + 1 < combo.size() && all_alive; ++drop) {
+        std::vector<int> sub = combo;
+        sub.erase(sub.begin() + drop);
+        all_alive = is_alive(sub);
+      }
+      if (all_alive) {
+        seen.insert(combo);
+        candidates.push_back(std::move(combo));
+      }
+    }
+  }
+  return candidates;
+}
+
+void LatticeSearch::Run(const std::vector<int>& attrs) {
+  const int max_depth =
+      std::min<int>(ctx_.cfg->max_depth, static_cast<int>(attrs.size()));
+  std::vector<std::vector<int>> alive_prev;
+
+  for (int level = 1; level <= max_depth; ++level) {
+    std::vector<std::vector<int>> candidates =
+        GenerateLevelCandidates(level, attrs, alive_prev);
+    if (candidates.empty()) break;
+    const size_t cap = ctx_.cfg->max_candidates_per_level;
+    if (cap > 0 && candidates.size() > cap) {
+      ctx_.counters->truncated_candidates += candidates.size() - cap;
+      candidates.resize(cap);
+    }
+
+    std::vector<std::vector<int>> alive_cur;
+    for (const std::vector<int>& combo : candidates) {
+      if (MineCombo(combo)) alive_cur.push_back(combo);
+    }
+    std::sort(alive_cur.begin(), alive_cur.end());
+    alive_prev = std::move(alive_cur);
+    if (alive_prev.empty()) break;
+  }
+}
+
+bool LatticeSearch::MineCombo(const std::vector<int>& combo) {
+  std::vector<int> cat_attrs;
+  std::vector<int> cont_attrs;
+  for (int a : combo) {
+    if (ctx_.db->is_categorical(a)) {
+      cat_attrs.push_back(a);
+    } else {
+      cont_attrs.push_back(a);
+    }
+  }
+  bool alive = false;
+  EnumerateCategorical(cat_attrs, cont_attrs, 0, Itemset(),
+                       ctx_.gi->base_selection(), &alive);
+  return alive;
+}
+
+void LatticeSearch::EnumerateCategorical(const std::vector<int>& cat_attrs,
+                                         const std::vector<int>& cont_attrs,
+                                         size_t next, const Itemset& prefix,
+                                         const data::Selection& rows,
+                                         bool* alive) {
+  if (next == cat_attrs.size()) {
+    if (cont_attrs.empty()) {
+      EvaluateCategoricalLeaf(prefix, rows, alive);
+    } else {
+      EvaluateSdadLeaf(prefix, cont_attrs, rows, alive);
+    }
+    return;
+  }
+  const int attr = cat_attrs[next];
+  const data::CategoricalColumn& col = ctx_.db->categorical(attr);
+  for (int32_t code = 0; code < col.cardinality(); ++code) {
+    Item item = Item::Categorical(attr, code);
+    Itemset candidate = prefix.WithItem(item);
+    if (ctx_.cfg->meaningful_pruning &&
+        ctx_.prune_table->CanPrune(candidate)) {
+      ++ctx_.counters->pruned_lookup;
+      continue;
+    }
+    data::Selection sub = rows.Filter(
+        [&](uint32_t r) { return item.Matches(*ctx_.db, r); });
+    // Partial-itemset minimum deviation: supports only shrink as items
+    // are added, so a below-δ prefix can be abandoned outright.
+    GroupCounts gc = CountGroups(*ctx_.gi, sub);
+    if (BelowMinimumDeviation(gc.Supports(*ctx_.gi), ctx_.cfg->delta)) {
+      if (ctx_.cfg->meaningful_pruning) {
+        ctx_.prune_table->Insert(candidate, PruneReason::kMinSupport);
+      }
+      ++ctx_.counters->pruned_min_support;
+      continue;
+    }
+    EnumerateCategorical(cat_attrs, cont_attrs, next + 1, candidate, sub,
+                         alive);
+  }
+}
+
+void LatticeSearch::EvaluateCategoricalLeaf(const Itemset& itemset,
+                                            const data::Selection& rows,
+                                            bool* alive) {
+  if (itemset.empty()) return;
+  MiningCounters& counters = *ctx_.counters;
+  const MinerConfig& cfg = *ctx_.cfg;
+  ++counters.partitions_evaluated;
+
+  GroupCounts gc = CountGroups(*ctx_.gi, rows);
+  std::vector<double> supports = gc.Supports(*ctx_.gi);
+  double diff = SupportDifference(supports);
+  double purity = PurityRatio(supports);
+  double measure = MeasureValue(cfg.measure, supports);
+  const int level = static_cast<int>(itemset.size());
+  const double alpha_level = cfg.AlphaForLevel(level);
+
+  if (BelowMinimumDeviation(supports, cfg.delta)) {
+    if (cfg.meaningful_pruning) {
+      ctx_.prune_table->Insert(itemset, PruneReason::kMinSupport);
+    }
+    ++counters.pruned_min_support;
+    return;
+  }
+  if (LowExpectedCount(gc.counts, ctx_.group_sizes)) {
+    if (cfg.meaningful_pruning) {
+      ctx_.prune_table->Insert(itemset, PruneReason::kLowExpected);
+    }
+    ++counters.pruned_low_expected;
+    return;
+  }
+  if (cfg.RedundancyPruningOn() && level >= 2) {
+    for (int i = 0; i < level; ++i) {
+      Itemset subset = itemset.WithoutAttribute(itemset.item(i).attr);
+      const std::vector<double>* sub_supports = CachedSupports(subset);
+      if (StatisticallySameDifference(diff,
+                                      SupportDifference(*sub_supports),
+                                      *sub_supports, ctx_.group_sizes,
+                                      cfg.alpha)) {
+        ctx_.prune_table->Insert(itemset, PruneReason::kRedundant);
+        ++counters.pruned_redundant;
+        return;
+      }
+    }
+  }
+  *alive = true;
+  support_cache_.emplace(itemset.Key(), supports);
+
+  if (cfg.PureSpacePruningOn() && purity >= 1.0 && gc.total() > 0.0) {
+    ctx_.prune_table->Insert(itemset, PruneReason::kPure);
+    ++counters.pruned_pure;
+  } else if (cfg.ChiBoundPruningOn()) {
+    // STUCCO chi-square bound: no specialization can reach significance.
+    const int dof = ctx_.gi->num_groups() - 1;
+    double critical = ctx_.ChiCritical(cfg.AlphaForLevel(level + 1), dof);
+    if (MaxChildChiSquared(gc.counts, ctx_.group_sizes) < critical) {
+      ctx_.prune_table->Insert(itemset, PruneReason::kChiBound);
+      ++counters.pruned_oe_chi2;
+    }
+  }
+
+  if (diff <= cfg.delta) return;
+  if (gc.total() < cfg.min_coverage) return;
+  ++counters.chi2_tests;
+  stats::ChiSquaredResult test =
+      stats::ChiSquaredPresenceTest(gc.counts, ctx_.group_sizes);
+  if (!test.valid || test.p_value >= alpha_level) return;
+
+  ContrastPattern pattern;
+  pattern.itemset = itemset;
+  pattern.counts = gc.counts;
+  pattern.ComputeStats(*ctx_.gi, cfg.measure);
+  (void)measure;
+  if (cfg.ProductivityFilterOn() && level >= 2 &&
+      !IsProductive(ctx_, pattern)) {
+    ++counters.unproductive;
+    return;
+  }
+  ctx_.topk->Insert(pattern);
+}
+
+void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
+                                     const std::vector<int>& cont_attrs,
+                                     const data::Selection& rows,
+                                     bool* alive) {
+  const data::Dataset& db = *ctx_.db;
+  SdadCall call;
+  call.cat_items = cat_items;
+  call.cont_attrs = cont_attrs;
+  call.level = 1;
+  call.parent_measure = 0.0;
+  call.space.bounds.reserve(cont_attrs.size());
+  for (int attr : cont_attrs) {
+    auto it = ctx_.root_bounds.find(attr);
+    SDADCS_CHECK(it != ctx_.root_bounds.end());
+    call.space.bounds.push_back({attr, it->second.lo, it->second.hi});
+  }
+  call.space.rows = rows.Filter([&](uint32_t r) {
+    for (int attr : cont_attrs) {
+      if (db.continuous(attr).is_missing(r)) return false;
+    }
+    return true;
+  });
+  if (call.space.rows.empty()) return;
+  call.outer_db_size = static_cast<double>(call.space.rows.size());
+  GroupCounts root_counts = CountGroups(*ctx_.gi, call.space.rows);
+  call.parent_supports = root_counts.Supports(*ctx_.gi);
+  call.parent_diff = SupportDifference(call.parent_supports);
+
+  MiningCounters& counters = *ctx_.counters;
+  const uint64_t evaluated_before = counters.partitions_evaluated;
+  const uint64_t kills_before = MonotoneKills(counters);
+
+  std::vector<ContrastPattern> patterns = RunSdadCs(ctx_, call);
+
+  const uint64_t evaluated = counters.partitions_evaluated - evaluated_before;
+  const uint64_t kills = MonotoneKills(counters) - kills_before;
+  if (!patterns.empty() || evaluated > kills) *alive = true;
+
+  for (ContrastPattern& p : patterns) {
+    if (ctx_.cfg->ProductivityFilterOn() && p.itemset.size() >= 2 &&
+        !IsProductive(ctx_, p)) {
+      ++counters.unproductive;
+      continue;
+    }
+    support_cache_.emplace(p.itemset.Key(), p.supports);
+    ctx_.topk->Insert(p);
+  }
+}
+
+const std::vector<double>* LatticeSearch::CachedSupports(
+    const Itemset& itemset) {
+  std::string key = itemset.Key();
+  auto it = support_cache_.find(key);
+  if (it != support_cache_.end()) return &it->second;
+  GroupCounts gc = CountMatches(*ctx_.db, *ctx_.gi, itemset,
+                                ctx_.gi->base_selection());
+  auto [ins, unused] =
+      support_cache_.emplace(std::move(key), gc.Supports(*ctx_.gi));
+  (void)unused;
+  return &ins->second;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,76 @@
+#ifndef SDADCS_CORE_SEARCH_H_
+#define SDADCS_CORE_SEARCH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sdad.h"
+
+namespace sdadcs::core {
+
+/// Apriori-style candidate generation over attribute sets: size-`level`
+/// combinations of `attrs` all of whose size-(level-1) subsets appear in
+/// `alive_prev` (which must be sorted). For level 1 every singleton is a
+/// candidate. Shared by the serial LatticeSearch and the level-parallel
+/// miner (Section 6).
+std::vector<std::vector<int>> GenerateLevelCandidates(
+    int level, const std::vector<int>& attrs,
+    const std::vector<std::vector<int>>& alive_prev);
+
+/// Level-wise search over attribute combinations (Figure 1). The paper
+/// adopts Webb & Zhang's ordering because it maximizes pruning with less
+/// storage than plain BFS; this implementation keeps the same level-wise
+/// pruning power by (a) generating a size-L attribute combination only
+/// when all its size-(L-1) sub-combinations were "alive" (produced at
+/// least one region not killed by a monotone rule), and (b) consulting
+/// the shared prune table before any candidate itemset or space is
+/// expanded, so information discovered early in a level suppresses work
+/// later in the same and deeper levels.
+///
+/// Purely categorical combinations are enumerated STUCCO-style; any
+/// combination containing a continuous attribute is handed to SDAD-CS.
+class LatticeSearch {
+ public:
+  /// `ctx` must outlive the search and have all pointers set.
+  explicit LatticeSearch(MiningContext& ctx) : ctx_(ctx) {}
+
+  /// Mines every combination of `attrs` (attribute indices, group
+  /// attribute excluded by the caller) up to cfg.max_depth, feeding the
+  /// context's top-k list.
+  void Run(const std::vector<int>& attrs);
+
+  /// Exposed for testing: mines one attribute combination; returns true
+  /// if the combination stays alive for extension.
+  bool MineCombo(const std::vector<int>& combo);
+
+ private:
+  struct LeafOutcome {
+    bool alive = false;
+  };
+
+  void EnumerateCategorical(const std::vector<int>& cat_attrs,
+                            const std::vector<int>& cont_attrs, size_t next,
+                            const Itemset& prefix,
+                            const data::Selection& rows, bool* alive);
+
+  /// Scores a complete categorical itemset (no continuous part).
+  void EvaluateCategoricalLeaf(const Itemset& itemset,
+                               const data::Selection& rows, bool* alive);
+
+  /// Runs SDAD-CS under a fixed categorical itemset.
+  void EvaluateSdadLeaf(const Itemset& cat_items,
+                        const std::vector<int>& cont_attrs,
+                        const data::Selection& rows, bool* alive);
+
+  /// Looks up cached per-group supports of an itemset, counting on demand
+  /// and caching on miss.
+  const std::vector<double>* CachedSupports(const Itemset& itemset);
+
+  MiningContext& ctx_;
+  std::unordered_map<std::string, std::vector<double>> support_cache_;
+};
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_SEARCH_H_

@@ -1,0 +1,159 @@
+#include "core/space.h"
+
+#include <cmath>
+#include <limits>
+
+#include "data/sort_index.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+RootBounds ComputeRootBounds(const data::Dataset& db, int attr,
+                             const data::Selection& sel) {
+  data::MinMax mm = data::MinMaxInSelection(db, attr, sel);
+  RootBounds rb;
+  if (std::isnan(mm.min)) {
+    rb.lo = 0.0;
+    rb.hi = 0.0;
+    return rb;
+  }
+  rb.hi = mm.max;
+  // Pick a display lower bound just below the minimum so the item
+  // "lo < x" includes every row: min-1 when the data look integral
+  // (the paper renders "18 < Age <= 26" on Adult), otherwise a small
+  // fraction of the range below the minimum.
+  const data::ContinuousColumn& col = db.continuous(attr);
+  bool integral = true;
+  for (uint32_t r : sel) {
+    double v = col.value(r);
+    if (std::isnan(v)) continue;
+    if (v != std::floor(v)) {
+      integral = false;
+      break;
+    }
+  }
+  if (integral) {
+    rb.lo = mm.min - 1.0;
+  } else {
+    double range = mm.max - mm.min;
+    rb.lo = mm.min - (range > 0.0 ? 1e-9 * range : 1e-9);
+  }
+  return rb;
+}
+
+namespace {
+
+// Mean of the axis values over the space's rows (NaN when empty).
+double MeanOnAxis(const data::Dataset& db, int attr,
+                  const data::Selection& rows) {
+  const data::ContinuousColumn& col = db.continuous(attr);
+  double sum = 0.0;
+  size_t n = 0;
+  for (uint32_t r : rows) {
+    double v = col.value(r);
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+std::vector<double> PartitionCuts(const data::Dataset& db,
+                                  const Space& space, SplitKind kind) {
+  std::vector<double> cuts;
+  cuts.reserve(space.bounds.size());
+  for (const AxisBound& b : space.bounds) {
+    double m = kind == SplitKind::kMedian
+                   ? data::MedianInSelection(db, b.attr, space.rows)
+                   : MeanOnAxis(db, b.attr, space.rows);
+    if (std::isnan(m) || m >= b.hi || m <= b.lo) {
+      // Not splittable two ways inside (lo, hi].
+      cuts.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    // Both sides (lo, m] and (m, hi] must be non-empty. The lower median
+    // guarantees a non-empty left side; the mean guarantees neither.
+    const data::ContinuousColumn& col = db.continuous(b.attr);
+    bool has_left = false;
+    bool has_right = false;
+    for (uint32_t r : space.rows) {
+      double v = col.value(r);
+      if (std::isnan(v)) continue;
+      if (v > m && v <= b.hi) has_right = true;
+      if (v > b.lo && v <= m) has_left = true;
+      if (has_left && has_right) break;
+    }
+    cuts.push_back(has_left && has_right
+                       ? m
+                       : std::numeric_limits<double>::quiet_NaN());
+  }
+  return cuts;
+}
+
+std::vector<double> PartitionMedians(const data::Dataset& db,
+                                     const Space& space) {
+  return PartitionCuts(db, space, SplitKind::kMedian);
+}
+
+std::vector<Space> FindCombs(const data::Dataset& db, const Space& space,
+                             const std::vector<double>& medians) {
+  SDADCS_CHECK(medians.size() == space.bounds.size());
+  std::vector<int> splittable;
+  for (size_t i = 0; i < medians.size(); ++i) {
+    if (!std::isnan(medians[i])) splittable.push_back(static_cast<int>(i));
+  }
+  if (splittable.empty()) return {};
+
+  const size_t num_cells = 1u << splittable.size();
+  std::vector<Space> cells;
+  cells.reserve(num_cells);
+  for (size_t mask = 0; mask < num_cells; ++mask) {
+    Space cell;
+    cell.bounds = space.bounds;
+    for (size_t bit = 0; bit < splittable.size(); ++bit) {
+      int axis = splittable[bit];
+      if (mask & (1u << bit)) {
+        cell.bounds[axis].lo = medians[axis];  // right half (m, hi]
+      } else {
+        cell.bounds[axis].hi = medians[axis];  // left half (lo, m]
+      }
+    }
+    cell.rows = space.rows.Filter([&](uint32_t r) {
+      for (size_t bit = 0; bit < splittable.size(); ++bit) {
+        int axis = splittable[bit];
+        const AxisBound& b = cell.bounds[axis];
+        double v = db.continuous(b.attr).value(r);
+        if (std::isnan(v) || v <= b.lo || v > b.hi) return false;
+      }
+      return true;
+    });
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+double HyperVolume(const std::vector<AxisBound>& bounds,
+                   const std::vector<RootBounds>& roots) {
+  SDADCS_CHECK(bounds.size() == roots.size());
+  double volume = 1.0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    double range = roots[i].hi - roots[i].lo;
+    if (range <= 0.0) continue;  // degenerate axis contributes nothing
+    volume *= bounds[i].length() / range;
+  }
+  return volume;
+}
+
+std::vector<Item> IntervalItems(const std::vector<AxisBound>& bounds) {
+  std::vector<Item> items;
+  items.reserve(bounds.size());
+  for (const AxisBound& b : bounds) {
+    items.push_back(Item::Interval(b.attr, b.lo, b.hi));
+  }
+  return items;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,76 @@
+#ifndef SDADCS_CORE_SPACE_H_
+#define SDADCS_CORE_SPACE_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/itemset.h"
+#include "data/dataset.h"
+#include "data/selection.h"
+
+namespace sdadcs::core {
+
+/// Half-open range (lo, hi] on one continuous attribute.
+struct AxisBound {
+  int attr = -1;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double length() const { return hi - lo; }
+};
+
+/// A hyper-rectangle over the continuous attributes being discretized,
+/// together with the rows falling inside it (and matching the fixed
+/// categorical itemset of the current SDAD-CS call). With two attributes
+/// this is the rectangle on the scatter plot the paper describes; in
+/// general a hyper-cube whose n-volume orders the merge phase.
+struct Space {
+  std::vector<AxisBound> bounds;  ///< one per continuous attribute
+  data::Selection rows;
+};
+
+/// Display/normalization bounds of one continuous attribute over the
+/// analysis rows: lo is a "nice" value just below the minimum (min-1 for
+/// integral data, matching the paper's "18 < Age" rendering), hi is the
+/// maximum.
+struct RootBounds {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Computes RootBounds of `attr` over `sel`.
+RootBounds ComputeRootBounds(const data::Dataset& db, int attr,
+                             const data::Selection& sel);
+
+/// partition(ca) of Algorithm 1: the split value of each axis of
+/// `space` (computed over the space's rows) — the median (paper default)
+/// or the mean. An axis whose rows cannot be split two ways (all values
+/// equal, or the cut leaves one side empty) gets NaN.
+std::vector<double> PartitionCuts(const data::Dataset& db,
+                                  const Space& space, SplitKind kind);
+
+/// PartitionCuts with the paper's default, the median.
+std::vector<double> PartitionMedians(const data::Dataset& db,
+                                     const Space& space);
+
+/// find_combs(p) of Algorithm 1: the child cells obtained by cutting
+/// every splittable axis at its median — the Cartesian product of
+/// {(lo, m], (m, hi]} over splittable axes (2^cont cells when all axes
+/// split). Unsplittable axes keep their full range. Each cell's rows are
+/// the subset of the space's rows inside the cell. Returns an empty
+/// vector when no axis is splittable.
+std::vector<Space> FindCombs(const data::Dataset& db, const Space& space,
+                             const std::vector<double>& medians);
+
+/// Normalized n-volume of `bounds`: product over axes of
+/// length / root-range. Drives the smallest-first merge order.
+double HyperVolume(const std::vector<AxisBound>& bounds,
+                   const std::vector<RootBounds>& roots);
+
+/// Interval items for a cell, one per axis, with bounds exactly as held
+/// by the space (root bounds give the display extremes).
+std::vector<Item> IntervalItems(const std::vector<AxisBound>& bounds);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_SPACE_H_

@@ -1,0 +1,99 @@
+#include "core/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/sample.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// Jaccard overlap of (lo_a, hi_a] and (lo_b, hi_b]; matching unbounded
+// ends count as agreement (see stream/window_miner.cc for the same
+// convention).
+double IntervalJaccard(double lo_a, double hi_a, double lo_b, double hi_b) {
+  double lo_i = std::max(lo_a, lo_b);
+  double hi_i = std::min(hi_a, hi_b);
+  if (hi_i <= lo_i) return 0.0;
+  double lo_u = std::min(lo_a, lo_b);
+  double hi_u = std::max(hi_a, hi_b);
+  if (std::isinf(lo_u) || std::isinf(hi_u)) {
+    bool lo_match = std::isinf(lo_a) == std::isinf(lo_b);
+    bool hi_match = std::isinf(hi_a) == std::isinf(hi_b);
+    return lo_match && hi_match ? 1.0 : 0.0;
+  }
+  return (hi_i - lo_i) / (hi_u - lo_u);
+}
+
+// Structural match of two patterns mined from the SAME dataset (codes
+// are comparable): identical attribute sets and categorical codes,
+// overlapping intervals.
+bool Matches(const Itemset& a, const Itemset& b, double jaccard) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Item& x = a.item(i);
+    const Item& y = b.item(i);
+    if (x.attr != y.attr || x.kind != y.kind) return false;
+    if (x.kind == Item::Kind::kCategorical) {
+      if (x.code != y.code) return false;
+    } else if (IntervalJaccard(x.lo, x.hi, y.lo, y.hi) < jaccard) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<StabilityReport> AnalyzeStability(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const MinerConfig& miner_config, const StabilityConfig& config) {
+  if (config.replicates < 1) {
+    return util::Status::InvalidArgument("replicates must be >= 1");
+  }
+  if (config.sample_fraction <= 0.0 || config.sample_fraction >= 1.0) {
+    return util::Status::InvalidArgument(
+        "sample_fraction must be in (0, 1)");
+  }
+
+  Miner miner(miner_config);
+  auto full = miner.MineWithGroups(db, gi);
+  if (!full.ok()) return full.status();
+
+  StabilityReport report;
+  report.replicates = config.replicates;
+  report.patterns.reserve(full->contrasts.size());
+  for (const ContrastPattern& p : full->contrasts) {
+    PatternStability ps;
+    ps.pattern = p;
+    report.patterns.push_back(std::move(ps));
+  }
+
+  size_t sample_size = static_cast<size_t>(
+      config.sample_fraction * static_cast<double>(gi.total()));
+  for (int rep = 0; rep < config.replicates; ++rep) {
+    auto sampled = data::SampleGroups(
+        gi, sample_size, config.seed + static_cast<uint64_t>(rep) * 1000);
+    if (!sampled.ok()) return sampled.status();
+    auto result = miner.MineWithGroups(db, *sampled);
+    if (!result.ok()) return result.status();
+
+    for (PatternStability& ps : report.patterns) {
+      for (const ContrastPattern& candidate : result->contrasts) {
+        if (Matches(ps.pattern.itemset, candidate.itemset,
+                    config.interval_jaccard)) {
+          ++ps.rediscovered;
+          break;
+        }
+      }
+    }
+  }
+  for (PatternStability& ps : report.patterns) {
+    ps.frequency = static_cast<double>(ps.rediscovered) /
+                   static_cast<double>(config.replicates);
+  }
+  return report;
+}
+
+}  // namespace sdadcs::core

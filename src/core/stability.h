@@ -1,0 +1,56 @@
+#ifndef SDADCS_CORE_STABILITY_H_
+#define SDADCS_CORE_STABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/contrast.h"
+#include "core/miner.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+#include "util/status.h"
+
+namespace sdadcs::core {
+
+/// Knobs of the bootstrap stability analysis.
+struct StabilityConfig {
+  /// Number of stratified subsample replicates.
+  int replicates = 10;
+  /// Fraction of each group drawn per replicate (without replacement).
+  double sample_fraction = 0.7;
+  /// Intervals of two patterns are matched when their Jaccard overlap
+  /// reaches this value (bin edges jitter across replicates).
+  double interval_jaccard = 0.5;
+  uint64_t seed = 19;
+};
+
+/// One reference pattern with its rediscovery statistics.
+struct PatternStability {
+  ContrastPattern pattern;   ///< from the full-data run
+  int rediscovered = 0;      ///< replicates containing a matching pattern
+  double frequency = 0.0;    ///< rediscovered / replicates
+};
+
+/// Result of the analysis.
+struct StabilityReport {
+  std::vector<PatternStability> patterns;  ///< full-data patterns, scored
+  int replicates = 0;
+};
+
+/// Bootstrap-style stability check: mines the full data, then re-mines
+/// `replicates` stratified subsamples and measures how often each
+/// full-data pattern is rediscovered (same attributes, same categorical
+/// values, overlapping intervals). Statistically significant patterns
+/// that chase sampling noise rediscover rarely; genuine structure
+/// rediscovers in (almost) every replicate. Complements the paper's
+/// meaningfulness filters with a resampling view — the "sampling and
+/// user feedback" research direction its related-work section points
+/// at.
+util::StatusOr<StabilityReport> AnalyzeStability(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const MinerConfig& miner_config, const StabilityConfig& config);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_STABILITY_H_

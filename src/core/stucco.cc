@@ -1,0 +1,118 @@
+#include "core/stucco.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/optimistic.h"
+#include "core/pruning.h"
+#include "core/support.h"
+#include "core/topk.h"
+#include "stats/chi_squared.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// A live node of the breadth-first frontier.
+struct Node {
+  Itemset itemset;
+  data::Selection cover;
+  int last_attr;  // only attributes after this extend the node
+};
+
+}  // namespace
+
+StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
+                        const StuccoConfig& config) {
+  StuccoResult result;
+  std::vector<double> group_sizes = GroupSizes(gi);
+  TopK topk(static_cast<size_t>(config.top_k), config.delta);
+
+  std::vector<int> cat_attrs;
+  for (size_t a = 0; a < db.num_attributes(); ++a) {
+    int attr = static_cast<int>(a);
+    if (attr == gi.group_attr()) continue;
+    if (db.is_categorical(attr)) cat_attrs.push_back(attr);
+  }
+
+  std::vector<Node> frontier;
+  frontier.push_back({Itemset(), gi.base_selection(), -1});
+
+  for (int level = 1;
+       level <= config.max_depth && !frontier.empty(); ++level) {
+    // Candidate generation: extend every surviving node with each value
+    // of each later attribute.
+    std::vector<Node> candidates;
+    for (const Node& node : frontier) {
+      for (int attr : cat_attrs) {
+        if (attr <= node.last_attr) continue;
+        const data::CategoricalColumn& col = db.categorical(attr);
+        for (int32_t code = 0; code < col.cardinality(); ++code) {
+          Item item = Item::Categorical(attr, code);
+          Node child;
+          child.itemset = node.itemset.WithItem(item);
+          child.cover = node.cover.Filter(
+              [&](uint32_t r) { return item.Matches(db, r); });
+          child.last_attr = attr;
+          if (!child.cover.empty()) candidates.push_back(std::move(child));
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Bonferroni: alpha_l = alpha / (2^l * |C_l|), as in Bay & Pazzani.
+    double alpha_level =
+        config.alpha /
+        (std::pow(2.0, level) * static_cast<double>(candidates.size()));
+    const int dof = gi.num_groups() - 1;
+    const double chi_critical =
+        stats::ChiSquaredCritical(alpha_level, dof);
+
+    std::vector<Node> survivors;
+    for (Node& node : candidates) {
+      ++result.itemsets_evaluated;
+      GroupCounts gc = CountGroups(gi, node.cover);
+      std::vector<double> supports = gc.Supports(gi);
+
+      // Minimum deviation size: no specialization of a below-delta
+      // itemset can become a large contrast.
+      if (BelowMinimumDeviation(supports, config.delta)) {
+        ++result.pruned_support;
+        continue;
+      }
+      // Expected cell count below 5: untestable here and below.
+      if (LowExpectedCount(gc.counts, group_sizes)) {
+        ++result.pruned_expected;
+        continue;
+      }
+
+      // Significance + largeness -> report as a deviation.
+      if (gc.total() >= config.min_coverage &&
+          SupportDifference(supports) > config.delta) {
+        stats::ChiSquaredResult test =
+            stats::ChiSquaredPresenceTest(gc.counts, group_sizes);
+        if (test.valid && test.p_value < alpha_level) {
+          ContrastPattern p;
+          p.itemset = node.itemset;
+          p.counts = gc.counts;
+          p.ComputeStats(gi, MeasureKind::kSupportDiff);
+          topk.Insert(p);
+        }
+      }
+
+      // Chi-square upper bound: keep the node only if some
+      // specialization could still test significant.
+      if (MaxChildChiSquared(gc.counts, group_sizes) < chi_critical) {
+        ++result.pruned_chi_bound;
+        continue;
+      }
+      survivors.push_back(std::move(node));
+    }
+    frontier = std::move(survivors);
+  }
+
+  result.contrasts = topk.Sorted();
+  return result;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,47 @@
+#ifndef SDADCS_CORE_STUCCO_H_
+#define SDADCS_CORE_STUCCO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contrast.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::core {
+
+/// Configuration of the STUCCO reference miner.
+struct StuccoConfig {
+  double alpha = 0.05;
+  double delta = 0.1;
+  int max_depth = 5;
+  int top_k = 100;
+  int min_coverage = 2;
+};
+
+/// Output of one STUCCO run.
+struct StuccoResult {
+  /// Significant, large contrast sets sorted by support difference.
+  std::vector<ContrastPattern> contrasts;
+  uint64_t itemsets_evaluated = 0;
+  uint64_t pruned_support = 0;
+  uint64_t pruned_expected = 0;
+  uint64_t pruned_chi_bound = 0;
+};
+
+/// Reference implementation of STUCCO (Bay & Pazzani, "Detecting group
+/// differences: Mining contrast sets", 2001) — the categorical-only
+/// ancestor of SDAD-CS and the paper's reference [4]. Breadth-first
+/// enumeration of categorical itemsets with the original pruning rules:
+/// minimum deviation size, expected cell count >= 5, Bonferroni-adjusted
+/// per-level significance (alpha_l = alpha / (2^l * |candidates_l|)),
+/// and the chi-square upper bound for specializations.
+///
+/// Continuous attributes are ignored; this is both a baseline and a test
+/// oracle for the categorical path of the lattice search.
+StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
+                        const StuccoConfig& config);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_STUCCO_H_

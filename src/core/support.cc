@@ -1,0 +1,45 @@
+#include "core/support.h"
+
+namespace sdadcs::core {
+
+std::vector<double> GroupCounts::Supports(const data::GroupInfo& gi) const {
+  std::vector<double> s(counts.size(), 0.0);
+  for (size_t g = 0; g < counts.size(); ++g) {
+    s[g] = counts[g] / static_cast<double>(gi.group_size(static_cast<int>(g)));
+  }
+  return s;
+}
+
+GroupCounts CountMatches(const data::Dataset& db, const data::GroupInfo& gi,
+                         const Itemset& itemset,
+                         const data::Selection& sel) {
+  GroupCounts gc;
+  gc.counts.assign(gi.num_groups(), 0.0);
+  for (uint32_t r : sel) {
+    int g = gi.group_of(r);
+    if (g < 0) continue;
+    if (itemset.Matches(db, r)) gc.counts[g] += 1.0;
+  }
+  return gc;
+}
+
+GroupCounts CountGroups(const data::GroupInfo& gi,
+                        const data::Selection& sel) {
+  GroupCounts gc;
+  gc.counts.assign(gi.num_groups(), 0.0);
+  for (uint32_t r : sel) {
+    int g = gi.group_of(r);
+    if (g >= 0) gc.counts[g] += 1.0;
+  }
+  return gc;
+}
+
+std::vector<double> GroupSizes(const data::GroupInfo& gi) {
+  std::vector<double> sizes(gi.num_groups());
+  for (int g = 0; g < gi.num_groups(); ++g) {
+    sizes[g] = static_cast<double>(gi.group_size(g));
+  }
+  return sizes;
+}
+
+}  // namespace sdadcs::core

@@ -1,0 +1,46 @@
+#ifndef SDADCS_CORE_SUPPORT_H_
+#define SDADCS_CORE_SUPPORT_H_
+
+#include <vector>
+
+#include "core/itemset.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+#include "data/selection.h"
+
+namespace sdadcs::core {
+
+/// Per-group match counts of a pattern, plus derived supports. Supports
+/// always use the *global* group sizes |g_k| as denominators (Eq. 1 /
+/// Eq. 5) regardless of which sub-space the counts came from.
+struct GroupCounts {
+  std::vector<double> counts;
+
+  double total() const {
+    double t = 0.0;
+    for (double c : counts) t += c;
+    return t;
+  }
+
+  /// counts[g] / |g| for each group.
+  std::vector<double> Supports(const data::GroupInfo& gi) const;
+};
+
+/// Counts itemset matches per group among the rows of `sel`. Rows outside
+/// any group of interest contribute nothing (they are absent from the
+/// base selection by construction).
+GroupCounts CountMatches(const data::Dataset& db, const data::GroupInfo& gi,
+                         const Itemset& itemset, const data::Selection& sel);
+
+/// Counts rows per group in `sel` without any itemset filtering — the
+/// cell counts used by SDAD-CS when the selection already encodes the
+/// pattern's cover.
+GroupCounts CountGroups(const data::GroupInfo& gi,
+                        const data::Selection& sel);
+
+/// Group sizes |g_k| as doubles (for the statistics code).
+std::vector<double> GroupSizes(const data::GroupInfo& gi);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_SUPPORT_H_

@@ -1,0 +1,70 @@
+#include "core/validate.h"
+
+#include <algorithm>
+
+#include "core/support.h"
+#include "stats/chi_squared.h"
+#include "util/random.h"
+
+namespace sdadcs::core {
+
+util::StatusOr<HoldoutSplit> MakeHoldoutSplit(const data::Dataset& db,
+                                              const data::GroupInfo& gi,
+                                              double train_fraction,
+                                              uint64_t seed) {
+  (void)db;
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return util::Status::InvalidArgument(
+        "train_fraction must be in (0, 1)");
+  }
+  // Stratify: shuffle each group's rows and cut at the fraction.
+  std::vector<std::vector<uint32_t>> per_group(gi.num_groups());
+  for (uint32_t r : gi.base_selection()) {
+    per_group[gi.group_of(r)].push_back(r);
+  }
+  util::Rng rng(seed);
+  std::vector<uint32_t> train_rows;
+  std::vector<uint32_t> test_rows;
+  for (auto& rows : per_group) {
+    std::vector<uint32_t> order = rng.Permutation(rows.size());
+    size_t cut = static_cast<size_t>(train_fraction *
+                                     static_cast<double>(rows.size()));
+    cut = std::min(std::max<size_t>(cut, 1), rows.size() - 1);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (i < cut ? train_rows : test_rows).push_back(rows[order[i]]);
+    }
+  }
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(test_rows.begin(), test_rows.end());
+
+  auto train = gi.Restrict(data::Selection(std::move(train_rows)));
+  if (!train.ok()) return train.status();
+  auto test = gi.Restrict(data::Selection(std::move(test_rows)));
+  if (!test.ok()) return test.status();
+  return HoldoutSplit{std::move(train).value(), std::move(test).value()};
+}
+
+std::vector<ValidatedPattern> ValidateOnHoldout(
+    const data::Dataset& db, const data::GroupInfo& test,
+    const std::vector<ContrastPattern>& patterns, double delta,
+    double alpha) {
+  std::vector<double> test_sizes = GroupSizes(test);
+  std::vector<ValidatedPattern> out;
+  out.reserve(patterns.size());
+  for (const ContrastPattern& p : patterns) {
+    ValidatedPattern v;
+    v.pattern = p;
+    GroupCounts gc =
+        CountMatches(db, test, p.itemset, test.base_selection());
+    v.test_supports = gc.Supports(test);
+    v.test_diff = SupportDifference(v.test_supports);
+    stats::ChiSquaredResult res =
+        stats::ChiSquaredPresenceTest(gc.counts, test_sizes);
+    v.test_p_value = res.valid ? res.p_value : 1.0;
+    v.generalizes = v.test_diff > delta && v.test_p_value < alpha;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::core

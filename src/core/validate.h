@@ -1,0 +1,52 @@
+#ifndef SDADCS_CORE_VALIDATE_H_
+#define SDADCS_CORE_VALIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contrast.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+#include "util/status.h"
+
+namespace sdadcs::core {
+
+/// A deterministic train/test split of the analysis rows, stratified by
+/// group so both sides keep every group populated.
+struct HoldoutSplit {
+  data::GroupInfo train;
+  data::GroupInfo test;
+};
+
+/// Splits the rows of `gi` into train (`train_fraction`) and test
+/// portions, stratified per group, shuffled with `seed`. Fails if either
+/// side would lose a group entirely.
+util::StatusOr<HoldoutSplit> MakeHoldoutSplit(const data::Dataset& db,
+                                              const data::GroupInfo& gi,
+                                              double train_fraction,
+                                              uint64_t seed);
+
+/// A pattern re-scored on held-out rows. Mined patterns overfit when
+/// their bin boundaries chase sampling noise; a pattern "generalizes"
+/// when it is still large and significant out of sample — the practical
+/// acceptance test an engineer would run before acting on a triage
+/// report.
+struct ValidatedPattern {
+  ContrastPattern pattern;     ///< as mined (train statistics)
+  std::vector<double> test_supports;
+  double test_diff = 0.0;
+  double test_p_value = 1.0;
+  bool generalizes = false;
+};
+
+/// Re-scores every pattern on the rows of `test`; a pattern generalizes
+/// when its held-out support difference exceeds `delta` and its
+/// chi-square p-value beats `alpha`.
+std::vector<ValidatedPattern> ValidateOnHoldout(
+    const data::Dataset& db, const data::GroupInfo& test,
+    const std::vector<ContrastPattern>& patterns, double delta,
+    double alpha);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_VALIDATE_H_

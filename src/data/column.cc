@@ -1,0 +1,35 @@
+#include "data/column.h"
+
+namespace sdadcs::data {
+
+int32_t CategoricalColumn::CodeOf(const std::string& value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? kMissingCode : it->second;
+}
+
+int32_t CategoricalColumn::Intern(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(dictionary_.size());
+  dictionary_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+double ContinuousColumn::Min() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : values_) {
+    if (!std::isnan(v) && v < m) m = v;
+  }
+  return m;
+}
+
+double ContinuousColumn::Max() const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : values_) {
+    if (!std::isnan(v) && v > m) m = v;
+  }
+  return m;
+}
+
+}  // namespace sdadcs::data

@@ -1,0 +1,89 @@
+#ifndef SDADCS_DATA_COLUMN_H_
+#define SDADCS_DATA_COLUMN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sdadcs::data {
+
+/// Sentinel code for a missing categorical value. Missing values never
+/// match any item (the paper's datasets contain missing / mis-entered
+/// values; see the redundancy discussion in Section 4.3).
+inline constexpr int32_t kMissingCode = -1;
+
+/// Dictionary-encoded categorical column. Values are small int32 codes;
+/// the dictionary maps codes back to strings. Append-only.
+class CategoricalColumn {
+ public:
+  size_t size() const { return codes_.size(); }
+
+  /// Code at `row` (kMissingCode if missing).
+  int32_t code(uint32_t row) const { return codes_[row]; }
+
+  bool is_missing(uint32_t row) const { return codes_[row] == kMissingCode; }
+
+  /// Number of distinct non-missing values seen so far.
+  int32_t cardinality() const {
+    return static_cast<int32_t>(dictionary_.size());
+  }
+
+  /// String for `code`. Requires 0 <= code < cardinality().
+  const std::string& ValueOf(int32_t code) const { return dictionary_[code]; }
+
+  /// Code for `value`, or kMissingCode if the value has never been seen.
+  int32_t CodeOf(const std::string& value) const;
+
+  /// Interns `value` (adding it to the dictionary if new) and returns
+  /// its code.
+  int32_t Intern(const std::string& value);
+
+  /// Appends a value, interning it.
+  void Append(const std::string& value) { codes_.push_back(Intern(value)); }
+
+  /// Appends a pre-interned code (kMissingCode allowed).
+  void AppendCode(int32_t code) { codes_.push_back(code); }
+
+  /// Appends a missing value.
+  void AppendMissing() { codes_.push_back(kMissingCode); }
+
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+ private:
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+/// Continuous (real-valued) column. NaN encodes a missing value.
+class ContinuousColumn {
+ public:
+  size_t size() const { return values_.size(); }
+
+  double value(uint32_t row) const { return values_[row]; }
+
+  bool is_missing(uint32_t row) const { return std::isnan(values_[row]); }
+
+  void Append(double v) { values_.push_back(v); }
+
+  void AppendMissing() {
+    values_.push_back(std::numeric_limits<double>::quiet_NaN());
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Minimum over non-missing values (+inf if all missing).
+  double Min() const;
+  /// Maximum over non-missing values (-inf if all missing).
+  double Max() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_COLUMN_H_

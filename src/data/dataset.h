@@ -1,0 +1,88 @@
+#ifndef SDADCS_DATA_DATASET_H_
+#define SDADCS_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace sdadcs::data {
+
+/// Immutable columnar table of mixed categorical/continuous attributes.
+/// Built through DatasetBuilder; shared read-only by the mining threads.
+class Dataset {
+ public:
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  bool is_categorical(int attr) const {
+    return schema_.attribute(attr).type == AttributeType::kCategorical;
+  }
+  bool is_continuous(int attr) const {
+    return schema_.attribute(attr).type == AttributeType::kContinuous;
+  }
+
+  /// The categorical column for `attr`. Requires is_categorical(attr).
+  const CategoricalColumn& categorical(int attr) const;
+
+  /// The continuous column for `attr`. Requires is_continuous(attr).
+  const ContinuousColumn& continuous(int attr) const;
+
+  /// Renders row `row` as "name=value, ..." for debugging.
+  std::string DebugRow(uint32_t row) const;
+
+ private:
+  friend class DatasetBuilder;
+  Dataset() = default;
+
+  Schema schema_;
+  size_t num_rows_ = 0;
+  // Parallel to schema attributes; exactly one of the two pointers is set
+  // per attribute, matching its type.
+  std::vector<std::unique_ptr<CategoricalColumn>> categorical_;
+  std::vector<std::unique_ptr<ContinuousColumn>> continuous_;
+};
+
+/// Row- or column-wise construction of a Dataset.
+///
+///   DatasetBuilder b;
+///   int age = b.AddContinuous("age");
+///   int occ = b.AddCategorical("occupation");
+///   b.AppendContinuous(age, 37.0);
+///   b.AppendCategorical(occ, "engineer");
+///   util::StatusOr<Dataset> db = std::move(b).Build();
+class DatasetBuilder {
+ public:
+  DatasetBuilder() = default;
+
+  /// Declares a categorical attribute; returns its index.
+  int AddCategorical(const std::string& name);
+  /// Declares a continuous attribute; returns its index.
+  int AddContinuous(const std::string& name);
+
+  /// Appends one value to a categorical attribute.
+  void AppendCategorical(int attr, const std::string& value);
+  /// Appends one value to a continuous attribute (NaN = missing).
+  void AppendContinuous(int attr, double value);
+  /// Appends a missing value to any attribute.
+  void AppendMissing(int attr);
+
+  /// Number of values appended so far to `attr`.
+  size_t ColumnSize(int attr) const;
+
+  /// Validates that all columns have equal length and produces the
+  /// Dataset. The builder is consumed.
+  util::StatusOr<Dataset> Build() &&;
+
+ private:
+  Dataset ds_;
+  util::Status deferred_error_;
+};
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_DATASET_H_

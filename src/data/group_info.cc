@@ -1,0 +1,144 @@
+#include "data/group_info.h"
+
+#include <unordered_map>
+
+namespace sdadcs::data {
+
+util::StatusOr<GroupInfo> GroupInfo::Create(const Dataset& db,
+                                            int group_attr) {
+  if (group_attr < 0 ||
+      group_attr >= static_cast<int>(db.num_attributes())) {
+    return util::Status::InvalidArgument("group attribute index out of range");
+  }
+  if (!db.is_categorical(group_attr)) {
+    return util::Status::InvalidArgument(
+        "group attribute must be categorical");
+  }
+  const CategoricalColumn& col = db.categorical(group_attr);
+  std::vector<std::string> values;
+  values.reserve(col.cardinality());
+  for (int32_t c = 0; c < col.cardinality(); ++c) {
+    values.push_back(col.ValueOf(c));
+  }
+  return CreateForValues(db, group_attr, values);
+}
+
+util::StatusOr<GroupInfo> GroupInfo::CreateForValues(
+    const Dataset& db, int group_attr,
+    const std::vector<std::string>& values) {
+  if (group_attr < 0 ||
+      group_attr >= static_cast<int>(db.num_attributes())) {
+    return util::Status::InvalidArgument("group attribute index out of range");
+  }
+  if (!db.is_categorical(group_attr)) {
+    return util::Status::InvalidArgument(
+        "group attribute must be categorical");
+  }
+  if (values.size() < 2) {
+    return util::Status::InvalidArgument(
+        "contrast mining needs at least two groups");
+  }
+  const CategoricalColumn& col = db.categorical(group_attr);
+
+  GroupInfo info;
+  info.group_attr_ = group_attr;
+  info.names_ = values;
+  info.sizes_.assign(values.size(), 0);
+
+  // Map dictionary code -> dense group id.
+  std::unordered_map<int32_t, int> code_to_group;
+  for (size_t g = 0; g < values.size(); ++g) {
+    int32_t code = col.CodeOf(values[g]);
+    if (code == kMissingCode) {
+      return util::Status::NotFound("group value '" + values[g] +
+                                    "' does not occur in the data");
+    }
+    if (!code_to_group.emplace(code, static_cast<int>(g)).second) {
+      return util::Status::InvalidArgument("duplicate group value '" +
+                                           values[g] + "'");
+    }
+  }
+
+  info.row_groups_.assign(db.num_rows(), -1);
+  std::vector<uint32_t> base_rows;
+  base_rows.reserve(db.num_rows());
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    if (col.is_missing(r)) continue;
+    auto it = code_to_group.find(col.code(r));
+    if (it == code_to_group.end()) continue;
+    info.row_groups_[r] = it->second;
+    ++info.sizes_[it->second];
+    base_rows.push_back(r);
+  }
+  for (size_t g = 0; g < values.size(); ++g) {
+    if (info.sizes_[g] == 0) {
+      return util::Status::InvalidArgument("group '" + values[g] +
+                                           "' is empty");
+    }
+  }
+  info.base_ = Selection(std::move(base_rows));
+  return info;
+}
+
+util::StatusOr<GroupInfo> GroupInfo::CreateOneVsRest(
+    const Dataset& db, int group_attr, const std::string& value) {
+  if (group_attr < 0 ||
+      group_attr >= static_cast<int>(db.num_attributes())) {
+    return util::Status::InvalidArgument("group attribute index out of range");
+  }
+  if (!db.is_categorical(group_attr)) {
+    return util::Status::InvalidArgument(
+        "group attribute must be categorical");
+  }
+  const CategoricalColumn& col = db.categorical(group_attr);
+  int32_t code = col.CodeOf(value);
+  if (code == kMissingCode) {
+    return util::Status::NotFound("group value '" + value +
+                                  "' does not occur in the data");
+  }
+
+  GroupInfo info;
+  info.group_attr_ = group_attr;
+  info.names_ = {value, "rest"};
+  info.sizes_ = {0, 0};
+  info.row_groups_.assign(db.num_rows(), -1);
+  std::vector<uint32_t> base_rows;
+  base_rows.reserve(db.num_rows());
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    if (col.is_missing(r)) continue;
+    int g = col.code(r) == code ? 0 : 1;
+    info.row_groups_[r] = g;
+    ++info.sizes_[g];
+    base_rows.push_back(r);
+  }
+  if (info.sizes_[0] == 0 || info.sizes_[1] == 0) {
+    return util::Status::InvalidArgument(
+        "one-vs-rest needs rows on both sides");
+  }
+  info.base_ = Selection(std::move(base_rows));
+  return info;
+}
+
+util::StatusOr<GroupInfo> GroupInfo::Restrict(const Selection& rows) const {
+  GroupInfo out;
+  out.group_attr_ = group_attr_;
+  out.names_ = names_;
+  out.sizes_.assign(names_.size(), 0);
+  out.row_groups_.assign(row_groups_.size(), -1);
+  Selection base = base_.Intersect(rows);
+  for (uint32_t r : base) {
+    int g = row_groups_[r];
+    out.row_groups_[r] = g;
+    ++out.sizes_[g];
+  }
+  for (size_t g = 0; g < out.sizes_.size(); ++g) {
+    if (out.sizes_[g] == 0) {
+      return util::Status::FailedPrecondition(
+          "group '" + names_[g] + "' is empty after restriction");
+    }
+  }
+  out.base_ = std::move(base);
+  return out;
+}
+
+}  // namespace sdadcs::data

@@ -1,0 +1,72 @@
+#ifndef SDADCS_DATA_GROUP_INFO_H_
+#define SDADCS_DATA_GROUP_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/selection.h"
+#include "util/status.h"
+
+namespace sdadcs::data {
+
+/// Resolves the designated group attribute into dense group ids, group
+/// sizes, and the base selection of rows that belong to a group of
+/// interest.
+///
+/// Contrast mining compares supports across groups (|g_k| in the paper's
+/// Eq. 1). A GroupInfo can cover *all* values of the group attribute, or
+/// only a chosen subset (e.g. 'Doctorate' vs 'Bachelors' on Adult, with
+/// every other education level excluded from the analysis).
+class GroupInfo {
+ public:
+  /// One group per distinct non-missing value of `group_attr`.
+  static util::StatusOr<GroupInfo> Create(const Dataset& db, int group_attr);
+
+  /// Groups restricted to `values` (in the given order). Rows whose group
+  /// value is not listed are excluded from base_selection().
+  static util::StatusOr<GroupInfo> CreateForValues(
+      const Dataset& db, int group_attr,
+      const std::vector<std::string>& values);
+
+  /// One-vs-rest: group 0 holds the rows whose group attribute equals
+  /// `value`, group 1 ("rest") holds every other non-missing row — the
+  /// Section-6 workflow of contrasting one machine / one batch against
+  /// everything else when the group attribute has many values.
+  static util::StatusOr<GroupInfo> CreateOneVsRest(const Dataset& db,
+                                                   int group_attr,
+                                                   const std::string& value);
+
+  int num_groups() const { return static_cast<int>(names_.size()); }
+  const std::string& group_name(int g) const { return names_[g]; }
+  size_t group_size(int g) const { return sizes_[g]; }
+
+  /// Dense group id of `row`, or -1 if the row is not in any group of
+  /// interest (missing or excluded value).
+  int group_of(uint32_t row) const { return row_groups_[row]; }
+
+  /// Rows that belong to some group of interest, sorted.
+  const Selection& base_selection() const { return base_; }
+
+  /// Total rows across the groups of interest.
+  size_t total() const { return base_.size(); }
+
+  int group_attr() const { return group_attr_; }
+
+  /// A copy of this GroupInfo restricted to `rows` (intersected with the
+  /// current base selection); group sizes are recomputed and every group
+  /// must stay non-empty. Used for train/test splits in holdout
+  /// validation of mined patterns.
+  util::StatusOr<GroupInfo> Restrict(const Selection& rows) const;
+
+ private:
+  int group_attr_ = -1;
+  std::vector<std::string> names_;
+  std::vector<size_t> sizes_;
+  std::vector<int> row_groups_;  // per dataset row; -1 = excluded
+  Selection base_;
+};
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_GROUP_INFO_H_

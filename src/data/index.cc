@@ -1,0 +1,65 @@
+#include "data/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdadcs::data {
+
+CategoricalIndex CategoricalIndex::Build(const Dataset& db, int attr) {
+  SDADCS_CHECK(db.is_categorical(attr));
+  const CategoricalColumn& col = db.categorical(attr);
+  CategoricalIndex idx;
+  idx.attr_ = attr;
+  std::vector<std::vector<uint32_t>> buckets(col.cardinality());
+  for (uint32_t r = 0; r < col.size(); ++r) {
+    int32_t code = col.code(r);
+    if (code != kMissingCode) buckets[code].push_back(r);
+  }
+  idx.postings_.reserve(buckets.size());
+  for (auto& bucket : buckets) {
+    idx.postings_.emplace_back(std::move(bucket));
+  }
+  return idx;
+}
+
+const Selection& CategoricalIndex::RowsFor(int32_t code) const {
+  if (code < 0 || code >= cardinality()) return empty_;
+  return postings_[code];
+}
+
+ContinuousIndex ContinuousIndex::Build(const Dataset& db, int attr) {
+  SDADCS_CHECK(db.is_continuous(attr));
+  const ContinuousColumn& col = db.continuous(attr);
+  ContinuousIndex idx;
+  idx.attr_ = attr;
+  idx.rows_.reserve(col.size());
+  for (uint32_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r)) idx.rows_.push_back(r);
+  }
+  std::stable_sort(idx.rows_.begin(), idx.rows_.end(),
+                   [&col](uint32_t a, uint32_t b) {
+                     return col.value(a) < col.value(b);
+                   });
+  idx.values_.reserve(idx.rows_.size());
+  for (uint32_t r : idx.rows_) idx.values_.push_back(col.value(r));
+  return idx;
+}
+
+Selection ContinuousIndex::RowsInRange(double lo, double hi) const {
+  auto begin = std::upper_bound(values_.begin(), values_.end(), lo);
+  auto end = std::upper_bound(values_.begin(), values_.end(), hi);
+  std::vector<uint32_t> out(rows_.begin() + (begin - values_.begin()),
+                            rows_.begin() + (end - values_.begin()));
+  std::sort(out.begin(), out.end());
+  return Selection(std::move(out));
+}
+
+size_t ContinuousIndex::CountInRange(double lo, double hi) const {
+  auto begin = std::upper_bound(values_.begin(), values_.end(), lo);
+  auto end = std::upper_bound(values_.begin(), values_.end(), hi);
+  return static_cast<size_t>(end - begin);
+}
+
+}  // namespace sdadcs::data

@@ -1,0 +1,62 @@
+#ifndef SDADCS_DATA_INDEX_H_
+#define SDADCS_DATA_INDEX_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/selection.h"
+
+namespace sdadcs::data {
+
+/// Inverted index of one categorical column: for each dictionary code,
+/// the sorted rows holding that value. Turns "rows matching attr=v"
+/// from a full scan into a lookup, and conjunctions into sorted-set
+/// intersections — the classic bitmap/posting-list trick for repeated
+/// support counting over the same attributes (host applications that
+/// re-mine the same table many times, e.g. the streaming monitor or the
+/// one-vs-rest sweep, can build these once).
+class CategoricalIndex {
+ public:
+  /// Scans the column once and buckets rows by code.
+  static CategoricalIndex Build(const Dataset& db, int attr);
+
+  int attr() const { return attr_; }
+  int32_t cardinality() const {
+    return static_cast<int32_t>(postings_.size());
+  }
+
+  /// Sorted rows whose value has `code`. Empty for out-of-range codes.
+  const Selection& RowsFor(int32_t code) const;
+
+ private:
+  int attr_ = -1;
+  std::vector<Selection> postings_;
+  Selection empty_;
+};
+
+/// Sorted projection of one continuous column: value-ordered rows plus
+/// the parallel values, enabling O(log n) range lookups.
+class ContinuousIndex {
+ public:
+  /// Sorts all non-missing rows by value.
+  static ContinuousIndex Build(const Dataset& db, int attr);
+
+  int attr() const { return attr_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Sorted rows with value in (lo, hi] — the item semantics of the
+  /// miner. O(log n + k).
+  Selection RowsInRange(double lo, double hi) const;
+
+  /// Number of rows with value in (lo, hi], without materializing them.
+  size_t CountInRange(double lo, double hi) const;
+
+ private:
+  int attr_ = -1;
+  std::vector<uint32_t> rows_;   // ordered by value
+  std::vector<double> values_;   // parallel to rows_
+};
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_INDEX_H_

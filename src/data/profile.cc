@@ -1,0 +1,104 @@
+#include "data/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sdadcs::data {
+
+AttributeProfile ProfileAttribute(const Dataset& db, int attr,
+                                  const Selection& sel) {
+  AttributeProfile p;
+  p.name = db.schema().attribute(attr).name;
+  p.type = db.schema().attribute(attr).type;
+  p.rows = sel.size();
+
+  if (p.type == AttributeType::kContinuous) {
+    const ContinuousColumn& col = db.continuous(attr);
+    std::vector<double> values;
+    values.reserve(sel.size());
+    for (uint32_t r : sel) {
+      double v = col.value(r);
+      if (std::isnan(v)) {
+        ++p.missing;
+      } else {
+        values.push_back(v);
+      }
+    }
+    if (!values.empty()) {
+      double sum = 0.0;
+      p.min = values[0];
+      p.max = values[0];
+      for (double v : values) {
+        sum += v;
+        p.min = std::min(p.min, v);
+        p.max = std::max(p.max, v);
+      }
+      p.mean = sum / static_cast<double>(values.size());
+      double ss = 0.0;
+      for (double v : values) ss += (v - p.mean) * (v - p.mean);
+      p.stddev = values.size() > 1
+                     ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+                     : 0.0;
+      size_t k = (values.size() - 1) / 2;
+      std::nth_element(values.begin(), values.begin() + k, values.end());
+      p.median = values[k];
+    }
+  } else {
+    const CategoricalColumn& col = db.categorical(attr);
+    std::vector<size_t> counts(col.cardinality(), 0);
+    for (uint32_t r : sel) {
+      if (col.is_missing(r)) {
+        ++p.missing;
+      } else {
+        ++counts[col.code(r)];
+      }
+    }
+    p.cardinality = col.cardinality();
+    for (int32_t c = 0; c < col.cardinality(); ++c) {
+      if (counts[c] > p.top_count) {
+        p.top_count = counts[c];
+        p.top_value = col.ValueOf(c);
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<AttributeProfile> ProfileDataset(const Dataset& db) {
+  Selection all = Selection::All(db.num_rows());
+  std::vector<AttributeProfile> out;
+  out.reserve(db.num_attributes());
+  for (size_t a = 0; a < db.num_attributes(); ++a) {
+    out.push_back(ProfileAttribute(db, static_cast<int>(a), all));
+  }
+  return out;
+}
+
+std::string FormatProfiles(const std::vector<AttributeProfile>& profiles) {
+  std::string out = util::StrFormat(
+      "%-24s %-12s %8s %8s  %s\n", "attribute", "type", "rows", "miss%",
+      "summary");
+  for (const AttributeProfile& p : profiles) {
+    std::string summary;
+    if (p.type == AttributeType::kContinuous) {
+      summary = util::StrFormat(
+          "min=%s max=%s mean=%s median=%s sd=%s",
+          util::FormatDouble(p.min, 4).c_str(),
+          util::FormatDouble(p.max, 4).c_str(),
+          util::FormatDouble(p.mean, 4).c_str(),
+          util::FormatDouble(p.median, 4).c_str(),
+          util::FormatDouble(p.stddev, 4).c_str());
+    } else {
+      summary = util::StrFormat("%d values, top='%s' (%zu)", p.cardinality,
+                                p.top_value.c_str(), p.top_count);
+    }
+    out += util::StrFormat("%-24s %-12s %8zu %8.1f  %s\n", p.name.c_str(),
+                           AttributeTypeName(p.type), p.rows,
+                           100.0 * p.missing_fraction(), summary.c_str());
+  }
+  return out;
+}
+
+}  // namespace sdadcs::data

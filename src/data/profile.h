@@ -1,0 +1,50 @@
+#ifndef SDADCS_DATA_PROFILE_H_
+#define SDADCS_DATA_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/selection.h"
+
+namespace sdadcs::data {
+
+/// Summary statistics of one attribute over a row selection — the
+/// pre-flight profile an analyst (or the CLI) inspects before choosing
+/// the group attribute and mining parameters.
+struct AttributeProfile {
+  std::string name;
+  AttributeType type = AttributeType::kContinuous;
+  size_t rows = 0;
+  size_t missing = 0;
+  // Continuous attributes:
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  // Categorical attributes:
+  int32_t cardinality = 0;
+  std::string top_value;
+  size_t top_count = 0;
+
+  double missing_fraction() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(missing) /
+                           static_cast<double>(rows);
+  }
+};
+
+/// Profiles one attribute over `sel`.
+AttributeProfile ProfileAttribute(const Dataset& db, int attr,
+                                  const Selection& sel);
+
+/// Profiles every attribute over all rows.
+std::vector<AttributeProfile> ProfileDataset(const Dataset& db);
+
+/// Renders profiles as an aligned text table.
+std::string FormatProfiles(const std::vector<AttributeProfile>& profiles);
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_PROFILE_H_

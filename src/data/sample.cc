@@ -1,0 +1,47 @@
+#include "data/sample.h"
+
+#include <algorithm>
+
+namespace sdadcs::data {
+
+Selection SampleSelection(const Selection& sel, size_t n, util::Rng& rng) {
+  if (n >= sel.size()) return sel;
+  // Partial Fisher-Yates over an index array: O(size) setup, O(n) draws.
+  std::vector<uint32_t> pool(sel.rows());
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = i + rng.NextBelow(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return Selection(std::move(out));
+}
+
+util::StatusOr<GroupInfo> SampleGroups(const GroupInfo& gi, size_t n,
+                                       uint64_t seed) {
+  if (n == 0) {
+    return util::Status::InvalidArgument("sample size must be positive");
+  }
+  util::Rng rng(seed);
+  double fraction =
+      std::min(1.0, static_cast<double>(n) / static_cast<double>(gi.total()));
+
+  std::vector<uint32_t> sampled;
+  for (int g = 0; g < gi.num_groups(); ++g) {
+    std::vector<uint32_t> rows;
+    for (uint32_t r : gi.base_selection()) {
+      if (gi.group_of(r) == g) rows.push_back(r);
+    }
+    size_t take = std::max<size_t>(
+        1, static_cast<size_t>(fraction * static_cast<double>(rows.size())));
+    Selection picked =
+        SampleSelection(Selection(std::move(rows)), take, rng);
+    sampled.insert(sampled.end(), picked.begin(), picked.end());
+  }
+  std::sort(sampled.begin(), sampled.end());
+  return gi.Restrict(Selection(std::move(sampled)));
+}
+
+}  // namespace sdadcs::data

@@ -1,0 +1,29 @@
+#ifndef SDADCS_DATA_SAMPLE_H_
+#define SDADCS_DATA_SAMPLE_H_
+
+#include <cstdint>
+
+#include "data/group_info.h"
+#include "data/selection.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sdadcs::data {
+
+/// Uniform random subsample of `sel`: `n` rows without replacement
+/// (everything when n >= sel.size()), returned sorted. Deterministic for
+/// a given Rng state.
+Selection SampleSelection(const Selection& sel, size_t n, util::Rng& rng);
+
+/// Stratified subsample of a GroupInfo's analysis rows: each group
+/// contributes proportionally (at least one row), totalling ~`n` rows.
+/// The paper's Section 6 points out that production data does not fit
+/// in memory and that sampling composes with the miner — this is the
+/// composition point: mine the sample, then re-score candidates on the
+/// full data (core/validate.h).
+util::StatusOr<GroupInfo> SampleGroups(const GroupInfo& gi, size_t n,
+                                       uint64_t seed);
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SAMPLE_H_

@@ -1,0 +1,41 @@
+#include "data/schema.h"
+
+namespace sdadcs::data {
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kContinuous:
+      return "continuous";
+  }
+  return "unknown";
+}
+
+util::StatusOr<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return util::Status::NotFound("no attribute named '" + name + "'");
+}
+
+util::Status Schema::Add(const std::string& name, AttributeType type) {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) {
+      return util::Status::AlreadyExists("attribute '" + name +
+                                         "' already in schema");
+    }
+  }
+  attributes_.push_back({name, type});
+  return util::Status::OK();
+}
+
+std::vector<int> Schema::AttributesOfType(AttributeType type) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type == type) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::data

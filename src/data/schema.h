@@ -1,0 +1,51 @@
+#ifndef SDADCS_DATA_SCHEMA_H_
+#define SDADCS_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sdadcs::data {
+
+/// Attribute kind: the paper's datasets mix categorical and continuous
+/// attributes; the group attribute is always categorical.
+enum class AttributeType { kCategorical, kContinuous };
+
+/// Returns "categorical" or "continuous".
+const char* AttributeTypeName(AttributeType type);
+
+/// Name + type of one attribute.
+struct Attribute {
+  std::string name;
+  AttributeType type;
+};
+
+/// Ordered list of attributes. Attribute indices used throughout the
+/// library are positions in this list.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  util::StatusOr<int> IndexOf(const std::string& name) const;
+
+  /// Appends an attribute; fails if the name already exists.
+  util::Status Add(const std::string& name, AttributeType type);
+
+  /// Indices of all attributes of the given type.
+  std::vector<int> AttributesOfType(AttributeType type) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SCHEMA_H_

@@ -1,0 +1,39 @@
+#include "data/selection.h"
+
+#include <algorithm>
+
+namespace sdadcs::data {
+
+Selection Selection::All(size_t n) {
+  std::vector<uint32_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  return Selection(std::move(rows));
+}
+
+Selection Selection::Filter(
+    const std::function<bool(uint32_t)>& pred) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows_.size());
+  for (uint32_t r : rows_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return Selection(std::move(out));
+}
+
+Selection Selection::Intersect(const Selection& other) const {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(rows_.size(), other.rows_.size()));
+  std::set_intersection(rows_.begin(), rows_.end(), other.rows_.begin(),
+                        other.rows_.end(), std::back_inserter(out));
+  return Selection(std::move(out));
+}
+
+Selection Selection::Minus(const Selection& other) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows_.size());
+  std::set_difference(rows_.begin(), rows_.end(), other.rows_.begin(),
+                      other.rows_.end(), std::back_inserter(out));
+  return Selection(std::move(out));
+}
+
+}  // namespace sdadcs::data

@@ -1,0 +1,45 @@
+#ifndef SDADCS_DATA_SELECTION_H_
+#define SDADCS_DATA_SELECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sdadcs::data {
+
+/// A sorted set of row ids. The recursive SDAD-CS splitter carves the
+/// dataset into progressively smaller selections; keeping them as sorted
+/// id vectors makes intersection and filtering linear and cache-friendly.
+class Selection {
+ public:
+  Selection() = default;
+  explicit Selection(std::vector<uint32_t> rows) : rows_(std::move(rows)) {}
+
+  /// All rows of an n-row dataset: {0, 1, ..., n-1}.
+  static Selection All(size_t n);
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  uint32_t operator[](size_t i) const { return rows_[i]; }
+
+  const std::vector<uint32_t>& rows() const { return rows_; }
+
+  auto begin() const { return rows_.begin(); }
+  auto end() const { return rows_.end(); }
+
+  /// Rows for which `pred(row)` holds, preserving order.
+  Selection Filter(const std::function<bool(uint32_t)>& pred) const;
+
+  /// Set intersection with another sorted selection.
+  Selection Intersect(const Selection& other) const;
+
+  /// Rows in this selection that are absent from `other` (set minus).
+  Selection Minus(const Selection& other) const;
+
+ private:
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SELECTION_H_

@@ -1,0 +1,81 @@
+#include "data/sort_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace sdadcs::data {
+
+namespace {
+
+// Gathers non-missing values of `attr` over `sel`.
+std::vector<double> GatherValues(const Dataset& db, int attr,
+                                 const Selection& sel) {
+  const ContinuousColumn& col = db.continuous(attr);
+  std::vector<double> vals;
+  vals.reserve(sel.size());
+  for (uint32_t r : sel) {
+    double v = col.value(r);
+    if (!std::isnan(v)) vals.push_back(v);
+  }
+  return vals;
+}
+
+}  // namespace
+
+SortIndex SortIndex::Build(const Dataset& db, int attr) {
+  const ContinuousColumn& col = db.continuous(attr);
+  SortIndex idx;
+  idx.order_.reserve(col.size());
+  for (uint32_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r)) idx.order_.push_back(r);
+  }
+  std::stable_sort(idx.order_.begin(), idx.order_.end(),
+                   [&col](uint32_t a, uint32_t b) {
+                     return col.value(a) < col.value(b);
+                   });
+  return idx;
+}
+
+double MedianInSelection(const Dataset& db, int attr, const Selection& sel) {
+  std::vector<double> vals = GatherValues(db, attr, sel);
+  if (vals.empty()) return std::numeric_limits<double>::quiet_NaN();
+  // Lower middle: rank (n-1)/2, so that "value <= median" keeps at least
+  // one element on each side whenever the values are not all equal.
+  size_t k = (vals.size() - 1) / 2;
+  std::nth_element(vals.begin(), vals.begin() + k, vals.end());
+  return vals[k];
+}
+
+double QuantileInSelection(const Dataset& db, int attr, const Selection& sel,
+                           double q) {
+  SDADCS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> vals = GatherValues(db, attr, sel);
+  if (vals.empty()) return std::numeric_limits<double>::quiet_NaN();
+  size_t k = static_cast<size_t>(q * static_cast<double>(vals.size() - 1));
+  std::nth_element(vals.begin(), vals.begin() + k, vals.end());
+  return vals[k];
+}
+
+MinMax MinMaxInSelection(const Dataset& db, int attr, const Selection& sel) {
+  const ContinuousColumn& col = db.continuous(attr);
+  MinMax mm{std::numeric_limits<double>::quiet_NaN(),
+            std::numeric_limits<double>::quiet_NaN()};
+  bool any = false;
+  for (uint32_t r : sel) {
+    double v = col.value(r);
+    if (std::isnan(v)) continue;
+    if (!any) {
+      mm.min = mm.max = v;
+      any = true;
+    } else {
+      if (v < mm.min) mm.min = v;
+      if (v > mm.max) mm.max = v;
+    }
+  }
+  return mm;
+}
+
+}  // namespace sdadcs::data

@@ -1,0 +1,51 @@
+#ifndef SDADCS_DATA_SORT_INDEX_H_
+#define SDADCS_DATA_SORT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/selection.h"
+
+namespace sdadcs::data {
+
+/// Row ids of a continuous column ordered by value (missing rows
+/// excluded). Built once per attribute; used by the discretizers for
+/// equal-frequency cut points and fast quantiles.
+class SortIndex {
+ public:
+  SortIndex() = default;
+
+  /// Sorts all non-missing rows of `db.continuous(attr)` by value
+  /// (stable ties by row id).
+  static SortIndex Build(const Dataset& db, int attr);
+
+  size_t size() const { return order_.size(); }
+  uint32_t row_at(size_t rank) const { return order_[rank]; }
+  const std::vector<uint32_t>& order() const { return order_; }
+
+ private:
+  std::vector<uint32_t> order_;
+};
+
+/// Median of `attr` over the rows in `sel` (non-missing only), computed
+/// by gathering + nth_element. Returns NaN if the selection has no
+/// non-missing values. For even counts returns the lower middle value,
+/// which keeps the split value an actual data point — important because
+/// SDAD-CS splits at "x <= median" and both halves must be non-empty.
+double MedianInSelection(const Dataset& db, int attr, const Selection& sel);
+
+/// q-quantile (0<=q<=1) of `attr` over `sel`, by rank floor(q*(n-1)).
+double QuantileInSelection(const Dataset& db, int attr, const Selection& sel,
+                           double q);
+
+/// Minimum and maximum of `attr` over `sel`; {NaN, NaN} when empty.
+struct MinMax {
+  double min;
+  double max;
+};
+MinMax MinMaxInSelection(const Dataset& db, int attr, const Selection& sel);
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SORT_INDEX_H_

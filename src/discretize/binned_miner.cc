@@ -1,0 +1,149 @@
+#include "discretize/binned_miner.h"
+
+#include <algorithm>
+
+#include "core/pruning.h"
+#include "core/support.h"
+#include "core/topk.h"
+#include "stats/chi_squared.h"
+#include "util/timer.h"
+
+namespace sdadcs::discretize {
+
+namespace {
+
+using core::ContrastPattern;
+using core::GroupCounts;
+using core::Item;
+using core::Itemset;
+
+// The per-attribute item alternatives available to the enumerator.
+struct AttributeItems {
+  int attr;
+  std::vector<Item> items;
+};
+
+class BinnedEnumerator {
+ public:
+  BinnedEnumerator(const data::Dataset& db, const data::GroupInfo& gi,
+                   const BinnedMinerConfig& config,
+                   std::vector<AttributeItems> attr_items,
+                   BinnedMinerStats* stats)
+      : db_(db),
+        gi_(gi),
+        config_(config),
+        attr_items_(std::move(attr_items)),
+        group_sizes_(core::GroupSizes(gi)),
+        topk_(static_cast<size_t>(config.top_k), config.delta),
+        stats_(stats) {}
+
+  std::vector<ContrastPattern> Run() {
+    Recurse(0, Itemset(), gi_.base_selection(), 0);
+    return topk_.Sorted();
+  }
+
+ private:
+  // Depth-first over attribute positions; each position either skips the
+  // attribute or fixes one of its items. Support-based pruning bounds
+  // the expansion exactly as in the categorical STUCCO search.
+  void Recurse(size_t pos, const Itemset& itemset,
+               const data::Selection& rows, int depth) {
+    if (!itemset.empty()) Evaluate(itemset, rows);
+    if (depth >= config_.max_depth || pos >= attr_items_.size()) return;
+    for (size_t p = pos; p < attr_items_.size(); ++p) {
+      for (const Item& item : attr_items_[p].items) {
+        data::Selection sub =
+            rows.Filter([&](uint32_t r) { return item.Matches(db_, r); });
+        if (sub.empty()) continue;
+        GroupCounts gc = core::CountGroups(gi_, sub);
+        if (core::BelowMinimumDeviation(gc.Supports(gi_), config_.delta)) {
+          continue;
+        }
+        Recurse(p + 1, itemset.WithItem(item), sub, depth + 1);
+      }
+    }
+  }
+
+  void Evaluate(const Itemset& itemset, const data::Selection& rows) {
+    if (stats_ != nullptr) ++stats_->partitions_evaluated;
+    GroupCounts gc = core::CountGroups(gi_, rows);
+    if (gc.total() < config_.min_coverage) return;
+    std::vector<double> supports = gc.Supports(gi_);
+    double diff = core::SupportDifference(supports);
+    if (diff <= config_.delta) return;
+    stats::ChiSquaredResult test =
+        stats::ChiSquaredPresenceTest(gc.counts, group_sizes_);
+    if (!test.valid || test.p_value >= config_.alpha) return;
+    ContrastPattern p;
+    p.itemset = itemset;
+    p.counts = gc.counts;
+    p.ComputeStats(gi_, config_.measure);
+    topk_.Insert(p);
+  }
+
+  const data::Dataset& db_;
+  const data::GroupInfo& gi_;
+  const BinnedMinerConfig& config_;
+  std::vector<AttributeItems> attr_items_;
+  std::vector<double> group_sizes_;
+  core::TopK topk_;
+  BinnedMinerStats* stats_;
+};
+
+}  // namespace
+
+std::vector<ContrastPattern> MineWithBins(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<AttributeBins>& bins,
+    const std::vector<int>& categorical_attrs,
+    const BinnedMinerConfig& config, BinnedMinerStats* stats) {
+  util::WallTimer timer;
+  std::vector<AttributeItems> attr_items;
+  for (const AttributeBins& ab : bins) {
+    AttributeItems ai;
+    ai.attr = ab.attr;
+    for (size_t b = 0; b < ab.num_bins(); ++b) {
+      double lo;
+      double hi;
+      ab.BoundsOf(b, &lo, &hi);
+      ai.items.push_back(Item::Interval(ab.attr, lo, hi));
+    }
+    // A single all-covering bin carries no information.
+    if (ai.items.size() >= 2) attr_items.push_back(std::move(ai));
+  }
+  for (int attr : categorical_attrs) {
+    AttributeItems ai;
+    ai.attr = attr;
+    const data::CategoricalColumn& col = db.categorical(attr);
+    for (int32_t code = 0; code < col.cardinality(); ++code) {
+      ai.items.push_back(Item::Categorical(attr, code));
+    }
+    if (!ai.items.empty()) attr_items.push_back(std::move(ai));
+  }
+
+  BinnedEnumerator enumerator(db, gi, config, std::move(attr_items), stats);
+  std::vector<ContrastPattern> out = enumerator.Run();
+  if (stats != nullptr) stats->elapsed_seconds = timer.Seconds();
+  return out;
+}
+
+std::vector<ContrastPattern> DiscretizeAndMine(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const Discretizer& disc, const BinnedMinerConfig& config,
+    BinnedMinerStats* stats) {
+  std::vector<int> cont_attrs;
+  std::vector<int> cat_attrs;
+  for (size_t a = 0; a < db.num_attributes(); ++a) {
+    int attr = static_cast<int>(a);
+    if (attr == gi.group_attr()) continue;
+    if (db.is_continuous(attr)) {
+      cont_attrs.push_back(attr);
+    } else {
+      cat_attrs.push_back(attr);
+    }
+  }
+  std::vector<AttributeBins> bins = disc.Discretize(db, gi, cont_attrs);
+  return MineWithBins(db, gi, bins, cat_attrs, config, stats);
+}
+
+}  // namespace sdadcs::discretize

@@ -1,0 +1,59 @@
+#ifndef SDADCS_DISCRETIZE_BINNED_MINER_H_
+#define SDADCS_DISCRETIZE_BINNED_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/contrast.h"
+#include "core/interest.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+#include "discretize/discretizer.h"
+
+namespace sdadcs::discretize {
+
+/// Configuration of the pre-binned contrast miner.
+struct BinnedMinerConfig {
+  double alpha = 0.05;
+  double delta = 0.1;
+  int max_depth = 5;
+  int top_k = 100;
+  int min_coverage = 2;
+  core::MeasureKind measure = core::MeasureKind::kSupportDiff;
+};
+
+/// Statistics of one pre-binned mining run.
+struct BinnedMinerStats {
+  uint64_t partitions_evaluated = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// STUCCO-style level-wise contrast mining over *pre-binned* data: every
+/// continuous attribute is replaced by the (global) bins produced by a
+/// Discretizer, categorical attributes keep their values, and itemsets
+/// of up to `max_depth` items are enumerated with support-based pruning
+/// and chi-square significance testing. This is how the MVD and Entropy
+/// rows of Tables 1, 4 and 5 are produced: the quality of such a miner
+/// is bounded by the quality of the global bins, which is exactly the
+/// paper's point.
+///
+/// Returned patterns carry interval items over the *original* continuous
+/// attributes, so their supports are directly comparable with SDAD-CS
+/// output.
+std::vector<core::ContrastPattern> MineWithBins(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<AttributeBins>& bins,
+    const std::vector<int>& categorical_attrs,
+    const BinnedMinerConfig& config, BinnedMinerStats* stats = nullptr);
+
+/// Convenience: discretizes the given continuous attributes with
+/// `disc`, then mines. Attribute lists default to "all continuous" /
+/// "all categorical except the group attribute" when empty.
+std::vector<core::ContrastPattern> DiscretizeAndMine(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const Discretizer& disc, const BinnedMinerConfig& config,
+    BinnedMinerStats* stats = nullptr);
+
+}  // namespace sdadcs::discretize
+
+#endif  // SDADCS_DISCRETIZE_BINNED_MINER_H_

@@ -1,0 +1,40 @@
+#include "discretize/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sdadcs::discretize {
+
+size_t AttributeBins::BinOf(double v) const {
+  // First cut strictly below v gives the bin; bins are (lo, hi].
+  size_t b = 0;
+  while (b < cuts.size() && v > cuts[b]) ++b;
+  return b;
+}
+
+void AttributeBins::BoundsOf(size_t b, double* lo, double* hi) const {
+  *lo = (b == 0) ? -std::numeric_limits<double>::infinity() : cuts[b - 1];
+  *hi = (b == cuts.size()) ? std::numeric_limits<double>::infinity()
+                           : cuts[b];
+}
+
+std::vector<LabeledValue> SortedLabeledValues(const data::Dataset& db,
+                                              const data::GroupInfo& gi,
+                                              int attr) {
+  const data::ContinuousColumn& col = db.continuous(attr);
+  std::vector<LabeledValue> out;
+  out.reserve(gi.base_selection().size());
+  for (uint32_t r : gi.base_selection()) {
+    double v = col.value(r);
+    if (std::isnan(v)) continue;
+    out.push_back({v, gi.group_of(r)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LabeledValue& a, const LabeledValue& b) {
+              return a.value < b.value;
+            });
+  return out;
+}
+
+}  // namespace sdadcs::discretize

@@ -1,0 +1,59 @@
+#ifndef SDADCS_DISCRETIZE_DISCRETIZER_H_
+#define SDADCS_DISCRETIZE_DISCRETIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::discretize {
+
+/// Bin boundaries of one continuous attribute: `cuts` are the strictly
+/// increasing interior cut points; with k cuts the attribute has k+1
+/// bins (-inf, c1], (c1, c2], ..., (ck, +inf] (missing values fall in no
+/// bin).
+struct AttributeBins {
+  int attr = -1;
+  std::vector<double> cuts;
+
+  size_t num_bins() const { return cuts.size() + 1; }
+
+  /// Bin index of value `v` (0-based). NaN-free input expected.
+  size_t BinOf(double v) const;
+
+  /// Bounds of bin `b` as (lo, hi] with +-inf at the extremes.
+  void BoundsOf(size_t b, double* lo, double* hi) const;
+};
+
+/// Global (pre-binning) discretization strategy — the family of
+/// techniques the paper contrasts SDAD-CS against. Implementations must
+/// be deterministic.
+class Discretizer {
+ public:
+  virtual ~Discretizer() = default;
+
+  /// Human-readable algorithm name ("fayyad_mdl", "mvd", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes bins for each listed continuous attribute. `gi` provides
+  /// the class/group labels for supervised methods; unsupervised methods
+  /// ignore it but still restrict to the analysis rows.
+  virtual std::vector<AttributeBins> Discretize(
+      const data::Dataset& db, const data::GroupInfo& gi,
+      const std::vector<int>& attrs) const = 0;
+};
+
+/// Gathers the sorted non-missing (value, group) pairs of `attr` over the
+/// analysis rows. Shared by the supervised discretizers.
+struct LabeledValue {
+  double value;
+  int group;
+};
+std::vector<LabeledValue> SortedLabeledValues(const data::Dataset& db,
+                                              const data::GroupInfo& gi,
+                                              int attr);
+
+}  // namespace sdadcs::discretize
+
+#endif  // SDADCS_DISCRETIZE_DISCRETIZER_H_

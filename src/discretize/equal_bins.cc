@@ -1,0 +1,69 @@
+#include "discretize/equal_bins.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdadcs::discretize {
+
+std::vector<double> EqualFrequencyCuts(const std::vector<double>& sorted,
+                                       int num_bins) {
+  SDADCS_CHECK(num_bins >= 1);
+  std::vector<double> cuts;
+  if (sorted.size() < 2) return cuts;
+  for (int b = 1; b < num_bins; ++b) {
+    size_t idx = sorted.size() * static_cast<size_t>(b) /
+                 static_cast<size_t>(num_bins);
+    if (idx == 0 || idx >= sorted.size()) continue;
+    double cut = sorted[idx - 1];
+    // Skip degenerate cuts: everything at or below the overall minimum
+    // or duplicates of the previous cut.
+    if (cut >= sorted.back()) continue;
+    if (!cuts.empty() && cut <= cuts.back()) continue;
+    cuts.push_back(cut);
+  }
+  return cuts;
+}
+
+std::vector<AttributeBins> EqualWidthDiscretizer::Discretize(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<int>& attrs) const {
+  std::vector<AttributeBins> out;
+  for (int attr : attrs) {
+    AttributeBins bins;
+    bins.attr = attr;
+    std::vector<LabeledValue> values = SortedLabeledValues(db, gi, attr);
+    if (!values.empty()) {
+      double lo = values.front().value;
+      double hi = values.back().value;
+      if (hi > lo) {
+        double width = (hi - lo) / num_bins_;
+        for (int b = 1; b < num_bins_; ++b) {
+          bins.cuts.push_back(lo + width * b);
+        }
+      }
+    }
+    out.push_back(std::move(bins));
+  }
+  return out;
+}
+
+std::vector<AttributeBins> EqualFrequencyDiscretizer::Discretize(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<int>& attrs) const {
+  std::vector<AttributeBins> out;
+  for (int attr : attrs) {
+    AttributeBins bins;
+    bins.attr = attr;
+    std::vector<LabeledValue> labeled = SortedLabeledValues(db, gi, attr);
+    std::vector<double> sorted;
+    sorted.reserve(labeled.size());
+    for (const LabeledValue& lv : labeled) sorted.push_back(lv.value);
+    bins.cuts = EqualFrequencyCuts(sorted, num_bins_);
+    out.push_back(std::move(bins));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::discretize

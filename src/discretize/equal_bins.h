@@ -1,0 +1,47 @@
+#ifndef SDADCS_DISCRETIZE_EQUAL_BINS_H_
+#define SDADCS_DISCRETIZE_EQUAL_BINS_H_
+
+#include "discretize/discretizer.h"
+
+namespace sdadcs::discretize {
+
+/// Unsupervised equal-width binning into `num_bins` bins over the
+/// attribute's observed range (the simplest pre-binning baseline, and
+/// the kind of global scheme whose shortcomings motivate SDAD-CS).
+class EqualWidthDiscretizer : public Discretizer {
+ public:
+  explicit EqualWidthDiscretizer(int num_bins) : num_bins_(num_bins) {}
+
+  std::string name() const override { return "equal_width"; }
+  std::vector<AttributeBins> Discretize(
+      const data::Dataset& db, const data::GroupInfo& gi,
+      const std::vector<int>& attrs) const override;
+
+ private:
+  int num_bins_;
+};
+
+/// Unsupervised equal-frequency binning: cut points at the quantiles so
+/// each bin holds ~n/num_bins rows (Srikant & Agrawal's initial
+/// partitioning; also the display bins of Figure 4).
+class EqualFrequencyDiscretizer : public Discretizer {
+ public:
+  explicit EqualFrequencyDiscretizer(int num_bins) : num_bins_(num_bins) {}
+
+  std::string name() const override { return "equal_frequency"; }
+  std::vector<AttributeBins> Discretize(
+      const data::Dataset& db, const data::GroupInfo& gi,
+      const std::vector<int>& attrs) const override;
+
+ private:
+  int num_bins_;
+};
+
+/// Equal-frequency cut points for one pre-sorted value vector; duplicate
+/// cut points collapse (fewer bins on heavily tied data).
+std::vector<double> EqualFrequencyCuts(const std::vector<double>& sorted,
+                                       int num_bins);
+
+}  // namespace sdadcs::discretize
+
+#endif  // SDADCS_DISCRETIZE_EQUAL_BINS_H_

@@ -1,0 +1,108 @@
+#include "discretize/fayyad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/logging.h"
+
+namespace sdadcs::discretize {
+
+namespace {
+
+// Class entropy (bits) of counts.
+double Entropy(const std::vector<double>& counts) {
+  return stats::EntropyFromCounts(counts);
+}
+
+// Number of distinct classes with non-zero count.
+int DistinctClasses(const std::vector<double>& counts) {
+  int k = 0;
+  for (double c : counts) {
+    if (c > 0.0) ++k;
+  }
+  return k;
+}
+
+// Recursive MDL split of values[lo, hi).
+void SplitRange(const std::vector<LabeledValue>& values, size_t lo,
+                size_t hi, int num_groups, std::vector<double>* cuts) {
+  const size_t n = hi - lo;
+  if (n < 2) return;
+
+  // Class counts for the whole range and prefix sums per candidate cut.
+  std::vector<double> total(num_groups, 0.0);
+  for (size_t i = lo; i < hi; ++i) total[values[i].group] += 1.0;
+  const double ent_s = Entropy(total);
+  if (ent_s == 0.0) return;  // already pure
+
+  // Scan boundary candidates: positions where the value changes
+  // (Fayyad's result: optimal cuts lie on class-boundary points, but
+  // value-change points are a safe superset on tied data).
+  std::vector<double> left(num_groups, 0.0);
+  double best_gain = -1.0;
+  size_t best_pos = 0;
+  std::vector<double> best_left;
+  double nn = static_cast<double>(n);
+  for (size_t i = lo; i + 1 < hi; ++i) {
+    left[values[i].group] += 1.0;
+    if (values[i].value == values[i + 1].value) continue;
+    double n1 = static_cast<double>(i + 1 - lo);
+    double n2 = nn - n1;
+    std::vector<double> right(num_groups);
+    for (int g = 0; g < num_groups; ++g) right[g] = total[g] - left[g];
+    double ent_split =
+        (n1 / nn) * Entropy(left) + (n2 / nn) * Entropy(right);
+    double gain = ent_s - ent_split;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_pos = i;
+      best_left = left;
+    }
+  }
+  if (best_gain <= 0.0) return;
+
+  // MDL acceptance criterion (Fayyad & Irani Eq. 9):
+  // gain > log2(n-1)/n + delta(A,T;S)/n with
+  // delta = log2(3^k - 2) - (k*Ent(S) - k1*Ent(S1) - k2*Ent(S2)).
+  std::vector<double> right(num_groups);
+  for (int g = 0; g < num_groups; ++g) right[g] = total[g] - best_left[g];
+  int k = DistinctClasses(total);
+  int k1 = DistinctClasses(best_left);
+  int k2 = DistinctClasses(right);
+  double delta = std::log2(std::pow(3.0, k) - 2.0) -
+                 (k * ent_s - k1 * Entropy(best_left) - k2 * Entropy(right));
+  double threshold = (std::log2(nn - 1.0) + delta) / nn;
+  if (best_gain <= threshold) return;
+
+  cuts->push_back(values[best_pos].value);
+  SplitRange(values, lo, best_pos + 1, num_groups, cuts);
+  SplitRange(values, best_pos + 1, hi, num_groups, cuts);
+}
+
+}  // namespace
+
+std::vector<double> FayyadMdlDiscretizer::CutsForSortedValues(
+    const std::vector<LabeledValue>& values, int num_groups) {
+  std::vector<double> cuts;
+  SplitRange(values, 0, values.size(), num_groups, &cuts);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+std::vector<AttributeBins> FayyadMdlDiscretizer::Discretize(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<int>& attrs) const {
+  std::vector<AttributeBins> out;
+  for (int attr : attrs) {
+    AttributeBins bins;
+    bins.attr = attr;
+    std::vector<LabeledValue> values = SortedLabeledValues(db, gi, attr);
+    bins.cuts = CutsForSortedValues(values, gi.num_groups());
+    out.push_back(std::move(bins));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::discretize

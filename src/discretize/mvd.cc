@@ -1,0 +1,248 @@
+#include "discretize/mvd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "discretize/equal_bins.h"
+#include "stats/chi_squared.h"
+#include "util/logging.h"
+
+namespace sdadcs::discretize {
+
+namespace {
+
+// One interval of an attribute during merging: a contiguous range of the
+// attribute's value-sorted rows.
+struct Interval {
+  size_t begin;  // index into the sorted row vector
+  size_t end;    // exclusive
+  double upper;  // value of the last row (the candidate cut point)
+};
+
+// True if the 2-row table rejects "same distribution" at `alpha` AND the
+// largest relative-frequency difference between the rows exceeds
+// `delta` (both conditions, per MVD's "different AND the difference is
+// large" rule).
+bool TableDistinguishes(const stats::ContingencyTable& t, double alpha,
+                        double delta) {
+  double na = t.RowTotal(0);
+  double nb = t.RowTotal(1);
+  if (na <= 0.0 || nb <= 0.0) return false;
+  stats::ChiSquaredResult res = stats::ChiSquaredTest(t);
+  if (!res.valid || res.p_value >= alpha) return false;
+  for (int c = 0; c < t.cols(); ++c) {
+    double fa = t.cell(0, c) / na;
+    double fb = t.cell(1, c) / nb;
+    if (std::fabs(fa - fb) > delta) return true;
+  }
+  return false;
+}
+
+class PairTester {
+ public:
+  PairTester(const data::Dataset& db, const data::GroupInfo& gi,
+             int target_attr, const std::vector<int>& cont_attrs,
+             const MvdDiscretizer::Options& options)
+      : db_(db), gi_(gi), options_(options) {
+    for (int a : cont_attrs) {
+      if (a != target_attr) context_cont_.push_back(a);
+    }
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      int attr = static_cast<int>(a);
+      if (attr == gi.group_attr()) continue;
+      if (db.is_categorical(attr)) context_cat_.push_back(attr);
+    }
+    // Tests per pair: group + per-context marginal + per-context joint.
+    num_tests_ = 1 + 2 * (context_cont_.size() + context_cat_.size());
+  }
+
+  /// True if the rows of intervals A and B are statistically
+  /// distinguishable by some attribute.
+  bool Distinguishable(const std::vector<uint32_t>& rows, const Interval& a,
+                       const Interval& b) const {
+    const double alpha =
+        options_.alpha / static_cast<double>(std::max<size_t>(1, num_tests_));
+
+    // (a) group distribution.
+    {
+      stats::ContingencyTable t(2, gi_.num_groups());
+      FillGroupTable(rows, a, b, &t);
+      if (TableDistinguishes(t, alpha, options_.delta)) return true;
+    }
+    // (b)+(c) context attributes, marginal and jointly with the group.
+    for (int attr : context_cat_) {
+      if (TestCategoricalContext(rows, a, b, attr, alpha)) return true;
+    }
+    for (int attr : context_cont_) {
+      if (TestContinuousContext(rows, a, b, attr, alpha)) return true;
+    }
+    return false;
+  }
+
+ private:
+  void FillGroupTable(const std::vector<uint32_t>& rows, const Interval& a,
+                      const Interval& b, stats::ContingencyTable* t) const {
+    for (size_t i = a.begin; i < a.end; ++i) {
+      int g = gi_.group_of(rows[i]);
+      if (g >= 0) t->Add(0, g);
+    }
+    for (size_t i = b.begin; i < b.end; ++i) {
+      int g = gi_.group_of(rows[i]);
+      if (g >= 0) t->Add(1, g);
+    }
+  }
+
+  bool TestCategoricalContext(const std::vector<uint32_t>& rows,
+                              const Interval& a, const Interval& b, int attr,
+                              double alpha) const {
+    const data::CategoricalColumn& col = db_.categorical(attr);
+    const int card = col.cardinality();
+    if (card < 2) return false;
+    stats::ContingencyTable marginal(2, card);
+    stats::ContingencyTable joint(2, card * gi_.num_groups());
+    auto add = [&](int side, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t r = rows[i];
+        if (col.is_missing(r)) continue;
+        int g = gi_.group_of(r);
+        if (g < 0) continue;
+        marginal.Add(side, col.code(r));
+        joint.Add(side, col.code(r) * gi_.num_groups() + g);
+      }
+    };
+    add(0, a.begin, a.end);
+    add(1, b.begin, b.end);
+    return TableDistinguishes(marginal, alpha, options_.delta) ||
+           TableDistinguishes(joint, alpha, options_.delta);
+  }
+
+  bool TestContinuousContext(const std::vector<uint32_t>& rows,
+                             const Interval& a, const Interval& b, int attr,
+                             double alpha) const {
+    const data::ContinuousColumn& col = db_.continuous(attr);
+    // Context bins: equal-frequency cuts over the union of both sides.
+    std::vector<double> values;
+    values.reserve((a.end - a.begin) + (b.end - b.begin));
+    auto gather = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double v = col.value(rows[i]);
+        if (!std::isnan(v)) values.push_back(v);
+      }
+    };
+    gather(a.begin, a.end);
+    gather(b.begin, b.end);
+    if (values.size() < 8) return false;
+    std::sort(values.begin(), values.end());
+    std::vector<double> cuts =
+        EqualFrequencyCuts(values, options_.context_bins);
+    if (cuts.empty()) return false;
+    AttributeBins bins;
+    bins.cuts = cuts;
+    const int nb = static_cast<int>(bins.num_bins());
+
+    stats::ContingencyTable marginal(2, nb);
+    stats::ContingencyTable joint(2, nb * gi_.num_groups());
+    auto add = [&](int side, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t r = rows[i];
+        double v = col.value(r);
+        if (std::isnan(v)) continue;
+        int g = gi_.group_of(r);
+        if (g < 0) continue;
+        int bin = static_cast<int>(bins.BinOf(v));
+        marginal.Add(side, bin);
+        joint.Add(side, bin * gi_.num_groups() + g);
+      }
+    };
+    add(0, a.begin, a.end);
+    add(1, b.begin, b.end);
+    return TableDistinguishes(marginal, alpha, options_.delta) ||
+           TableDistinguishes(joint, alpha, options_.delta);
+  }
+
+  const data::Dataset& db_;
+  const data::GroupInfo& gi_;
+  const MvdDiscretizer::Options& options_;
+  std::vector<int> context_cont_;
+  std::vector<int> context_cat_;
+  size_t num_tests_ = 1;
+};
+
+}  // namespace
+
+std::vector<AttributeBins> MvdDiscretizer::Discretize(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<int>& attrs) const {
+  std::vector<AttributeBins> out;
+  for (int attr : attrs) {
+    AttributeBins result;
+    result.attr = attr;
+
+    // Value-sorted analysis rows of this attribute.
+    const data::ContinuousColumn& col = db.continuous(attr);
+    std::vector<uint32_t> rows;
+    rows.reserve(gi.base_selection().size());
+    for (uint32_t r : gi.base_selection()) {
+      if (!col.is_missing(r)) rows.push_back(r);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&col](uint32_t x, uint32_t y) {
+                       return col.value(x) < col.value(y);
+                     });
+    if (rows.size() < 4) {
+      out.push_back(std::move(result));
+      continue;
+    }
+
+    // Basic bins: ~instances_per_bin each, boundaries on value changes.
+    const size_t per_bin = std::max<size_t>(
+        2, std::min<size_t>(static_cast<size_t>(options_.instances_per_bin),
+                            rows.size() / 2));
+    std::vector<Interval> intervals;
+    size_t begin = 0;
+    while (begin < rows.size()) {
+      size_t end = std::min(rows.size(), begin + per_bin);
+      // Extend so that equal values never straddle a boundary.
+      while (end < rows.size() &&
+             col.value(rows[end]) == col.value(rows[end - 1])) {
+        ++end;
+      }
+      intervals.push_back({begin, end, col.value(rows[end - 1])});
+      begin = end;
+    }
+    if (intervals.size() < 2) {
+      out.push_back(std::move(result));
+      continue;
+    }
+
+    // Bottom-up merging: repeatedly merge adjacent pairs that no test
+    // can tell apart, until every neighboring pair is distinguishable.
+    PairTester tester(db, gi, attr, attrs, options_);
+    bool merged_any = true;
+    while (merged_any && intervals.size() > 1) {
+      merged_any = false;
+      std::vector<Interval> next;
+      next.reserve(intervals.size());
+      next.push_back(intervals[0]);
+      for (size_t i = 1; i < intervals.size(); ++i) {
+        Interval& last = next.back();
+        if (!tester.Distinguishable(rows, last, intervals[i])) {
+          last.end = intervals[i].end;
+          last.upper = intervals[i].upper;
+          merged_any = true;
+        } else {
+          next.push_back(intervals[i]);
+        }
+      }
+      intervals = std::move(next);
+    }
+
+    for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+      result.cuts.push_back(intervals[i].upper);
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::discretize

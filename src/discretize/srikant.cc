@@ -1,0 +1,60 @@
+#include "discretize/srikant.h"
+
+#include <algorithm>
+
+#include "discretize/equal_bins.h"
+
+namespace sdadcs::discretize {
+
+std::vector<AttributeBins> SrikantDiscretizer::Discretize(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const std::vector<int>& attrs) const {
+  std::vector<AttributeBins> out;
+  for (int attr : attrs) {
+    AttributeBins bins;
+    bins.attr = attr;
+
+    std::vector<LabeledValue> labeled = SortedLabeledValues(db, gi, attr);
+    std::vector<double> sorted;
+    sorted.reserve(labeled.size());
+    for (const LabeledValue& lv : labeled) sorted.push_back(lv.value);
+    std::vector<double> cuts =
+        EqualFrequencyCuts(sorted, options_.initial_partitions);
+    if (cuts.empty() || sorted.empty()) {
+      out.push_back(std::move(bins));
+      continue;
+    }
+
+    // Per-partition counts for the initial cuts.
+    AttributeBins initial;
+    initial.cuts = cuts;
+    std::vector<double> counts(initial.num_bins(), 0.0);
+    for (double v : sorted) counts[initial.BinOf(v)] += 1.0;
+    const double min_count =
+        options_.minsup * static_cast<double>(sorted.size());
+
+    // Merge any below-minsup partition into its left neighbour
+    // (rightward sweep; the leftmost partition merges right by simply
+    // dropping its upper cut when undersized).
+    std::vector<double> merged_cuts;
+    double acc = counts[0];
+    for (size_t b = 0; b < cuts.size(); ++b) {
+      // cut[b] separates partition b from b+1.
+      if (acc >= min_count) {
+        merged_cuts.push_back(cuts[b]);
+        acc = counts[b + 1];
+      } else {
+        acc += counts[b + 1];  // drop the cut: merge into the next
+      }
+    }
+    // A trailing undersized partition merges left: drop the last cut.
+    if (acc < min_count && !merged_cuts.empty()) {
+      merged_cuts.pop_back();
+    }
+    bins.cuts = std::move(merged_cuts);
+    out.push_back(std::move(bins));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::discretize

@@ -1,0 +1,37 @@
+#ifndef SDADCS_DISCRETIZE_SRIKANT_H_
+#define SDADCS_DISCRETIZE_SRIKANT_H_
+
+#include "discretize/discretizer.h"
+
+namespace sdadcs::discretize {
+
+/// Srikant & Agrawal's quantitative-association-rule partitioning
+/// (1996), as described in the paper's related work: the range is cut
+/// into `initial_partitions` equal-frequency partitions, then
+/// consecutive partitions whose support falls below `minsup` are merged
+/// with their neighbour. Unsupervised; illustrates the paper's point
+/// that choosing the initial n is a lose-lose (too small loses
+/// information, too large costs time and fragments support).
+class SrikantDiscretizer : public Discretizer {
+ public:
+  struct Options {
+    int initial_partitions = 10;
+    /// Minimum fraction of the analysis rows a partition must hold.
+    double minsup = 0.05;
+  };
+
+  explicit SrikantDiscretizer(Options options) : options_(options) {}
+  SrikantDiscretizer() : SrikantDiscretizer(Options()) {}
+
+  std::string name() const override { return "srikant"; }
+  std::vector<AttributeBins> Discretize(
+      const data::Dataset& db, const data::GroupInfo& gi,
+      const std::vector<int>& attrs) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sdadcs::discretize
+
+#endif  // SDADCS_DISCRETIZE_SRIKANT_H_

@@ -1,0 +1,195 @@
+#include "parallel/parallel_miner.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/productivity.h"
+#include "core/search.h"
+#include "core/support.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace sdadcs::parallel {
+
+namespace {
+
+using core::ContrastPattern;
+using core::LatticeSearch;
+using core::MiningContext;
+using core::MiningCounters;
+using core::PruneTable;
+using core::TopK;
+
+// Per-worker state for one level. The local prune table holds only this
+// worker's new entries; pooled knowledge is consulted via the parent
+// pointer (read-only during the level).
+struct WorkerState {
+  PruneTable prune_table;
+  TopK topk;
+  MiningCounters counters;
+  std::vector<std::vector<int>> alive;
+  std::vector<ContrastPattern> patterns;
+
+  WorkerState(const PruneTable* pooled, size_t k, double floor)
+      : topk(k, floor) {
+    prune_table.set_parent(pooled);
+  }
+};
+
+}  // namespace
+
+util::StatusOr<core::MiningResult> ParallelMiner::Mine(
+    const data::Dataset& db, const std::string& group_attr) const {
+  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
+  if (!attr.ok()) return attr.status();
+  util::StatusOr<data::GroupInfo> gi = data::GroupInfo::Create(db, *attr);
+  if (!gi.ok()) return gi.status();
+  return MineWithGroups(db, *gi);
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::Mine(
+    const data::Dataset& db, const std::string& group_attr,
+    const std::vector<std::string>& group_values) const {
+  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
+  if (!attr.ok()) return attr.status();
+  util::StatusOr<data::GroupInfo> gi =
+      data::GroupInfo::CreateForValues(db, *attr, group_values);
+  if (!gi.ok()) return gi.status();
+  return MineWithGroups(db, *gi);
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
+    const data::Dataset& db, const data::GroupInfo& gi) const {
+  util::WallTimer timer;
+  if (num_threads_ < 1) {
+    return util::Status::InvalidArgument("num_threads must be >= 1");
+  }
+
+  std::vector<int> attrs;
+  if (config_.attributes.empty()) {
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      if (static_cast<int>(a) != gi.group_attr()) {
+        attrs.push_back(static_cast<int>(a));
+      }
+    }
+  } else {
+    for (const std::string& name : config_.attributes) {
+      util::StatusOr<int> idx = db.schema().IndexOf(name);
+      if (!idx.ok()) return idx.status();
+      attrs.push_back(*idx);
+    }
+  }
+  if (attrs.empty()) {
+    return util::Status::InvalidArgument("no attributes to mine");
+  }
+
+  // Shared read-only pieces of the context.
+  std::unordered_map<int, core::RootBounds> root_bounds;
+  for (int a : attrs) {
+    if (db.is_continuous(a)) {
+      root_bounds[a] = core::ComputeRootBounds(db, a, gi.base_selection());
+    }
+  }
+  std::vector<double> group_sizes = core::GroupSizes(gi);
+
+  PruneTable pooled_table;
+  TopK global_topk(static_cast<size_t>(config_.top_k), config_.delta);
+  MiningCounters global_counters;
+
+  util::ThreadPool pool(num_threads_);
+  const int max_depth =
+      std::min<int>(config_.max_depth, static_cast<int>(attrs.size()));
+  std::vector<std::vector<int>> alive_prev;
+
+  for (int level = 1; level <= max_depth; ++level) {
+    std::vector<std::vector<int>> candidates =
+        core::GenerateLevelCandidates(level, attrs, alive_prev);
+    if (candidates.empty()) break;
+    const size_t cap = config_.max_candidates_per_level;
+    if (cap > 0 && candidates.size() > cap) {
+      global_counters.truncated_candidates += candidates.size() - cap;
+      candidates.resize(cap);
+    }
+
+    // One worker state per thread; each worker handles a contiguous
+    // slice of the level's combinations with its own prune table and
+    // top-k seeded from the pooled state.
+    const size_t num_workers =
+        std::min(num_threads_, std::max<size_t>(1, candidates.size()));
+    std::vector<WorkerState> workers;
+    workers.reserve(num_workers);
+    double floor = std::max(config_.delta, global_topk.threshold());
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back(&pooled_table,
+                           static_cast<size_t>(config_.top_k), floor);
+    }
+
+    std::mutex dispatch_mu;
+    for (size_t w = 0; w < num_workers; ++w) {
+      pool.Submit([&, w] {
+        WorkerState& state = workers[w];
+        MiningContext ctx;
+        ctx.db = &db;
+        ctx.gi = &gi;
+        ctx.cfg = &config_;
+        ctx.prune_table = &state.prune_table;
+        ctx.topk = &state.topk;
+        ctx.counters = &state.counters;
+        ctx.group_sizes = group_sizes;
+        ctx.root_bounds = root_bounds;
+        LatticeSearch search(ctx);
+        for (size_t i = w; i < candidates.size(); i += num_workers) {
+          if (search.MineCombo(candidates[i])) {
+            state.alive.push_back(candidates[i]);
+          }
+        }
+        state.patterns = state.topk.Sorted();
+        (void)dispatch_mu;
+      });
+    }
+    pool.Wait();
+
+    // Pool the level's results.
+    std::vector<std::vector<int>> alive_cur;
+    for (WorkerState& state : workers) {
+      for (const ContrastPattern& p : state.patterns) {
+        global_topk.Insert(p);
+      }
+      global_counters.Add(state.counters);
+      pooled_table.MergeFrom(state.prune_table);
+      for (std::vector<int>& combo : state.alive) {
+        alive_cur.push_back(std::move(combo));
+      }
+    }
+    std::sort(alive_cur.begin(), alive_cur.end());
+    alive_prev = std::move(alive_cur);
+    if (alive_prev.empty()) break;
+  }
+
+  core::MiningResult result;
+  result.contrasts = global_topk.Sorted();
+  if (config_.meaningful_pruning &&
+      config_.independently_productive_filter) {
+    PruneTable scratch_table;
+    TopK scratch_topk(1, config_.delta);
+    MiningContext ctx;
+    ctx.db = &db;
+    ctx.gi = &gi;
+    ctx.cfg = &config_;
+    ctx.prune_table = &scratch_table;
+    ctx.topk = &scratch_topk;
+    ctx.counters = &global_counters;
+    ctx.group_sizes = group_sizes;
+    ctx.root_bounds = root_bounds;
+    result.contrasts =
+        core::FilterIndependentlyProductive(ctx, std::move(result.contrasts));
+  }
+  result.counters = global_counters;
+  result.elapsed_seconds = timer.Seconds();
+  for (int g = 0; g < gi.num_groups(); ++g) {
+    result.group_names.push_back(gi.group_name(g));
+  }
+  return result;
+}
+
+}  // namespace sdadcs::parallel

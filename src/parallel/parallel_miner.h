@@ -1,0 +1,46 @@
+#ifndef SDADCS_PARALLEL_PARALLEL_MINER_H_
+#define SDADCS_PARALLEL_PARALLEL_MINER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "util/status.h"
+
+namespace sdadcs::parallel {
+
+/// Level-parallel contrast miner (Section 6): each level of the
+/// attribute-combination tree is mined concurrently, then the workers'
+/// results — top patterns, prune-table entries, aliveness of
+/// combinations — are pooled before the next level starts.
+///
+/// As the paper notes, "there is some loss of pruning of the search
+/// space across subtrees" (workers do not see each other's discoveries
+/// within a level), but each worker still applies every within-subtree
+/// pruning strategy, and the pooled knowledge drives the next level.
+class ParallelMiner {
+ public:
+  ParallelMiner(core::MinerConfig config, size_t num_threads)
+      : config_(std::move(config)), num_threads_(num_threads) {}
+
+  const core::MinerConfig& config() const { return config_; }
+  size_t num_threads() const { return num_threads_; }
+
+  /// See Miner::Mine.
+  util::StatusOr<core::MiningResult> Mine(
+      const data::Dataset& db, const std::string& group_attr) const;
+  util::StatusOr<core::MiningResult> Mine(
+      const data::Dataset& db, const std::string& group_attr,
+      const std::vector<std::string>& group_values) const;
+  util::StatusOr<core::MiningResult> MineWithGroups(
+      const data::Dataset& db, const data::GroupInfo& gi) const;
+
+ private:
+  core::MinerConfig config_;
+  size_t num_threads_;
+};
+
+}  // namespace sdadcs::parallel
+
+#endif  // SDADCS_PARALLEL_PARALLEL_MINER_H_

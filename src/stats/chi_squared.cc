@@ -1,0 +1,77 @@
+#include "stats/chi_squared.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/special_functions.h"
+#include "util/logging.h"
+
+namespace sdadcs::stats {
+
+double ChiSquaredPValue(double stat, int dof) {
+  SDADCS_CHECK(dof >= 1);
+  if (stat <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, stat / 2.0);
+}
+
+double ChiSquaredCritical(double alpha, int dof) {
+  SDADCS_CHECK(alpha > 0.0 && alpha < 1.0);
+  SDADCS_CHECK(dof >= 1);
+  // Bisection on the survival function; it is monotone decreasing.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (ChiSquaredPValue(hi, dof) > alpha) {
+    hi *= 2.0;
+    if (hi > 1e8) break;  // absurd alpha; return the cap
+  }
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (ChiSquaredPValue(mid, dof) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+ChiSquaredResult ChiSquaredTest(const ContingencyTable& table, bool yates) {
+  // Identify non-degenerate rows/columns.
+  std::vector<int> live_rows;
+  std::vector<int> live_cols;
+  for (int r = 0; r < table.rows(); ++r) {
+    if (table.RowTotal(r) > 0.0) live_rows.push_back(r);
+  }
+  for (int c = 0; c < table.cols(); ++c) {
+    if (table.ColTotal(c) > 0.0) live_cols.push_back(c);
+  }
+  ChiSquaredResult result;
+  if (live_rows.size() < 2 || live_cols.size() < 2) return result;
+
+  double grand = table.GrandTotal();
+  double stat = 0.0;
+  for (int r : live_rows) {
+    double rt = table.RowTotal(r);
+    for (int c : live_cols) {
+      double expected = rt * table.ColTotal(c) / grand;
+      double diff = std::fabs(table.cell(r, c) - expected);
+      if (yates) diff = std::max(0.0, diff - 0.5);
+      stat += diff * diff / expected;
+    }
+  }
+  result.statistic = stat;
+  result.dof = static_cast<int>((live_rows.size() - 1) *
+                                (live_cols.size() - 1));
+  result.p_value = ChiSquaredPValue(stat, result.dof);
+  result.valid = true;
+  return result;
+}
+
+ChiSquaredResult ChiSquaredPresenceTest(
+    const std::vector<double>& match_counts,
+    const std::vector<double>& group_sizes) {
+  return ChiSquaredTest(MakePresenceTable(match_counts, group_sizes));
+}
+
+}  // namespace sdadcs::stats

@@ -1,0 +1,40 @@
+#ifndef SDADCS_STATS_CHI_SQUARED_H_
+#define SDADCS_STATS_CHI_SQUARED_H_
+
+#include "stats/contingency.h"
+
+namespace sdadcs::stats {
+
+/// Result of a chi-square test of independence.
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  int dof = 0;
+  double p_value = 1.0;
+  /// False when the table was degenerate (a zero marginal) and no test
+  /// could be performed; statistic is then 0 and p_value 1.
+  bool valid = false;
+};
+
+/// Upper-tail probability P(X² >= stat) with `dof` degrees of freedom.
+double ChiSquaredPValue(double stat, int dof);
+
+/// Critical value x such that P(X² >= x) = alpha (inverse survival
+/// function, bisection on the regularized gamma; used by the optimistic
+/// chi-square bound).
+double ChiSquaredCritical(double alpha, int dof);
+
+/// Pearson chi-square test of independence on an arbitrary table.
+/// Rows/columns with zero totals are dropped before computing dof.
+/// `yates` applies the continuity correction (only sensible for 2×2).
+ChiSquaredResult ChiSquaredTest(const ContingencyTable& table,
+                                bool yates = false);
+
+/// Convenience: 2×k presence/absence test of a pattern's counts against
+/// group sizes (the significance test of Eq. 3).
+ChiSquaredResult ChiSquaredPresenceTest(
+    const std::vector<double>& match_counts,
+    const std::vector<double>& group_sizes);
+
+}  // namespace sdadcs::stats
+
+#endif  // SDADCS_STATS_CHI_SQUARED_H_

@@ -1,0 +1,49 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sdadcs::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return std::numeric_limits<double>::quiet_NaN();
+  double m = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  size_t k = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
+
+double EntropyFromCounts(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double BonferroniAlpha(double alpha, size_t num_tests) {
+  if (num_tests == 0) return alpha;
+  return alpha / static_cast<double>(num_tests);
+}
+
+}  // namespace sdadcs::stats

@@ -1,0 +1,29 @@
+#ifndef SDADCS_STATS_DESCRIPTIVE_H_
+#define SDADCS_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sdadcs::stats {
+
+/// Arithmetic mean (NaN for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (NaN for fewer than 2 values).
+double SampleVariance(const std::vector<double>& values);
+
+/// Median (lower middle for even counts; NaN for empty input).
+double Median(std::vector<double> values);
+
+/// Shannon entropy in bits of a discrete distribution given as
+/// non-negative counts; zero counts contribute nothing.
+double EntropyFromCounts(const std::vector<double>& counts);
+
+/// Bonferroni-adjusted per-test significance level: alpha / num_tests.
+/// The paper additionally caps level l of the search at alpha / 2^l,
+/// following Bay & Pazzani; see core/pruning.
+double BonferroniAlpha(double alpha, size_t num_tests);
+
+}  // namespace sdadcs::stats
+
+#endif  // SDADCS_STATS_DESCRIPTIVE_H_

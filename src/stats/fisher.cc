@@ -1,0 +1,60 @@
+#include "stats/fisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/logging.h"
+
+namespace sdadcs::stats {
+
+namespace {
+
+// Log hypergeometric probability of table [a, b; c, d] at fixed marginals.
+double LogHypergeometric(long long a, long long b, long long c,
+                         long long d) {
+  int r1 = static_cast<int>(a + b);
+  int r2 = static_cast<int>(c + d);
+  int c1 = static_cast<int>(a + c);
+  int n = r1 + r2;
+  return LogChoose(r1, static_cast<int>(a)) +
+         LogChoose(r2, static_cast<int>(c)) - LogChoose(n, c1);
+}
+
+}  // namespace
+
+double FisherExactTwoSided(long long a, long long b, long long c,
+                           long long d) {
+  SDADCS_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+  long long r1 = a + b;
+  long long c1 = a + c;
+  long long n = a + b + c + d;
+  if (n == 0) return 1.0;
+  long long a_min = std::max(0LL, c1 - (n - r1));
+  long long a_max = std::min(r1, c1);
+  double log_obs = LogHypergeometric(a, b, c, d);
+  double p = 0.0;
+  for (long long x = a_min; x <= a_max; ++x) {
+    double lp = LogHypergeometric(x, r1 - x, c1 - x, n - r1 - c1 + x);
+    // Tolerance absorbs floating-point noise in the log-prob comparison.
+    if (lp <= log_obs + 1e-9) p += std::exp(lp);
+  }
+  return std::min(1.0, p);
+}
+
+double FisherExactGreater(long long a, long long b, long long c,
+                          long long d) {
+  SDADCS_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+  long long r1 = a + b;
+  long long c1 = a + c;
+  long long n = a + b + c + d;
+  if (n == 0) return 1.0;
+  long long a_max = std::min(r1, c1);
+  double p = 0.0;
+  for (long long x = a; x <= a_max; ++x) {
+    p += std::exp(LogHypergeometric(x, r1 - x, c1 - x, n - r1 - c1 + x));
+  }
+  return std::min(1.0, p);
+}
+
+}  // namespace sdadcs::stats

@@ -1,0 +1,23 @@
+#ifndef SDADCS_STATS_FISHER_H_
+#define SDADCS_STATS_FISHER_H_
+
+namespace sdadcs::stats {
+
+/// Two-sided Fisher's exact test for the 2×2 table
+///   [a b]
+///   [c d]
+/// (sum over tables with probability <= the observed table's, at fixed
+/// marginals). Used instead of chi-square when expected counts are small
+/// (the paper notes statistical tests are not significant with expected
+/// occurrence < 5; Fisher remains exact there).
+double FisherExactTwoSided(long long a, long long b, long long c,
+                           long long d);
+
+/// One-sided (greater) Fisher test: probability of a table at least as
+/// extreme as observed in the direction of larger `a`.
+double FisherExactGreater(long long a, long long b, long long c,
+                          long long d);
+
+}  // namespace sdadcs::stats
+
+#endif  // SDADCS_STATS_FISHER_H_

@@ -1,0 +1,23 @@
+#ifndef SDADCS_STATS_NORMAL_H_
+#define SDADCS_STATS_NORMAL_H_
+
+namespace sdadcs::stats {
+
+/// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+/// Standard normal density φ(x).
+double NormalPdf(double x);
+
+/// Inverse standard normal CDF Φ⁻¹(p) for 0 < p < 1 (Acklam's rational
+/// approximation refined by one Halley step; |error| < 1e-12).
+double NormalQuantile(double p);
+
+/// Two-sided critical value z such that P(|Z| > z) = alpha,
+/// i.e. Φ⁻¹(1 - alpha/2). The paper's Eq. 16 bounds the difference in
+/// support with this value (see DESIGN.md on the α-vs-z deviation).
+double TwoSidedCriticalZ(double alpha);
+
+}  // namespace sdadcs::stats
+
+#endif  // SDADCS_STATS_NORMAL_H_

@@ -1,0 +1,25 @@
+#ifndef SDADCS_STATS_SPECIAL_FUNCTIONS_H_
+#define SDADCS_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace sdadcs::stats {
+
+/// ln Γ(x) for x > 0.
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a+1, continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b) for 0 <= x <= 1, a, b > 0
+/// (Lentz's continued fraction).
+double RegularizedBeta(double x, double a, double b);
+
+/// ln C(n, k) via LogGamma; exact enough for Fisher's exact test.
+double LogChoose(int n, int k);
+
+}  // namespace sdadcs::stats
+
+#endif  // SDADCS_STATS_SPECIAL_FUNCTIONS_H_

@@ -1,0 +1,73 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace sdadcs::stats {
+
+MannWhitneyResult MannWhitneyTest(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  MannWhitneyResult result;
+  const size_t n1 = x.size();
+  const size_t n2 = y.size();
+  if (n1 == 0 || n2 == 0) return result;
+
+  // Pool, remember origin, rank with midranks for ties.
+  struct Obs {
+    double value;
+    int sample;  // 0 = x, 1 = y
+  };
+  std::vector<Obs> pooled;
+  pooled.reserve(n1 + n2);
+  for (double v : x) pooled.push_back({v, 0});
+  for (double v : y) pooled.push_back({v, 1});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Obs& a, const Obs& b) { return a.value < b.value; });
+
+  const size_t n = n1 + n2;
+  double rank_sum_x = 0.0;
+  double tie_term = 0.0;  // sum of t^3 - t over tie groups
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && pooled[j + 1].value == pooled[i].value) ++j;
+    double midrank = 0.5 * (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1));
+    size_t t = j - i + 1;
+    if (t > 1) {
+      tie_term += static_cast<double>(t) * t * t - static_cast<double>(t);
+    }
+    for (size_t k = i; k <= j; ++k) {
+      if (pooled[k].sample == 0) rank_sum_x += midrank;
+    }
+    i = j + 1;
+  }
+
+  double u1 = rank_sum_x - static_cast<double>(n1) * (n1 + 1) / 2.0;
+  result.u = u1;
+  double mean_u = static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+  double nn = static_cast<double>(n);
+  double var_u = static_cast<double>(n1) * static_cast<double>(n2) / 12.0 *
+                 (nn + 1.0 - tie_term / (nn * (nn - 1.0)));
+  if (var_u <= 0.0) return result;  // all values tied
+
+  // Continuity correction toward the mean.
+  double diff = u1 - mean_u;
+  double corrected = diff;
+  if (diff > 0.5) {
+    corrected = diff - 0.5;
+  } else if (diff < -0.5) {
+    corrected = diff + 0.5;
+  } else {
+    corrected = 0.0;
+  }
+  result.z = corrected / std::sqrt(var_u);
+  result.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(result.z)));
+  result.p_value = std::min(1.0, result.p_value);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace sdadcs::stats

@@ -1,0 +1,26 @@
+#ifndef SDADCS_STATS_WILCOXON_H_
+#define SDADCS_STATS_WILCOXON_H_
+
+#include <vector>
+
+namespace sdadcs::stats {
+
+/// Result of the Wilcoxon–Mann–Whitney rank-sum test.
+struct MannWhitneyResult {
+  double u = 0.0;       ///< U statistic of the first sample.
+  double z = 0.0;       ///< Normal approximation z score (tie-corrected).
+  double p_value = 1.0; ///< Two-sided p value.
+  bool valid = false;   ///< False when a sample is empty or variance is 0.
+};
+
+/// Two-sided Wilcoxon–Mann–Whitney test that distributions `x` and `y`
+/// differ in location. Normal approximation with tie correction and
+/// continuity correction. Table 4 of the paper marks algorithms whose
+/// per-pattern support-difference distribution is NOT significantly
+/// different from SDAD-CS NP using this test.
+MannWhitneyResult MannWhitneyTest(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace sdadcs::stats
+
+#endif  // SDADCS_STATS_WILCOXON_H_

@@ -1,0 +1,173 @@
+#include "subgroup/beam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/support.h"
+#include "discretize/equal_bins.h"
+#include "util/timer.h"
+
+namespace sdadcs::subgroup {
+
+namespace {
+
+using core::Item;
+using core::Itemset;
+
+// A beam member: description + its cover.
+struct Candidate {
+  Itemset description;
+  data::Selection cover;
+  double quality = 0.0;
+};
+
+bool QualityGreater(const Candidate& a, const Candidate& b) {
+  if (a.quality != b.quality) return a.quality > b.quality;
+  return a.description.Key() < b.description.Key();
+}
+
+// Interval refinements of `attr` over the rows of `cover`: every
+// (c_i, c_j] over the equal-frequency boundaries, including the open
+// ends, except the trivial full range.
+std::vector<Item> IntervalRefinements(const data::Dataset& db,
+                                      const data::Selection& cover, int attr,
+                                      int num_bins) {
+  const data::ContinuousColumn& col = db.continuous(attr);
+  std::vector<double> values;
+  values.reserve(cover.size());
+  for (uint32_t r : cover) {
+    double v = col.value(r);
+    if (!std::isnan(v)) values.push_back(v);
+  }
+  std::vector<Item> out;
+  if (values.size() < 4) return out;
+  std::sort(values.begin(), values.end());
+  std::vector<double> cuts = discretize::EqualFrequencyCuts(values, num_bins);
+  if (cuts.empty()) return out;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> bounds;
+  bounds.push_back(-kInf);
+  for (double c : cuts) bounds.push_back(c);
+  bounds.push_back(kInf);
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    for (size_t j = i + 1; j < bounds.size(); ++j) {
+      if (i == 0 && j == bounds.size() - 1) continue;  // full range
+      out.push_back(Item::Interval(attr, bounds[i], bounds[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
+    const data::Dataset& db, const data::GroupInfo& gi, int target_group,
+    BeamStats* stats) const {
+  util::WallTimer timer;
+  std::vector<double> group_sizes = core::GroupSizes(gi);
+
+  std::vector<Candidate> beam;
+  beam.push_back({Itemset(), gi.base_selection(), 0.0});
+
+  // Best subgroups across all levels, deduplicated by description.
+  std::vector<Candidate> best;
+  std::unordered_set<std::string> seen;
+
+  for (int depth = 1; depth <= config_.max_depth; ++depth) {
+    std::vector<Candidate> level;
+    for (const Candidate& member : beam) {
+      for (size_t a = 0; a < db.num_attributes(); ++a) {
+        int attr = static_cast<int>(a);
+        if (attr == gi.group_attr()) continue;
+        if (member.description.ConstrainsAttribute(attr)) continue;
+
+        std::vector<Item> refinements;
+        if (db.is_categorical(attr)) {
+          const data::CategoricalColumn& col = db.categorical(attr);
+          for (int32_t code = 0; code < col.cardinality(); ++code) {
+            refinements.push_back(Item::Categorical(attr, code));
+          }
+        } else {
+          refinements = IntervalRefinements(db, member.cover, attr,
+                                            config_.num_bins);
+        }
+
+        for (const Item& item : refinements) {
+          Candidate cand;
+          cand.description = member.description.WithItem(item);
+          std::string key = cand.description.Key();
+          if (seen.count(key) > 0) continue;
+          cand.cover = member.cover.Filter(
+              [&](uint32_t r) { return item.Matches(db, r); });
+          if (static_cast<int>(cand.cover.size()) < config_.min_coverage) {
+            continue;
+          }
+          if (config_.max_coverage > 0 &&
+              static_cast<int>(cand.cover.size()) > config_.max_coverage) {
+            continue;
+          }
+          if (stats != nullptr) ++stats->descriptions_evaluated;
+          core::GroupCounts gc = core::CountGroups(gi, cand.cover);
+          cand.quality = core::WRAcc(gc.counts, group_sizes, target_group);
+          seen.insert(std::move(key));
+          level.push_back(std::move(cand));
+        }
+      }
+    }
+    if (level.empty()) break;
+    std::sort(level.begin(), level.end(), QualityGreater);
+    if (static_cast<int>(level.size()) > config_.beam_width) {
+      level.resize(config_.beam_width);
+    }
+    for (const Candidate& c : level) {
+      if (c.quality >= config_.min_quality) best.push_back(c);
+    }
+    beam = std::move(level);
+  }
+
+  std::sort(best.begin(), best.end(), QualityGreater);
+  if (static_cast<int>(best.size()) > config_.top_k) {
+    best.resize(config_.top_k);
+  }
+
+  std::vector<Subgroup> out;
+  out.reserve(best.size());
+  for (Candidate& c : best) {
+    Subgroup sg;
+    sg.description = std::move(c.description);
+    sg.quality = c.quality;
+    core::GroupCounts gc = core::CountGroups(gi, c.cover);
+    sg.counts = std::move(gc.counts);
+    out.push_back(std::move(sg));
+  }
+  if (stats != nullptr) stats->elapsed_seconds = timer.Seconds();
+  return out;
+}
+
+std::vector<core::ContrastPattern> BeamSubgroupDiscovery::DiscoverContrasts(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    core::MeasureKind measure, BeamStats* stats) const {
+  std::unordered_map<std::string, core::ContrastPattern> pooled;
+  for (int g = 0; g < gi.num_groups(); ++g) {
+    for (Subgroup& sg : Discover(db, gi, g, stats)) {
+      std::string key = sg.description.Key();
+      if (pooled.count(key) > 0) continue;
+      core::ContrastPattern p;
+      p.itemset = std::move(sg.description);
+      p.counts = std::move(sg.counts);
+      p.ComputeStats(gi, measure);
+      pooled.emplace(std::move(key), std::move(p));
+    }
+  }
+  std::vector<core::ContrastPattern> out;
+  out.reserve(pooled.size());
+  for (auto& [key, p] : pooled) out.push_back(std::move(p));
+  core::SortByMeasureDesc(&out);
+  return out;
+}
+
+}  // namespace sdadcs::subgroup

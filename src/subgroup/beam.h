@@ -1,0 +1,80 @@
+#ifndef SDADCS_SUBGROUP_BEAM_H_
+#define SDADCS_SUBGROUP_BEAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contrast.h"
+#include "core/interest.h"
+#include "core/itemset.h"
+#include "data/dataset.h"
+#include "data/group_info.h"
+
+namespace sdadcs::subgroup {
+
+/// Configuration of the beam-search subgroup discovery baseline. The
+/// defaults reproduce the settings the paper uses for Cortana: WRAcc
+/// quality with minimum 0.01, beam ("search width") 100, the `intervals`
+/// option for continuous attributes, minimum coverage 2, no maximum
+/// coverage, at most k = 100 subgroups per target group.
+struct BeamConfig {
+  int beam_width = 100;
+  int max_depth = 5;
+  /// Equal-frequency boundaries per refinement step; the interval
+  /// refinement enumerates every (c_i, c_j] over these boundaries.
+  int num_bins = 8;
+  double min_quality = 0.01;
+  int min_coverage = 2;
+  /// Maximum rows a subgroup may cover; 0 = the entire dataset (the
+  /// paper's Cortana setting).
+  int max_coverage = 0;
+  int top_k = 100;
+};
+
+/// One discovered subgroup: a conjunctive description and its WRAcc
+/// w.r.t. the target group.
+struct Subgroup {
+  core::Itemset description;
+  double quality = 0.0;
+  std::vector<double> counts;  ///< per-group cover counts
+};
+
+/// Statistics of one discovery run.
+struct BeamStats {
+  uint64_t descriptions_evaluated = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Classic top-k beam search over conjunctive descriptions (nominal
+/// equalities + on-the-fly intervals), greedy per level — precisely the
+/// "adaptive discretization" behaviour the paper attributes to Cortana:
+/// cut points are chosen within the current subgroup's cover, but each
+/// refinement is evaluated on its own, so jointly-defined multivariate
+/// interactions (the XOR data) can be missed and redundant nestings of
+/// one strong pattern flood the result list.
+class BeamSubgroupDiscovery {
+ public:
+  explicit BeamSubgroupDiscovery(BeamConfig config) : config_(config) {}
+  BeamSubgroupDiscovery() : BeamSubgroupDiscovery(BeamConfig()) {}
+
+  const BeamConfig& config() const { return config_; }
+
+  /// Finds the top subgroups for one target group.
+  std::vector<Subgroup> Discover(const data::Dataset& db,
+                                 const data::GroupInfo& gi, int target_group,
+                                 BeamStats* stats = nullptr) const;
+
+  /// Runs Discover once per group and pools every subgroup found as a
+  /// contrast pattern (deduplicated, sorted by support difference) — how
+  /// the paper turns Cortana output into a contrast set.
+  std::vector<core::ContrastPattern> DiscoverContrasts(
+      const data::Dataset& db, const data::GroupInfo& gi,
+      core::MeasureKind measure, BeamStats* stats = nullptr) const;
+
+ private:
+  BeamConfig config_;
+};
+
+}  // namespace sdadcs::subgroup
+
+#endif  // SDADCS_SUBGROUP_BEAM_H_

@@ -1,0 +1,152 @@
+#include "synth/manufacturing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace sdadcs::synth {
+
+namespace {
+
+// One simulated part's trace between wafer test and final test.
+struct Part {
+  int lot;
+  int cam;        // 0 = SCE (the bad module), 1 = TBD, 2 = UKF
+  int pick_head;  // 0..3
+  bool rear_row;
+  int tray_col;  // 1..8
+  double peak_temp;
+  double peak_temp_std;
+  double time_above_liquidus;
+  double die_temp_above_std;
+  bool failed;
+};
+
+Part SimulatePart(util::Rng& rng) {
+  Part p;
+  p.lot = static_cast<int>(rng.NextBelow(20));
+  p.cam = static_cast<int>(rng.Categorical({0.28, 0.40, 0.32}));
+  p.pick_head = static_cast<int>(rng.NextBelow(4));
+  p.rear_row = rng.Bernoulli(0.34);
+  p.tray_col = static_cast<int>(rng.NextBelow(8)) + 1;
+
+  // The rear lane of module SCE runs hot: its reflow-oven temperature
+  // control drifts, raising every thermal statistic of parts routed
+  // through it.
+  const bool hot = p.cam == 0 && p.rear_row;
+  if (hot) {
+    p.peak_temp = rng.Gaussian(256.0, 1.4);
+    p.peak_temp_std = rng.Gaussian(10.58, 0.05);
+    p.time_above_liquidus = rng.Gaussian(92.4, 0.45);
+    p.die_temp_above_std = rng.Gaussian(67.22, 0.02);
+  } else {
+    p.peak_temp = rng.Gaussian(253.4, 2.2);
+    p.peak_temp_std = rng.Gaussian(10.45, 0.12);
+    p.time_above_liquidus = rng.Gaussian(88.0, 2.8);
+    p.die_temp_above_std = rng.Gaussian(67.02, 0.14);
+  }
+
+  // Sporadic failures everywhere, concentrated where the solder spends
+  // too long above liquidus.
+  double p_fail = 0.015;
+  if (hot) p_fail += 0.10;
+  if (p.time_above_liquidus > 91.5) p_fail += 0.15;
+  p.failed = rng.Bernoulli(p_fail);
+  return p;
+}
+
+}  // namespace
+
+NamedDataset MakeManufacturing(const ManufacturingOptions& options) {
+  util::Rng rng(options.seed);
+
+  std::vector<Part> fails;
+  std::vector<Part> population;
+  fails.reserve(options.fails);
+  population.reserve(options.population);
+  // Run the line until both cohorts are filled: failures feed the fail
+  // cohort, and an unconditional subsample feeds the population cohort
+  // (the paper compares fails against a sample of everything).
+  size_t guard = 0;
+  while ((fails.size() < options.fails ||
+          population.size() < options.population) &&
+         guard < 100 * (options.fails + options.population)) {
+    ++guard;
+    Part p = SimulatePart(rng);
+    if (p.failed && fails.size() < options.fails) {
+      fails.push_back(p);
+      continue;
+    }
+    if (population.size() < options.population) population.push_back(p);
+  }
+  SDADCS_CHECK(fails.size() == options.fails);
+  SDADCS_CHECK(population.size() == options.population);
+
+  static const char* kCamNames[] = {"SCE", "TBD", "UKF"};
+  static const char* kToolNames[] = {"JVF", "KWA", "LZB"};  // 1:1 with CAM
+
+  data::DatasetBuilder b;
+  int cohort = b.AddCategorical("cohort");
+  int lot = b.AddCategorical("lot");
+  int cam = b.AddCategorical("cam_entity");
+  int tool = b.AddCategorical("placement_tool");
+  int head = b.AddCategorical("pick_head");
+  int row = b.AddCategorical("cam_row_location");
+  int col = b.AddCategorical("tray_column");
+  int peak = b.AddContinuous("cam_peak_temperature");
+  int peak_std = b.AddContinuous("cam_peak_temp_std");
+  int liq = b.AddContinuous("cam_time_above_liquidus");
+  int die = b.AddContinuous("die_temp_above_std");
+  std::vector<int> noise_cont;
+  for (int i = 0; i < options.noise_continuous; ++i) {
+    noise_cont.push_back(
+        b.AddContinuous(util::StrFormat("sensor_%02d", i)));
+  }
+  std::vector<int> noise_cat;
+  for (int i = 0; i < options.noise_categorical; ++i) {
+    noise_cat.push_back(
+        b.AddCategorical(util::StrFormat("context_%02d", i)));
+  }
+
+  auto append = [&](const Part& p, const char* cohort_name) {
+    b.AppendCategorical(cohort, cohort_name);
+    b.AppendCategorical(lot, util::StrFormat("LOT%02d", p.lot));
+    b.AppendCategorical(cam, kCamNames[p.cam]);
+    b.AppendCategorical(tool, kToolNames[p.cam]);
+    b.AppendCategorical(head, util::StrFormat("PH%d", p.pick_head + 1));
+    b.AppendCategorical(row, p.rear_row ? "Rear" : "Front");
+    b.AppendCategorical(col, util::StrFormat("C%d", p.tray_col));
+    b.AppendContinuous(peak, p.peak_temp);
+    b.AppendContinuous(peak_std, p.peak_temp_std);
+    b.AppendContinuous(liq, p.time_above_liquidus);
+    b.AppendContinuous(die, p.die_temp_above_std);
+    for (int a : noise_cont) b.AppendContinuous(a, rng.Gaussian(0.0, 1.0));
+    for (int a : noise_cat) {
+      b.AppendCategorical(a,
+                          util::StrFormat("V%d", (int)rng.NextBelow(5)));
+    }
+  };
+
+  // Interleave deterministically.
+  size_t fi = 0;
+  size_t pi = 0;
+  while (fi < fails.size() || pi < population.size()) {
+    if (pi < population.size()) append(population[pi++], "Population");
+    if (fi < fails.size() &&
+        (pi * fails.size() >= fi * population.size() ||
+         pi >= population.size())) {
+      append(fails[fi++], "Fail");
+    }
+  }
+
+  util::StatusOr<data::Dataset> db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  return {"manufacturing", std::move(db).value(), "cohort",
+          {"Fail", "Population"}};
+}
+
+}  // namespace sdadcs::synth

@@ -1,0 +1,38 @@
+#ifndef SDADCS_SYNTH_MANUFACTURING_H_
+#define SDADCS_SYNTH_MANUFACTURING_H_
+
+#include <cstdint>
+
+#include "synth/uci_like.h"
+
+namespace sdadcs::synth {
+
+/// Knobs of the semiconductor packaging-line simulator (Section 6).
+struct ManufacturingOptions {
+  /// Parts in the healthy population sample vs parts that failed the
+  /// final test (the paper contrasts a population sample with fails).
+  size_t population = 4000;
+  size_t fails = 600;
+  /// Number of pure-noise context attributes appended (sensor channels,
+  /// lot metadata) to dilute the signal as on the real line. The paper's
+  /// extract had 148 attributes; the simulator defaults lower to keep
+  /// the benches quick — raise it to stress pruning.
+  int noise_continuous = 8;
+  int noise_categorical = 6;
+  uint64_t seed = 11;
+};
+
+/// Simulates per-part trace data between wafer test and final test of a
+/// CPU packaging flow. The planted failure mechanism reproduces the
+/// Table 7 story: the rear lane of chip-attach module "SCE" (reached via
+/// placement tool "JVF" and mostly the rear tray row) runs hot, so
+/// failing parts show elevated reflow peak temperature, peak-temperature
+/// spread, die-temperature excursions, and time above solder liquidus.
+/// Everything else — other modules, tools, lanes, sensors — is noise.
+///
+/// Group attribute: "cohort" with values "Fail" / "Population".
+NamedDataset MakeManufacturing(const ManufacturingOptions& options = {});
+
+}  // namespace sdadcs::synth
+
+#endif  // SDADCS_SYNTH_MANUFACTURING_H_

@@ -1,0 +1,36 @@
+#include "synth/scaling.h"
+
+#include <cmath>
+
+#include "synth/two_group.h"
+#include "util/string_util.h"
+
+namespace sdadcs::synth {
+
+NamedDataset MakeScalingDataset(const ScalingOptions& options) {
+  size_t n1 = options.rows / 5;         // anomalous batch
+  size_t n0 = options.rows - n1;        // normal production
+  TwoGroupBuilder b("batch", "Normal", "Anomalous", n0, n1, options.seed);
+
+  for (int i = 0; i < options.continuous_features; ++i) {
+    if (i < options.informative_continuous) {
+      // Progressively weaker shifts, so deeper levels stay interesting.
+      double shift = 1.6 / (1.0 + i);
+      b.AddGaussian(util::StrFormat("feat_c%03d", i), 0.0, 1.0, shift, 1.1);
+    } else {
+      b.AddUniformNoise(util::StrFormat("feat_c%03d", i), 0.0, 1.0);
+    }
+  }
+  for (int i = 0; i < options.categorical_features; ++i) {
+    std::vector<std::string> values = {"a", "b", "c", "d"};
+    if (i < options.informative_categorical) {
+      b.AddCategorical(util::StrFormat("feat_k%03d", i), values,
+                       {0.40, 0.30, 0.20, 0.10}, {0.15, 0.25, 0.30, 0.30});
+    } else {
+      b.AddCategoricalNoise(util::StrFormat("feat_k%03d", i), values);
+    }
+  }
+  return {"scaling", std::move(b).Build(), "batch", {"Normal", "Anomalous"}};
+}
+
+}  // namespace sdadcs::synth

@@ -1,0 +1,27 @@
+#ifndef SDADCS_SYNTH_SCALING_H_
+#define SDADCS_SYNTH_SCALING_H_
+
+#include <cstdint>
+
+#include "synth/uci_like.h"
+
+namespace sdadcs::synth {
+
+/// Wide, mostly-noise dataset for the Section 6 scaling experiment
+/// (100k/500k/1M instances with 120 features in the paper). A handful of
+/// features carry group signal — enough that the miner does real work —
+/// while the rest stress the per-level pruning.
+struct ScalingOptions {
+  size_t rows = 100000;
+  int continuous_features = 90;
+  int categorical_features = 30;
+  int informative_continuous = 5;
+  int informative_categorical = 3;
+  uint64_t seed = 13;
+};
+
+NamedDataset MakeScalingDataset(const ScalingOptions& options);
+
+}  // namespace sdadcs::synth
+
+#endif  // SDADCS_SYNTH_SCALING_H_

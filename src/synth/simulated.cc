@@ -1,0 +1,122 @@
+#include "synth/simulated.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::synth {
+
+namespace {
+
+// Assembles a 2-attribute dataset from parallel vectors.
+data::Dataset Assemble(const std::vector<double>& a1,
+                       const std::vector<double>& a2,
+                       const std::vector<int>& groups, const char* attr1,
+                       const char* attr2, const char* g1, const char* g2) {
+  data::DatasetBuilder b;
+  int ga = b.AddCategorical("Group");
+  int x1 = b.AddContinuous(attr1);
+  int x2 = attr2 != nullptr ? b.AddContinuous(attr2) : -1;
+  for (size_t r = 0; r < groups.size(); ++r) {
+    b.AppendCategorical(ga, groups[r] == 0 ? g1 : g2);
+    b.AppendContinuous(x1, a1[r]);
+    if (x2 >= 0) b.AppendContinuous(x2, a2[r]);
+  }
+  util::StatusOr<data::Dataset> db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+}  // namespace
+
+data::Dataset MakeSimulated1(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a1(n);
+  std::vector<double> a2(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble();
+    a1[i] = x;
+    // Correlated companion: close to x with mild noise, clamped to [0,1].
+    a2[i] = std::clamp(x + rng.Gaussian(0.0, 0.07), 0.0, 1.0);
+    groups[i] = x < 0.5 ? 1 : 0;  // Attr1 < 0.5 is Group2
+  }
+  return Assemble(a1, a2, groups, "Attr1", "Attr2", "Group1", "Group2");
+}
+
+data::Dataset MakeSimulated2(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a1(n);
+  std::vector<double> a2(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    int g = static_cast<int>(i % 2);
+    // Elongated Gaussians along the two diagonals of [0,1]^2.
+    double t = rng.Gaussian(0.0, 0.28);
+    double w = rng.Gaussian(0.0, 0.04);
+    double x;
+    double y;
+    if (g == 0) {
+      x = 0.5 + t + w;  // main diagonal
+      y = 0.5 + t - w;
+    } else {
+      x = 0.5 + t + w;  // anti-diagonal
+      y = 0.5 - t + w;
+    }
+    a1[i] = std::clamp(x, 0.0, 1.0);
+    a2[i] = std::clamp(y, 0.0, 1.0);
+    groups[i] = g;
+  }
+  return Assemble(a1, a2, groups, "Attr1", "Attr2", "Group1", "Group2");
+}
+
+data::Dataset MakeSimulated3(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a1(n);
+  std::vector<double> a2(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    a1[i] = rng.NextDouble();
+    a2[i] = rng.NextDouble();
+    groups[i] = a1[i] < 0.5 ? 1 : 0;
+  }
+  return Assemble(a1, a2, groups, "Attr1", "Attr2", "Group1", "Group2");
+}
+
+data::Dataset MakeSimulated4(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a1(n);
+  std::vector<double> a2(n);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextDouble();
+    double y = rng.NextDouble();
+    bool block_low = x < 0.25 && y < 0.5;
+    bool block_high = x > 0.75 && y > 0.75;
+    a1[i] = x;
+    a2[i] = y;
+    groups[i] = (block_low || block_high) ? 0 : 1;
+  }
+  return Assemble(a1, a2, groups, "Attr1", "Attr2", "Group1", "Group2");
+}
+
+data::Dataset MakeFigure2Example(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> unused(n, 0.0);
+  std::vector<int> groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool is_a = rng.Bernoulli(0.02);
+    groups[i] = is_a ? 0 : 1;  // 0 = "A" (rare), 1 = "B"
+    if (is_a) {
+      x[i] = std::clamp(rng.Gaussian(78.0, 6.0), 0.0, 100.0);
+    } else {
+      x[i] = rng.Uniform(0.0, 100.0);
+    }
+  }
+  return Assemble(x, unused, groups, "X", nullptr, "A", "B");
+}
+
+}  // namespace sdadcs::synth

@@ -1,0 +1,46 @@
+#ifndef SDADCS_SYNTH_SIMULATED_H_
+#define SDADCS_SYNTH_SIMULATED_H_
+
+#include "data/dataset.h"
+
+namespace sdadcs::synth {
+
+/// The four litmus-test datasets of Figure 3 plus the 1-D merge example
+/// of Figure 2. Two attributes named "Attr1"/"Attr2" ("X" for Figure 2),
+/// group attribute "Group" with values "Group1"/"Group2" ("A"/"B" for
+/// Figure 2). All generators are deterministic given the seed.
+
+/// Figure 3a — one perfectly separating boundary on Attr1 (Attr1 < 0.5
+/// is Group2, the rest Group1) while Attr2 is strongly correlated with
+/// Attr1. SDAD-CS should split only Attr1 (PR = 1 on both sides) and
+/// prune the combination; MVD keys on the correlation instead and
+/// misses the separating point.
+data::Dataset MakeSimulated1(size_t n = 1000, uint64_t seed = 101);
+
+/// Figure 3b — two elongated Gaussians forming an "X": each group lies
+/// along one diagonal, so every univariate marginal is identical and the
+/// signal exists only in the joint space. No level-1 rule exists; the
+/// quadrant-style multivariate contrasts do.
+data::Dataset MakeSimulated2(size_t n = 1000, uint64_t seed = 102);
+
+/// Figure 3c — both attributes uniform on [0,1]; the only relationship
+/// is Attr1 < 0.5 => Group2 (Attr2 pure noise). Contrasts exist at
+/// level 1 only; anything deeper is meaningless.
+data::Dataset MakeSimulated3(size_t n = 1000, uint64_t seed = 103);
+
+/// Figure 3d — block structure visible only at level 2: Group1 occupies
+/// (Attr1 < 0.25, Attr2 < 0.5) and (Attr1 > 0.75, Attr2 > 0.75), Group2
+/// the rest. Univariate projections show contrasts in 0-0.25 / 0.75-1
+/// of Attr1 and 0-0.5 / 0.75-1 of Attr2, but those level-1 patterns are
+/// not independently productive once the rectangles are found.
+data::Dataset MakeSimulated4(size_t n = 2000, uint64_t seed = 104);
+
+/// Figure 2 — one continuous attribute X in [0, 100] with a rare group
+/// "A" (~2%) concentrated in an upper band; "B" spread below. The left
+/// half-space is pure B, the upper region splits and re-merges into a
+/// compact A-leaning interval.
+data::Dataset MakeFigure2Example(size_t n = 2000, uint64_t seed = 100);
+
+}  // namespace sdadcs::synth
+
+#endif  // SDADCS_SYNTH_SIMULATED_H_

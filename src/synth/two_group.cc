@@ -1,0 +1,150 @@
+#include "synth/two_group.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace sdadcs::synth {
+
+TwoGroupBuilder::TwoGroupBuilder(const std::string& group_attr,
+                                 const std::string& name0,
+                                 const std::string& name1, size_t n0,
+                                 size_t n1, uint64_t seed)
+    : rng_(seed),
+      group_attr_index_(-1),
+      group_attr_(group_attr),
+      group_names_{name0, name1} {
+  groups_.reserve(n0 + n1);
+  for (size_t i = 0; i < n0; ++i) groups_.push_back(0);
+  for (size_t i = 0; i < n1; ++i) groups_.push_back(1);
+}
+
+void TwoGroupBuilder::AddContinuousFn(
+    const std::string& name,
+    const std::function<double(int, util::Rng&)>& fn) {
+  StagedColumn col;
+  col.name = name;
+  col.categorical = false;
+  col.cont.reserve(groups_.size());
+  for (int g : groups_) col.cont.push_back(fn(g, rng_));
+  staged_.push_back(std::move(col));
+}
+
+void TwoGroupBuilder::AddGaussian(const std::string& name, double mean0,
+                                  double sd0, double mean1, double sd1) {
+  AddContinuousFn(name, [=](int g, util::Rng& rng) {
+    return g == 0 ? rng.Gaussian(mean0, sd0) : rng.Gaussian(mean1, sd1);
+  });
+}
+
+void TwoGroupBuilder::AddUniform(const std::string& name, double lo0,
+                                 double hi0, double lo1, double hi1) {
+  AddContinuousFn(name, [=](int g, util::Rng& rng) {
+    return g == 0 ? rng.Uniform(lo0, hi0) : rng.Uniform(lo1, hi1);
+  });
+}
+
+void TwoGroupBuilder::AddUniformNoise(const std::string& name, double lo,
+                                      double hi) {
+  AddUniform(name, lo, hi, lo, hi);
+}
+
+void TwoGroupBuilder::AddCategorical(const std::string& name,
+                                     const std::vector<std::string>& values,
+                                     const std::vector<double>& probs0,
+                                     const std::vector<double>& probs1) {
+  SDADCS_CHECK(values.size() == probs0.size());
+  SDADCS_CHECK(values.size() == probs1.size());
+  StagedColumn col;
+  col.name = name;
+  col.categorical = true;
+  col.cat.reserve(groups_.size());
+  for (int g : groups_) {
+    size_t idx = rng_.Categorical(g == 0 ? probs0 : probs1);
+    col.cat.push_back(values[idx]);
+  }
+  staged_.push_back(std::move(col));
+}
+
+void TwoGroupBuilder::AddCategoricalNoise(
+    const std::string& name, const std::vector<std::string>& values) {
+  std::vector<double> uniform(values.size(), 1.0);
+  AddCategorical(name, values, uniform, uniform);
+}
+
+void TwoGroupBuilder::AddDerivedContinuous(
+    const std::string& name,
+    const std::function<double(int, uint32_t, util::Rng&)>& fn) {
+  StagedColumn col;
+  col.name = name;
+  col.categorical = false;
+  col.cont.reserve(groups_.size());
+  for (size_t r = 0; r < groups_.size(); ++r) {
+    col.cont.push_back(fn(groups_[r], static_cast<uint32_t>(r), rng_));
+  }
+  staged_.push_back(std::move(col));
+}
+
+int TwoGroupBuilder::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    if (staged_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double TwoGroupBuilder::ContinuousValue(const std::string& name,
+                                        uint32_t row) const {
+  int idx = AttrIndex(name);
+  SDADCS_CHECK(idx >= 0);
+  SDADCS_CHECK(!staged_[idx].categorical);
+  return staged_[idx].cont[row];
+}
+
+void TwoGroupBuilder::InjectMissing(const std::string& name,
+                                    double fraction) {
+  int idx = AttrIndex(name);
+  SDADCS_CHECK(idx >= 0);
+  StagedColumn& col = staged_[idx];
+  for (size_t r = 0; r < groups_.size(); ++r) {
+    if (!rng_.Bernoulli(fraction)) continue;
+    if (col.categorical) {
+      col.cat[r] = "";
+    } else {
+      col.cont[r] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+}
+
+data::Dataset TwoGroupBuilder::Build() && {
+  // Deterministic shuffle so groups interleave (like a real extract).
+  std::vector<uint32_t> order = rng_.Permutation(groups_.size());
+
+  group_attr_index_ = builder_.AddCategorical(group_attr_);
+  std::vector<int> attr_index(staged_.size());
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    attr_index[i] = staged_[i].categorical
+                        ? builder_.AddCategorical(staged_[i].name)
+                        : builder_.AddContinuous(staged_[i].name);
+  }
+  for (uint32_t r : order) {
+    builder_.AppendCategorical(group_attr_index_, group_names_[groups_[r]]);
+    for (size_t i = 0; i < staged_.size(); ++i) {
+      const StagedColumn& col = staged_[i];
+      if (col.categorical) {
+        if (col.cat[r].empty()) {
+          builder_.AppendMissing(attr_index[i]);
+        } else {
+          builder_.AppendCategorical(attr_index[i], col.cat[r]);
+        }
+      } else {
+        builder_.AppendContinuous(attr_index[i], col.cont[r]);
+      }
+    }
+  }
+  util::StatusOr<data::Dataset> db = std::move(builder_).Build();
+  SDADCS_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+}  // namespace sdadcs::synth

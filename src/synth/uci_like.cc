@@ -1,0 +1,454 @@
+#include "synth/uci_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/two_group.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sdadcs::synth {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) { return std::clamp(v, lo, hi); }
+
+}  // namespace
+
+std::vector<std::string> UciLikeNames() {
+  return {"adult",   "spambase",    "breast",        "mammography",
+          "transfusion", "shuttle", "credit_card",   "census_income",
+          "ionosphere",  "covtype"};
+}
+
+NamedDataset MakeUciLike(const std::string& name, uint64_t seed) {
+  if (name == "adult") return MakeAdultLike(seed);
+  if (name == "spambase") return MakeSpambaseLike(seed);
+  if (name == "breast") return MakeBreastLike(seed);
+  if (name == "mammography") return MakeMammographyLike(seed);
+  if (name == "transfusion") return MakeTransfusionLike(seed);
+  if (name == "shuttle") return MakeShuttleLike(seed);
+  if (name == "credit_card") return MakeCreditCardLike(seed);
+  if (name == "census_income") return MakeCensusIncomeLike(seed);
+  if (name == "ionosphere") return MakeIonosphereLike(seed);
+  if (name == "covtype") return MakeCovtypeLike(seed);
+  SDADCS_LOG(kError) << "unknown UCI-like dataset '" << name << "'";
+  SDADCS_CHECK(false);
+  return MakeAdultLike(seed);  // unreachable
+
+}
+
+NamedDataset MakeAdultLike(uint64_t seed) {
+  // Bachelors (group 0) vs Doctorate (group 1); paper ratio 8025/594.
+  TwoGroupBuilder b("education", "Bachelors", "Doctorate", 4000, 300,
+                    seed * 1000 + 1);
+
+  // Age: Bachelors from 19 with a young mode; Doctorates start at 27
+  // (years of schooling) and skew old, so (18, 26] is pure Bachelors.
+  b.AddContinuousFn("age", [](int g, util::Rng& rng) {
+    if (g == 0) {
+      return std::floor(Clamp(19.0 + std::fabs(rng.Gaussian(0.0, 16.0)), 19.0,
+                              90.0));
+    }
+    return std::floor(Clamp(rng.Gaussian(49.0, 11.0), 27.0, 90.0));
+  });
+
+  // Hours/week with the age interaction: older Doctorates work long
+  // weeks (the multivariate contrast of Table 1, row 5).
+  b.AddDerivedContinuous("hours_per_week", [&b](int g, uint32_t row,
+                                                util::Rng& rng) {
+    double age = b.ContinuousValue("age", row);
+    double h;
+    if (g == 1 && age > 48.0) {
+      h = rng.Gaussian(57.0, 9.0);
+    } else if (g == 1) {
+      h = rng.Gaussian(44.0, 7.0);
+    } else {
+      h = rng.Gaussian(38.0, 8.0);
+    }
+    return std::floor(Clamp(h, 1.0, 99.0));
+  });
+
+  // fnlwgt: pure noise (and the source of Cortana's redundant pattern 2
+  // in Table 3 — a near-full range interval on a noise attribute).
+  b.AddContinuousFn("fnlwgt", [](int, util::Rng& rng) {
+    return std::floor(Clamp(std::exp(rng.Gaussian(11.9, 0.6)), 19302.0,
+                            606111.0));
+  });
+
+  // Capital gain: zero-inflated, slightly heavier tail for Doctorates.
+  b.AddContinuousFn("capital_gain", [](int g, util::Rng& rng) {
+    double p = g == 1 ? 0.12 : 0.07;
+    if (!rng.Bernoulli(p)) return 0.0;
+    return std::floor(std::exp(rng.Gaussian(8.0, 1.0)));
+  });
+
+  // Years of experience: correlated with age in both groups.
+  b.AddDerivedContinuous("years_experience",
+                         [&b](int g, uint32_t row, util::Rng& rng) {
+                           double age = b.ContinuousValue("age", row);
+                           double start = g == 1 ? 27.0 : 21.0;
+                           return std::floor(Clamp(
+                               age - start + rng.Gaussian(0.0, 2.0), 0.0,
+                               70.0));
+                         });
+
+  // Occupation: Prof-specialty dominates Doctorates (Table 3's common
+  // item: 0.76 vs 0.28).
+  b.AddCategorical(
+      "occupation",
+      {"Prof-specialty", "Exec-managerial", "Sales", "Craft-repair",
+       "Adm-clerical", "Other-service"},
+      /*Bachelors=*/{0.28, 0.22, 0.16, 0.12, 0.12, 0.10},
+      /*Doctorate=*/{0.76, 0.12, 0.04, 0.02, 0.03, 0.03});
+
+  // Sex and class: the Table 3 singletons (functionally entangled with
+  // occupation among Doctorates).
+  b.AddCategorical("sex", {"Male", "Female"}, {0.69, 0.31}, {0.81, 0.19});
+  b.AddCategorical("class", {">50K", "<=50K"}, {0.41, 0.59}, {0.73, 0.27});
+
+  b.AddCategorical("workclass",
+                   {"Private", "Self-emp", "Government", "Other"},
+                   {0.72, 0.12, 0.13, 0.03}, {0.44, 0.18, 0.35, 0.03});
+  b.AddCategoricalNoise("marital_status",
+                        {"Married", "Never-married", "Divorced", "Widowed"});
+  b.AddCategoricalNoise("race", {"White", "Black", "Asian", "Other"});
+  b.AddCategoricalNoise("relationship",
+                        {"Husband", "Wife", "Own-child", "Not-in-family"});
+  b.AddCategoricalNoise("native_country", {"United-States", "Other"});
+
+  b.InjectMissing("occupation", 0.01);
+  b.InjectMissing("capital_gain", 0.005);
+
+  return {"adult", std::move(b).Build(), "education",
+          {"Doctorate", "Bachelors"}};
+}
+
+NamedDataset MakeSpambaseLike(uint64_t seed) {
+  // Spam (group 0, 1813) vs No Spam (2788); scaled to 800/1200.
+  TwoGroupBuilder b("label", "Spam", "NoSpam", 800, 1200, seed * 1000 + 2);
+
+  // Word/char frequencies: zero-inflated exponentials; several are
+  // near-exclusive to spam (strong contrasts, paper mean diff 0.60).
+  struct Freq {
+    const char* name;
+    double p_spam;
+    double p_ham;
+    double scale_spam;
+    double scale_ham;
+  };
+  const Freq kFreqs[] = {
+      {"wf_free", 0.80, 0.10, 0.9, 0.2},   {"wf_money", 0.62, 0.07, 0.8, 0.2},
+      {"wf_credit", 0.55, 0.05, 0.7, 0.2}, {"wf_order", 0.45, 0.12, 0.5, 0.3},
+      {"wf_business", 0.50, 0.20, 0.5, 0.3},
+      {"wf_george", 0.02, 0.45, 0.3, 0.9}, {"wf_hp", 0.03, 0.55, 0.3, 1.0},
+      {"wf_meeting", 0.05, 0.30, 0.3, 0.6},
+      {"cf_exclaim", 0.85, 0.25, 0.6, 0.1},
+      {"cf_dollar", 0.70, 0.08, 0.4, 0.1},
+  };
+  for (const Freq& f : kFreqs) {
+    b.AddContinuousFn(f.name, [f](int g, util::Rng& rng) {
+      double p = g == 0 ? f.p_spam : f.p_ham;
+      double s = g == 0 ? f.scale_spam : f.scale_ham;
+      if (!rng.Bernoulli(p)) return 0.0;
+      return -s * std::log(1.0 - rng.NextDouble());
+    });
+  }
+  // Capital-run statistics: much longer runs in spam, with an
+  // interaction (long runs AND many '!' together are spam-pure).
+  b.AddContinuousFn("cap_run_avg", [](int g, util::Rng& rng) {
+    double base = g == 0 ? rng.Gaussian(5.2, 2.8) : rng.Gaussian(2.2, 0.9);
+    return Clamp(base, 1.0, 40.0);
+  });
+  b.AddDerivedContinuous("cap_run_longest",
+                         [&b](int g, uint32_t row, util::Rng& rng) {
+                           double avg = b.ContinuousValue("cap_run_avg", row);
+                           double mult =
+                               g == 0 ? rng.Uniform(4.0, 30.0)
+                                      : rng.Uniform(2.0, 8.0);
+                           return std::floor(Clamp(avg * mult, 1.0, 1000.0));
+                         });
+  for (int i = 0; i < 8; ++i) {
+    b.AddContinuousFn(util::StrFormat("wf_noise_%d", i),
+                      [](int, util::Rng& rng) {
+                        return rng.Bernoulli(0.2)
+                                   ? -0.4 * std::log(1.0 - rng.NextDouble())
+                                   : 0.0;
+                      });
+  }
+  return {"spambase", std::move(b).Build(), "label", {"Spam", "NoSpam"}};
+}
+
+NamedDataset MakeBreastLike(uint64_t seed) {
+  // Benign (458) vs Malignant (241); 10 integer cytology features 1-10.
+  TwoGroupBuilder b("class", "Benign", "Malignant", 458, 241,
+                    seed * 1000 + 3);
+  const char* kNames[] = {"clump_thickness", "cell_size",  "cell_shape",
+                          "adhesion",        "epithelial", "bare_nuclei",
+                          "chromatin",       "nucleoli",   "mitoses"};
+  double strength = 0.0;
+  for (const char* name : kNames) {
+    // Benign concentrates at 1-3; malignant spreads high. Vary the
+    // separation slightly per feature.
+    double shift = 4.5 + 0.3 * strength;
+    strength += 1.0;
+    b.AddContinuousFn(name, [shift](int g, util::Rng& rng) {
+      double v = g == 0 ? rng.Gaussian(2.0, 1.2)
+                        : rng.Gaussian(2.0 + shift, 2.4);
+      return std::floor(Clamp(v, 1.0, 10.0));
+    });
+  }
+  // One weak feature to keep the problem honest.
+  b.AddContinuousFn("cell_uniformity_noise", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(4.0, 2.5), 1.0, 10.0));
+  });
+  b.InjectMissing("bare_nuclei", 0.02);
+  return {"breast", std::move(b).Build(), "class", {"Benign", "Malignant"}};
+}
+
+NamedDataset MakeMammographyLike(uint64_t seed) {
+  // Severe (445) vs Not Severe (516); 5 features, moderate signal.
+  TwoGroupBuilder b("severity", "Severe", "NotSevere", 445, 516,
+                    seed * 1000 + 4);
+  b.AddContinuousFn("birads", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(4.8, 0.6) : rng.Gaussian(3.9, 0.7);
+    return std::floor(Clamp(v, 1.0, 6.0));
+  });
+  b.AddContinuousFn("age", [](int g, util::Rng& rng) {
+    return std::floor(
+        Clamp(g == 0 ? rng.Gaussian(62.0, 13.0) : rng.Gaussian(52.0, 14.0),
+              18.0, 96.0));
+  });
+  b.AddContinuousFn("shape", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(3.4, 0.9) : rng.Gaussian(2.0, 1.0);
+    return std::floor(Clamp(v, 1.0, 4.0));
+  });
+  b.AddContinuousFn("margin", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(3.8, 1.2) : rng.Gaussian(1.9, 1.1);
+    return std::floor(Clamp(v, 1.0, 5.0));
+  });
+  b.AddContinuousFn("density", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(3.0, 0.5), 1.0, 4.0));
+  });
+  return {"mammography", std::move(b).Build(), "severity",
+          {"Severe", "NotSevere"}};
+}
+
+NamedDataset MakeTransfusionLike(uint64_t seed) {
+  // Donated (570) vs Not (178) per Table 2; weak signal (paper 0.34).
+  TwoGroupBuilder b("donated", "Donated", "NotDonated", 570, 178,
+                    seed * 1000 + 5);
+  b.AddContinuousFn("recency_months", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(9.5, 7.0) : rng.Gaussian(5.0, 4.5);
+    return std::floor(Clamp(v, 0.0, 74.0));
+  });
+  b.AddContinuousFn("frequency", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(4.5, 4.0) : rng.Gaussian(7.5, 6.0);
+    return std::floor(Clamp(v, 1.0, 50.0));
+  });
+  b.AddDerivedContinuous("monetary",
+                         [&b](int, uint32_t row, util::Rng& rng) {
+                           return b.ContinuousValue("frequency", row) *
+                                  (250.0 + rng.Gaussian(0.0, 10.0));
+                         });
+  b.AddContinuousFn("months_since_first", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(30.0, 22.0) : rng.Gaussian(38.0, 24.0);
+    return std::floor(Clamp(v, 2.0, 98.0));
+  });
+  return {"transfusion", std::move(b).Build(), "donated",
+          {"Donated", "NotDonated"}};
+}
+
+NamedDataset MakeShuttleLike(uint64_t seed) {
+  // Rad Flow (45586) vs High (8903); scaled to 9000/1800. Attr1 and
+  // Attr9 are each near-deterministic indicators — the redundancy trap
+  // the paper dissects in Section 5.6.
+  TwoGroupBuilder b("class", "RadFlow", "High", 9000, 1800,
+                    seed * 1000 + 6);
+  b.AddContinuousFn("attr1", [](int g, util::Rng& rng) {
+    bool low = g == 0 ? rng.Bernoulli(0.91) : rng.Bernoulli(0.01);
+    return std::floor(low ? rng.Uniform(27.0, 55.0)
+                          : rng.Uniform(55.0, 126.0));
+  });
+  for (int i = 2; i <= 8; ++i) {
+    b.AddContinuousFn(util::StrFormat("attr%d", i), [](int, util::Rng& rng) {
+      return std::floor(rng.Gaussian(0.0, 40.0));
+    });
+  }
+  b.AddDerivedContinuous("attr9", [&b](int g, uint32_t row,
+                                       util::Rng& rng) {
+    // Strongly coupled with attr1 within Rad Flow, so conjunctions of
+    // the two add nothing over either alone.
+    double a1 = b.ContinuousValue("attr1", row);
+    if (g == 0 && a1 <= 54.0) {
+      return rng.Bernoulli(0.85) ? std::floor(rng.Uniform(0.0, 2.5))
+                                 : std::floor(rng.Uniform(2.5, 60.0));
+    }
+    return std::floor(rng.Uniform(2.5, 120.0));
+  });
+  return {"shuttle", std::move(b).Build(), "class", {"RadFlow", "High"}};
+}
+
+NamedDataset MakeCreditCardLike(uint64_t seed) {
+  // Default No (23363) vs Yes (6635); scaled 6000/1700. Weak diluted
+  // signals (paper's best mean diff is only 0.26).
+  TwoGroupBuilder b("default", "No", "Yes", 6000, 1700, seed * 1000 + 7);
+  b.AddContinuousFn("limit_bal", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(180000, 120000)
+                      : rng.Gaussian(130000, 110000);
+    return std::floor(Clamp(v, 10000.0, 800000.0));
+  });
+  for (int m = 1; m <= 4; ++m) {
+    b.AddContinuousFn(util::StrFormat("pay_status_%d", m),
+                      [](int g, util::Rng& rng) {
+                        double v = g == 0 ? rng.Gaussian(-0.2, 1.0)
+                                          : rng.Gaussian(0.7, 1.3);
+                        return std::floor(Clamp(v, -2.0, 8.0));
+                      });
+  }
+  for (int m = 1; m <= 4; ++m) {
+    b.AddContinuousFn(util::StrFormat("bill_amt_%d", m),
+                      [](int, util::Rng& rng) {
+                        return std::floor(
+                            Clamp(std::exp(rng.Gaussian(9.5, 1.4)), 0.0,
+                                  900000.0));
+                      });
+  }
+  for (int m = 1; m <= 4; ++m) {
+    b.AddContinuousFn(util::StrFormat("pay_amt_%d", m),
+                      [](int g, util::Rng& rng) {
+                        double mu = g == 0 ? 8.2 : 7.6;
+                        return std::floor(Clamp(
+                            std::exp(rng.Gaussian(mu, 1.3)), 0.0, 400000.0));
+                      });
+  }
+  b.AddContinuousFn("age", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(35.0, 9.0), 21.0, 75.0));
+  });
+  b.AddCategorical("sex", {"M", "F"}, {0.40, 0.60}, {0.43, 0.57});
+  return {"credit_card", std::move(b).Build(), "default", {"No", "Yes"}};
+}
+
+NamedDataset MakeCensusIncomeLike(uint64_t seed) {
+  // Below 50K (187141) vs Above (12382); scaled 8000/530.
+  TwoGroupBuilder b("income", "Below50K", "Above50K", 8000, 530,
+                    seed * 1000 + 8);
+  b.AddContinuousFn("age", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(36.0, 15.0) : rng.Gaussian(46.0, 11.0);
+    return std::floor(Clamp(v, 16.0, 90.0));
+  });
+  b.AddContinuousFn("wage_per_hour", [](int g, util::Rng& rng) {
+    double p = g == 0 ? 0.12 : 0.35;
+    if (!rng.Bernoulli(p)) return 0.0;
+    double mu = g == 0 ? 6.5 : 7.4;
+    return std::floor(std::exp(rng.Gaussian(mu, 0.5)));
+  });
+  b.AddContinuousFn("capital_gains", [](int g, util::Rng& rng) {
+    double p = g == 0 ? 0.02 : 0.28;
+    if (!rng.Bernoulli(p)) return 0.0;
+    return std::floor(std::exp(rng.Gaussian(8.6, 0.9)));
+  });
+  b.AddContinuousFn("weeks_worked", [](int g, util::Rng& rng) {
+    if (g == 1) return std::floor(Clamp(rng.Gaussian(50.0, 4.0), 0.0, 52.0));
+    return rng.Bernoulli(0.55)
+               ? std::floor(Clamp(rng.Gaussian(48.0, 6.0), 0.0, 52.0))
+               : std::floor(Clamp(rng.Gaussian(12.0, 12.0), 0.0, 52.0));
+  });
+  b.AddContinuousFn("dividends", [](int g, util::Rng& rng) {
+    double p = g == 0 ? 0.08 : 0.40;
+    if (!rng.Bernoulli(p)) return 0.0;
+    return std::floor(std::exp(rng.Gaussian(6.5, 1.2)));
+  });
+  b.AddContinuousFn("num_persons_employer", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(3.0, 2.2), 0.0, 6.0));
+  });
+  b.AddCategorical("education_level",
+                   {"HS-grad", "Some-college", "Bachelors", "Advanced"},
+                   {0.42, 0.30, 0.20, 0.08}, {0.15, 0.18, 0.37, 0.30});
+  b.AddCategorical("sex", {"Male", "Female"}, {0.48, 0.52}, {0.72, 0.28});
+  b.AddCategorical("full_or_part", {"Full-time", "Part-time", "Not-working"},
+                   {0.55, 0.20, 0.25}, {0.92, 0.05, 0.03});
+  b.AddCategorical("marital", {"Married", "Single", "Divorced"},
+                   {0.48, 0.38, 0.14}, {0.80, 0.10, 0.10});
+  b.AddCategoricalNoise("race", {"White", "Black", "Asian", "Other"});
+  b.AddCategoricalNoise("region", {"Northeast", "Midwest", "South", "West"});
+  b.AddCategoricalNoise("citizenship", {"Native", "Naturalized", "Other"});
+  b.AddCategoricalNoise("household", {"Householder", "Spouse", "Child",
+                                      "Other"});
+  b.AddCategoricalNoise("industry_band", {"A", "B", "C", "D", "E"});
+  return {"census_income", std::move(b).Build(), "income",
+          {"Below50K", "Above50K"}};
+}
+
+NamedDataset MakeIonosphereLike(uint64_t seed) {
+  // g (225) vs b (126); radar returns in [-1, 1]; strong separation.
+  TwoGroupBuilder b("class", "g", "b", 225, 126, seed * 1000 + 9);
+  for (int i = 0; i < 8; ++i) {
+    double sep = 0.55 + 0.05 * i;
+    b.AddContinuousFn(util::StrFormat("pulse_%d", i),
+                      [sep](int g, util::Rng& rng) {
+                        double v = g == 0 ? rng.Gaussian(sep, 0.30)
+                                          : rng.Gaussian(-0.1, 0.45);
+                        return Clamp(v, -1.0, 1.0);
+                      });
+  }
+  for (int i = 8; i < 12; ++i) {
+    b.AddContinuousFn(util::StrFormat("pulse_%d", i), [](int, util::Rng& rng) {
+      return Clamp(rng.Gaussian(0.2, 0.5), -1.0, 1.0);
+    });
+  }
+  return {"ionosphere", std::move(b).Build(), "class", {"g", "b"}};
+}
+
+NamedDataset MakeCovtypeLike(uint64_t seed) {
+  // Spruce-Fir (211840) vs Lodgepole Pine (283301); scaled 6000/8000.
+  TwoGroupBuilder b("cover_type", "SpruceFir", "LodgepolePine", 6000, 8000,
+                    seed * 1000 + 10);
+  b.AddContinuousFn("elevation", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(3220.0, 170.0)
+                      : rng.Gaussian(2960.0, 200.0);
+    return std::floor(Clamp(v, 1850.0, 3850.0));
+  });
+  b.AddContinuousFn("aspect", [](int, util::Rng& rng) {
+    return std::floor(rng.Uniform(0.0, 360.0));
+  });
+  b.AddContinuousFn("slope", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(13.0, 6.0) : rng.Gaussian(15.5, 7.0);
+    return std::floor(Clamp(v, 0.0, 60.0));
+  });
+  b.AddContinuousFn("h_dist_hydrology", [](int, util::Rng& rng) {
+    return std::floor(Clamp(std::fabs(rng.Gaussian(0.0, 260.0)), 0.0,
+                            1400.0));
+  });
+  b.AddContinuousFn("v_dist_hydrology", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(45.0, 60.0), -170.0, 600.0));
+  });
+  b.AddContinuousFn("h_dist_roadways", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(2700.0, 1500.0)
+                      : rng.Gaussian(2200.0, 1400.0);
+    return std::floor(Clamp(v, 0.0, 7000.0));
+  });
+  b.AddContinuousFn("hillshade_9am", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(212.0, 27.0), 0.0, 254.0));
+  });
+  b.AddContinuousFn("hillshade_noon", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(223.0, 20.0), 0.0, 254.0));
+  });
+  b.AddContinuousFn("hillshade_3pm", [](int, util::Rng& rng) {
+    return std::floor(Clamp(rng.Gaussian(142.0, 38.0), 0.0, 254.0));
+  });
+  b.AddContinuousFn("h_dist_firepoints", [](int g, util::Rng& rng) {
+    double v = g == 0 ? rng.Gaussian(2300.0, 1300.0)
+                      : rng.Gaussian(1900.0, 1300.0);
+    return std::floor(Clamp(v, 0.0, 7000.0));
+  });
+  b.AddCategorical("wilderness_area", {"Rawah", "Neota", "Comanche",
+                                       "CachePoudre"},
+                   {0.45, 0.12, 0.40, 0.03}, {0.62, 0.03, 0.30, 0.05});
+  b.AddCategorical("soil_family", {"Leighcan", "Como", "Catamount", "Other"},
+                   {0.35, 0.15, 0.28, 0.22}, {0.22, 0.30, 0.22, 0.26});
+  return {"covtype", std::move(b).Build(), "cover_type",
+          {"SpruceFir", "LodgepolePine"}};
+}
+
+}  // namespace sdadcs::synth

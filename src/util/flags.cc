@@ -1,0 +1,67 @@
+#include "util/flags.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sdadcs::util {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv,
+                             const std::vector<std::string>& boolean_flags) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    if (name.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    // "--name=value" form.
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    if (std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+        boolean_flags.end()) {
+      flags.values_[name] = "";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + name + " needs a value");
+    }
+    flags.values_[name] = argv[++i];
+  }
+  return flags;
+}
+
+std::string Flags::Get(const std::string& name,
+                       const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto v = ParseDouble(it->second);
+  return v.has_value() ? *v : fallback;
+}
+
+int Flags::GetInt(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto v = ParseInt(it->second);
+  return v.has_value() ? static_cast<int>(*v) : fallback;
+}
+
+std::vector<std::string> Flags::GetList(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return {};
+  return Split(it->second, ',');
+}
+
+}  // namespace sdadcs::util

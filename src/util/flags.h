@@ -1,0 +1,49 @@
+#ifndef SDADCS_UTIL_FLAGS_H_
+#define SDADCS_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sdadcs::util {
+
+/// Minimal command-line parser for the `sdadcs_tool` convention:
+///
+///   <command> <positional...> --name value --bool-flag
+///
+/// Flags start with "--"; a flag listed in `boolean_flags` consumes no
+/// value. Unknown flags are accepted (the caller decides what it
+/// understands); a value-flag at the end of the line without its value
+/// is an error.
+class Flags {
+ public:
+  /// Parses argv[1..). `boolean_flags` names the value-less flags.
+  static StatusOr<Flags> Parse(int argc, const char* const* argv,
+                               const std::vector<std::string>& boolean_flags);
+
+  /// Positional arguments in order (command, paths, ...).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Raw string value ("" for boolean flags and absent flags).
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const;
+
+  /// Numeric accessors fall back when the flag is absent or unparsable.
+  double GetDouble(const std::string& name, double fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+
+  /// Comma-separated list value.
+  std::vector<std::string> GetList(const std::string& name) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sdadcs::util
+
+#endif  // SDADCS_UTIL_FLAGS_H_

@@ -1,0 +1,65 @@
+#ifndef SDADCS_UTIL_LOGGING_H_
+#define SDADCS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sdadcs::util {
+
+/// Severity levels for the library logger, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted. Messages below
+/// the threshold are dropped. Thread-safe (atomic).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+/// Returns "DEBUG" / "INFO" / "WARNING" / "ERROR".
+const char* LogLevelName(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log message collector. Emits to stderr on destruction.
+/// Use via the SDADCS_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Usage: SDADCS_LOG(kInfo) << "mined " << n << " contrasts";
+#define SDADCS_LOG(severity)                                        \
+  ::sdadcs::util::internal_logging::LogMessage(                     \
+      ::sdadcs::util::LogLevel::severity, __FILE__, __LINE__)       \
+      .stream()
+
+/// Fatal-on-false invariant check, enabled in all build types.
+/// Aborts with a message locating the failed condition.
+#define SDADCS_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::sdadcs::util::internal_logging::CheckFailed(#cond, __FILE__,    \
+                                                    __LINE__);          \
+    }                                                                   \
+  } while (0)
+
+namespace internal_logging {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+}  // namespace internal_logging
+
+}  // namespace sdadcs::util
+
+#endif  // SDADCS_UTIL_LOGGING_H_

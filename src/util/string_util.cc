@@ -1,0 +1,99 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace sdadcs::util {
+
+std::vector<std::string> Split(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  std::string t(Trim(s));
+  if (t.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) return std::nullopt;
+  if (errno == ERANGE && !std::isinf(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> ParseInt(std::string_view s) {
+  std::string t(Trim(s));
+  if (t.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size() || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::string s = StrFormat("%.*g", precision, v);
+  return s;
+}
+
+}  // namespace sdadcs::util

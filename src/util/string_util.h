@@ -1,0 +1,46 @@
+#ifndef SDADCS_UTIL_STRING_UTIL_H_
+#define SDADCS_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdadcs::util {
+
+/// Splits `input` on `delim`. Consecutive delimiters produce empty fields;
+/// an empty input produces a single empty field (CSV semantics).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a double, requiring the whole (trimmed) string to be consumed.
+/// Returns nullopt for empty strings or trailing garbage. Accepts
+/// "nan"/"inf" in any case.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Parses a base-10 integer, whole-string, no leading '+' quirks.
+std::optional<long long> ParseInt(std::string_view s);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double compactly for display: up to `precision` significant
+/// digits, no trailing zeros, "-inf"/"inf" for infinities.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace sdadcs::util
+
+#endif  // SDADCS_UTIL_STRING_UTIL_H_

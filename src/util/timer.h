@@ -1,0 +1,31 @@
+#ifndef SDADCS_UTIL_TIMER_H_
+#define SDADCS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sdadcs::util {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sdadcs::util
+
+#endif  // SDADCS_UTIL_TIMER_H_

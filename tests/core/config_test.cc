@@ -1,0 +1,132 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "synth/uci_like.h"
+
+namespace sdadcs::core {
+namespace {
+
+TEST(AlphaForLevelTest, PerLevelHalving) {
+  MinerConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.bonferroni = BonferroniMode::kPerLevel;
+  EXPECT_DOUBLE_EQ(cfg.AlphaForLevel(0), 0.05);
+  EXPECT_DOUBLE_EQ(cfg.AlphaForLevel(1), 0.025);
+  EXPECT_DOUBLE_EQ(cfg.AlphaForLevel(3), 0.00625);
+}
+
+TEST(AlphaForLevelTest, NoneKeepsAlpha) {
+  MinerConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.bonferroni = BonferroniMode::kNone;
+  EXPECT_DOUBLE_EQ(cfg.AlphaForLevel(5), 0.05);
+}
+
+TEST(FineGrainedSwitchesTest, GatedByMasterSwitch) {
+  MinerConfig cfg;
+  EXPECT_TRUE(cfg.RedundancyPruningOn());
+  EXPECT_TRUE(cfg.PureSpacePruningOn());
+  EXPECT_TRUE(cfg.ChiBoundPruningOn());
+  EXPECT_TRUE(cfg.ProductivityFilterOn());
+  cfg.meaningful_pruning = false;
+  EXPECT_FALSE(cfg.RedundancyPruningOn());
+  EXPECT_FALSE(cfg.PureSpacePruningOn());
+  EXPECT_FALSE(cfg.ChiBoundPruningOn());
+  EXPECT_FALSE(cfg.ProductivityFilterOn());
+}
+
+class SwitchCounters : public testing::Test {
+ protected:
+  static MiningCounters Run(MinerConfig cfg) {
+    static synth::NamedDataset* adult = [] {
+      return new synth::NamedDataset(synth::MakeAdultLike());
+    }();
+    cfg.max_depth = 2;
+    cfg.attributes = {"age", "hours_per_week", "occupation", "sex"};
+    Miner miner(cfg);
+    auto result = miner.Mine(adult->db, adult->group_attr, adult->groups);
+    EXPECT_TRUE(result.ok());
+    return result->counters;
+  }
+};
+
+TEST_F(SwitchCounters, DefaultsExerciseEveryRule) {
+  MiningCounters c = Run(MinerConfig());
+  EXPECT_GT(c.pruned_redundant, 0u);
+  EXPECT_GT(c.pruned_pure, 0u);
+  EXPECT_GT(c.unproductive, 0u);
+}
+
+TEST_F(SwitchCounters, RedundancyOff) {
+  MinerConfig cfg;
+  cfg.redundancy_pruning = false;
+  MiningCounters c = Run(cfg);
+  EXPECT_EQ(c.pruned_redundant, 0u);
+}
+
+TEST_F(SwitchCounters, PureOff) {
+  MinerConfig cfg;
+  cfg.pure_space_pruning = false;
+  MiningCounters c = Run(cfg);
+  EXPECT_EQ(c.pruned_pure, 0u);
+}
+
+TEST_F(SwitchCounters, ChiBoundOff) {
+  MinerConfig cfg;
+  cfg.chi_bound_pruning = false;
+  MiningCounters c = Run(cfg);
+  EXPECT_EQ(c.pruned_oe_chi2, 0u);
+}
+
+TEST_F(SwitchCounters, ProductivityOff) {
+  MinerConfig cfg;
+  cfg.productivity_filter = false;
+  MiningCounters c = Run(cfg);
+  EXPECT_EQ(c.unproductive, 0u);
+}
+
+TEST_F(SwitchCounters, IndependentlyProductiveOff) {
+  MinerConfig cfg;
+  cfg.independently_productive_filter = false;
+  MiningCounters c = Run(cfg);
+  EXPECT_EQ(c.not_independently_productive, 0u);
+}
+
+TEST_F(SwitchCounters, OptimisticOffExploresMore) {
+  MiningCounters with = Run(MinerConfig());
+  MinerConfig cfg;
+  cfg.optimistic_pruning = false;
+  MiningCounters without = Run(cfg);
+  EXPECT_EQ(without.pruned_oe_measure, 0u);
+  EXPECT_GE(without.partitions_evaluated, with.partitions_evaluated);
+}
+
+TEST_F(SwitchCounters, CandidateCapTruncatesVisibly) {
+  MinerConfig cfg;
+  cfg.max_candidates_per_level = 2;
+  MiningCounters c = Run(cfg);
+  // 4 attributes -> 4 level-1 candidates; the cap drops 2 of them.
+  EXPECT_GT(c.truncated_candidates, 0u);
+
+  MiningCounters uncapped = Run(MinerConfig());
+  EXPECT_EQ(uncapped.truncated_candidates, 0u);
+  EXPECT_LT(c.partitions_evaluated, uncapped.partitions_evaluated);
+}
+
+TEST(CountersAddTest, Accumulates) {
+  MiningCounters a;
+  a.partitions_evaluated = 3;
+  a.merges = 1;
+  MiningCounters b;
+  b.partitions_evaluated = 4;
+  b.chi2_tests = 7;
+  a.Add(b);
+  EXPECT_EQ(a.partitions_evaluated, 7u);
+  EXPECT_EQ(a.merges, 1u);
+  EXPECT_EQ(a.chi2_tests, 7u);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

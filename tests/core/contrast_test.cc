@@ -1,0 +1,86 @@
+#include "core/contrast.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture MakeFixture() {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 0; i < 100; ++i) {
+    b.AppendCategorical(g, i < 50 ? "a" : "b");
+    b.AppendContinuous(x, i);
+  }
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  EXPECT_TRUE(gi.ok());
+  return {std::move(db).value(), std::move(gi).value()};
+}
+
+TEST(ContrastPatternTest, ComputeStatsFillsEverything) {
+  Fixture f = MakeFixture();
+  ContrastPattern p;
+  p.itemset = Itemset({Item::Interval(1, -1.0, 49.0)});
+  p.counts = {50.0, 0.0};
+  p.ComputeStats(f.gi, MeasureKind::kSupportDiff);
+  EXPECT_DOUBLE_EQ(p.supports[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.supports[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.diff, 1.0);
+  EXPECT_DOUBLE_EQ(p.purity, 1.0);
+  EXPECT_DOUBLE_EQ(p.measure, 1.0);
+  EXPECT_LT(p.p_value, 1e-10);
+  EXPECT_EQ(p.level, 1);
+}
+
+TEST(ContrastPatternTest, MeasureFollowsKind) {
+  Fixture f = MakeFixture();
+  ContrastPattern p;
+  p.itemset = Itemset({Item::Interval(1, -1.0, 59.0)});
+  p.counts = {50.0, 10.0};
+  p.ComputeStats(f.gi, MeasureKind::kSurprising);
+  EXPECT_DOUBLE_EQ(p.measure, p.purity * p.diff);
+}
+
+TEST(ContrastPatternTest, ToStringContainsSupportsAndNames) {
+  Fixture f = MakeFixture();
+  ContrastPattern p;
+  p.itemset = Itemset({Item::Interval(1, -1.0, 49.0)});
+  p.counts = {50.0, 0.0};
+  p.ComputeStats(f.gi, MeasureKind::kSupportDiff);
+  std::string s = p.ToString(f.db, f.gi);
+  EXPECT_NE(s.find("x <= 49"), std::string::npos);
+  EXPECT_NE(s.find("supp(a)=1.000"), std::string::npos);
+  EXPECT_NE(s.find("supp(b)=0.000"), std::string::npos);
+}
+
+TEST(SortByMeasureDescTest, OrdersAndBreaksTies) {
+  ContrastPattern a;
+  a.itemset = Itemset({Item::Categorical(0, 0)});
+  a.measure = 0.5;
+  a.level = 1;
+  ContrastPattern b;
+  b.itemset = Itemset({Item::Categorical(0, 1), Item::Categorical(1, 0)});
+  b.measure = 0.5;
+  b.level = 2;
+  ContrastPattern c;
+  c.itemset = Itemset({Item::Categorical(2, 0)});
+  c.measure = 0.9;
+  c.level = 1;
+  std::vector<ContrastPattern> v = {b, a, c};
+  SortByMeasureDesc(&v);
+  EXPECT_DOUBLE_EQ(v[0].measure, 0.9);
+  // Tie at 0.5: fewer items first.
+  EXPECT_EQ(v[1].level, 1);
+  EXPECT_EQ(v[2].level, 2);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

@@ -1,0 +1,121 @@
+#include "core/diversity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/support.h"
+#include "synth/uci_like.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture Make() {
+  synth::NamedDataset nd = synth::MakeShuttleLike();
+  auto gi = data::GroupInfo::CreateForValues(
+      nd.db, *nd.db.schema().IndexOf(nd.group_attr), nd.groups);
+  SDADCS_CHECK(gi.ok());
+  return {std::move(nd.db), std::move(gi).value()};
+}
+
+ContrastPattern PatternFor(const Fixture& f, const Itemset& itemset) {
+  ContrastPattern p;
+  p.itemset = itemset;
+  GroupCounts gc =
+      CountMatches(f.db, f.gi, itemset, f.gi.base_selection());
+  p.counts = gc.counts;
+  p.ComputeStats(f.gi, MeasureKind::kSupportDiff);
+  return p;
+}
+
+TEST(SelectDiverseTest, NearDuplicateCoversCollapse) {
+  Fixture f = Make();
+  int attr1 = *f.db.schema().IndexOf("attr1");
+  // Three nearly identical intervals plus one genuinely different one.
+  std::vector<ContrastPattern> patterns = {
+      PatternFor(f, Itemset({Item::Interval(attr1, 0.0, 54.0)})),
+      PatternFor(f, Itemset({Item::Interval(attr1, 0.0, 55.0)})),
+      PatternFor(f, Itemset({Item::Interval(attr1, 1.0, 54.0)})),
+      PatternFor(f, Itemset({Item::Interval(attr1, 54.0, 130.0)})),
+  };
+  std::vector<ContrastPattern> kept =
+      SelectDiverse(f.db, f.gi, patterns, 0.8);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].itemset.item(0).hi, 54.0);
+  EXPECT_DOUBLE_EQ(kept[1].itemset.item(0).lo, 54.0);
+}
+
+TEST(SelectDiverseTest, LooseThresholdKeepsAll) {
+  Fixture f = Make();
+  int attr1 = *f.db.schema().IndexOf("attr1");
+  std::vector<ContrastPattern> patterns = {
+      PatternFor(f, Itemset({Item::Interval(attr1, 0.0, 54.0)})),
+      PatternFor(f, Itemset({Item::Interval(attr1, 0.0, 55.0)})),
+  };
+  // 1.0 only drops exact-duplicate covers.
+  std::vector<ContrastPattern> kept =
+      SelectDiverse(f.db, f.gi, patterns, 1.0);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(SelectDiverseTest, PreservesOrderAndFirstWins) {
+  Fixture f = Make();
+  int attr1 = *f.db.schema().IndexOf("attr1");
+  std::vector<ContrastPattern> patterns = {
+      PatternFor(f, Itemset({Item::Interval(attr1, 0.0, 54.0)})),
+      PatternFor(f, Itemset({Item::Interval(attr1, 0.0, 54.5)})),
+  };
+  std::vector<ContrastPattern> kept =
+      SelectDiverse(f.db, f.gi, patterns, 0.5);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].itemset.item(0).hi, 54.0);  // the first
+}
+
+TEST(MeasureCoverOverlapTest, IdenticalAndDisjoint) {
+  Fixture f = Make();
+  int attr1 = *f.db.schema().IndexOf("attr1");
+  ContrastPattern low = PatternFor(
+      f, Itemset({Item::Interval(attr1, 0.0, 54.0)}));
+  ContrastPattern high = PatternFor(
+      f, Itemset({Item::Interval(attr1, 54.0, 130.0)}));
+  CoverOverlap same = MeasureCoverOverlap(f.db, f.gi, {low, low});
+  EXPECT_DOUBLE_EQ(same.max_jaccard, 1.0);
+  CoverOverlap disjoint = MeasureCoverOverlap(f.db, f.gi, {low, high});
+  EXPECT_DOUBLE_EQ(disjoint.max_jaccard, 0.0);
+}
+
+TEST(MeasureCoverOverlapTest, FewPatternsIsZero) {
+  Fixture f = Make();
+  CoverOverlap empty = MeasureCoverOverlap(f.db, f.gi, {});
+  EXPECT_DOUBLE_EQ(empty.mean_jaccard, 0.0);
+}
+
+TEST(SelectDiverseTest, ShrinksNpOutputOverlap) {
+  // The practical effect: NP output is flooded with overlapping strong
+  // patterns; diverse selection cuts the mean cover overlap.
+  Fixture f = Make();
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.meaningful_pruning = false;
+  cfg.attributes = {"attr1", "attr2", "attr9"};
+  auto result = Miner(cfg).MineWithGroups(f.db, f.gi);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->contrasts.size(), 3u);
+  CoverOverlap before =
+      MeasureCoverOverlap(f.db, f.gi, result->contrasts);
+  std::vector<ContrastPattern> diverse =
+      SelectDiverse(f.db, f.gi, result->contrasts, 0.5);
+  ASSERT_FALSE(diverse.empty());
+  CoverOverlap after = MeasureCoverOverlap(f.db, f.gi, diverse);
+  EXPECT_LT(diverse.size(), result->contrasts.size());
+  EXPECT_LE(after.max_jaccard, 0.5 + 1e-12);
+  EXPECT_LE(after.mean_jaccard, before.mean_jaccard);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

@@ -1,0 +1,139 @@
+#include "core/interest.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::core {
+namespace {
+
+TEST(SupportDifferenceTest, MaxMinusMin) {
+  EXPECT_DOUBLE_EQ(SupportDifference({0.48, 0.22}), 0.26);
+  EXPECT_DOUBLE_EQ(SupportDifference({0.1, 0.9, 0.5}), 0.8);
+  EXPECT_DOUBLE_EQ(SupportDifference({0.3}), 0.0);
+}
+
+TEST(PurityRatioTest, PaperExamples) {
+  // Section 4.2: c1 with supports 0.02/0.04 and c2 with 0.30/0.60 have
+  // equal purity ratio 0.5.
+  EXPECT_DOUBLE_EQ(PurityRatio({0.02, 0.04}), 0.5);
+  EXPECT_DOUBLE_EQ(PurityRatio({0.30, 0.60}), 0.5);
+}
+
+TEST(PurityRatioTest, PureSpaceIsOne) {
+  EXPECT_DOUBLE_EQ(PurityRatio({0.8, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(PurityRatio({0.0, 0.3}), 1.0);
+}
+
+TEST(PurityRatioTest, BalancedIsZeroEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(PurityRatio({0.4, 0.4}), 0.0);
+  EXPECT_DOUBLE_EQ(PurityRatio({0.0, 0.0}), 0.0);
+}
+
+TEST(PurityRatioTest, SectionFourFourExample) {
+  // PR = 1 - (48/98)/(2/2) = 0.5102...
+  EXPECT_NEAR(PurityRatio({48.0 / 98.0, 1.0}), 1.0 - 48.0 / 98.0, 1e-12);
+}
+
+TEST(PurityRatioTest, MultiGroupUsesTopTwo) {
+  EXPECT_DOUBLE_EQ(PurityRatio({0.8, 0.4, 0.1}), 0.5);
+}
+
+TEST(SurprisingMeasureTest, ResolvesPaperAmbiguity) {
+  // Section 4.2: equal PR but c2 covers more -> Surprising prefers c2;
+  // equal Diff but purer c2 -> Surprising prefers c2.
+  EXPECT_LT(SurprisingMeasure({0.02, 0.04}), SurprisingMeasure({0.3, 0.6}));
+  EXPECT_LT(SurprisingMeasure({0.9, 0.8}), SurprisingMeasure({0.2, 0.1}));
+}
+
+TEST(SurprisingMeasureTest, IsProductOfComponents) {
+  std::vector<double> s = {0.48, 0.22};
+  EXPECT_DOUBLE_EQ(SurprisingMeasure(s),
+                   PurityRatio(s) * SupportDifference(s));
+}
+
+TEST(MeasureValueTest, Dispatches) {
+  std::vector<double> s = {0.6, 0.2};
+  EXPECT_DOUBLE_EQ(MeasureValue(MeasureKind::kSupportDiff, s), 0.4);
+  EXPECT_DOUBLE_EQ(MeasureValue(MeasureKind::kPurityRatio, s),
+                   1.0 - 0.2 / 0.6);
+  EXPECT_DOUBLE_EQ(MeasureValue(MeasureKind::kSurprising, s),
+                   0.4 * (1.0 - 0.2 / 0.6));
+}
+
+TEST(MeasureKindNameTest, Stable) {
+  EXPECT_STREQ(MeasureKindName(MeasureKind::kSupportDiff), "support_diff");
+  EXPECT_STREQ(MeasureKindName(MeasureKind::kSurprising), "surprising");
+}
+
+TEST(EntropyPurityTest, PureIsOneBalancedIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyPurity({0.8, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(EntropyPurity({0.4, 0.4}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyPurity({0.0, 0.0}), 0.0);
+}
+
+TEST(EntropyPurityTest, MonotoneInSkew) {
+  EXPECT_LT(EntropyPurity({0.5, 0.4}), EntropyPurity({0.5, 0.1}));
+  double e = EntropyPurity({0.9, 0.1});
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 1.0);
+}
+
+TEST(EntropyPurityTest, ThreeGroupNormalization) {
+  EXPECT_DOUBLE_EQ(EntropyPurity({0.3, 0.3, 0.3}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyPurity({0.7, 0.0, 0.0}), 1.0);
+}
+
+TEST(MeasureValueTest, EntropyPurityDispatch) {
+  std::vector<double> s = {0.6, 0.2};
+  EXPECT_DOUBLE_EQ(MeasureValue(MeasureKind::kEntropyPurity, s),
+                   EntropyPurity(s));
+  EXPECT_STREQ(MeasureKindName(MeasureKind::kEntropyPurity),
+               "entropy_purity");
+}
+
+TEST(MeasureNeedsTrivialBoundTest, OnlyPureHomogeneityMeasures) {
+  EXPECT_FALSE(MeasureNeedsTrivialBound(MeasureKind::kSupportDiff));
+  EXPECT_FALSE(MeasureNeedsTrivialBound(MeasureKind::kSurprising));
+  EXPECT_TRUE(MeasureNeedsTrivialBound(MeasureKind::kPurityRatio));
+  EXPECT_TRUE(MeasureNeedsTrivialBound(MeasureKind::kEntropyPurity));
+}
+
+TEST(WRAccTest, KnownValue) {
+  // 100 of 400 rows match; 80 of the matches are group 0; group 0 is
+  // 200/400 overall. WRAcc = 0.25 * (0.8 - 0.5) = 0.075.
+  EXPECT_DOUBLE_EQ(WRAcc({80, 20}, {200, 200}, 0), 0.075);
+}
+
+TEST(WRAccTest, IndependentDescriptionIsZero) {
+  EXPECT_DOUBLE_EQ(WRAcc({50, 50}, {200, 200}, 0), 0.0);
+}
+
+TEST(WRAccTest, AntiCorrelatedIsNegative) {
+  EXPECT_LT(WRAcc({20, 80}, {200, 200}, 0), 0.0);
+}
+
+TEST(WRAccTest, EmptyCoverIsZero) {
+  EXPECT_DOUBLE_EQ(WRAcc({0, 0}, {200, 200}, 0), 0.0);
+}
+
+TEST(WRAccTest, RankingMatchesSupportDifferenceForTwoGroups) {
+  // The survey result the paper cites: WRAcc and support difference are
+  // directly proportional for two groups -> identical ranking.
+  struct Case {
+    std::vector<double> counts;
+  };
+  std::vector<Case> cases = {{{80, 20}}, {{150, 90}}, {{40, 5}},
+                             {{120, 120}}, {{10, 90}}};
+  std::vector<double> sizes = {200, 200};
+  for (size_t i = 0; i < cases.size(); ++i) {
+    for (size_t j = 0; j < cases.size(); ++j) {
+      double w_i = WRAcc(cases[i].counts, sizes, 0);
+      double w_j = WRAcc(cases[j].counts, sizes, 0);
+      double d_i = cases[i].counts[0] / 200 - cases[i].counts[1] / 200;
+      double d_j = cases[j].counts[0] / 200 - cases[j].counts[1] / 200;
+      EXPECT_EQ(w_i < w_j, d_i < d_j) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::core

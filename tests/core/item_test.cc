@@ -1,0 +1,98 @@
+#include "core/item.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::core {
+namespace {
+
+data::Dataset MakeDb() {
+  data::DatasetBuilder b;
+  int x = b.AddContinuous("x");
+  int c = b.AddCategorical("color");
+  b.AppendContinuous(x, 1.0);
+  b.AppendCategorical(c, "red");
+  b.AppendContinuous(x, 2.0);
+  b.AppendCategorical(c, "blue");
+  b.AppendMissing(x);
+  b.AppendMissing(c);
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(ItemTest, IntervalMatchesHalfOpen) {
+  data::Dataset db = MakeDb();
+  Item it = Item::Interval(0, 1.0, 2.0);  // (1, 2]
+  EXPECT_FALSE(it.Matches(db, 0));  // 1.0 excluded (lo open)
+  EXPECT_TRUE(it.Matches(db, 1));   // 2.0 included (hi closed)
+}
+
+TEST(ItemTest, MissingNeverMatches) {
+  data::Dataset db = MakeDb();
+  EXPECT_FALSE(Item::Interval(0, -100, 100).Matches(db, 2));
+  EXPECT_FALSE(Item::Categorical(1, 0).Matches(db, 2));
+}
+
+TEST(ItemTest, CategoricalMatchesByCode) {
+  data::Dataset db = MakeDb();
+  int32_t red = db.categorical(1).CodeOf("red");
+  Item it = Item::Categorical(1, red);
+  EXPECT_TRUE(it.Matches(db, 0));
+  EXPECT_FALSE(it.Matches(db, 1));
+}
+
+TEST(ItemTest, ContainedInIntervals) {
+  Item inner = Item::Interval(0, 2.0, 3.0);
+  Item outer = Item::Interval(0, 1.0, 4.0);
+  EXPECT_TRUE(inner.ContainedIn(outer));
+  EXPECT_FALSE(outer.ContainedIn(inner));
+  EXPECT_TRUE(inner.ContainedIn(inner));
+  // Different attribute never contains.
+  EXPECT_FALSE(inner.ContainedIn(Item::Interval(1, 0.0, 10.0)));
+  // Kind mismatch never contains.
+  EXPECT_FALSE(inner.ContainedIn(Item::Categorical(0, 1)));
+}
+
+TEST(ItemTest, ContainedInCategoricalIsEquality) {
+  Item a = Item::Categorical(2, 5);
+  Item b = Item::Categorical(2, 5);
+  Item c = Item::Categorical(2, 6);
+  EXPECT_TRUE(a.ContainedIn(b));
+  EXPECT_FALSE(a.ContainedIn(c));
+}
+
+TEST(ItemTest, ToStringFormats) {
+  data::Dataset db = MakeDb();
+  EXPECT_EQ(Item::Interval(0, 1.0, 2.0).ToString(db), "1 < x <= 2");
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Item::Interval(0, -inf, 2.0).ToString(db), "x <= 2");
+  EXPECT_EQ(Item::Interval(0, 1.0, inf).ToString(db), "x > 1");
+  int32_t red = db.categorical(1).CodeOf("red");
+  EXPECT_EQ(Item::Categorical(1, red).ToString(db), "color = red");
+}
+
+TEST(ItemTest, KeyIsCanonical) {
+  EXPECT_EQ(Item::Categorical(3, 7).Key(), "3=7");
+  EXPECT_EQ(Item::Interval(2, 0.5, 1.5).Key(),
+            Item::Interval(2, 0.5, 1.5).Key());
+  EXPECT_NE(Item::Interval(2, 0.5, 1.5).Key(),
+            Item::Interval(2, 0.5, 1.6).Key());
+}
+
+TEST(ItemTest, OrderingByAttrThenValue) {
+  Item a = Item::Categorical(0, 1);
+  Item b = Item::Categorical(1, 0);
+  Item c = Item::Interval(1, 0.0, 1.0);
+  EXPECT_TRUE(ItemLess(a, b));
+  EXPECT_FALSE(ItemLess(b, a));
+  EXPECT_TRUE(ItemLess(b, c));  // categorical sorts before interval
+}
+
+TEST(ItemTest, Equality) {
+  EXPECT_EQ(Item::Interval(0, 1, 2), Item::Interval(0, 1, 2));
+  EXPECT_FALSE(Item::Interval(0, 1, 2) == Item::Interval(0, 1, 3));
+  EXPECT_FALSE(Item::Interval(0, 1, 2) == Item::Categorical(0, 1));
+}
+
+}  // namespace
+}  // namespace sdadcs::core

@@ -1,0 +1,141 @@
+#include "core/itemset.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::core {
+namespace {
+
+data::Dataset MakeDb() {
+  data::DatasetBuilder b;
+  int x = b.AddContinuous("x");
+  int y = b.AddContinuous("y");
+  int c = b.AddCategorical("c");
+  const double xs[] = {1, 2, 3, 4};
+  const double ys[] = {10, 20, 30, 40};
+  const char* cs[] = {"a", "a", "b", "b"};
+  for (int i = 0; i < 4; ++i) {
+    b.AppendContinuous(x, xs[i]);
+    b.AppendContinuous(y, ys[i]);
+    b.AppendCategorical(c, cs[i]);
+  }
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(ItemsetTest, KeepsItemsSortedByAttr) {
+  Itemset s({Item::Categorical(2, 0), Item::Interval(0, 0, 5)});
+  EXPECT_EQ(s.item(0).attr, 0);
+  EXPECT_EQ(s.item(1).attr, 2);
+}
+
+TEST(ItemsetTest, WithItemReplacesSameAttribute) {
+  Itemset s({Item::Interval(0, 0, 5)});
+  Itemset t = s.WithItem(Item::Interval(0, 1, 3));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.item(0).lo, 1.0);
+  Itemset u = s.WithItem(Item::Interval(1, 0, 9));
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(ItemsetTest, WithoutAttributeAndIntervals) {
+  Itemset s({Item::Interval(0, 0, 5), Item::Categorical(2, 1)});
+  EXPECT_EQ(s.WithoutAttribute(0).size(), 1u);
+  EXPECT_EQ(s.WithoutAttribute(9).size(), 2u);
+  Itemset cats = s.WithoutIntervals();
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_EQ(cats.item(0).kind, Item::Kind::kCategorical);
+}
+
+TEST(ItemsetTest, EmptyMatchesEverything) {
+  data::Dataset db = MakeDb();
+  Itemset empty;
+  for (uint32_t r = 0; r < 4; ++r) EXPECT_TRUE(empty.Matches(db, r));
+}
+
+TEST(ItemsetTest, ConjunctionSemantics) {
+  data::Dataset db = MakeDb();
+  int32_t a = db.categorical(2).CodeOf("a");
+  Itemset s({Item::Interval(0, 1, 3), Item::Categorical(2, a)});
+  // Row 1: x=2 in (1,3], c="a" -> match. Row 2: x=3 but c="b" -> no.
+  EXPECT_FALSE(s.Matches(db, 0));  // x=1 excluded
+  EXPECT_TRUE(s.Matches(db, 1));
+  EXPECT_FALSE(s.Matches(db, 2));
+}
+
+TEST(ItemsetTest, CoverFiltersSelection) {
+  data::Dataset db = MakeDb();
+  Itemset s({Item::Interval(0, 1, 4)});
+  data::Selection cover = s.Cover(db, data::Selection::All(4));
+  EXPECT_EQ(cover.rows(), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(ItemsetTest, SpecializesWithContainment) {
+  Itemset general({Item::Interval(0, 0, 10)});
+  Itemset narrow({Item::Interval(0, 2, 5), Item::Categorical(2, 0)});
+  EXPECT_TRUE(narrow.Specializes(general));
+  EXPECT_FALSE(general.Specializes(narrow));
+  // Everything specializes the empty itemset.
+  EXPECT_TRUE(general.Specializes(Itemset()));
+}
+
+TEST(ItemsetTest, SpecializesFailsOnDisjointIntervals) {
+  Itemset a({Item::Interval(0, 0, 5)});
+  Itemset b({Item::Interval(0, 5, 10)});
+  EXPECT_FALSE(b.Specializes(a));
+}
+
+TEST(ItemsetTest, ProperSubsetsCount) {
+  Itemset s({Item::Interval(0, 0, 5), Item::Interval(1, 0, 5),
+             Item::Categorical(2, 0)});
+  std::vector<Itemset> subs = s.ProperSubsets();
+  EXPECT_EQ(subs.size(), 6u);  // 2^3 - 2
+  for (const Itemset& sub : subs) {
+    EXPECT_GT(sub.size(), 0u);
+    EXPECT_LT(sub.size(), 3u);
+    EXPECT_TRUE(sub.size() == 1 || sub.size() == 2);
+  }
+}
+
+TEST(ItemsetTest, ProperSubsetsOfSingletonEmpty) {
+  Itemset s({Item::Categorical(0, 1)});
+  EXPECT_TRUE(s.ProperSubsets().empty());
+}
+
+TEST(ItemsetTest, ComplementPartitions) {
+  Itemset s({Item::Interval(0, 0, 5), Item::Categorical(2, 0)});
+  Itemset a({Item::Interval(0, 0, 5)});
+  Itemset rest = s.Complement(a);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest.item(0).attr, 2);
+}
+
+TEST(ItemsetTest, KeyDeterministicAndDistinct) {
+  Itemset a({Item::Interval(0, 0, 5), Item::Categorical(2, 0)});
+  Itemset b({Item::Categorical(2, 0), Item::Interval(0, 0, 5)});
+  EXPECT_EQ(a.Key(), b.Key());  // order-insensitive (canonical sort)
+  Itemset c({Item::Interval(0, 0, 6), Item::Categorical(2, 0)});
+  EXPECT_NE(a.Key(), c.Key());
+}
+
+TEST(ItemsetTest, AttributeSignatureIgnoresBounds) {
+  Itemset a({Item::Interval(0, 0, 5)});
+  Itemset b({Item::Interval(0, 2, 3)});
+  EXPECT_EQ(a.AttributeSignature(), b.AttributeSignature());
+  Itemset c({Item::Categorical(0, 1)});
+  EXPECT_NE(a.AttributeSignature(), c.AttributeSignature());
+  // Categorical signature includes the code (containment is equality).
+  Itemset d({Item::Categorical(0, 2)});
+  EXPECT_NE(c.AttributeSignature(), d.AttributeSignature());
+}
+
+TEST(ItemsetTest, ToStringJoinsWithAnd) {
+  data::Dataset db = MakeDb();
+  Itemset s({Item::Interval(0, 1, 3),
+             Item::Categorical(2, db.categorical(2).CodeOf("a"))});
+  EXPECT_EQ(s.ToString(db), "1 < x <= 3 and c = a");
+  EXPECT_EQ(Itemset().ToString(db), "{}");
+}
+
+}  // namespace
+}  // namespace sdadcs::core

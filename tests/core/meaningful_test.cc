@@ -1,0 +1,77 @@
+#include "core/meaningful.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/support.h"
+#include "synth/simulated.h"
+#include "synth/uci_like.h"
+
+namespace sdadcs::core {
+namespace {
+
+TEST(PatternClassNameTest, Stable) {
+  EXPECT_STREQ(PatternClassName(PatternClass::kMeaningful), "meaningful");
+  EXPECT_STREQ(PatternClassName(PatternClass::kRedundant), "redundant");
+  EXPECT_STREQ(PatternClassName(PatternClass::kUnproductive),
+               "unproductive");
+}
+
+TEST(ClassifyPatternsTest, EmptyListEmptyReport) {
+  data::Dataset db = synth::MakeSimulated3(300);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  MinerConfig cfg;
+  MeaningfulnessReport report = ClassifyPatterns(db, *gi, cfg, {});
+  EXPECT_EQ(report.meaningful, 0);
+  EXPECT_EQ(report.meaningless(), 0);
+}
+
+TEST(ClassifyPatternsTest, UnfilteredNpOutputIsMostlyMeaningless) {
+  // The Table 6 phenomenon: without the meaningfulness machinery most of
+  // the top patterns are redundant/unproductive.
+  synth::NamedDataset shuttle = synth::MakeShuttleLike();
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.meaningful_pruning = false;
+  cfg.attributes = {"attr1", "attr2", "attr9"};
+  Miner miner(cfg);
+  auto result = miner.Mine(shuttle.db, shuttle.group_attr, shuttle.groups);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->contrasts.size(), 5u);
+
+  auto gi = data::GroupInfo::CreateForValues(
+      shuttle.db, *shuttle.db.schema().IndexOf(shuttle.group_attr),
+      shuttle.groups);
+  ASSERT_TRUE(gi.ok());
+  MeaningfulnessReport report =
+      ClassifyPatterns(shuttle.db, *gi, cfg, result->contrasts);
+  EXPECT_EQ(report.classes.size(), result->contrasts.size());
+  EXPECT_GT(report.meaningless(), 0);
+  // attr1 and attr9 are nearly functionally coupled: conjunctions of the
+  // two are classified away.
+  EXPECT_GT(report.redundant + report.unproductive +
+                report.not_independently_productive,
+            static_cast<int>(result->contrasts.size()) / 4);
+}
+
+TEST(ClassifyPatternsTest, CountsAddUp) {
+  synth::NamedDataset adult = synth::MakeAdultLike();
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.meaningful_pruning = false;
+  cfg.attributes = {"age", "hours_per_week", "occupation"};
+  Miner miner(cfg);
+  auto result = miner.Mine(adult.db, adult.group_attr, adult.groups);
+  ASSERT_TRUE(result.ok());
+  auto gi = data::GroupInfo::CreateForValues(
+      adult.db, *adult.db.schema().IndexOf(adult.group_attr), adult.groups);
+  ASSERT_TRUE(gi.ok());
+  MeaningfulnessReport report =
+      ClassifyPatterns(adult.db, *gi, cfg, result->contrasts);
+  EXPECT_EQ(report.meaningful + report.meaningless(),
+            static_cast<int>(result->contrasts.size()));
+}
+
+}  // namespace
+}  // namespace sdadcs::core

@@ -1,0 +1,101 @@
+#include "core/optimistic.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/chi_squared.h"
+
+namespace sdadcs::core {
+namespace {
+
+TEST(MaxInstancesChildTest, MatchesEquationSix) {
+  // |DB| / (2^(level+1) * |ca|).
+  EXPECT_DOUBLE_EQ(MaxInstancesChild(100, 1, 1), 25.0);
+  EXPECT_DOUBLE_EQ(MaxInstancesChild(100, 2, 1), 12.5);
+  EXPECT_DOUBLE_EQ(MaxInstancesChild(100, 1, 2), 12.5);
+  EXPECT_DOUBLE_EQ(MaxInstancesChild(1000, 3, 5), 1000.0 / (16 * 5));
+}
+
+TEST(OptimisticMeasureTest, PaperSectionFourFourExample) {
+  // Figure 2 walk-through: 100 rows, 2% group A. The right half-space
+  // holds 2 A's and 48 B's; the paper computes oe = 1 - 23/98 = 0.7653.
+  OptimisticInput in;
+  in.db_size = 100;
+  in.level = 1;
+  in.num_continuous = 1;
+  in.counts = {2, 48};        // A, B
+  in.space_total = 50;
+  in.group_sizes = {2, 98};
+  EXPECT_NEAR(OptimisticMeasure(in), 1.0 - 23.0 / 98.0, 1e-12);
+}
+
+TEST(OptimisticMeasureTest, BoundsAchievableChildSupports) {
+  // oe bounds the measure of *child* spaces (not the current one): a
+  // child holds at most max_child rows, so no child support can exceed
+  // max_child / |g|, and the bound reflects that cap.
+  OptimisticInput in;
+  in.db_size = 1000;
+  in.level = 1;
+  in.num_continuous = 2;
+  in.counts = {120, 300};
+  in.space_total = 420;
+  in.group_sizes = {500, 500};
+  double max_child = MaxInstancesChild(1000, 1, 2);  // 125
+  // Best imaginable child: 125 rows all of one group, none of the other.
+  EXPECT_DOUBLE_EQ(OptimisticMeasure(in), max_child / 500.0);
+}
+
+TEST(OptimisticMeasureTest, ShrinksWithDepth) {
+  OptimisticInput in;
+  in.db_size = 1000;
+  in.num_continuous = 1;
+  in.counts = {50, 400};
+  in.space_total = 450;
+  in.group_sizes = {500, 500};
+  in.level = 1;
+  double oe1 = OptimisticMeasure(in);
+  in.level = 3;
+  double oe3 = OptimisticMeasure(in);
+  EXPECT_LE(oe3, oe1);
+}
+
+TEST(OptimisticMeasureTest, SupportCapAppliesWhenGroupTiny) {
+  // A group smaller than the child capacity caps max_supp at the current
+  // support (min in Eq. 7), never above 1.
+  OptimisticInput in;
+  in.db_size = 10000;
+  in.level = 1;
+  in.num_continuous = 1;
+  in.counts = {10, 500};
+  in.space_total = 510;
+  in.group_sizes = {10, 9990};
+  double oe = OptimisticMeasure(in);
+  EXPECT_LE(oe, 1.0);
+  EXPECT_GT(oe, 0.0);
+}
+
+TEST(MaxChildChiSquaredTest, BoundsObservedStatistic) {
+  // The bound over specializations is at least the statistic of the
+  // current counts (identity specialization is a corner? No — corners
+  // are all-or-nothing, but the max over corners dominates any interior
+  // point of the feasible box for the presence-table statistic).
+  std::vector<double> counts = {80, 20};
+  std::vector<double> sizes = {200, 200};
+  double bound = MaxChildChiSquared(counts, sizes);
+  stats::ChiSquaredResult now = stats::ChiSquaredPresenceTest(counts, sizes);
+  ASSERT_TRUE(now.valid);
+  EXPECT_GE(bound, now.statistic);
+}
+
+TEST(MaxChildChiSquaredTest, ZeroCountsGiveZeroBound) {
+  EXPECT_DOUBLE_EQ(MaxChildChiSquared({0, 0}, {100, 100}), 0.0);
+}
+
+TEST(MaxChildChiSquaredTest, GrowsWithCounts) {
+  std::vector<double> sizes = {1000, 1000};
+  double small = MaxChildChiSquared({5, 5}, sizes);
+  double large = MaxChildChiSquared({200, 200}, sizes);
+  EXPECT_LT(small, large);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

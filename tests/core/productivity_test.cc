@@ -1,0 +1,213 @@
+#include "core/productivity.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/support.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::core {
+namespace {
+
+// A dataset with two categorical attributes u, v and group g designed so
+// that:
+//  - u=hit alone is a mild contrast;
+//  - v=hit alone is a mild contrast;
+//  - in the "dependent" variant, u=hit & v=hit co-occur in group a far
+//    beyond independence (productive conjunction);
+//  - in the "independent" variant, u and v are independent within each
+//    group (unproductive conjunction).
+data::Dataset MakeDb(bool dependent, int n = 2000) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int u = b.AddCategorical("u");
+  int v = b.AddCategorical("v");
+  util::Rng rng(31);
+  for (int i = 0; i < n; ++i) {
+    bool in_a = i % 2 == 0;
+    b.AppendCategorical(g, in_a ? "a" : "b");
+    double pu = in_a ? 0.5 : 0.3;
+    bool u_hit = rng.Bernoulli(pu);
+    bool v_hit;
+    if (dependent && in_a) {
+      // Inside group a, v follows u tightly.
+      v_hit = u_hit ? rng.Bernoulli(0.9) : rng.Bernoulli(0.1);
+    } else {
+      v_hit = rng.Bernoulli(in_a ? 0.5 : 0.3);
+    }
+    b.AppendCategorical(u, u_hit ? "hit" : "miss");
+    b.AppendCategorical(v, v_hit ? "hit" : "miss");
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+class Harness {
+ public:
+  explicit Harness(data::Dataset db)
+      : db_(std::move(db)), topk_(100, 0.1) {
+    auto gi = data::GroupInfo::Create(db_, 0);
+    SDADCS_CHECK(gi.ok());
+    gi_ = std::make_unique<data::GroupInfo>(std::move(gi).value());
+    ctx_.db = &db_;
+    ctx_.gi = gi_.get();
+    ctx_.cfg = &cfg_;
+    ctx_.prune_table = &table_;
+    ctx_.topk = &topk_;
+    ctx_.counters = &counters_;
+    ctx_.group_sizes = GroupSizes(*gi_);
+  }
+
+  MiningContext& ctx() { return ctx_; }
+  const data::Dataset& db() const { return db_; }
+  const data::GroupInfo& gi() const { return *gi_; }
+
+  ContrastPattern PatternFor(const Itemset& itemset) {
+    ContrastPattern p;
+    p.itemset = itemset;
+    GroupCounts gc =
+        CountMatches(db_, *gi_, itemset, gi_->base_selection());
+    p.counts = gc.counts;
+    p.ComputeStats(*gi_, MeasureKind::kSupportDiff);
+    return p;
+  }
+
+  Itemset BothHits() {
+    return Itemset(
+        {Item::Categorical(1, db_.categorical(1).CodeOf("hit")),
+         Item::Categorical(2, db_.categorical(2).CodeOf("hit"))});
+  }
+
+ private:
+  data::Dataset db_;
+  MinerConfig cfg_;
+  std::unique_ptr<data::GroupInfo> gi_;
+  PruneTable table_;
+  TopK topk_;
+  MiningCounters counters_;
+  MiningContext ctx_;
+};
+
+TEST(IsProductiveTest, SingletonAlwaysProductive) {
+  Harness h(MakeDb(true));
+  ContrastPattern p = h.PatternFor(
+      Itemset({Item::Categorical(1, h.db().categorical(1).CodeOf("hit"))}));
+  EXPECT_TRUE(IsProductive(h.ctx(), p));
+}
+
+TEST(IsProductiveTest, DependentConjunctionIsProductive) {
+  Harness h(MakeDb(true));
+  ContrastPattern p = h.PatternFor(h.BothHits());
+  EXPECT_TRUE(IsProductive(h.ctx(), p));
+}
+
+TEST(IsProductiveTest, IndependentConjunctionIsNot) {
+  Harness h(MakeDb(false));
+  ContrastPattern p = h.PatternFor(h.BothHits());
+  EXPECT_FALSE(IsProductive(h.ctx(), p));
+}
+
+TEST(IsRedundantAgainstSubsetsTest, FunctionalDependencyDetected) {
+  // pregnant => female: {female, pregnant} has exactly the supports of
+  // {pregnant} -> redundant (the paper's Section 4.3 example).
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int sex = b.AddCategorical("sex");
+  int preg = b.AddCategorical("pregnant");
+  util::Rng rng(33);
+  for (int i = 0; i < 1200; ++i) {
+    bool in_a = i % 3 == 0;
+    b.AppendCategorical(g, in_a ? "a" : "b");
+    bool female = rng.Bernoulli(0.5);
+    b.AppendCategorical(sex, female ? "female" : "male");
+    bool pregnant = female && rng.Bernoulli(in_a ? 0.6 : 0.2);
+    b.AppendCategorical(preg, pregnant ? "yes" : "no");
+  }
+  auto db_or = std::move(b).Build();
+  ASSERT_TRUE(db_or.ok());
+  Harness h(std::move(db_or).value());
+
+  Itemset both({Item::Categorical(1, h.db().categorical(1).CodeOf("female")),
+                Item::Categorical(2, h.db().categorical(2).CodeOf("yes"))});
+  ContrastPattern p = h.PatternFor(both);
+  EXPECT_TRUE(IsRedundantAgainstSubsets(h.ctx(), p));
+
+  // The standalone "pregnant" pattern is not redundant.
+  ContrastPattern single = h.PatternFor(Itemset(
+      {Item::Categorical(2, h.db().categorical(2).CodeOf("yes"))}));
+  EXPECT_FALSE(IsRedundantAgainstSubsets(h.ctx(), single));
+}
+
+TEST(FilterIndependentlyProductiveTest, ExplainedParentDropped) {
+  // All of u=hit's contrast in group a comes through v=hit (dependent
+  // variant): once {u=hit, v=hit} is in the list, u=hit's residual
+  // should decide its fate; craft an extreme case where residual rows
+  // carry no signal.
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int u = b.AddCategorical("u");
+  int v = b.AddCategorical("v");
+  util::Rng rng(37);
+  for (int i = 0; i < 2000; ++i) {
+    bool in_a = i % 2 == 0;
+    b.AppendCategorical(g, in_a ? "a" : "b");
+    // v=hit is the real signal; u=hit occurs exactly when v=hit plus
+    // noise calibrated so P(u & !v) = 0.10 in BOTH groups — the residual
+    // of u=hit outside the conjunction carries no contrast at all.
+    bool v_hit = rng.Bernoulli(in_a ? 0.6 : 0.15);
+    bool u_hit = v_hit || rng.Bernoulli(in_a ? 0.10 / 0.40 : 0.10 / 0.85);
+    b.AppendCategorical(u, u_hit ? "hit" : "miss");
+    b.AppendCategorical(v, v_hit ? "hit" : "miss");
+  }
+  auto db_or = std::move(b).Build();
+  ASSERT_TRUE(db_or.ok());
+  Harness h(std::move(db_or).value());
+
+  Itemset u_only(
+      {Item::Categorical(1, h.db().categorical(1).CodeOf("hit"))});
+  ContrastPattern parent = h.PatternFor(u_only);
+  ContrastPattern child = h.PatternFor(h.BothHits());
+  std::vector<ContrastPattern> patterns = {parent, child};
+  std::vector<ContrastPattern> kept =
+      FilterIndependentlyProductive(h.ctx(), std::move(patterns));
+  // u=hit minus the conjunction leaves only noise rows -> dropped; the
+  // conjunction itself survives.
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].itemset.size(), 2u);
+  EXPECT_EQ(h.ctx().counters->not_independently_productive, 1u);
+}
+
+TEST(FilterIndependentlyProductiveTest, GenuineParentKept) {
+  Harness h(MakeDb(true));
+  Itemset u_only(
+      {Item::Categorical(1, h.db().categorical(1).CodeOf("hit"))});
+  // Restrict the conjunction to a narrow slice so u=hit keeps plenty of
+  // independent signal.
+  ContrastPattern parent = h.PatternFor(u_only);
+  ContrastPattern child = h.PatternFor(h.BothHits());
+  std::vector<ContrastPattern> patterns = {parent, child};
+  std::vector<ContrastPattern> kept =
+      FilterIndependentlyProductive(h.ctx(), std::move(patterns));
+  bool parent_kept = false;
+  for (const ContrastPattern& p : kept) {
+    if (p.itemset.size() == 1) parent_kept = true;
+  }
+  EXPECT_TRUE(parent_kept);
+}
+
+TEST(FilterIndependentlyProductiveTest, NoSupersetsNoChange) {
+  Harness h(MakeDb(true));
+  ContrastPattern a = h.PatternFor(
+      Itemset({Item::Categorical(1, h.db().categorical(1).CodeOf("hit"))}));
+  ContrastPattern b = h.PatternFor(
+      Itemset({Item::Categorical(2, h.db().categorical(2).CodeOf("hit"))}));
+  std::vector<ContrastPattern> kept =
+      FilterIndependentlyProductive(h.ctx(), {a, b});
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

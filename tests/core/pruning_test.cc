@@ -1,0 +1,124 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::core {
+namespace {
+
+TEST(PruneTableTest, ExactMatchPrunes) {
+  PruneTable table;
+  Itemset entry({Item::Categorical(0, 1)});
+  table.Insert(entry, PruneReason::kMinSupport);
+  PruneReason reason;
+  EXPECT_TRUE(table.CanPrune(entry, &reason));
+  EXPECT_EQ(reason, PruneReason::kMinSupport);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PruneTableTest, SupersetOfPrunedEntryIsPruned) {
+  PruneTable table;
+  table.Insert(Itemset({Item::Categorical(0, 1)}), PruneReason::kPure);
+  Itemset candidate(
+      {Item::Categorical(0, 1), Item::Interval(2, 0.0, 5.0)});
+  EXPECT_TRUE(table.CanPrune(candidate));
+}
+
+TEST(PruneTableTest, SubIntervalOfPrunedRegionIsPruned) {
+  PruneTable table;
+  table.Insert(Itemset({Item::Interval(1, 0.0, 10.0)}),
+               PruneReason::kMinSupport);
+  EXPECT_TRUE(table.CanPrune(Itemset({Item::Interval(1, 2.0, 5.0)})));
+  // Overlapping-but-not-contained interval must NOT be pruned.
+  EXPECT_FALSE(table.CanPrune(Itemset({Item::Interval(1, 5.0, 12.0)})));
+}
+
+TEST(PruneTableTest, DifferentCategoricalValueNotPruned) {
+  PruneTable table;
+  table.Insert(Itemset({Item::Categorical(0, 1)}), PruneReason::kPure);
+  EXPECT_FALSE(table.CanPrune(Itemset({Item::Categorical(0, 2)})));
+}
+
+TEST(PruneTableTest, MixedContainment) {
+  PruneTable table;
+  table.Insert(
+      Itemset({Item::Categorical(0, 3), Item::Interval(1, 0.0, 4.0)}),
+      PruneReason::kRedundant);
+  // Specialization in both items -> pruned.
+  EXPECT_TRUE(table.CanPrune(Itemset({Item::Categorical(0, 3),
+                                      Item::Interval(1, 1.0, 2.0),
+                                      Item::Categorical(2, 0)})));
+  // Interval outside the region -> kept.
+  EXPECT_FALSE(table.CanPrune(Itemset(
+      {Item::Categorical(0, 3), Item::Interval(1, 3.0, 9.0)})));
+}
+
+TEST(PruneTableTest, EmptyTableNeverPrunes) {
+  PruneTable table;
+  EXPECT_FALSE(table.CanPrune(Itemset({Item::Categorical(0, 0)})));
+}
+
+TEST(PruneTableTest, ParentChainConsulted) {
+  PruneTable parent;
+  parent.Insert(Itemset({Item::Categorical(0, 1)}),
+                PruneReason::kMinSupport);
+  PruneTable child;
+  child.set_parent(&parent);
+  EXPECT_TRUE(child.CanPrune(Itemset({Item::Categorical(0, 1)})));
+  // Inserts stay local: parent unaffected.
+  child.Insert(Itemset({Item::Categorical(0, 2)}), PruneReason::kPure);
+  EXPECT_FALSE(parent.CanPrune(Itemset({Item::Categorical(0, 2)})));
+  EXPECT_TRUE(child.CanPrune(Itemset({Item::Categorical(0, 2)})));
+}
+
+TEST(PruneTableTest, MergeFromAddsEntries) {
+  PruneTable a;
+  a.Insert(Itemset({Item::Categorical(0, 1)}), PruneReason::kPure);
+  PruneTable b;
+  b.Insert(Itemset({Item::Categorical(1, 0)}), PruneReason::kRedundant);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.CanPrune(Itemset({Item::Categorical(1, 0)})));
+}
+
+TEST(BelowMinimumDeviationTest, AllBelowDelta) {
+  EXPECT_TRUE(BelowMinimumDeviation({0.05, 0.09}, 0.1));
+  EXPECT_FALSE(BelowMinimumDeviation({0.05, 0.30}, 0.1));
+  EXPECT_FALSE(BelowMinimumDeviation({0.1, 0.05}, 0.1));  // 0.1 >= delta
+}
+
+TEST(LowExpectedCountTest, SmallCellsDetected) {
+  // 4 matches out of 1000/1000: expected match count per group = 2 < 5.
+  EXPECT_TRUE(LowExpectedCount({2, 2}, {1000, 1000}));
+  EXPECT_FALSE(LowExpectedCount({300, 200}, {1000, 1000}));
+}
+
+TEST(StatisticallySameDifferenceTest, IdenticalDifferencesAreSame) {
+  EXPECT_TRUE(StatisticallySameDifference(
+      0.30, 0.30, {0.5, 0.2}, {500, 500}, 0.05));
+}
+
+TEST(StatisticallySameDifferenceTest, LargeDeviationDiffers) {
+  EXPECT_FALSE(StatisticallySameDifference(
+      0.60, 0.30, {0.5, 0.2}, {500, 500}, 0.05));
+}
+
+TEST(StatisticallySameDifferenceTest, WidthShrinksWithSampleSize) {
+  // A deviation inside the bound for small groups falls outside it for
+  // large groups (CLT: the standard error shrinks).
+  double diff_curr = 0.34;
+  double diff_sub = 0.30;
+  std::vector<double> supports = {0.5, 0.2};
+  EXPECT_TRUE(StatisticallySameDifference(diff_curr, diff_sub, supports,
+                                          {200, 200}, 0.05));
+  EXPECT_FALSE(StatisticallySameDifference(diff_curr, diff_sub, supports,
+                                           {100000, 100000}, 0.05));
+}
+
+TEST(PruneReasonNameTest, Stable) {
+  EXPECT_STREQ(PruneReasonName(PruneReason::kMinSupport), "min_support");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kPure), "pure");
+  EXPECT_STREQ(PruneReasonName(PruneReason::kChiBound), "chi_bound");
+}
+
+}  // namespace
+}  // namespace sdadcs::core

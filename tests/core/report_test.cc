@@ -1,0 +1,103 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "synth/simulated.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+  MiningResult result;
+};
+
+Fixture MakeFixture() {
+  Fixture f{synth::MakeSimulated4(1200), {}, {}};
+  auto gi = data::GroupInfo::Create(f.db, 0);
+  SDADCS_CHECK(gi.ok());
+  f.gi = std::move(gi).value();
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  auto result = Miner(cfg).MineWithGroups(f.db, f.gi);
+  SDADCS_CHECK(result.ok());
+  f.result = std::move(result).value();
+  SDADCS_CHECK(!f.result.contrasts.empty());
+  return f;
+}
+
+TEST(FormatPatternsTableTest, ContainsHeaderAndRows) {
+  Fixture f = MakeFixture();
+  std::string table =
+      FormatPatternsTable(f.db, f.gi, f.result.contrasts, 5);
+  EXPECT_NE(table.find("rank"), std::string::npos);
+  EXPECT_NE(table.find("diff"), std::string::npos);
+  EXPECT_NE(table.find(f.gi.group_name(0).substr(0, 6)),
+            std::string::npos);
+  EXPECT_NE(table.find("   1  "), std::string::npos);
+}
+
+TEST(FormatPatternsTableTest, LimitTruncatesWithEllipsisLine) {
+  Fixture f = MakeFixture();
+  if (f.result.contrasts.size() < 2) GTEST_SKIP();
+  std::string table =
+      FormatPatternsTable(f.db, f.gi, f.result.contrasts, 1);
+  EXPECT_NE(table.find("more"), std::string::npos);
+}
+
+TEST(PatternsToCsvTest, ParsesBackAsCsv) {
+  Fixture f = MakeFixture();
+  std::string csv = PatternsToCsv(f.db, f.gi, f.result.contrasts);
+  // Header + one line per pattern.
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, f.result.contrasts.size() + 1);
+  EXPECT_NE(csv.find("diff,purity,p_value"), std::string::npos);
+  EXPECT_NE(csv.find("Attr1"), std::string::npos);
+}
+
+TEST(PatternsToCsvTest, EmptyListHasHeaderOnly) {
+  Fixture f = MakeFixture();
+  std::string csv = PatternsToCsv(f.db, f.gi, {});
+  // Group column order follows the GroupInfo; compare order-agnostic.
+  std::string expected = "supp_" + f.gi.group_name(0) + ",supp_" +
+                         f.gi.group_name(1) + ",diff,purity,p_value\n";
+  EXPECT_EQ(csv, expected);
+}
+
+TEST(PatternsToJsonTest, WellFormedBrackets) {
+  Fixture f = MakeFixture();
+  std::string json = PatternsToJson(f.db, f.gi, f.result.contrasts);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"items\""), std::string::npos);
+  EXPECT_NE(json.find("\"supports\""), std::string::npos);
+  EXPECT_NE(json.find("\"p_value\""), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(PatternsToJsonTest, InfinityBecomesNull) {
+  Fixture f = MakeFixture();
+  ContrastPattern p;
+  p.itemset = Itemset({Item::Interval(
+      1, -std::numeric_limits<double>::infinity(), 0.5)});
+  p.counts = {10, 10};
+  p.ComputeStats(f.gi, MeasureKind::kSupportDiff);
+  std::string json = PatternsToJson(f.db, f.gi, {p});
+  EXPECT_NE(json.find("\"lo\": null"), std::string::npos);
+}
+
+TEST(SummarizeRunTest, MentionsCountsAndGroups) {
+  Fixture f = MakeFixture();
+  std::string summary = SummarizeRun(f.result);
+  EXPECT_NE(summary.find("contrasts"), std::string::npos);
+  EXPECT_NE(summary.find("Group1"), std::string::npos);
+  EXPECT_NE(summary.find("partitions evaluated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

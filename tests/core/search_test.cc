@@ -1,0 +1,123 @@
+#include "core/search.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/support.h"
+#include "util/logging.h"
+#include "synth/simulated.h"
+
+namespace sdadcs::core {
+namespace {
+
+TEST(GenerateLevelCandidatesTest, LevelOneIsSingletons) {
+  auto c = GenerateLevelCandidates(1, {3, 5, 9}, {});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], (std::vector<int>{3}));
+  EXPECT_EQ(c[2], (std::vector<int>{9}));
+}
+
+TEST(GenerateLevelCandidatesTest, RequiresAllSubsetsAlive) {
+  std::vector<std::vector<int>> alive = {{1}, {2}, {3}};
+  auto c2 = GenerateLevelCandidates(2, {1, 2, 3}, alive);
+  EXPECT_EQ(c2.size(), 3u);  // {1,2}, {1,3}, {2,3}
+
+  // Kill {2}: only {1,3} remains possible.
+  std::vector<std::vector<int>> partial = {{1}, {3}};
+  auto c2b = GenerateLevelCandidates(2, {1, 2, 3}, partial);
+  ASSERT_EQ(c2b.size(), 1u);
+  EXPECT_EQ(c2b[0], (std::vector<int>{1, 3}));
+}
+
+TEST(GenerateLevelCandidatesTest, LevelThreeJoin) {
+  std::vector<std::vector<int>> alive = {{1, 2}, {1, 3}, {2, 3}};
+  auto c3 = GenerateLevelCandidates(3, {1, 2, 3}, alive);
+  ASSERT_EQ(c3.size(), 1u);
+  EXPECT_EQ(c3[0], (std::vector<int>{1, 2, 3}));
+
+  // Remove {2,3}: {1,2,3} loses a subset and is not generated.
+  std::vector<std::vector<int>> partial = {{1, 2}, {1, 3}};
+  EXPECT_TRUE(GenerateLevelCandidates(3, {1, 2, 3}, partial).empty());
+}
+
+TEST(GenerateLevelCandidatesTest, NoAliveNoCandidates) {
+  EXPECT_TRUE(GenerateLevelCandidates(2, {1, 2, 3}, {}).empty());
+}
+
+class SearchHarness {
+ public:
+  explicit SearchHarness(data::Dataset db)
+      : db_(std::move(db)), topk_(100, 0.1) {
+    auto gi = data::GroupInfo::Create(db_, 0);
+    SDADCS_CHECK(gi.ok());
+    gi_ = std::make_unique<data::GroupInfo>(std::move(gi).value());
+    cfg_.max_depth = 2;
+    ctx_.db = &db_;
+    ctx_.gi = gi_.get();
+    ctx_.cfg = &cfg_;
+    ctx_.prune_table = &table_;
+    ctx_.topk = &topk_;
+    ctx_.counters = &counters_;
+    ctx_.group_sizes = GroupSizes(*gi_);
+    for (size_t a = 0; a < db_.num_attributes(); ++a) {
+      int attr = static_cast<int>(a);
+      if (db_.is_continuous(attr)) {
+        ctx_.root_bounds[attr] =
+            ComputeRootBounds(db_, attr, gi_->base_selection());
+      }
+    }
+  }
+
+  MiningContext& ctx() { return ctx_; }
+  TopK& topk() { return topk_; }
+
+ private:
+  data::Dataset db_;
+  MinerConfig cfg_;
+  std::unique_ptr<data::GroupInfo> gi_;
+  PruneTable table_;
+  TopK topk_;
+  MiningCounters counters_;
+  MiningContext ctx_;
+};
+
+TEST(LatticeSearchTest, XorSingleAttributeStaysAliveDespiteNoPatterns) {
+  // The crux of multivariate discovery: {Attr1} alone finds nothing on
+  // the X-shaped data, but the combination must still be generated.
+  SearchHarness h(synth::MakeSimulated2(1200));
+  LatticeSearch search(h.ctx());
+  EXPECT_TRUE(search.MineCombo({1}));   // Attr1 (0 is Group)
+  EXPECT_EQ(h.topk().size(), 0u);
+  EXPECT_TRUE(search.MineCombo({1, 2}));
+  EXPECT_GT(h.topk().size(), 0u);
+}
+
+TEST(LatticeSearchTest, PureAttributeComboGoesDead) {
+  // Simulated 1: both halves of Attr1 are pure; the combination with
+  // Attr2 must be suppressed by the pure entries in the prune table.
+  SearchHarness h(synth::MakeSimulated1(1000));
+  LatticeSearch search(h.ctx());
+  search.MineCombo({1});
+  size_t patterns_after_attr1 = h.topk().size();
+  EXPECT_GT(patterns_after_attr1, 0u);
+  uint64_t lookup_before = h.ctx().counters->pruned_lookup;
+  search.MineCombo({1, 2});
+  // Every cell of the joint space lies inside a pure half -> all pruned
+  // via the lookup table, no new patterns.
+  EXPECT_GT(h.ctx().counters->pruned_lookup, lookup_before);
+  EXPECT_EQ(h.topk().size(), patterns_after_attr1);
+}
+
+TEST(LatticeSearchTest, RunHonorsMaxDepth) {
+  SearchHarness h(synth::MakeSimulated4(800));
+  h.ctx().cfg;  // depth already 2
+  LatticeSearch search(h.ctx());
+  search.Run({1, 2});
+  for (const ContrastPattern& p : h.topk().Sorted()) {
+    EXPECT_LE(p.itemset.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::core

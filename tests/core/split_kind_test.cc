@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/space.h"
+#include "synth/simulated.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::core {
+namespace {
+
+data::Dataset MakeSkewed() {
+  // Values 1..9 plus a heavy outlier: median 5, mean ~104.
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 1; i <= 9; ++i) {
+    b.AppendCategorical(g, i <= 4 ? "a" : "b");
+    b.AppendContinuous(x, i);
+  }
+  b.AppendCategorical(g, "b");
+  b.AppendContinuous(x, 1000.0);
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+TEST(PartitionCutsTest, MedianVsMeanOnSkewedData) {
+  data::Dataset db = MakeSkewed();
+  Space space;
+  space.bounds = {{1, 0.0, 1000.0}};
+  space.rows = data::Selection::All(10);
+  std::vector<double> median = PartitionCuts(db, space, SplitKind::kMedian);
+  std::vector<double> mean = PartitionCuts(db, space, SplitKind::kMean);
+  ASSERT_EQ(median.size(), 1u);
+  ASSERT_EQ(mean.size(), 1u);
+  EXPECT_DOUBLE_EQ(median[0], 5.0);
+  EXPECT_NEAR(mean[0], 104.5, 1e-9);
+}
+
+TEST(PartitionCutsTest, MeanCutWithEmptySideIsUnsplittable) {
+  // All mass at one value except the bound: mean above every value.
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 0; i < 6; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, 2.0);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  Space space;
+  space.bounds = {{1, 1.0, 3.0}};
+  space.rows = data::Selection::All(6);
+  std::vector<double> mean = PartitionCuts(*db, space, SplitKind::kMean);
+  EXPECT_TRUE(std::isnan(mean[0]));  // no rows above the mean cut
+}
+
+TEST(PartitionCutsTest, MedianDelegateMatches) {
+  data::Dataset db = MakeSkewed();
+  Space space;
+  space.bounds = {{1, 0.0, 1000.0}};
+  space.rows = data::Selection::All(10);
+  EXPECT_EQ(PartitionMedians(db, space),
+            PartitionCuts(db, space, SplitKind::kMedian));
+}
+
+TEST(SplitKindMinerTest, BothSplitsFindThePlantedRule) {
+  data::Dataset db = synth::MakeSimulated3(1000);
+  for (SplitKind kind : {SplitKind::kMedian, SplitKind::kMean}) {
+    MinerConfig cfg;
+    cfg.max_depth = 1;
+    cfg.split = kind;
+    auto result = Miner(cfg).Mine(db, "Group");
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->contrasts.empty())
+        << (kind == SplitKind::kMedian ? "median" : "mean");
+    EXPECT_GT(result->contrasts.front().diff, 0.9);
+  }
+}
+
+TEST(SplitKindMinerTest, MeanSplitHandlesSkewWithoutCrashing) {
+  // Lognormal-ish attribute: mean splits land far right; the miner must
+  // still terminate and produce valid output.
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(61);
+  for (int i = 0; i < 800; ++i) {
+    bool in_a = i % 2 == 0;
+    b.AppendCategorical(g, in_a ? "a" : "b");
+    double v = std::exp(rng.Gaussian(in_a ? 0.0 : 0.8, 1.0));
+    b.AppendContinuous(x, v);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  MinerConfig cfg;
+  cfg.max_depth = 1;
+  cfg.split = SplitKind::kMean;
+  auto result = Miner(cfg).Mine(*db, "g");
+  ASSERT_TRUE(result.ok());
+  for (const ContrastPattern& p : result->contrasts) {
+    EXPECT_GT(p.diff, cfg.delta);
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::core

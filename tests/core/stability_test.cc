@@ -1,0 +1,103 @@
+#include "core/stability.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/simulated.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture Make(data::Dataset db) {
+  Fixture f{std::move(db), {}};
+  auto gi = data::GroupInfo::Create(f.db, 0);
+  SDADCS_CHECK(gi.ok());
+  f.gi = std::move(gi).value();
+  return f;
+}
+
+TEST(StabilityTest, StrongPatternRediscoversAlways) {
+  Fixture f = Make(synth::MakeSimulated3(1200));
+  MinerConfig mcfg;
+  mcfg.max_depth = 1;
+  StabilityConfig scfg;
+  scfg.replicates = 5;
+  auto report = AnalyzeStability(f.db, f.gi, mcfg, scfg);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->patterns.empty());
+  EXPECT_EQ(report->replicates, 5);
+  // The planted Attr1 boundary survives every subsample.
+  EXPECT_DOUBLE_EQ(report->patterns.front().frequency, 1.0);
+}
+
+TEST(StabilityTest, ValidatesConfig) {
+  Fixture f = Make(synth::MakeSimulated3(400));
+  MinerConfig mcfg;
+  StabilityConfig scfg;
+  scfg.replicates = 0;
+  EXPECT_FALSE(AnalyzeStability(f.db, f.gi, mcfg, scfg).ok());
+  scfg.replicates = 3;
+  scfg.sample_fraction = 1.5;
+  EXPECT_FALSE(AnalyzeStability(f.db, f.gi, mcfg, scfg).ok());
+}
+
+TEST(StabilityTest, FrequenciesBounded) {
+  Fixture f = Make(synth::MakeSimulated4(1500));
+  MinerConfig mcfg;
+  mcfg.max_depth = 2;
+  StabilityConfig scfg;
+  scfg.replicates = 4;
+  auto report = AnalyzeStability(f.db, f.gi, mcfg, scfg);
+  ASSERT_TRUE(report.ok());
+  for (const PatternStability& ps : report->patterns) {
+    EXPECT_GE(ps.frequency, 0.0);
+    EXPECT_LE(ps.frequency, 1.0);
+    EXPECT_EQ(ps.rediscovered,
+              static_cast<int>(ps.frequency * scfg.replicates + 0.5));
+  }
+}
+
+TEST(StabilityTest, NoiseSliverRediscoversRarely) {
+  // Group labels independent of x except for a razor-thin accidental
+  // band; with a permissive delta the full run may pick up slivers —
+  // their rediscovery frequency must trail the genuine boundary's.
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(55);
+  for (int i = 0; i < 600; ++i) {
+    double v = rng.NextDouble();
+    // Mild signal at 0.5 plus noise.
+    bool in_a = v < 0.5 ? rng.Bernoulli(0.75) : rng.Bernoulli(0.25);
+    b.AppendCategorical(g, in_a ? "a" : "b");
+    b.AppendContinuous(x, v);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  Fixture f = Make(std::move(db).value());
+  MinerConfig mcfg;
+  mcfg.max_depth = 1;
+  mcfg.sdad_max_level = 5;
+  StabilityConfig scfg;
+  scfg.replicates = 6;
+  auto report = AnalyzeStability(f.db, f.gi, mcfg, scfg);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->patterns.empty());
+  // The strongest pattern (the genuine-ish boundary) should be at least
+  // as stable as the weakest one.
+  double top = report->patterns.front().frequency;
+  double min_freq = 1.0;
+  for (const PatternStability& ps : report->patterns) {
+    min_freq = std::min(min_freq, ps.frequency);
+  }
+  EXPECT_GE(top, min_freq);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

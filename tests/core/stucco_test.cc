@@ -1,0 +1,150 @@
+#include "core/stucco.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+// Categorical-only dataset: color=red marks group a strongly; shape is
+// noise; the conjunction {red, circle} adds nothing over {red}.
+Fixture MakeFixture(int n = 1200) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int color = b.AddCategorical("color");
+  int shape = b.AddCategorical("shape");
+  int noise = b.AddContinuous("noise");  // must be ignored by STUCCO
+  util::Rng rng(41);
+  for (int i = 0; i < n; ++i) {
+    bool in_a = i % 2 == 0;
+    b.AppendCategorical(g, in_a ? "a" : "b");
+    b.AppendCategorical(color,
+                        rng.Bernoulli(in_a ? 0.7 : 0.2) ? "red" : "blue");
+    b.AppendCategorical(shape, rng.Bernoulli(0.5) ? "circle" : "square");
+    b.AppendContinuous(noise, rng.NextDouble());
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  SDADCS_CHECK(gi.ok());
+  return {std::move(db).value(), std::move(gi).value()};
+}
+
+TEST(StuccoTest, FindsThePlantedContrast) {
+  Fixture f = MakeFixture();
+  StuccoResult result = MineStucco(f.db, f.gi, StuccoConfig());
+  ASSERT_FALSE(result.contrasts.empty());
+  const ContrastPattern& top = result.contrasts.front();
+  ASSERT_EQ(top.itemset.size(), 1u);
+  EXPECT_EQ(f.db.schema().attribute(top.itemset.item(0).attr).name,
+            "color");
+  EXPECT_NEAR(top.diff, 0.5, 0.08);
+}
+
+TEST(StuccoTest, IgnoresContinuousAttributes) {
+  Fixture f = MakeFixture();
+  StuccoResult result = MineStucco(f.db, f.gi, StuccoConfig());
+  for (const ContrastPattern& p : result.contrasts) {
+    for (const Item& it : p.itemset.items()) {
+      EXPECT_EQ(it.kind, Item::Kind::kCategorical);
+    }
+  }
+}
+
+TEST(StuccoTest, AllReportedAreLargeAndSignificant) {
+  Fixture f = MakeFixture();
+  StuccoConfig cfg;
+  StuccoResult result = MineStucco(f.db, f.gi, cfg);
+  for (const ContrastPattern& p : result.contrasts) {
+    EXPECT_GT(p.diff, cfg.delta);
+    EXPECT_LT(p.p_value, cfg.alpha);  // Bonferroni level is stricter
+  }
+}
+
+TEST(StuccoTest, DepthLimitRespected) {
+  Fixture f = MakeFixture();
+  StuccoConfig cfg;
+  cfg.max_depth = 1;
+  StuccoResult result = MineStucco(f.db, f.gi, cfg);
+  for (const ContrastPattern& p : result.contrasts) {
+    EXPECT_EQ(p.itemset.size(), 1u);
+  }
+}
+
+TEST(StuccoTest, SupportPruningCountsAccumulate) {
+  Fixture f = MakeFixture();
+  StuccoConfig cfg;
+  cfg.delta = 0.4;  // most itemsets fall below
+  StuccoResult result = MineStucco(f.db, f.gi, cfg);
+  EXPECT_GT(result.itemsets_evaluated, 0u);
+  EXPECT_GT(result.pruned_support, 0u);
+}
+
+TEST(StuccoTest, NoContrastOnLabelNoise) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int c = b.AddCategorical("c");
+  util::Rng rng(43);
+  for (int i = 0; i < 800; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendCategorical(c, rng.Bernoulli(0.5) ? "x" : "y");
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  StuccoResult result = MineStucco(*db, *gi, StuccoConfig());
+  EXPECT_TRUE(result.contrasts.empty());
+}
+
+TEST(StuccoTest, AgreesWithLatticeSearchOnCategoricalData) {
+  // Differential oracle: on categorical-only data the lattice search in
+  // NP mode and STUCCO implement the same contract (large + significant
+  // itemsets); STUCCO's Bonferroni correction is strictly harsher
+  // (divides by the candidate count too), so its output must be a
+  // subset of the lattice's.
+  Fixture f = MakeFixture();
+  StuccoConfig scfg;
+  StuccoResult stucco = MineStucco(f.db, f.gi, scfg);
+
+  MinerConfig mcfg;
+  mcfg.max_depth = scfg.max_depth;
+  mcfg.meaningful_pruning = false;
+  mcfg.optimistic_pruning = false;
+  auto lattice = Miner(mcfg).MineWithGroups(f.db, f.gi);
+  ASSERT_TRUE(lattice.ok());
+
+  std::set<std::string> lattice_keys;
+  for (const ContrastPattern& p : lattice->contrasts) {
+    lattice_keys.insert(p.itemset.Key());
+  }
+  ASSERT_FALSE(stucco.contrasts.empty());
+  for (const ContrastPattern& p : stucco.contrasts) {
+    EXPECT_TRUE(lattice_keys.count(p.itemset.Key()) > 0)
+        << p.itemset.ToString(f.db);
+  }
+  // And they agree on the winner.
+  EXPECT_EQ(stucco.contrasts.front().itemset.Key(),
+            lattice->contrasts.front().itemset.Key());
+}
+
+TEST(StuccoTest, SortedByDifference) {
+  Fixture f = MakeFixture();
+  StuccoResult result = MineStucco(f.db, f.gi, StuccoConfig());
+  for (size_t i = 1; i < result.contrasts.size(); ++i) {
+    EXPECT_GE(result.contrasts[i - 1].measure, result.contrasts[i].measure);
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::core

@@ -1,0 +1,71 @@
+#include "core/support.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture MakeFixture() {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  // 4 rows of group a (x = 1..4), 6 rows of group b (x = 5..10).
+  for (int i = 1; i <= 10; ++i) {
+    b.AppendCategorical(g, i <= 4 ? "a" : "b");
+    b.AppendContinuous(x, i);
+  }
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  EXPECT_TRUE(gi.ok());
+  return {std::move(db).value(), std::move(gi).value()};
+}
+
+TEST(GroupCountsTest, SupportsUseGlobalGroupSizes) {
+  Fixture f = MakeFixture();
+  GroupCounts gc;
+  gc.counts = {2.0, 3.0};
+  std::vector<double> s = gc.Supports(f.gi);
+  EXPECT_DOUBLE_EQ(s[0], 0.5);        // 2/4
+  EXPECT_DOUBLE_EQ(s[1], 0.5);        // 3/6
+  EXPECT_DOUBLE_EQ(gc.total(), 5.0);
+}
+
+TEST(CountMatchesTest, CountsPerGroup) {
+  Fixture f = MakeFixture();
+  // x in (2, 7]: rows with x=3..7 -> 2 of group a, 3 of group b.
+  Itemset s({Item::Interval(1, 2.0, 7.0)});
+  GroupCounts gc =
+      CountMatches(f.db, f.gi, s, f.gi.base_selection());
+  EXPECT_DOUBLE_EQ(gc.counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(gc.counts[1], 3.0);
+}
+
+TEST(CountMatchesTest, EmptyItemsetCountsEverything) {
+  Fixture f = MakeFixture();
+  GroupCounts gc =
+      CountMatches(f.db, f.gi, Itemset(), f.gi.base_selection());
+  EXPECT_DOUBLE_EQ(gc.counts[0], 4.0);
+  EXPECT_DOUBLE_EQ(gc.counts[1], 6.0);
+}
+
+TEST(CountGroupsTest, RespectsSelection) {
+  Fixture f = MakeFixture();
+  data::Selection sel({0, 1, 9});
+  GroupCounts gc = CountGroups(f.gi, sel);
+  EXPECT_DOUBLE_EQ(gc.counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(gc.counts[1], 1.0);
+}
+
+TEST(GroupSizesTest, ReturnsSizes) {
+  Fixture f = MakeFixture();
+  EXPECT_EQ(GroupSizes(f.gi), (std::vector<double>{4.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace sdadcs::core

@@ -1,0 +1,125 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/support.h"
+#include "synth/simulated.h"
+#include "util/logging.h"
+
+namespace sdadcs::core {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture MakeFixture() {
+  Fixture f{synth::MakeSimulated3(1000), {}};
+  auto gi = data::GroupInfo::Create(f.db, 0);
+  SDADCS_CHECK(gi.ok());
+  f.gi = std::move(gi).value();
+  return f;
+}
+
+TEST(HoldoutSplitTest, PartitionsRowsStratified) {
+  Fixture f = MakeFixture();
+  auto split = MakeHoldoutSplit(f.db, f.gi, 0.7, 11);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.total() + split->test.total(), f.gi.total());
+  // Stratification keeps both groups on both sides, roughly 70/30.
+  for (int g = 0; g < 2; ++g) {
+    double frac = static_cast<double>(split->train.group_size(g)) /
+                  static_cast<double>(f.gi.group_size(g));
+    EXPECT_NEAR(frac, 0.7, 0.02) << "group " << g;
+  }
+  // Disjoint.
+  data::Selection overlap =
+      split->train.base_selection().Intersect(split->test.base_selection());
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(HoldoutSplitTest, InvalidFractionRejected) {
+  Fixture f = MakeFixture();
+  EXPECT_FALSE(MakeHoldoutSplit(f.db, f.gi, 0.0, 1).ok());
+  EXPECT_FALSE(MakeHoldoutSplit(f.db, f.gi, 1.0, 1).ok());
+}
+
+TEST(HoldoutSplitTest, DeterministicForSeed) {
+  Fixture f = MakeFixture();
+  auto a = MakeHoldoutSplit(f.db, f.gi, 0.5, 3);
+  auto b = MakeHoldoutSplit(f.db, f.gi, 0.5, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->train.base_selection().rows(),
+            b->train.base_selection().rows());
+}
+
+TEST(ValidateTest, RealPatternGeneralizes) {
+  Fixture f = MakeFixture();
+  auto split = MakeHoldoutSplit(f.db, f.gi, 0.6, 5);
+  ASSERT_TRUE(split.ok());
+
+  MinerConfig cfg;
+  cfg.max_depth = 1;
+  auto mined = Miner(cfg).MineWithGroups(f.db, split->train);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_FALSE(mined->contrasts.empty());
+
+  auto validated = ValidateOnHoldout(f.db, split->test, mined->contrasts,
+                                     cfg.delta, cfg.alpha);
+  ASSERT_EQ(validated.size(), mined->contrasts.size());
+  // The planted Attr1 rule must survive out of sample.
+  EXPECT_TRUE(validated.front().generalizes);
+  EXPECT_GT(validated.front().test_diff, 0.8);
+}
+
+TEST(ValidateTest, OverfitNoisePatternFails) {
+  // A hand-made pattern that covers nothing in particular: a razor-thin
+  // interval fit to a handful of training rows.
+  Fixture f = MakeFixture();
+  auto split = MakeHoldoutSplit(f.db, f.gi, 0.6, 7);
+  ASSERT_TRUE(split.ok());
+
+  ContrastPattern bogus;
+  bogus.itemset = Itemset({Item::Interval(2, 0.500, 0.502)});
+  GroupCounts gc = CountMatches(f.db, split->train, bogus.itemset,
+                                split->train.base_selection());
+  bogus.counts = gc.counts;
+  bogus.ComputeStats(split->train, MeasureKind::kSupportDiff);
+
+  auto validated =
+      ValidateOnHoldout(f.db, split->test, {bogus}, 0.1, 0.05);
+  ASSERT_EQ(validated.size(), 1u);
+  EXPECT_FALSE(validated.front().generalizes);
+}
+
+TEST(GroupInfoRestrictTest, FailsWhenGroupVanishes) {
+  Fixture f = MakeFixture();
+  // Keep only rows of group 0.
+  std::vector<uint32_t> rows;
+  for (uint32_t r : f.gi.base_selection()) {
+    if (f.gi.group_of(r) == 0) rows.push_back(r);
+  }
+  auto restricted = f.gi.Restrict(data::Selection(std::move(rows)));
+  EXPECT_FALSE(restricted.ok());
+}
+
+TEST(GroupInfoRestrictTest, SizesRecomputed) {
+  Fixture f = MakeFixture();
+  // Keep every second base row.
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < f.gi.base_selection().size(); i += 2) {
+    rows.push_back(f.gi.base_selection()[i]);
+  }
+  auto restricted = f.gi.Restrict(data::Selection(std::move(rows)));
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->total(),
+            (f.gi.base_selection().size() + 1) / 2);
+  EXPECT_EQ(restricted->group_size(0) + restricted->group_size(1),
+            restricted->total());
+}
+
+}  // namespace
+}  // namespace sdadcs::core

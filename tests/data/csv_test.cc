@@ -1,0 +1,163 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::data {
+namespace {
+
+TEST(CsvTest, InfersTypesFromValues) {
+  auto db = ReadCsvString("num,cat\n1.5,a\n2,b\n-3e2,a\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_rows(), 3u);
+  EXPECT_TRUE(db->is_continuous(0));
+  EXPECT_TRUE(db->is_categorical(1));
+  EXPECT_DOUBLE_EQ(db->continuous(0).value(2), -300.0);
+}
+
+TEST(CsvTest, MixedColumnBecomesCategorical) {
+  auto db = ReadCsvString("col\n1\nx\n2\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->is_categorical(0));
+}
+
+TEST(CsvTest, MissingTokens) {
+  auto db = ReadCsvString("a,b\n1,?\n,x\nNA,y\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->is_continuous(0));
+  EXPECT_TRUE(db->continuous(0).is_missing(1));
+  EXPECT_TRUE(db->continuous(0).is_missing(2));
+  EXPECT_TRUE(db->categorical(1).is_missing(0));
+}
+
+TEST(CsvTest, ForceCategoricalOverridesInference) {
+  CsvOptions opts;
+  opts.force_categorical = {"code"};
+  auto db = ReadCsvString("code\n1\n2\n1\n", opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->is_categorical(0));
+  EXPECT_EQ(db->categorical(0).cardinality(), 2);
+}
+
+TEST(CsvTest, NoHeaderGeneratesNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto db = ReadCsvString("1,a\n2,b\n", opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->schema().attribute(0).name, "attr_0");
+  EXPECT_EQ(db->schema().attribute(1).name, "attr_1");
+}
+
+TEST(CsvTest, AlternateDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  auto db = ReadCsvString("a;b\n1;x\n", opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_attributes(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2\n3\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyAndHeaderOnly) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n").ok());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto db = ReadCsvString("a,b\r\n1,x\r\n2,y\r\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_rows(), 2u);
+  EXPECT_EQ(db->categorical(1).ValueOf(db->categorical(1).code(1)), "y");
+}
+
+TEST(CsvTest, AllMissingColumnIsCategorical) {
+  auto db = ReadCsvString("a,b\n?,1\n?,2\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->is_categorical(0));
+}
+
+TEST(CsvTest, RoundTripThroughWrite) {
+  auto db = ReadCsvString("num,cat\n1.25,a\n-2,b\n");
+  ASSERT_TRUE(db.ok());
+  std::string text = WriteCsvString(*db);
+  auto db2 = ReadCsvString(text);
+  ASSERT_TRUE(db2.ok());
+  EXPECT_EQ(db2->num_rows(), db->num_rows());
+  EXPECT_DOUBLE_EQ(db2->continuous(0).value(0), 1.25);
+  EXPECT_EQ(db2->categorical(1).ValueOf(db2->categorical(1).code(1)), "b");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto db = ReadCsvString("x,y\n1,a\n2,b\n");
+  ASSERT_TRUE(db.ok());
+  std::string path = testing::TempDir() + "/sdadcs_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*db, path).ok());
+  auto db2 = ReadCsvFile(path);
+  ASSERT_TRUE(db2.ok());
+  EXPECT_EQ(db2->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvQuotingTest, QuotedDelimiterIsData) {
+  auto db = ReadCsvString("name,score\n\"Doe, Jane\",5\nBob,3\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_attributes(), 2u);
+  const auto& col = db->categorical(0);
+  EXPECT_EQ(col.ValueOf(col.code(0)), "Doe, Jane");
+}
+
+TEST(CsvQuotingTest, EscapedQuotes) {
+  auto db = ReadCsvString("q\n\"say \"\"hi\"\"\"\nplain\n");
+  ASSERT_TRUE(db.ok());
+  const auto& col = db->categorical(0);
+  EXPECT_EQ(col.ValueOf(col.code(0)), "say \"hi\"");
+}
+
+TEST(CsvQuotingTest, QuotedFieldPreservesSpaces) {
+  auto db = ReadCsvString("v\n\"  padded  \"\nother\n");
+  ASSERT_TRUE(db.ok());
+  const auto& col = db->categorical(0);
+  EXPECT_EQ(col.ValueOf(col.code(0)), "  padded  ");
+}
+
+TEST(CsvQuotingTest, UnterminatedQuoteIsError) {
+  auto db = ReadCsvString("v\n\"oops\nnext\n");
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CsvQuotingTest, WriterQuotesAndRoundTrips) {
+  DatasetBuilder b;
+  int c = b.AddCategorical("label");
+  b.AppendCategorical(c, "a,b");
+  b.AppendCategorical(c, "has \"quotes\"");
+  b.AppendCategorical(c, " spaced ");
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  std::string text = WriteCsvString(*db);
+  auto db2 = ReadCsvString(text);
+  ASSERT_TRUE(db2.ok());
+  const auto& col = db2->categorical(0);
+  EXPECT_EQ(col.ValueOf(col.code(0)), "a,b");
+  EXPECT_EQ(col.ValueOf(col.code(1)), "has \"quotes\"");
+  EXPECT_EQ(col.ValueOf(col.code(2)), " spaced ");
+}
+
+TEST(CsvQuotingTest, QuotedNumbersStayNumeric) {
+  auto db = ReadCsvString("x\n\"1.5\"\n\"2.5\"\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->is_continuous(0));
+  EXPECT_DOUBLE_EQ(db->continuous(0).value(1), 2.5);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto db = ReadCsvFile("/nonexistent/path/data.csv");
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sdadcs::data

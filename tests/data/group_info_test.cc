@@ -1,0 +1,112 @@
+#include "data/group_info.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::data {
+namespace {
+
+Dataset MakeDb() {
+  DatasetBuilder b;
+  int g = b.AddCategorical("group");
+  int x = b.AddContinuous("x");
+  const char* groups[] = {"a", "b", "a", "c", "b", "a"};
+  for (int i = 0; i < 6; ++i) {
+    b.AppendCategorical(g, groups[i]);
+    b.AppendContinuous(x, i);
+  }
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(GroupInfoTest, CreateCoversAllValues) {
+  Dataset db = MakeDb();
+  auto gi = GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  EXPECT_EQ(gi->num_groups(), 3);
+  EXPECT_EQ(gi->total(), 6u);
+  EXPECT_EQ(gi->group_size(0), 3u);  // "a"
+  EXPECT_EQ(gi->group_of(0), 0);
+  EXPECT_EQ(gi->group_of(3), 2);  // "c"
+}
+
+TEST(GroupInfoTest, CreateForValuesExcludesOthers) {
+  Dataset db = MakeDb();
+  auto gi = GroupInfo::CreateForValues(db, 0, {"a", "b"});
+  ASSERT_TRUE(gi.ok());
+  EXPECT_EQ(gi->num_groups(), 2);
+  EXPECT_EQ(gi->total(), 5u);
+  EXPECT_EQ(gi->group_of(3), -1);  // "c" excluded
+  EXPECT_EQ(gi->base_selection().size(), 5u);
+  EXPECT_EQ(gi->group_name(1), "b");
+}
+
+TEST(GroupInfoTest, RejectsContinuousGroupAttribute) {
+  Dataset db = MakeDb();
+  EXPECT_FALSE(GroupInfo::Create(db, 1).ok());
+}
+
+TEST(GroupInfoTest, RejectsUnknownValue) {
+  Dataset db = MakeDb();
+  EXPECT_FALSE(GroupInfo::CreateForValues(db, 0, {"a", "zzz"}).ok());
+}
+
+TEST(GroupInfoTest, RejectsSingleGroup) {
+  Dataset db = MakeDb();
+  EXPECT_FALSE(GroupInfo::CreateForValues(db, 0, {"a"}).ok());
+}
+
+TEST(GroupInfoTest, RejectsDuplicateGroupValues) {
+  Dataset db = MakeDb();
+  EXPECT_FALSE(GroupInfo::CreateForValues(db, 0, {"a", "a"}).ok());
+}
+
+TEST(GroupInfoTest, RejectsOutOfRangeAttribute) {
+  Dataset db = MakeDb();
+  EXPECT_FALSE(GroupInfo::Create(db, 7).ok());
+  EXPECT_FALSE(GroupInfo::Create(db, -1).ok());
+}
+
+TEST(GroupInfoOneVsRestTest, SplitsValueAgainstEverythingElse) {
+  Dataset db = MakeDb();  // groups a,b,a,c,b,a
+  auto gi = GroupInfo::CreateOneVsRest(db, 0, "a");
+  ASSERT_TRUE(gi.ok());
+  EXPECT_EQ(gi->num_groups(), 2);
+  EXPECT_EQ(gi->group_name(0), "a");
+  EXPECT_EQ(gi->group_name(1), "rest");
+  EXPECT_EQ(gi->group_size(0), 3u);
+  EXPECT_EQ(gi->group_size(1), 3u);  // b, c, b
+  EXPECT_EQ(gi->group_of(3), 1);     // "c" lands in rest
+  EXPECT_EQ(gi->total(), 6u);
+}
+
+TEST(GroupInfoOneVsRestTest, UnknownValueFails) {
+  Dataset db = MakeDb();
+  EXPECT_FALSE(GroupInfo::CreateOneVsRest(db, 0, "zzz").ok());
+}
+
+TEST(GroupInfoOneVsRestTest, AllRowsSameValueFails) {
+  DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  for (int i = 0; i < 4; ++i) b.AppendCategorical(g, "only");
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(GroupInfo::CreateOneVsRest(*db, 0, "only").ok());
+}
+
+TEST(GroupInfoTest, MissingGroupValuesExcluded) {
+  DatasetBuilder b;
+  int g = b.AddCategorical("group");
+  b.AppendCategorical(g, "a");
+  b.AppendMissing(g);
+  b.AppendCategorical(g, "b");
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  EXPECT_EQ(gi->total(), 2u);
+  EXPECT_EQ(gi->group_of(1), -1);
+}
+
+}  // namespace
+}  // namespace sdadcs::data

@@ -1,0 +1,95 @@
+#include "data/index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sdadcs::data {
+namespace {
+
+Dataset MakeDb() {
+  DatasetBuilder b;
+  int c = b.AddCategorical("c");
+  int x = b.AddContinuous("x");
+  const char* cs[] = {"a", "b", "a", "c", "b", "a"};
+  const double xs[] = {5.0, 1.0, 3.0, 2.0, 4.0, 3.0};
+  for (int i = 0; i < 6; ++i) {
+    b.AppendCategorical(c, cs[i]);
+    b.AppendContinuous(x, xs[i]);
+  }
+  b.AppendMissing(c);
+  b.AppendMissing(x);
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(CategoricalIndexTest, PostingsGroupRowsByValue) {
+  Dataset db = MakeDb();
+  CategoricalIndex idx = CategoricalIndex::Build(db, 0);
+  int32_t a = db.categorical(0).CodeOf("a");
+  EXPECT_EQ(idx.RowsFor(a).rows(), (std::vector<uint32_t>{0, 2, 5}));
+  int32_t c = db.categorical(0).CodeOf("c");
+  EXPECT_EQ(idx.RowsFor(c).rows(), (std::vector<uint32_t>{3}));
+}
+
+TEST(CategoricalIndexTest, MissingRowsNotIndexed) {
+  Dataset db = MakeDb();
+  CategoricalIndex idx = CategoricalIndex::Build(db, 0);
+  size_t total = 0;
+  for (int32_t code = 0; code < idx.cardinality(); ++code) {
+    total += idx.RowsFor(code).size();
+  }
+  EXPECT_EQ(total, 6u);  // the missing 7th row appears nowhere
+}
+
+TEST(CategoricalIndexTest, OutOfRangeCodeIsEmpty) {
+  Dataset db = MakeDb();
+  CategoricalIndex idx = CategoricalIndex::Build(db, 0);
+  EXPECT_TRUE(idx.RowsFor(-1).empty());
+  EXPECT_TRUE(idx.RowsFor(99).empty());
+}
+
+TEST(ContinuousIndexTest, RangeMatchesItemSemantics) {
+  Dataset db = MakeDb();
+  ContinuousIndex idx = ContinuousIndex::Build(db, 1);
+  // (2, 4]: values 3, 3, 4 -> rows 2, 4, 5 (sorted).
+  EXPECT_EQ(idx.RowsInRange(2.0, 4.0).rows(),
+            (std::vector<uint32_t>{2, 4, 5}));
+  EXPECT_EQ(idx.CountInRange(2.0, 4.0), 3u);
+  // lo is exclusive, hi inclusive.
+  EXPECT_EQ(idx.CountInRange(3.0, 5.0), 2u);  // 4 and 5
+  EXPECT_EQ(idx.CountInRange(10.0, 20.0), 0u);
+}
+
+TEST(ContinuousIndexTest, AgreesWithScanOnRandomData) {
+  DatasetBuilder b;
+  int x = b.AddContinuous("x");
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Bernoulli(0.05)) {
+      b.AppendMissing(x);
+    } else {
+      b.AppendContinuous(x, rng.Uniform(0.0, 100.0));
+    }
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  ContinuousIndex idx = ContinuousIndex::Build(*db, 0);
+  const auto& col = db->continuous(0);
+  for (int trial = 0; trial < 20; ++trial) {
+    double lo = rng.Uniform(0.0, 100.0);
+    double hi = lo + rng.Uniform(0.0, 40.0);
+    Selection via_scan = Selection::All(db->num_rows())
+                             .Filter([&](uint32_t r) {
+                               double v = col.value(r);
+                               return !std::isnan(v) && v > lo && v <= hi;
+                             });
+    EXPECT_EQ(idx.RowsInRange(lo, hi).rows(), via_scan.rows())
+        << "(" << lo << "," << hi << "]";
+    EXPECT_EQ(idx.CountInRange(lo, hi), via_scan.size());
+  }
+}
+
+}  // namespace
+}  // namespace sdadcs::data

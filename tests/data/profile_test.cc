@@ -1,0 +1,81 @@
+#include "data/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::data {
+namespace {
+
+Dataset MakeDb() {
+  DatasetBuilder b;
+  int x = b.AddContinuous("x");
+  int c = b.AddCategorical("c");
+  const double xs[] = {1, 2, 3, 4, 100};
+  const char* cs[] = {"red", "red", "blue", "red", "green"};
+  for (int i = 0; i < 5; ++i) {
+    b.AppendContinuous(x, xs[i]);
+    b.AppendCategorical(c, cs[i]);
+  }
+  b.AppendMissing(x);
+  b.AppendMissing(c);
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(ProfileTest, ContinuousStatistics) {
+  Dataset db = MakeDb();
+  AttributeProfile p = ProfileAttribute(db, 0, Selection::All(6));
+  EXPECT_EQ(p.name, "x");
+  EXPECT_EQ(p.type, AttributeType::kContinuous);
+  EXPECT_EQ(p.rows, 6u);
+  EXPECT_EQ(p.missing, 1u);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 100.0);
+  EXPECT_DOUBLE_EQ(p.mean, 22.0);
+  EXPECT_DOUBLE_EQ(p.median, 3.0);
+  EXPECT_GT(p.stddev, 40.0);
+  EXPECT_NEAR(p.missing_fraction(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(ProfileTest, CategoricalStatistics) {
+  Dataset db = MakeDb();
+  AttributeProfile p = ProfileAttribute(db, 1, Selection::All(6));
+  EXPECT_EQ(p.type, AttributeType::kCategorical);
+  EXPECT_EQ(p.cardinality, 3);
+  EXPECT_EQ(p.top_value, "red");
+  EXPECT_EQ(p.top_count, 3u);
+  EXPECT_EQ(p.missing, 1u);
+}
+
+TEST(ProfileTest, RespectsSelection) {
+  Dataset db = MakeDb();
+  AttributeProfile p = ProfileAttribute(db, 0, Selection({0, 1}));
+  EXPECT_DOUBLE_EQ(p.max, 2.0);
+  EXPECT_EQ(p.missing, 0u);
+}
+
+TEST(ProfileTest, ProfileDatasetCoversAllAttributes) {
+  Dataset db = MakeDb();
+  auto profiles = ProfileDataset(db);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].name, "x");
+  EXPECT_EQ(profiles[1].name, "c");
+}
+
+TEST(ProfileTest, FormatIncludesKeyNumbers) {
+  Dataset db = MakeDb();
+  std::string table = FormatProfiles(ProfileDataset(db));
+  EXPECT_NE(table.find("attribute"), std::string::npos);
+  EXPECT_NE(table.find("max=100"), std::string::npos);
+  EXPECT_NE(table.find("top='red' (3)"), std::string::npos);
+}
+
+TEST(ProfileTest, EmptySelectionIsSafe) {
+  Dataset db = MakeDb();
+  AttributeProfile p = ProfileAttribute(db, 0, Selection());
+  EXPECT_EQ(p.rows, 0u);
+  EXPECT_DOUBLE_EQ(p.missing_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdadcs::data

@@ -1,0 +1,94 @@
+#include "data/sample.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace sdadcs::data {
+namespace {
+
+TEST(SampleSelectionTest, ExactSizeWithoutReplacement) {
+  util::Rng rng(1);
+  Selection all = Selection::All(1000);
+  Selection s = SampleSelection(all, 100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  std::set<uint32_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 100u);
+  // Sorted output.
+  for (size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+}
+
+TEST(SampleSelectionTest, OversizedRequestReturnsAll) {
+  util::Rng rng(2);
+  Selection all = Selection::All(50);
+  EXPECT_EQ(SampleSelection(all, 500, rng).size(), 50u);
+  EXPECT_EQ(SampleSelection(all, 50, rng).size(), 50u);
+}
+
+TEST(SampleSelectionTest, RoughlyUniform) {
+  util::Rng rng(3);
+  Selection all = Selection::All(1000);
+  std::vector<int> hits(1000, 0);
+  for (int t = 0; t < 200; ++t) {
+    for (uint32_t r : SampleSelection(all, 100, rng)) ++hits[r];
+  }
+  // Each row expected ~20 hits; no row should be wildly off.
+  for (int h : hits) {
+    EXPECT_GT(h, 2);
+    EXPECT_LT(h, 60);
+  }
+}
+
+GroupInfo MakeGroups() {
+  DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  for (int i = 0; i < 1000; ++i) {
+    b.AppendCategorical(g, i % 10 == 0 ? "rare" : "common");
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  // Leak-free static storage for the dataset backing the GroupInfo in
+  // these tests.
+  static Dataset* stored = nullptr;
+  delete stored;
+  stored = new Dataset(std::move(db).value());
+  auto gi = GroupInfo::CreateForValues(*stored, 0, {"rare", "common"});
+  SDADCS_CHECK(gi.ok());
+  return std::move(gi).value();
+}
+
+TEST(SampleGroupsTest, PreservesProportions) {
+  GroupInfo gi = MakeGroups();
+  auto sampled = SampleGroups(gi, 200, 7);
+  ASSERT_TRUE(sampled.ok());
+  // 10% rare: expect ~20 of 200.
+  EXPECT_NEAR(static_cast<double>(sampled->group_size(0)), 20.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(sampled->total()), 200.0, 2.0);
+}
+
+TEST(SampleGroupsTest, EveryGroupKeepsAtLeastOneRow) {
+  GroupInfo gi = MakeGroups();
+  auto sampled = SampleGroups(gi, 5, 9);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_GE(sampled->group_size(0), 1u);
+  EXPECT_GE(sampled->group_size(1), 1u);
+}
+
+TEST(SampleGroupsTest, ZeroRejected) {
+  GroupInfo gi = MakeGroups();
+  EXPECT_FALSE(SampleGroups(gi, 0, 1).ok());
+}
+
+TEST(SampleGroupsTest, DeterministicPerSeed) {
+  GroupInfo gi = MakeGroups();
+  auto a = SampleGroups(gi, 100, 42);
+  auto b = SampleGroups(gi, 100, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->base_selection().rows(), b->base_selection().rows());
+}
+
+}  // namespace
+}  // namespace sdadcs::data

@@ -1,0 +1,51 @@
+#include "data/selection.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::data {
+namespace {
+
+TEST(SelectionTest, AllEnumeratesEveryRow) {
+  Selection s = Selection::All(4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[3], 3u);
+}
+
+TEST(SelectionTest, FilterKeepsMatching) {
+  Selection s = Selection::All(10);
+  Selection even = s.Filter([](uint32_t r) { return r % 2 == 0; });
+  EXPECT_EQ(even.size(), 5u);
+  EXPECT_EQ(even[2], 4u);
+}
+
+TEST(SelectionTest, IntersectSortedSets) {
+  Selection a({1, 3, 5, 7});
+  Selection b({3, 4, 5, 6});
+  Selection c = a.Intersect(b);
+  EXPECT_EQ(c.rows(), (std::vector<uint32_t>{3, 5}));
+}
+
+TEST(SelectionTest, IntersectWithEmpty) {
+  Selection a({1, 2});
+  Selection empty;
+  EXPECT_TRUE(a.Intersect(empty).empty());
+  EXPECT_TRUE(empty.Intersect(a).empty());
+}
+
+TEST(SelectionTest, MinusRemovesMembers) {
+  Selection a({1, 2, 3, 4});
+  Selection b({2, 4, 9});
+  EXPECT_EQ(a.Minus(b).rows(), (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(b.Minus(a).rows(), (std::vector<uint32_t>{9}));
+}
+
+TEST(SelectionTest, RangeBasedIteration) {
+  Selection s({5, 6});
+  uint32_t sum = 0;
+  for (uint32_t r : s) sum += r;
+  EXPECT_EQ(sum, 11u);
+}
+
+}  // namespace
+}  // namespace sdadcs::data

@@ -1,0 +1,111 @@
+#include "discretize/equal_bins.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::discretize {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture MakeFixture() {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 0; i < 100; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, i);
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  SDADCS_CHECK(gi.ok());
+  return {std::move(db).value(), std::move(gi).value()};
+}
+
+TEST(AttributeBinsTest, BinOfAndBounds) {
+  AttributeBins bins;
+  bins.cuts = {10.0, 20.0};
+  EXPECT_EQ(bins.num_bins(), 3u);
+  EXPECT_EQ(bins.BinOf(5.0), 0u);
+  EXPECT_EQ(bins.BinOf(10.0), 0u);  // bins are (lo, hi]
+  EXPECT_EQ(bins.BinOf(10.5), 1u);
+  EXPECT_EQ(bins.BinOf(25.0), 2u);
+  double lo;
+  double hi;
+  bins.BoundsOf(0, &lo, &hi);
+  EXPECT_TRUE(std::isinf(lo));
+  EXPECT_DOUBLE_EQ(hi, 10.0);
+  bins.BoundsOf(2, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, 20.0);
+  EXPECT_TRUE(std::isinf(hi));
+}
+
+TEST(EqualWidthTest, EvenCutSpacing) {
+  Fixture f = MakeFixture();
+  EqualWidthDiscretizer disc(4);
+  auto bins = disc.Discretize(f.db, f.gi, {1});
+  ASSERT_EQ(bins.size(), 1u);
+  ASSERT_EQ(bins[0].cuts.size(), 3u);
+  EXPECT_NEAR(bins[0].cuts[0], 24.75, 1e-9);
+  EXPECT_NEAR(bins[0].cuts[1], 49.5, 1e-9);
+  EXPECT_NEAR(bins[0].cuts[2], 74.25, 1e-9);
+}
+
+TEST(EqualWidthTest, ConstantColumnNoCuts) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 0; i < 10; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, 5.0);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  EqualWidthDiscretizer disc(4);
+  auto bins = disc.Discretize(*db, *gi, {1});
+  EXPECT_TRUE(bins[0].cuts.empty());
+}
+
+TEST(EqualFrequencyTest, BalancedBinCounts) {
+  Fixture f = MakeFixture();
+  EqualFrequencyDiscretizer disc(4);
+  auto bins = disc.Discretize(f.db, f.gi, {1});
+  ASSERT_EQ(bins[0].cuts.size(), 3u);
+  // 100 values 0..99 -> cuts at ranks 24, 49, 74.
+  EXPECT_DOUBLE_EQ(bins[0].cuts[0], 24.0);
+  EXPECT_DOUBLE_EQ(bins[0].cuts[1], 49.0);
+  EXPECT_DOUBLE_EQ(bins[0].cuts[2], 74.0);
+}
+
+TEST(EqualFrequencyCutsTest, CollapsesTies) {
+  // Heavy ties: most mass at one value -> fewer distinct cuts.
+  std::vector<double> sorted(100, 5.0);
+  for (int i = 0; i < 10; ++i) sorted.push_back(6.0 + i);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts = EqualFrequencyCuts(sorted, 4);
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_LT(cuts[i - 1], cuts[i]);
+  }
+  EXPECT_LE(cuts.size(), 3u);
+}
+
+TEST(EqualFrequencyCutsTest, TinyInputNoCuts) {
+  EXPECT_TRUE(EqualFrequencyCuts({1.0}, 4).empty());
+  EXPECT_TRUE(EqualFrequencyCuts({}, 4).empty());
+}
+
+TEST(DiscretizerNameTest, Names) {
+  EXPECT_EQ(EqualWidthDiscretizer(3).name(), "equal_width");
+  EXPECT_EQ(EqualFrequencyDiscretizer(3).name(), "equal_frequency");
+}
+
+}  // namespace
+}  // namespace sdadcs::discretize

@@ -1,0 +1,93 @@
+#include "discretize/fayyad.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::discretize {
+namespace {
+
+TEST(FayyadTest, CleanBoundaryFound) {
+  // Class flips exactly at value 49/50 with plenty of data: MDL accepts.
+  std::vector<LabeledValue> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back({static_cast<double>(i), i < 50 ? 0 : 1});
+  }
+  std::vector<double> cuts =
+      FayyadMdlDiscretizer::CutsForSortedValues(values, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_DOUBLE_EQ(cuts[0], 49.0);
+}
+
+TEST(FayyadTest, PureClassNoCuts) {
+  std::vector<LabeledValue> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back({static_cast<double>(i), 0});
+  }
+  EXPECT_TRUE(FayyadMdlDiscretizer::CutsForSortedValues(values, 2).empty());
+}
+
+TEST(FayyadTest, RandomLabelsRejectedByMdl) {
+  util::Rng rng(3);
+  std::vector<LabeledValue> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back({static_cast<double>(i),
+                      rng.Bernoulli(0.5) ? 0 : 1});
+  }
+  std::vector<double> cuts =
+      FayyadMdlDiscretizer::CutsForSortedValues(values, 2);
+  // The MDL criterion suppresses spurious splits on noise (a couple may
+  // survive by chance, but nothing like a real structure).
+  EXPECT_LE(cuts.size(), 2u);
+}
+
+TEST(FayyadTest, RecursiveSplitsFindThreeSegments) {
+  // 0..49 class 0, 50..99 class 1, 100..149 class 0 -> two boundaries.
+  std::vector<LabeledValue> values;
+  for (int i = 0; i < 150; ++i) {
+    int cls = (i >= 50 && i < 100) ? 1 : 0;
+    values.push_back({static_cast<double>(i), cls});
+  }
+  std::vector<double> cuts =
+      FayyadMdlDiscretizer::CutsForSortedValues(values, 2);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_DOUBLE_EQ(cuts[0], 49.0);
+  EXPECT_DOUBLE_EQ(cuts[1], 99.0);
+}
+
+TEST(FayyadTest, TiedValuesNeverSplitApart) {
+  // All rows share one value: no cut can exist.
+  std::vector<LabeledValue> values;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back({7.0, i % 2});
+  }
+  EXPECT_TRUE(FayyadMdlDiscretizer::CutsForSortedValues(values, 2).empty());
+}
+
+TEST(FayyadTest, DiscretizeOverDataset) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  int noise = b.AddContinuous("noise");
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    b.AppendCategorical(g, i < 100 ? "a" : "b");
+    b.AppendContinuous(x, i);  // splits perfectly at 99
+    b.AppendContinuous(noise, rng.NextDouble());
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  FayyadMdlDiscretizer disc;
+  auto bins = disc.Discretize(*db, *gi, {1, 2});
+  ASSERT_EQ(bins.size(), 2u);
+  ASSERT_EQ(bins[0].cuts.size(), 1u);
+  EXPECT_DOUBLE_EQ(bins[0].cuts[0], 99.0);
+  EXPECT_TRUE(bins[1].cuts.empty());  // noise: no structure
+  EXPECT_EQ(disc.name(), "fayyad_mdl");
+}
+
+}  // namespace
+}  // namespace sdadcs::discretize

@@ -1,0 +1,97 @@
+#include "discretize/mvd.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/simulated.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::discretize {
+namespace {
+
+MvdDiscretizer::Options SmallDataOptions() {
+  MvdDiscretizer::Options opt;
+  opt.instances_per_bin = 50;
+  return opt;
+}
+
+TEST(MvdTest, PureNoiseCollapsesToFewBins) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    b.AppendCategorical(g, rng.Bernoulli(0.5) ? "a" : "b");
+    b.AppendContinuous(x, rng.NextDouble());
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  MvdDiscretizer disc(SmallDataOptions());
+  auto bins = disc.Discretize(*db, *gi, {1});
+  ASSERT_EQ(bins.size(), 1u);
+  // With no structure anywhere, nearly everything merges.
+  EXPECT_LE(bins[0].cuts.size(), 2u);
+}
+
+TEST(MvdTest, ClassBoundaryPreserved) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    b.AppendCategorical(g, v < 0.5 ? "a" : "b");
+    b.AppendContinuous(x, v);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  MvdDiscretizer disc(SmallDataOptions());
+  auto bins = disc.Discretize(*db, *gi, {1});
+  ASSERT_FALSE(bins[0].cuts.empty());
+  bool near_half = false;
+  for (double c : bins[0].cuts) {
+    if (std::fabs(c - 0.5) < 0.08) near_half = true;
+  }
+  EXPECT_TRUE(near_half);
+}
+
+TEST(MvdTest, DetectsMultivariateStructureOnXData) {
+  // Figure 3b: no univariate class signal, but the joint tests (other
+  // attribute x group) must keep interior boundaries alive.
+  data::Dataset db = synth::MakeSimulated2(1500);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  MvdDiscretizer disc(SmallDataOptions());
+  auto bins = disc.Discretize(db, *gi, {1, 2});
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_FALSE(bins[0].cuts.empty());
+  EXPECT_FALSE(bins[1].cuts.empty());
+}
+
+TEST(MvdTest, TinyDataNoCuts) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 0; i < 3; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, i);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  MvdDiscretizer disc;
+  auto bins = disc.Discretize(*db, *gi, {1});
+  EXPECT_TRUE(bins[0].cuts.empty());
+}
+
+TEST(MvdTest, NameStable) {
+  EXPECT_EQ(MvdDiscretizer().name(), "mvd");
+}
+
+}  // namespace
+}  // namespace sdadcs::discretize

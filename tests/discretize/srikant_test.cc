@@ -1,0 +1,107 @@
+#include "discretize/srikant.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sdadcs::discretize {
+namespace {
+
+struct Fixture {
+  data::Dataset db;
+  data::GroupInfo gi;
+};
+
+Fixture MakeUniform(int n) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(51);
+  for (int i = 0; i < n; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, rng.NextDouble());
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  SDADCS_CHECK(gi.ok());
+  return {std::move(db).value(), std::move(gi).value()};
+}
+
+TEST(SrikantTest, UniformDataKeepsAllPartitions) {
+  Fixture f = MakeUniform(1000);
+  SrikantDiscretizer::Options opt;
+  opt.initial_partitions = 10;
+  opt.minsup = 0.05;  // each partition holds ~0.1 > minsup
+  SrikantDiscretizer disc(opt);
+  auto bins = disc.Discretize(f.db, f.gi, {1});
+  EXPECT_EQ(bins[0].cuts.size(), 9u);
+}
+
+TEST(SrikantTest, UndersizedPartitionsMerge) {
+  // Heavy point mass at 0.5 with thin uniform tails: equal-frequency
+  // cuts collapse around the mass, and the thin outer partitions fall
+  // below minsup and merge.
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  util::Rng rng(52);
+  for (int i = 0; i < 1000; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, i < 900 ? 0.5 : rng.NextDouble());
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  SrikantDiscretizer::Options opt;
+  opt.initial_partitions = 10;
+  opt.minsup = 0.08;
+  SrikantDiscretizer disc(opt);
+  auto bins = disc.Discretize(*db, *gi, {1});
+  EXPECT_LE(bins[0].cuts.size(), 3u);
+  // Every resulting bin must satisfy minsup.
+  const auto& col = db->continuous(1);
+  std::vector<double> counts(bins[0].num_bins(), 0.0);
+  for (uint32_t r = 0; r < db->num_rows(); ++r) {
+    counts[bins[0].BinOf(col.value(r))] += 1.0;
+  }
+  for (double c : counts) {
+    EXPECT_GE(c, 0.08 * 1000.0);
+  }
+}
+
+TEST(SrikantTest, HighMinsupMergesEverything) {
+  Fixture f = MakeUniform(100);
+  SrikantDiscretizer::Options opt;
+  opt.initial_partitions = 10;
+  opt.minsup = 0.6;  // no partition can satisfy this -> all merge
+  SrikantDiscretizer disc(opt);
+  auto bins = disc.Discretize(f.db, f.gi, {1});
+  EXPECT_TRUE(bins[0].cuts.empty());
+}
+
+TEST(SrikantTest, SingleValueDataNoCuts) {
+  data::DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  for (int i = 0; i < 50; ++i) {
+    b.AppendCategorical(g, i % 2 == 0 ? "a" : "b");
+    b.AppendContinuous(x, 7.0);
+  }
+  auto db = std::move(b).Build();
+  ASSERT_TRUE(db.ok());
+  auto gi = data::GroupInfo::Create(*db, 0);
+  ASSERT_TRUE(gi.ok());
+  SrikantDiscretizer disc;
+  auto bins = disc.Discretize(*db, *gi, {1});
+  EXPECT_TRUE(bins[0].cuts.empty());
+}
+
+TEST(SrikantTest, NameStable) {
+  EXPECT_EQ(SrikantDiscretizer().name(), "srikant");
+}
+
+}  // namespace
+}  // namespace sdadcs::discretize

@@ -1,0 +1,192 @@
+// Parameterized property suites: invariants that must hold for every
+// mined pattern across sweeps of datasets, measures, and thresholds.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/support.h"
+#include "synth/simulated.h"
+#include "synth/uci_like.h"
+
+namespace sdadcs {
+namespace {
+
+using core::ContrastPattern;
+using core::MeasureKind;
+using core::Miner;
+using core::MinerConfig;
+
+data::Dataset MakeByName(const std::string& name) {
+  if (name == "sim1") return synth::MakeSimulated1(800);
+  if (name == "sim2") return synth::MakeSimulated2(800);
+  if (name == "sim3") return synth::MakeSimulated3(800);
+  if (name == "sim4") return synth::MakeSimulated4(1200);
+  return synth::MakeFigure2Example(1500);
+}
+
+// ---------------------------------------------------------------------
+// Sweep 1: dataset x measure x pruning mode.
+// ---------------------------------------------------------------------
+
+using MinerParams = std::tuple<std::string, MeasureKind, bool>;
+
+class MinerInvariants : public testing::TestWithParam<MinerParams> {};
+
+TEST_P(MinerInvariants, AllPatternsSatisfyContracts) {
+  const auto& [ds_name, measure, meaningful] = GetParam();
+  data::Dataset db = MakeByName(ds_name);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.measure = measure;
+  cfg.meaningful_pruning = meaningful;
+  Miner miner(cfg);
+  auto result = miner.MineWithGroups(db, *gi);
+  ASSERT_TRUE(result.ok());
+
+  double prev_measure = std::numeric_limits<double>::infinity();
+  std::set<std::string> keys;
+  for (const ContrastPattern& p : result->contrasts) {
+    // Structural contracts.
+    EXPECT_GE(p.itemset.size(), 1u);
+    EXPECT_LE(p.itemset.size(), static_cast<size_t>(cfg.max_depth));
+    EXPECT_TRUE(keys.insert(p.itemset.Key()).second) << "duplicate";
+    // Sortedness.
+    EXPECT_LE(p.measure, prev_measure + 1e-12);
+    prev_measure = p.measure;
+    // Statistical contracts of Eqs. 2-3.
+    EXPECT_GT(p.diff, cfg.delta);
+    EXPECT_LT(p.p_value, cfg.alpha);
+    EXPECT_GE(p.purity, 0.0);
+    EXPECT_LE(p.purity, 1.0);
+    for (size_t g = 0; g < p.supports.size(); ++g) {
+      EXPECT_GE(p.supports[g], 0.0);
+      EXPECT_LE(p.supports[g], 1.0);
+      EXPECT_LE(p.counts[g],
+                static_cast<double>(gi->group_size(static_cast<int>(g))));
+    }
+    // Reported counts must equal a from-scratch recount of the cover —
+    // this catches any bookkeeping drift in splitting/merging.
+    core::GroupCounts recount =
+        core::CountMatches(db, *gi, p.itemset, gi->base_selection());
+    for (size_t g = 0; g < p.counts.size(); ++g) {
+      EXPECT_DOUBLE_EQ(p.counts[g], recount.counts[g])
+          << p.itemset.ToString(db);
+    }
+    // Measure consistency.
+    EXPECT_NEAR(p.measure, core::MeasureValue(measure, p.supports), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinerInvariants,
+    testing::Combine(
+        testing::Values("sim1", "sim2", "sim3", "sim4", "fig2"),
+        testing::Values(MeasureKind::kSupportDiff, MeasureKind::kSurprising,
+                        MeasureKind::kPurityRatio),
+        testing::Bool()),
+    [](const testing::TestParamInfo<MinerParams>& info) {
+      return std::get<0>(info.param) + "_" +
+             core::MeasureKindName(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_pruned" : "_np");
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: delta monotonicity — raising delta never yields weaker
+// patterns and never yields more of them.
+// ---------------------------------------------------------------------
+
+class DeltaSweep : public testing::TestWithParam<double> {};
+
+TEST_P(DeltaSweep, PatternsRespectDelta) {
+  double delta = GetParam();
+  data::Dataset db = synth::MakeSimulated4(1200);
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.delta = delta;
+  auto result = Miner(cfg).Mine(db, "Group");
+  ASSERT_TRUE(result.ok());
+  for (const ContrastPattern& p : result->contrasts) {
+    EXPECT_GT(p.diff, delta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep,
+                         testing::Values(0.05, 0.1, 0.2, 0.4),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "delta_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(DeltaMonotonicityTest, HigherDeltaFewerOrEqualPatterns) {
+  data::Dataset db = synth::MakeSimulated4(1200);
+  size_t prev = SIZE_MAX;
+  for (double delta : {0.05, 0.15, 0.3, 0.5}) {
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.delta = delta;
+    auto result = Miner(cfg).Mine(db, "Group");
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->contrasts.size(), prev);
+    prev = result->contrasts.size();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep 3: alpha — stricter significance can only shrink the output.
+// ---------------------------------------------------------------------
+
+TEST(AlphaMonotonicityTest, StricterAlphaFewerOrEqualPatterns) {
+  data::Dataset db = synth::MakeFigure2Example(2500);
+  size_t prev = SIZE_MAX;
+  for (double alpha : {0.1, 0.05, 0.01, 0.001}) {
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.alpha = alpha;
+    auto result = Miner(cfg).Mine(db, "Group");
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->contrasts.size(), prev) << "alpha " << alpha;
+    prev = result->contrasts.size();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep 4: UCI-like datasets — the miner completes and returns sane
+// output on every evaluation dataset at depth 1.
+// ---------------------------------------------------------------------
+
+class UciSmoke : public testing::TestWithParam<std::string> {};
+
+TEST_P(UciSmoke, DepthOneMiningIsSane) {
+  synth::NamedDataset nd = synth::MakeUciLike(GetParam());
+  MinerConfig cfg;
+  cfg.max_depth = 1;
+  Miner miner(cfg);
+  auto result = miner.Mine(nd.db, nd.group_attr, nd.groups);
+  ASSERT_TRUE(result.ok());
+  for (const ContrastPattern& p : result->contrasts) {
+    EXPECT_EQ(p.itemset.size(), 1u);
+    EXPECT_GT(p.diff, cfg.delta);
+  }
+  EXPECT_GT(result->counters.partitions_evaluated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, UciSmoke,
+                         testing::Values("adult", "spambase", "breast",
+                                         "mammography", "transfusion",
+                                         "shuttle", "credit_card",
+                                         "census_income", "ionosphere",
+                                         "covtype"),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace sdadcs

@@ -1,0 +1,132 @@
+#include "parallel/parallel_miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/scaling.h"
+#include "synth/simulated.h"
+#include "synth/uci_like.h"
+
+namespace sdadcs::parallel {
+namespace {
+
+core::MinerConfig BaseConfig() {
+  core::MinerConfig cfg;
+  cfg.max_depth = 2;
+  return cfg;
+}
+
+TEST(ParallelMinerTest, FindsSamePatternsAsSerial) {
+  data::Dataset db = synth::MakeSimulated4(1500);
+  core::MinerConfig cfg = BaseConfig();
+  auto serial = core::Miner(cfg).Mine(db, "Group");
+  auto parallel = ParallelMiner(cfg, 4).Mine(db, "Group");
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  // Workers lose some cross-subtree pruning but the pattern *set* of
+  // this small problem is identical.
+  std::set<std::string> serial_keys;
+  for (const auto& p : serial->contrasts) {
+    serial_keys.insert(p.itemset.Key());
+  }
+  std::set<std::string> parallel_keys;
+  for (const auto& p : parallel->contrasts) {
+    parallel_keys.insert(p.itemset.Key());
+  }
+  EXPECT_EQ(serial_keys, parallel_keys);
+}
+
+TEST(ParallelMinerTest, SingleThreadWorks) {
+  data::Dataset db = synth::MakeSimulated3(600);
+  auto result = ParallelMiner(BaseConfig(), 1).Mine(db, "Group");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->contrasts.empty());
+}
+
+TEST(ParallelMinerTest, ZeroThreadsRejected) {
+  data::Dataset db = synth::MakeSimulated3(300);
+  EXPECT_FALSE(ParallelMiner(BaseConfig(), 0).Mine(db, "Group").ok());
+}
+
+TEST(ParallelMinerTest, UnknownGroupAttrRejected) {
+  data::Dataset db = synth::MakeSimulated3(300);
+  EXPECT_FALSE(ParallelMiner(BaseConfig(), 2).Mine(db, "nope").ok());
+}
+
+TEST(ParallelMinerTest, XorStructureSurvivesParallelism) {
+  // Aliveness pooling across workers must still generate the joint
+  // combination at level 2.
+  data::Dataset db = synth::MakeSimulated2(1200);
+  core::MinerConfig cfg = BaseConfig();
+  cfg.measure = core::MeasureKind::kSurprising;
+  auto result = ParallelMiner(cfg, 3).Mine(db, "Group");
+  ASSERT_TRUE(result.ok());
+  bool has_bivariate = false;
+  for (const auto& p : result->contrasts) {
+    if (p.itemset.size() == 2) has_bivariate = true;
+  }
+  EXPECT_TRUE(has_bivariate);
+}
+
+TEST(ParallelMinerTest, GroupValueSelectionWorks) {
+  synth::NamedDataset adult = synth::MakeAdultLike();
+  core::MinerConfig cfg = BaseConfig();
+  cfg.attributes = {"age", "occupation"};
+  auto result = ParallelMiner(cfg, 2).Mine(adult.db, adult.group_attr,
+                                           adult.groups);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->contrasts.empty());
+  EXPECT_EQ(result->group_names,
+            (std::vector<std::string>{"Doctorate", "Bachelors"}));
+}
+
+// Property sweep: parallel result set == serial result set across the
+// simulated datasets and both pruning modes.
+using EquivParams = std::tuple<int, bool>;
+
+class ParallelEquivalence : public testing::TestWithParam<EquivParams> {};
+
+TEST_P(ParallelEquivalence, MatchesSerialPatternSet) {
+  const auto& [which, meaningful] = GetParam();
+  data::Dataset db = which == 1   ? synth::MakeSimulated1(800)
+                     : which == 2 ? synth::MakeSimulated2(800)
+                     : which == 3 ? synth::MakeSimulated3(800)
+                                  : synth::MakeSimulated4(1200);
+  core::MinerConfig cfg = BaseConfig();
+  cfg.meaningful_pruning = meaningful;
+  auto serial = core::Miner(cfg).Mine(db, "Group");
+  auto par = ParallelMiner(cfg, 3).Mine(db, "Group");
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(par.ok());
+  std::set<std::string> a;
+  std::set<std::string> b;
+  for (const auto& p : serial->contrasts) a.insert(p.itemset.Key());
+  for (const auto& p : par->contrasts) b.insert(p.itemset.Key());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEquivalence,
+    testing::Combine(testing::Values(1, 2, 3, 4), testing::Bool()),
+    [](const testing::TestParamInfo<EquivParams>& info) {
+      return "sim" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_pruned" : "_np");
+    });
+
+TEST(ParallelMinerTest, WideDatasetCompletes) {
+  synth::ScalingOptions opt;
+  opt.rows = 3000;
+  opt.continuous_features = 15;
+  opt.categorical_features = 5;
+  synth::NamedDataset sc = synth::MakeScalingDataset(opt);
+  core::MinerConfig cfg = BaseConfig();
+  auto result = ParallelMiner(cfg, 4).Mine(sc.db, sc.group_attr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->counters.partitions_evaluated, 0u);
+  EXPECT_FALSE(result->contrasts.empty());
+}
+
+}  // namespace
+}  // namespace sdadcs::parallel

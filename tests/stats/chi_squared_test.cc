@@ -1,0 +1,121 @@
+#include "stats/chi_squared.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::stats {
+namespace {
+
+TEST(ChiSquaredPValueTest, KnownCriticalPoints) {
+  // Chi-square with 1 dof: P(X >= 3.841459) = 0.05.
+  EXPECT_NEAR(ChiSquaredPValue(3.841458820694124, 1), 0.05, 1e-8);
+  // 2 dof: survival is exp(-x/2).
+  EXPECT_NEAR(ChiSquaredPValue(5.991464547107979, 2), 0.05, 1e-8);
+  EXPECT_NEAR(ChiSquaredPValue(0.0, 3), 1.0, 1e-12);
+}
+
+TEST(ChiSquaredCriticalTest, InvertsPValue) {
+  for (int dof : {1, 2, 5, 10}) {
+    for (double alpha : {0.05, 0.01, 0.001}) {
+      double crit = ChiSquaredCritical(alpha, dof);
+      EXPECT_NEAR(ChiSquaredPValue(crit, dof), alpha, 1e-6)
+          << "dof=" << dof << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(ChiSquaredTestOfIndependence, KnownTwoByTwo) {
+  // [[10, 20], [30, 40]]: expected [[12, 18], [28, 42]], so chi2 =
+  // 4/12 + 4/18 + 4/28 + 4/42 = 0.793650... (no Yates).
+  ContingencyTable t(2, 2);
+  t.set_cell(0, 0, 10);
+  t.set_cell(0, 1, 20);
+  t.set_cell(1, 0, 30);
+  t.set_cell(1, 1, 40);
+  ChiSquaredResult res = ChiSquaredTest(t);
+  ASSERT_TRUE(res.valid);
+  EXPECT_EQ(res.dof, 1);
+  EXPECT_NEAR(res.statistic, 0.7936507936507937, 1e-8);
+  EXPECT_GT(res.p_value, 0.05);
+}
+
+TEST(ChiSquaredTestOfIndependence, StrongDependence) {
+  ContingencyTable t(2, 2);
+  t.set_cell(0, 0, 90);
+  t.set_cell(0, 1, 10);
+  t.set_cell(1, 0, 10);
+  t.set_cell(1, 1, 90);
+  ChiSquaredResult res = ChiSquaredTest(t);
+  ASSERT_TRUE(res.valid);
+  EXPECT_LT(res.p_value, 1e-10);
+}
+
+TEST(ChiSquaredTestOfIndependence, YatesShrinksStatistic) {
+  ContingencyTable t(2, 2);
+  t.set_cell(0, 0, 12);
+  t.set_cell(0, 1, 8);
+  t.set_cell(1, 0, 6);
+  t.set_cell(1, 1, 14);
+  double plain = ChiSquaredTest(t, false).statistic;
+  double yates = ChiSquaredTest(t, true).statistic;
+  EXPECT_LT(yates, plain);
+}
+
+TEST(ChiSquaredTestOfIndependence, DegenerateTableInvalid) {
+  ContingencyTable t(2, 2);
+  t.set_cell(0, 0, 5);
+  t.set_cell(0, 1, 7);
+  // Second row all zero -> only one live row.
+  ChiSquaredResult res = ChiSquaredTest(t);
+  EXPECT_FALSE(res.valid);
+  EXPECT_DOUBLE_EQ(res.p_value, 1.0);
+}
+
+TEST(ChiSquaredTestOfIndependence, DropsEmptyColumns) {
+  // 2x3 with an all-zero middle column -> dof (2-1)*(2-1) = 1.
+  ContingencyTable t(2, 3);
+  t.set_cell(0, 0, 10);
+  t.set_cell(0, 2, 20);
+  t.set_cell(1, 0, 30);
+  t.set_cell(1, 2, 15);
+  ChiSquaredResult res = ChiSquaredTest(t);
+  ASSERT_TRUE(res.valid);
+  EXPECT_EQ(res.dof, 1);
+}
+
+TEST(ChiSquaredPresenceTest, MatchesManualTable) {
+  // Pattern matched 80/200 in g0 and 20/100 in g1.
+  ChiSquaredResult res = ChiSquaredPresenceTest({80, 20}, {200, 100});
+  ContingencyTable t(2, 2);
+  t.set_cell(0, 0, 80);
+  t.set_cell(0, 1, 20);
+  t.set_cell(1, 0, 120);
+  t.set_cell(1, 1, 80);
+  ChiSquaredResult manual = ChiSquaredTest(t);
+  ASSERT_TRUE(res.valid);
+  EXPECT_NEAR(res.statistic, manual.statistic, 1e-12);
+}
+
+TEST(ContingencyTableTest, MarginalsAndExpected) {
+  ContingencyTable t(2, 2);
+  t.set_cell(0, 0, 10);
+  t.set_cell(0, 1, 30);
+  t.set_cell(1, 0, 20);
+  t.set_cell(1, 1, 40);
+  EXPECT_DOUBLE_EQ(t.RowTotal(0), 40);
+  EXPECT_DOUBLE_EQ(t.ColTotal(1), 70);
+  EXPECT_DOUBLE_EQ(t.GrandTotal(), 100);
+  EXPECT_DOUBLE_EQ(t.Expected(0, 0), 40.0 * 30.0 / 100.0);
+  EXPECT_DOUBLE_EQ(t.MinExpected(), 40.0 * 30.0 / 100.0);
+  EXPECT_TRUE(t.AllExpectedAtLeast(12.0));
+  EXPECT_FALSE(t.AllExpectedAtLeast(12.1));
+}
+
+TEST(ContingencyTableTest, AddAccumulates) {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0);
+  t.Add(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(t.cell(0, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace sdadcs::stats

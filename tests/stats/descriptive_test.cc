@@ -1,0 +1,49 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::stats {
+namespace {
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_TRUE(std::isnan(Mean({})));
+}
+
+TEST(SampleVarianceTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_TRUE(std::isnan(SampleVariance({1})));
+}
+
+TEST(MedianTest, OddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.0);  // lower middle
+  EXPECT_TRUE(std::isnan(Median({})));
+}
+
+TEST(EntropyTest, UniformIsLogK) {
+  EXPECT_NEAR(EntropyFromCounts({10, 10}), 1.0, 1e-12);
+  EXPECT_NEAR(EntropyFromCounts({5, 5, 5, 5}), 2.0, 1e-12);
+}
+
+TEST(EntropyTest, PureIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({42, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({}), 0.0);
+}
+
+TEST(EntropyTest, SkewBetweenZeroAndLogK) {
+  double h = EntropyFromCounts({90, 10});
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1.0);
+  EXPECT_NEAR(h, 0.4689955935892812, 1e-10);
+}
+
+TEST(BonferroniTest, DividesByTests) {
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, 10), 0.005);
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, 0), 0.05);
+}
+
+}  // namespace
+}  // namespace sdadcs::stats

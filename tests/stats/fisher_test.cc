@@ -1,0 +1,48 @@
+#include "stats/fisher.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::stats {
+namespace {
+
+TEST(FisherTwoSidedTest, ClassicTeaTasting) {
+  // Fisher's lady-tasting-tea table [[3,1],[1,3]]: two-sided p ~ 0.4857.
+  EXPECT_NEAR(FisherExactTwoSided(3, 1, 1, 3), 0.48571428571, 1e-8);
+}
+
+TEST(FisherTwoSidedTest, ExtremeTableIsSmall) {
+  // [[10,0],[0,10]]: p = 2 / C(20,10) ~ 1.0825e-5.
+  EXPECT_NEAR(FisherExactTwoSided(10, 0, 0, 10), 2.0 / 184756.0, 1e-10);
+}
+
+TEST(FisherTwoSidedTest, IndependentTableIsLarge) {
+  EXPECT_GT(FisherExactTwoSided(20, 20, 20, 20), 0.9);
+}
+
+TEST(FisherTwoSidedTest, EmptyTableIsOne) {
+  EXPECT_DOUBLE_EQ(FisherExactTwoSided(0, 0, 0, 0), 1.0);
+}
+
+TEST(FisherGreaterTest, KnownValue) {
+  // One-sided (greater) for [[3,1],[1,3]]: p = P(a>=3) =
+  // [C(4,3)C(4,1) + C(4,4)C(4,0)] / C(8,4) = (16+1)/70.
+  EXPECT_NEAR(FisherExactGreater(3, 1, 1, 3), 17.0 / 70.0, 1e-10);
+}
+
+TEST(FisherGreaterTest, MaximalAIsMinimalP) {
+  double p_max = FisherExactGreater(4, 0, 0, 4);
+  EXPECT_NEAR(p_max, 1.0 / 70.0, 1e-10);
+}
+
+TEST(FisherGreaterTest, MinimalAIsOne) {
+  EXPECT_NEAR(FisherExactGreater(0, 4, 4, 0), 1.0, 1e-10);
+}
+
+TEST(FisherTest, SymmetryUnderTransposition) {
+  // Transposing the table leaves the two-sided p unchanged.
+  EXPECT_NEAR(FisherExactTwoSided(5, 2, 3, 8),
+              FisherExactTwoSided(5, 3, 2, 8), 1e-10);
+}
+
+}  // namespace
+}  // namespace sdadcs::stats

@@ -1,0 +1,40 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(NormalPdfTest, PeakAndSymmetry) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.3), NormalPdf(-1.3), 1e-15);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownCriticalValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-8);
+}
+
+TEST(TwoSidedCriticalZTest, MatchesQuantile) {
+  EXPECT_NEAR(TwoSidedCriticalZ(0.05), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(TwoSidedCriticalZ(0.01), 2.5758293035489004, 1e-8);
+}
+
+}  // namespace
+}  // namespace sdadcs::stats

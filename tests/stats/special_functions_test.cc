@@ -1,0 +1,70 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 3.5, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(RegularizedGammaTest, Monotone) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 10.0; x += 0.5) {
+    double p = RegularizedGammaP(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RegularizedBetaTest, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(RegularizedBeta(0.3, 2.0, 5.0),
+              1.0 - RegularizedBeta(0.7, 5.0, 2.0), 1e-10);
+}
+
+TEST(RegularizedBetaTest, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1.0, 1.0), x, 1e-10);
+  }
+}
+
+TEST(LogChooseTest, SmallValues) {
+  EXPECT_NEAR(LogChoose(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogChoose(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(52, 5), std::log(2598960.0), 1e-8);
+}
+
+}  // namespace
+}  // namespace sdadcs::stats

@@ -1,0 +1,85 @@
+#include "stats/wilcoxon.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sdadcs::stats {
+namespace {
+
+TEST(MannWhitneyTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  MannWhitneyResult res = MannWhitneyTest(x, x);
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.p_value, 0.9);
+}
+
+TEST(MannWhitneyTest, DisjointSamplesSignificant) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(100 + i);
+  }
+  MannWhitneyResult res = MannWhitneyTest(x, y);
+  ASSERT_TRUE(res.valid);
+  EXPECT_LT(res.p_value, 1e-6);
+}
+
+TEST(MannWhitneyTest, UStatisticValue) {
+  // x = {1,2}, y = {3,4}: every y beats every x, U1 = 0.
+  MannWhitneyResult res = MannWhitneyTest({1, 2}, {3, 4});
+  ASSERT_TRUE(res.valid);
+  EXPECT_DOUBLE_EQ(res.u, 0.0);
+}
+
+TEST(MannWhitneyTest, SymmetricInDirection) {
+  std::vector<double> x = {1, 2, 3, 10, 12};
+  std::vector<double> y = {4, 5, 6, 7, 20};
+  MannWhitneyResult ab = MannWhitneyTest(x, y);
+  MannWhitneyResult ba = MannWhitneyTest(y, x);
+  ASSERT_TRUE(ab.valid && ba.valid);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-12);
+}
+
+TEST(MannWhitneyTest, EmptySampleInvalid) {
+  EXPECT_FALSE(MannWhitneyTest({}, {1, 2}).valid);
+  EXPECT_FALSE(MannWhitneyTest({1, 2}, {}).valid);
+}
+
+TEST(MannWhitneyTest, AllTiedInvalid) {
+  EXPECT_FALSE(MannWhitneyTest({5, 5, 5}, {5, 5}).valid);
+}
+
+TEST(MannWhitneyTest, TiesHandledWithMidranks) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {2, 3, 3, 4};
+  MannWhitneyResult res = MannWhitneyTest(x, y);
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.p_value, 0.0);
+  EXPECT_LE(res.p_value, 1.0);
+}
+
+TEST(MannWhitneyTest, FalsePositiveRateRoughlyAlpha) {
+  // Same-distribution samples should reject ~5% of the time at 0.05.
+  util::Rng rng(99);
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i) {
+      x.push_back(rng.NextGaussian());
+      y.push_back(rng.NextGaussian());
+    }
+    MannWhitneyResult res = MannWhitneyTest(x, y);
+    if (res.valid && res.p_value < 0.05) ++rejections;
+  }
+  double rate = static_cast<double>(rejections) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.11);
+}
+
+}  // namespace
+}  // namespace sdadcs::stats

@@ -1,0 +1,156 @@
+#include "stream/window_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sdadcs::stream {
+namespace {
+
+StreamConfig SmallConfig() {
+  StreamConfig cfg;
+  cfg.window_rows = 600;
+  cfg.stride = 300;
+  cfg.min_rows = 300;
+  cfg.miner.max_depth = 1;
+  return cfg;
+}
+
+std::vector<data::Attribute> TwoColumnSchema() {
+  return {{"g", data::AttributeType::kCategorical},
+          {"x", data::AttributeType::kContinuous}};
+}
+
+TEST(WindowMinerTest, RejectsWrongRowWidth) {
+  WindowMiner miner(SmallConfig(), TwoColumnSchema(), "g");
+  auto st = miner.Append({StreamValue::Category("a")});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(WindowMinerTest, RejectsTypeMismatch) {
+  WindowMiner miner(SmallConfig(), TwoColumnSchema(), "g");
+  auto st = miner.Append(
+      {StreamValue::Number(1.0), StreamValue::Number(1.0)});
+  EXPECT_FALSE(st.ok());
+  auto st2 = miner.Append(
+      {StreamValue::Category("a"), StreamValue::Category("oops")});
+  EXPECT_FALSE(st2.ok());
+}
+
+TEST(WindowMinerTest, NoPassBeforeMinRows) {
+  WindowMiner miner(SmallConfig(), TwoColumnSchema(), "g");
+  util::Rng rng(1);
+  for (int i = 0; i < 299; ++i) {
+    auto delta = miner.Append({StreamValue::Category(i % 2 ? "a" : "b"),
+                               StreamValue::Number(rng.NextDouble())});
+    ASSERT_TRUE(delta.ok());
+    EXPECT_FALSE(delta->has_value()) << "row " << i;
+  }
+  EXPECT_EQ(miner.rows_seen(), 299u);
+}
+
+TEST(WindowMinerTest, WindowCapacityEnforced) {
+  StreamConfig cfg = SmallConfig();
+  cfg.window_rows = 100;
+  cfg.min_rows = 1000000;  // never mine
+  WindowMiner miner(cfg, TwoColumnSchema(), "g");
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(miner
+                    .Append({StreamValue::Category("a"),
+                             StreamValue::Number(i)})
+                    .ok());
+  }
+  EXPECT_EQ(miner.window_size(), 100u);
+  EXPECT_EQ(miner.rows_seen(), 250u);
+}
+
+TEST(WindowMinerTest, SingleGroupWindowSkipsPass) {
+  WindowMiner miner(SmallConfig(), TwoColumnSchema(), "g");
+  util::Rng rng(2);
+  bool any_delta = false;
+  for (int i = 0; i < 700; ++i) {
+    auto delta = miner.Append({StreamValue::Category("only"),
+                               StreamValue::Number(rng.NextDouble())});
+    ASSERT_TRUE(delta.ok());
+    if (delta->has_value()) any_delta = true;
+  }
+  EXPECT_FALSE(any_delta);
+}
+
+// Streams a regime where group "bad" sits above `threshold` on x; after
+// `drift_at` rows the threshold moves.
+TEST(WindowMinerTest, DetectsRegimeDrift) {
+  StreamConfig cfg = SmallConfig();
+  WindowMiner miner(cfg, TwoColumnSchema(), "g");
+  util::Rng rng(3);
+
+  std::vector<PatternDelta> deltas;
+  auto feed = [&](int rows, double threshold) {
+    for (int i = 0; i < rows; ++i) {
+      double x = rng.Uniform(0.0, 10.0);
+      const char* g = x > threshold ? "bad" : "good";
+      auto delta =
+          miner.Append({StreamValue::Category(g), StreamValue::Number(x)});
+      ASSERT_TRUE(delta.ok());
+      if (delta->has_value()) deltas.push_back(**delta);
+    }
+  };
+
+  feed(900, 8.0);   // regime 1: boundary at 8
+  size_t regime1_deltas = deltas.size();
+  ASSERT_GT(regime1_deltas, 0u);
+  // First pass: everything is new.
+  EXPECT_FALSE(deltas.front().appeared.empty());
+  EXPECT_TRUE(deltas.front().disappeared.empty());
+
+  feed(1200, 2.0);  // regime 2: boundary jumps to 2
+  ASSERT_GT(deltas.size(), regime1_deltas);
+  // Some pass after the drift must report change.
+  bool drift_reported = false;
+  for (size_t i = regime1_deltas; i < deltas.size(); ++i) {
+    if (deltas[i].drifted()) drift_reported = true;
+  }
+  EXPECT_TRUE(drift_reported);
+  EXPECT_FALSE(miner.current_patterns().empty());
+}
+
+TEST(WindowMinerTest, StablePatternsPersistAcrossPasses) {
+  StreamConfig cfg = SmallConfig();
+  cfg.stride = 200;
+  WindowMiner miner(cfg, TwoColumnSchema(), "g");
+  util::Rng rng(4);
+  std::vector<PatternDelta> deltas;
+  for (int i = 0; i < 1500; ++i) {
+    double x = rng.Uniform(0.0, 10.0);
+    const char* g = x > 5.0 ? "bad" : "good";
+    auto delta =
+        miner.Append({StreamValue::Category(g), StreamValue::Number(x)});
+    ASSERT_TRUE(delta.ok());
+    if (delta->has_value()) deltas.push_back(**delta);
+  }
+  ASSERT_GE(deltas.size(), 3u);
+  // After the first pass, the stable boundary should mostly persist.
+  size_t persisted_passes = 0;
+  for (size_t i = 1; i < deltas.size(); ++i) {
+    if (!deltas[i].persisted.empty()) ++persisted_passes;
+  }
+  EXPECT_GE(persisted_passes, deltas.size() - 2);
+}
+
+TEST(WindowMinerTest, MissingValuesStreamThrough) {
+  WindowMiner miner(SmallConfig(), TwoColumnSchema(), "g");
+  util::Rng rng(5);
+  for (int i = 0; i < 700; ++i) {
+    StreamValue x = rng.Bernoulli(0.1)
+                        ? StreamValue::Missing()
+                        : StreamValue::Number(rng.Uniform(0.0, 10.0));
+    const char* g =
+        (x.kind == StreamValue::Kind::kNumber && x.number > 7.0) ? "bad"
+                                                                 : "good";
+    ASSERT_TRUE(miner.Append({StreamValue::Category(g), x}).ok());
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sdadcs::stream

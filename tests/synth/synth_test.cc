@@ -1,0 +1,252 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "data/group_info.h"
+
+#include "synth/manufacturing.h"
+#include "synth/scaling.h"
+#include "synth/simulated.h"
+#include "synth/two_group.h"
+#include "synth/uci_like.h"
+
+namespace sdadcs::synth {
+namespace {
+
+double SupportOf(const data::Dataset& db, const data::GroupInfo& gi,
+                 int group, const std::function<bool(uint32_t)>& pred) {
+  (void)db;  // the predicates capture the dataset they need
+  double count = 0.0;
+  for (uint32_t r : gi.base_selection()) {
+    if (gi.group_of(r) == group && pred(r)) count += 1.0;
+  }
+  return count / static_cast<double>(gi.group_size(group));
+}
+
+TEST(TwoGroupBuilderTest, SizesAndGroups) {
+  TwoGroupBuilder b("g", "x", "y", 30, 20, 1);
+  b.AddGaussian("f", 0.0, 1.0, 5.0, 1.0);
+  data::Dataset db = std::move(b).Build();
+  EXPECT_EQ(db.num_rows(), 50u);
+  auto gi = data::GroupInfo::CreateForValues(db, 0, {"x", "y"});
+  ASSERT_TRUE(gi.ok());
+  EXPECT_EQ(gi->group_size(0), 30u);
+  EXPECT_EQ(gi->group_size(1), 20u);
+}
+
+TEST(TwoGroupBuilderTest, GroupConditionalDistributions) {
+  TwoGroupBuilder b("g", "lo", "hi", 500, 500, 2);
+  b.AddGaussian("f", 0.0, 1.0, 10.0, 1.0);
+  data::Dataset db = std::move(b).Build();
+  auto gi = data::GroupInfo::CreateForValues(db, 0, {"lo", "hi"});
+  ASSERT_TRUE(gi.ok());
+  double sum0 = 0.0;
+  double sum1 = 0.0;
+  const auto& col = db.continuous(1);
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    if (gi->group_of(r) == 0) {
+      sum0 += col.value(r);
+    } else {
+      sum1 += col.value(r);
+    }
+  }
+  EXPECT_NEAR(sum0 / 500.0, 0.0, 0.2);
+  EXPECT_NEAR(sum1 / 500.0, 10.0, 0.2);
+}
+
+TEST(TwoGroupBuilderTest, DerivedSeesEarlierColumns) {
+  TwoGroupBuilder b("g", "a", "b", 100, 100, 3);
+  b.AddUniform("base", 0.0, 1.0, 0.0, 1.0);
+  b.AddDerivedContinuous("double", [&b](int, uint32_t row, util::Rng&) {
+    return 2.0 * b.ContinuousValue("base", row);
+  });
+  data::Dataset db = std::move(b).Build();
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(db.continuous(2).value(r),
+                     2.0 * db.continuous(1).value(r));
+  }
+}
+
+TEST(TwoGroupBuilderTest, InjectMissingCreatesGaps) {
+  TwoGroupBuilder b("g", "a", "b", 300, 300, 4);
+  b.AddUniformNoise("f", 0.0, 1.0);
+  b.InjectMissing("f", 0.2);
+  data::Dataset db = std::move(b).Build();
+  size_t missing = 0;
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    if (db.continuous(1).is_missing(r)) ++missing;
+  }
+  EXPECT_GT(missing, 80u);
+  EXPECT_LT(missing, 160u);
+}
+
+TEST(TwoGroupBuilderTest, DeterministicForSeed) {
+  auto make = [] {
+    TwoGroupBuilder b("g", "a", "b", 50, 50, 77);
+    b.AddGaussian("f", 0.0, 1.0, 1.0, 1.0);
+    return std::move(b).Build();
+  };
+  data::Dataset d1 = make();
+  data::Dataset d2 = make();
+  for (uint32_t r = 0; r < d1.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(d1.continuous(1).value(r), d2.continuous(1).value(r));
+  }
+}
+
+TEST(SimulatedTest, Dataset1PerfectBoundary) {
+  data::Dataset db = MakeSimulated1(1000);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  int g2 = gi->group_name(0) == "Group2" ? 0 : 1;
+  const auto& attr1 = db.continuous(1);
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    EXPECT_EQ(gi->group_of(r) == g2, attr1.value(r) < 0.5);
+  }
+}
+
+TEST(SimulatedTest, Dataset2MarginalsBalanced) {
+  data::Dataset db = MakeSimulated2(2000);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  // No univariate half-space should strongly separate the groups.
+  for (int attr : {1, 2}) {
+    double s0 = SupportOf(db, *gi, 0, [&](uint32_t r) {
+      return db.continuous(attr).value(r) <= 0.5;
+    });
+    double s1 = SupportOf(db, *gi, 1, [&](uint32_t r) {
+      return db.continuous(attr).value(r) <= 0.5;
+    });
+    EXPECT_NEAR(s0, s1, 0.08) << "attr " << attr;
+  }
+}
+
+TEST(SimulatedTest, Dataset4BlockMembership) {
+  data::Dataset db = MakeSimulated4(2000);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  int g1 = gi->group_name(0) == "Group1" ? 0 : 1;
+  for (uint32_t r = 0; r < db.num_rows(); ++r) {
+    double x = db.continuous(1).value(r);
+    double y = db.continuous(2).value(r);
+    bool in_block = (x < 0.25 && y < 0.5) || (x > 0.75 && y > 0.75);
+    EXPECT_EQ(gi->group_of(r) == g1, in_block);
+  }
+}
+
+TEST(SimulatedTest, Figure2RareGroupShare) {
+  data::Dataset db = MakeFigure2Example(4000);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  int a = gi->group_name(0) == "A" ? 0 : 1;
+  double frac = static_cast<double>(gi->group_size(a)) /
+                static_cast<double>(db.num_rows());
+  EXPECT_NEAR(frac, 0.02, 0.01);
+}
+
+TEST(UciLikeTest, AllGeneratorsProduceValidDatasets) {
+  for (const std::string& name : UciLikeNames()) {
+    NamedDataset nd = MakeUciLike(name);
+    EXPECT_EQ(nd.name, name);
+    EXPECT_GT(nd.db.num_rows(), 100u) << name;
+    auto gi = data::GroupInfo::CreateForValues(
+        nd.db, *nd.db.schema().IndexOf(nd.group_attr), nd.groups);
+    ASSERT_TRUE(gi.ok()) << name;
+    EXPECT_EQ(gi->num_groups(), 2) << name;
+  }
+}
+
+TEST(UciLikeTest, AdultDoctoratesStartAtTwentySeven) {
+  NamedDataset adult = MakeAdultLike();
+  auto gi = data::GroupInfo::CreateForValues(
+      adult.db, *adult.db.schema().IndexOf("education"), adult.groups);
+  ASSERT_TRUE(gi.ok());
+  int doc = gi->group_name(0) == "Doctorate" ? 0 : 1;
+  int age_attr = *adult.db.schema().IndexOf("age");
+  for (uint32_t r : gi->base_selection()) {
+    if (gi->group_of(r) == doc) {
+      EXPECT_GE(adult.db.continuous(age_attr).value(r), 27.0);
+    }
+  }
+}
+
+TEST(UciLikeTest, AdultProfSpecialtyDominatesDoctorates) {
+  NamedDataset adult = MakeAdultLike();
+  auto gi = data::GroupInfo::CreateForValues(
+      adult.db, *adult.db.schema().IndexOf("education"), adult.groups);
+  ASSERT_TRUE(gi.ok());
+  int occ = *adult.db.schema().IndexOf("occupation");
+  int32_t prof = adult.db.categorical(occ).CodeOf("Prof-specialty");
+  ASSERT_NE(prof, data::kMissingCode);
+  double s_doc = SupportOf(adult.db, *gi, 0, [&](uint32_t r) {
+    return adult.db.categorical(occ).code(r) == prof;
+  });
+  double s_bach = SupportOf(adult.db, *gi, 1, [&](uint32_t r) {
+    return adult.db.categorical(occ).code(r) == prof;
+  });
+  EXPECT_NEAR(s_doc, 0.76, 0.06);   // Table 3: 0.76
+  EXPECT_NEAR(s_bach, 0.28, 0.05);  // Table 3: 0.28
+}
+
+TEST(UciLikeTest, ShuttleAttr1Pathology) {
+  NamedDataset shuttle = MakeShuttleLike();
+  auto gi = data::GroupInfo::CreateForValues(
+      shuttle.db, *shuttle.db.schema().IndexOf("class"), shuttle.groups);
+  ASSERT_TRUE(gi.ok());
+  int attr1 = *shuttle.db.schema().IndexOf("attr1");
+  double s_rad = SupportOf(shuttle.db, *gi, 0, [&](uint32_t r) {
+    return shuttle.db.continuous(attr1).value(r) <= 54.0;
+  });
+  double s_high = SupportOf(shuttle.db, *gi, 1, [&](uint32_t r) {
+    return shuttle.db.continuous(attr1).value(r) <= 54.0;
+  });
+  EXPECT_NEAR(s_rad, 0.91, 0.03);   // paper: 0.91
+  EXPECT_NEAR(s_high, 0.01, 0.02);  // paper: 0.01
+}
+
+TEST(ManufacturingTest, PlantedCauseShowsInSupports) {
+  ManufacturingOptions opt;
+  opt.population = 2000;
+  opt.fails = 400;
+  NamedDataset mfg = MakeManufacturing(opt);
+  auto gi = data::GroupInfo::CreateForValues(
+      mfg.db, *mfg.db.schema().IndexOf("cohort"), mfg.groups);
+  ASSERT_TRUE(gi.ok());
+  int cam = *mfg.db.schema().IndexOf("cam_entity");
+  int32_t sce = mfg.db.categorical(cam).CodeOf("SCE");
+  double s_fail = SupportOf(mfg.db, *gi, 0, [&](uint32_t r) {
+    return mfg.db.categorical(cam).code(r) == sce;
+  });
+  double s_pop = SupportOf(mfg.db, *gi, 1, [&](uint32_t r) {
+    return mfg.db.categorical(cam).code(r) == sce;
+  });
+  // Table 7 shape: ~0.55 among fails vs ~0.28 in the population.
+  EXPECT_GT(s_fail, s_pop + 0.15);
+  EXPECT_NEAR(s_pop, 0.28, 0.06);
+}
+
+TEST(ManufacturingTest, ToolIsFunctionallyTiedToCam) {
+  NamedDataset mfg = MakeManufacturing();
+  int cam = *mfg.db.schema().IndexOf("cam_entity");
+  int tool = *mfg.db.schema().IndexOf("placement_tool");
+  for (uint32_t r = 0; r < mfg.db.num_rows(); ++r) {
+    bool sce = mfg.db.categorical(cam).ValueOf(
+                   mfg.db.categorical(cam).code(r)) == "SCE";
+    bool jvf = mfg.db.categorical(tool).ValueOf(
+                   mfg.db.categorical(tool).code(r)) == "JVF";
+    EXPECT_EQ(sce, jvf);
+  }
+}
+
+TEST(ScalingTest, RespectsSizeKnobs) {
+  ScalingOptions opt;
+  opt.rows = 5000;
+  opt.continuous_features = 12;
+  opt.categorical_features = 4;
+  NamedDataset sc = MakeScalingDataset(opt);
+  EXPECT_EQ(sc.db.num_rows(), 5000u);
+  EXPECT_EQ(sc.db.num_attributes(), 17u);  // + group attribute
+}
+
+}  // namespace
+}  // namespace sdadcs::synth

@@ -1,0 +1,66 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sdadcs::util {
+namespace {
+
+StatusOr<Flags> ParseAll(std::vector<const char*> argv,
+                         std::vector<std::string> booleans = {"np"}) {
+  argv.insert(argv.begin(), "tool");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data(), booleans);
+}
+
+TEST(FlagsTest, PositionalsAndValues) {
+  auto f = ParseAll({"mine", "data.csv", "--group", "outcome", "--depth",
+                     "3"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->positional(),
+            (std::vector<std::string>{"mine", "data.csv"}));
+  EXPECT_EQ(f->Get("group"), "outcome");
+  EXPECT_EQ(f->GetInt("depth", 1), 3);
+}
+
+TEST(FlagsTest, BooleanFlagConsumesNoValue) {
+  auto f = ParseAll({"mine", "--np", "data.csv"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->Has("np"));
+  EXPECT_EQ(f->positional().size(), 2u);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto f = ParseAll({"--delta=0.25", "--groups=a,b"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->GetDouble("delta", 0.0), 0.25);
+  EXPECT_EQ(f->GetList("groups"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  auto f = ParseAll({"mine", "--group"});
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagsTest, BareDoubleDashIsError) {
+  auto f = ParseAll({"--"});
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagsTest, FallbacksOnAbsentOrGarbage) {
+  auto f = ParseAll({"--depth", "abc"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetInt("depth", 7), 7);
+  EXPECT_EQ(f->GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(f->GetDouble("missing", 0.5), 0.5);
+  EXPECT_EQ(f->Get("missing", "dft"), "dft");
+  EXPECT_TRUE(f->GetList("missing").empty());
+}
+
+TEST(FlagsTest, LaterValueWins) {
+  auto f = ParseAll({"--depth", "2", "--depth", "5"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetInt("depth", 0), 5);
+}
+
+}  // namespace
+}  // namespace sdadcs::util

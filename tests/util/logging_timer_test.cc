@@ -1,0 +1,63 @@
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sdadcs::util {
+namespace {
+
+TEST(LoggingTest, LevelNamesStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, SetGetRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  SDADCS_LOG(kDebug) << "below threshold " << 42;
+  SDADCS_LOG(kInfo) << "also below";
+  SetLogLevel(before);
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingCheckIsNoop) {
+  SDADCS_CHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(SDADCS_CHECK(false), "CHECK FAILED");
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double s = timer.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1000.0,
+              timer.Seconds() * 50.0);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 0.010);
+}
+
+}  // namespace
+}  // namespace sdadcs::util

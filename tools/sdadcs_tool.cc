@@ -1,0 +1,301 @@
+// sdadcs_tool — command-line front end for the library.
+//
+//   sdadcs_tool profile <file.csv>
+//   sdadcs_tool mine <file.csv> --group <attr> [options]
+//   sdadcs_tool discretize <file.csv> --group <attr> --method <m> [options]
+//   sdadcs_tool onevsrest <file.csv> --group <attr> [options]
+//
+// Common mining options:
+//   --groups a,b        contrast exactly these two group values
+//   --depth N           max items per pattern          (default 2)
+//   --delta D           minimum support difference     (default 0.1)
+//   --alpha A           significance level             (default 0.05)
+//   --measure M         diff | pr | surprising | entropy
+//   --top K             top-k list size                (default 100)
+//   --np                disable meaningfulness pruning (SDAD-CS NP)
+//   --format F          table | csv | json
+//   --validate FRAC     holdout split: mine on FRAC, re-score on the rest
+//   --sample N          mine a stratified N-row sample (big extracts)
+//   --diverse J         keep only patterns whose row covers overlap by
+//                       less than Jaccard J (extensional de-dup)
+//
+// discretize options:
+//   --method M          fayyad | mvd | srikant | equal_width | equal_freq
+//   --bins N            bin count for the unsupervised methods
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/diversity.h"
+#include "core/report.h"
+#include "core/validate.h"
+#include "data/csv.h"
+#include "data/profile.h"
+#include "data/sample.h"
+#include "discretize/equal_bins.h"
+#include "discretize/fayyad.h"
+#include "discretize/mvd.h"
+#include "discretize/srikant.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using sdadcs::util::Flags;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sdadcs_tool <profile|mine|discretize|onevsrest> <file.csv> "
+      "[--group <attr>] [options]\n"
+      "see the header of tools/sdadcs_tool.cc for every option\n");
+  return 2;
+}
+
+sdadcs::core::MinerConfig ConfigFromArgs(const Flags& args) {
+  sdadcs::core::MinerConfig cfg;
+  cfg.max_depth = args.GetInt("depth", 2);
+  cfg.delta = args.GetDouble("delta", 0.1);
+  cfg.alpha = args.GetDouble("alpha", 0.05);
+  cfg.top_k = args.GetInt("top", 100);
+  std::string measure = args.Get("measure", "diff");
+  if (measure == "pr") {
+    cfg.measure = sdadcs::core::MeasureKind::kPurityRatio;
+  } else if (measure == "surprising") {
+    cfg.measure = sdadcs::core::MeasureKind::kSurprising;
+  } else if (measure == "entropy") {
+    cfg.measure = sdadcs::core::MeasureKind::kEntropyPurity;
+  }
+  if (args.Has("np")) {
+    cfg.meaningful_pruning = false;
+    cfg.optimistic_pruning = false;
+  }
+  return cfg;
+}
+
+void PrintPatterns(const Flags& args, const sdadcs::data::Dataset& db,
+                   const sdadcs::data::GroupInfo& gi,
+                   const std::vector<sdadcs::core::ContrastPattern>& ps) {
+  std::string format = args.Get("format", "table");
+  if (format == "csv") {
+    std::fputs(sdadcs::core::PatternsToCsv(db, gi, ps).c_str(), stdout);
+  } else if (format == "json") {
+    std::fputs(sdadcs::core::PatternsToJson(db, gi, ps).c_str(), stdout);
+    std::fputs("\n", stdout);
+  } else {
+    std::fputs(sdadcs::core::FormatPatternsTable(db, gi, ps).c_str(),
+               stdout);
+  }
+}
+
+int RunProfile(const Flags& args, const sdadcs::data::Dataset& db) {
+  (void)args;
+  std::fputs(
+      sdadcs::data::FormatProfiles(sdadcs::data::ProfileDataset(db)).c_str(),
+      stdout);
+  return 0;
+}
+
+int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
+  std::string group = args.Get("group");
+  if (group.empty()) {
+    std::fprintf(stderr, "mine requires --group <attr>\n");
+    return 2;
+  }
+  auto attr = db.schema().IndexOf(group);
+  if (!attr.ok()) {
+    std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+    return 1;
+  }
+  sdadcs::util::StatusOr<sdadcs::data::GroupInfo> gi =
+      args.Has("groups")
+          ? sdadcs::data::GroupInfo::CreateForValues(
+                db, *attr, args.GetList("groups"))
+          : sdadcs::data::GroupInfo::Create(db, *attr);
+  if (!gi.ok()) {
+    std::fprintf(stderr, "%s\n", gi.status().ToString().c_str());
+    return 1;
+  }
+
+  sdadcs::core::MinerConfig cfg = ConfigFromArgs(args);
+  sdadcs::core::Miner miner(cfg);
+
+  if (args.Has("sample")) {
+    size_t n = static_cast<size_t>(args.GetInt("sample", 10000));
+    auto sampled = sdadcs::data::SampleGroups(*gi, n, 29);
+    if (!sampled.ok()) {
+      std::fprintf(stderr, "%s\n", sampled.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "mining a stratified sample of %zu rows\n",
+                 sampled->total());
+    gi = std::move(sampled);
+  }
+
+  if (args.Has("validate")) {
+    double frac = args.GetDouble("validate", 0.7);
+    auto split = sdadcs::core::MakeHoldoutSplit(db, *gi, frac, 17);
+    if (!split.ok()) {
+      std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+      return 1;
+    }
+    auto result = miner.MineWithGroups(db, split->train);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    auto validated = sdadcs::core::ValidateOnHoldout(
+        db, split->test, result->contrasts, cfg.delta, cfg.alpha);
+    std::printf("%-60s %10s %10s %6s\n", "pattern", "train diff",
+                "test diff", "ok?");
+    for (const auto& v : validated) {
+      std::string name = v.pattern.itemset.ToString(db);
+      if (name.size() > 60) name = name.substr(0, 57) + "...";
+      std::printf("%-60s %10.3f %10.3f %6s\n", name.c_str(),
+                  v.pattern.diff, v.test_diff,
+                  v.generalizes ? "yes" : "NO");
+    }
+    return 0;
+  }
+
+  auto result = miner.MineWithGroups(db, *gi);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Has("diverse")) {
+    double j = args.GetDouble("diverse", 0.5);
+    size_t before = result->contrasts.size();
+    result->contrasts =
+        sdadcs::core::SelectDiverse(db, *gi, result->contrasts, j);
+    std::fprintf(stderr, "diverse selection kept %zu of %zu patterns\n",
+                 result->contrasts.size(), before);
+  }
+  PrintPatterns(args, db, *gi, result->contrasts);
+  if (args.Get("format", "table") == "table") {
+    std::printf("\n%s\n", sdadcs::core::SummarizeRun(*result).c_str());
+  }
+  return 0;
+}
+
+int RunDiscretize(const Flags& args, const sdadcs::data::Dataset& db) {
+  std::string group = args.Get("group");
+  if (group.empty()) {
+    std::fprintf(stderr, "discretize requires --group <attr>\n");
+    return 2;
+  }
+  auto attr = db.schema().IndexOf(group);
+  if (!attr.ok()) {
+    std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+    return 1;
+  }
+  auto gi = sdadcs::data::GroupInfo::Create(db, *attr);
+  if (!gi.ok()) {
+    std::fprintf(stderr, "%s\n", gi.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string method = args.Get("method", "fayyad");
+  int bins = args.GetInt("bins", 4);
+  std::unique_ptr<sdadcs::discretize::Discretizer> disc;
+  if (method == "fayyad") {
+    disc = std::make_unique<sdadcs::discretize::FayyadMdlDiscretizer>();
+  } else if (method == "mvd") {
+    disc = std::make_unique<sdadcs::discretize::MvdDiscretizer>();
+  } else if (method == "srikant") {
+    disc = std::make_unique<sdadcs::discretize::SrikantDiscretizer>();
+  } else if (method == "equal_width") {
+    disc =
+        std::make_unique<sdadcs::discretize::EqualWidthDiscretizer>(bins);
+  } else if (method == "equal_freq") {
+    disc = std::make_unique<sdadcs::discretize::EqualFrequencyDiscretizer>(
+        bins);
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  std::vector<int> cont;
+  for (size_t a = 0; a < db.num_attributes(); ++a) {
+    if (static_cast<int>(a) != *attr &&
+        db.is_continuous(static_cast<int>(a))) {
+      cont.push_back(static_cast<int>(a));
+    }
+  }
+  auto result = disc->Discretize(db, *gi, cont);
+  std::printf("%s cut points:\n", disc->name().c_str());
+  for (const auto& ab : result) {
+    std::printf("  %s:", db.schema().attribute(ab.attr).name.c_str());
+    if (ab.cuts.empty()) {
+      std::printf(" (none)");
+    } else {
+      for (double c : ab.cuts) {
+        std::printf(" %s", sdadcs::util::FormatDouble(c).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunOneVsRest(const Flags& args, const sdadcs::data::Dataset& db) {
+  std::string group = args.Get("group");
+  if (group.empty()) {
+    std::fprintf(stderr, "onevsrest requires --group <attr>\n");
+    return 2;
+  }
+  auto attr = db.schema().IndexOf(group);
+  if (!attr.ok() || !db.is_categorical(*attr)) {
+    std::fprintf(stderr, "--group must name a categorical attribute\n");
+    return 1;
+  }
+  sdadcs::core::MinerConfig cfg = ConfigFromArgs(args);
+  sdadcs::core::Miner miner(cfg);
+  const auto& col = db.categorical(*attr);
+  for (int32_t code = 0; code < col.cardinality(); ++code) {
+    const std::string& value = col.ValueOf(code);
+    auto gi = sdadcs::data::GroupInfo::CreateOneVsRest(db, *attr, value);
+    if (!gi.ok()) continue;
+    auto result = miner.MineWithGroups(db, *gi);
+    if (!result.ok()) continue;
+    std::printf("\n=== %s = %s (n=%zu) vs rest (n=%zu): %zu contrasts\n",
+                group.c_str(), value.c_str(), gi->group_size(0),
+                gi->group_size(1), result->contrasts.size());
+    std::fputs(sdadcs::core::FormatPatternsTable(db, *gi,
+                                                 result->contrasts, 5)
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv, /*boolean_flags=*/{"np"});
+  if (!flags.ok() || flags->positional().size() < 2) {
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    }
+    return Usage();
+  }
+  const std::string& command = flags->positional()[0];
+  const std::string& csv_path = flags->positional()[1];
+
+  auto db = sdadcs::data::ReadCsvFile(csv_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to read '%s': %s\n", csv_path.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "profile") return RunProfile(*flags, *db);
+  if (command == "mine") return RunMine(*flags, *db);
+  if (command == "discretize") return RunDiscretize(*flags, *db);
+  if (command == "onevsrest") return RunOneVsRest(*flags, *db);
+  return Usage();
+}
