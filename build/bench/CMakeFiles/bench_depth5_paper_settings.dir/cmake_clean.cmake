@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depth5_paper_settings.dir/bench_depth5_paper_settings.cpp.o"
+  "CMakeFiles/bench_depth5_paper_settings.dir/bench_depth5_paper_settings.cpp.o.d"
+  "bench_depth5_paper_settings"
+  "bench_depth5_paper_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth5_paper_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

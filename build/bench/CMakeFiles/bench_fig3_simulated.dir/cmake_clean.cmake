@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_simulated.dir/bench_fig3_simulated.cpp.o"
+  "CMakeFiles/bench_fig3_simulated.dir/bench_fig3_simulated.cpp.o.d"
+  "bench_fig3_simulated"
+  "bench_fig3_simulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_simulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_adult_histograms.cpp" "bench/CMakeFiles/bench_fig4_adult_histograms.dir/bench_fig4_adult_histograms.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_adult_histograms.dir/bench_fig4_adult_histograms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sdadcs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sdadcs_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sdadcs_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/subgroup/CMakeFiles/sdadcs_subgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/discretize/CMakeFiles/sdadcs_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/sdadcs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdadcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdadcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sdadcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_parallel.dir/bench_scaling_parallel.cpp.o"
+  "CMakeFiles/bench_scaling_parallel.dir/bench_scaling_parallel.cpp.o.d"
+  "bench_scaling_parallel"
+  "bench_scaling_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_drift.dir/bench_stream_drift.cpp.o"
+  "CMakeFiles/bench_stream_drift.dir/bench_stream_drift.cpp.o.d"
+  "bench_stream_drift"
+  "bench_stream_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_adult_contrasts.dir/bench_table1_adult_contrasts.cpp.o"
+  "CMakeFiles/bench_table1_adult_contrasts.dir/bench_table1_adult_contrasts.cpp.o.d"
+  "bench_table1_adult_contrasts"
+  "bench_table1_adult_contrasts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_adult_contrasts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_top_patterns.dir/bench_table3_top_patterns.cpp.o"
+  "CMakeFiles/bench_table3_top_patterns.dir/bench_table3_top_patterns.cpp.o.d"
+  "bench_table3_top_patterns"
+  "bench_table3_top_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_top_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_meaningful.dir/bench_table6_meaningful.cpp.o"
+  "CMakeFiles/bench_table6_meaningful.dir/bench_table6_meaningful.cpp.o.d"
+  "bench_table6_meaningful"
+  "bench_table6_meaningful.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_meaningful.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

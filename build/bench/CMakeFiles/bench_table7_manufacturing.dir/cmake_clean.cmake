@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_manufacturing.dir/bench_table7_manufacturing.cpp.o"
+  "CMakeFiles/bench_table7_manufacturing.dir/bench_table7_manufacturing.cpp.o.d"
+  "bench_table7_manufacturing"
+  "bench_table7_manufacturing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_manufacturing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

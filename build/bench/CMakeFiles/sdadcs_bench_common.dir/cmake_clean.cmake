@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libsdadcs_bench_common.a"
+  "../lib/libsdadcs_bench_common.pdb"
+  "CMakeFiles/sdadcs_bench_common.dir/common.cc.o"
+  "CMakeFiles/sdadcs_bench_common.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

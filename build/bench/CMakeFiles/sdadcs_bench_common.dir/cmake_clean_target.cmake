@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsdadcs_bench_common.a"
+)

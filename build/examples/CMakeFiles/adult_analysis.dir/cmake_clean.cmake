@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adult_analysis.dir/adult_analysis.cpp.o"
+  "CMakeFiles/adult_analysis.dir/adult_analysis.cpp.o.d"
+  "adult_analysis"
+  "adult_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adult_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretizer_comparison.dir/discretizer_comparison.cpp.o"
+  "CMakeFiles/discretizer_comparison.dir/discretizer_comparison.cpp.o.d"
+  "discretizer_comparison"
+  "discretizer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_triage.dir/manufacturing_triage.cpp.o"
+  "CMakeFiles/manufacturing_triage.dir/manufacturing_triage.cpp.o.d"
+  "manufacturing_triage"
+  "manufacturing_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/sdadcs_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/config.cc.o.d"
+  "/root/repo/src/core/contrast.cc" "src/core/CMakeFiles/sdadcs_core.dir/contrast.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/contrast.cc.o.d"
+  "/root/repo/src/core/diversity.cc" "src/core/CMakeFiles/sdadcs_core.dir/diversity.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/diversity.cc.o.d"
+  "/root/repo/src/core/interest.cc" "src/core/CMakeFiles/sdadcs_core.dir/interest.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/interest.cc.o.d"
+  "/root/repo/src/core/item.cc" "src/core/CMakeFiles/sdadcs_core.dir/item.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/item.cc.o.d"
+  "/root/repo/src/core/itemset.cc" "src/core/CMakeFiles/sdadcs_core.dir/itemset.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/itemset.cc.o.d"
+  "/root/repo/src/core/meaningful.cc" "src/core/CMakeFiles/sdadcs_core.dir/meaningful.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/meaningful.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/sdadcs_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/optimistic.cc" "src/core/CMakeFiles/sdadcs_core.dir/optimistic.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/optimistic.cc.o.d"
+  "/root/repo/src/core/productivity.cc" "src/core/CMakeFiles/sdadcs_core.dir/productivity.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/productivity.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/sdadcs_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/sdadcs_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sdad.cc" "src/core/CMakeFiles/sdadcs_core.dir/sdad.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/sdad.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/sdadcs_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/search.cc.o.d"
+  "/root/repo/src/core/space.cc" "src/core/CMakeFiles/sdadcs_core.dir/space.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/space.cc.o.d"
+  "/root/repo/src/core/stability.cc" "src/core/CMakeFiles/sdadcs_core.dir/stability.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/stability.cc.o.d"
+  "/root/repo/src/core/stucco.cc" "src/core/CMakeFiles/sdadcs_core.dir/stucco.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/stucco.cc.o.d"
+  "/root/repo/src/core/support.cc" "src/core/CMakeFiles/sdadcs_core.dir/support.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/support.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/sdadcs_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/topk.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/sdadcs_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/sdadcs_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/sdadcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sdadcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdadcs_core.a"
+)

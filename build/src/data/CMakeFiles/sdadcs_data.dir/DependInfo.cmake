@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/column.cc" "src/data/CMakeFiles/sdadcs_data.dir/column.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/sdadcs_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/sdadcs_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/group_info.cc" "src/data/CMakeFiles/sdadcs_data.dir/group_info.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/group_info.cc.o.d"
+  "/root/repo/src/data/index.cc" "src/data/CMakeFiles/sdadcs_data.dir/index.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/index.cc.o.d"
+  "/root/repo/src/data/profile.cc" "src/data/CMakeFiles/sdadcs_data.dir/profile.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/profile.cc.o.d"
+  "/root/repo/src/data/sample.cc" "src/data/CMakeFiles/sdadcs_data.dir/sample.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/sample.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/sdadcs_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/selection.cc" "src/data/CMakeFiles/sdadcs_data.dir/selection.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/selection.cc.o.d"
+  "/root/repo/src/data/sort_index.cc" "src/data/CMakeFiles/sdadcs_data.dir/sort_index.cc.o" "gcc" "src/data/CMakeFiles/sdadcs_data.dir/sort_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_data.dir/column.cc.o"
+  "CMakeFiles/sdadcs_data.dir/column.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/csv.cc.o"
+  "CMakeFiles/sdadcs_data.dir/csv.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/dataset.cc.o"
+  "CMakeFiles/sdadcs_data.dir/dataset.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/group_info.cc.o"
+  "CMakeFiles/sdadcs_data.dir/group_info.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/index.cc.o"
+  "CMakeFiles/sdadcs_data.dir/index.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/profile.cc.o"
+  "CMakeFiles/sdadcs_data.dir/profile.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/sample.cc.o"
+  "CMakeFiles/sdadcs_data.dir/sample.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/schema.cc.o"
+  "CMakeFiles/sdadcs_data.dir/schema.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/selection.cc.o"
+  "CMakeFiles/sdadcs_data.dir/selection.cc.o.d"
+  "CMakeFiles/sdadcs_data.dir/sort_index.cc.o"
+  "CMakeFiles/sdadcs_data.dir/sort_index.cc.o.d"
+  "libsdadcs_data.a"
+  "libsdadcs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discretize/binned_miner.cc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/binned_miner.cc.o" "gcc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/binned_miner.cc.o.d"
+  "/root/repo/src/discretize/discretizer.cc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/discretizer.cc.o" "gcc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/discretizer.cc.o.d"
+  "/root/repo/src/discretize/equal_bins.cc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/equal_bins.cc.o" "gcc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/equal_bins.cc.o.d"
+  "/root/repo/src/discretize/fayyad.cc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/fayyad.cc.o" "gcc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/fayyad.cc.o.d"
+  "/root/repo/src/discretize/mvd.cc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/mvd.cc.o" "gcc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/mvd.cc.o.d"
+  "/root/repo/src/discretize/srikant.cc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/srikant.cc.o" "gcc" "src/discretize/CMakeFiles/sdadcs_discretize.dir/srikant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdadcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdadcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sdadcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

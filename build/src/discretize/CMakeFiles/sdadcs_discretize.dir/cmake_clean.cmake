@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_discretize.dir/binned_miner.cc.o"
+  "CMakeFiles/sdadcs_discretize.dir/binned_miner.cc.o.d"
+  "CMakeFiles/sdadcs_discretize.dir/discretizer.cc.o"
+  "CMakeFiles/sdadcs_discretize.dir/discretizer.cc.o.d"
+  "CMakeFiles/sdadcs_discretize.dir/equal_bins.cc.o"
+  "CMakeFiles/sdadcs_discretize.dir/equal_bins.cc.o.d"
+  "CMakeFiles/sdadcs_discretize.dir/fayyad.cc.o"
+  "CMakeFiles/sdadcs_discretize.dir/fayyad.cc.o.d"
+  "CMakeFiles/sdadcs_discretize.dir/mvd.cc.o"
+  "CMakeFiles/sdadcs_discretize.dir/mvd.cc.o.d"
+  "CMakeFiles/sdadcs_discretize.dir/srikant.cc.o"
+  "CMakeFiles/sdadcs_discretize.dir/srikant.cc.o.d"
+  "libsdadcs_discretize.a"
+  "libsdadcs_discretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

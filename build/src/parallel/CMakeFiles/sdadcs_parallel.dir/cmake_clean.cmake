@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_parallel.dir/parallel_miner.cc.o"
+  "CMakeFiles/sdadcs_parallel.dir/parallel_miner.cc.o.d"
+  "libsdadcs_parallel.a"
+  "libsdadcs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

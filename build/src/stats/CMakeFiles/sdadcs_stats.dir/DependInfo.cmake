@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_squared.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/chi_squared.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/chi_squared.cc.o.d"
+  "/root/repo/src/stats/contingency.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/contingency.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/contingency.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/fisher.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/fisher.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/fisher.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/wilcoxon.cc" "src/stats/CMakeFiles/sdadcs_stats.dir/wilcoxon.cc.o" "gcc" "src/stats/CMakeFiles/sdadcs_stats.dir/wilcoxon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

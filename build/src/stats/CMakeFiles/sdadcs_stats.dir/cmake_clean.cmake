@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_stats.dir/chi_squared.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/chi_squared.cc.o.d"
+  "CMakeFiles/sdadcs_stats.dir/contingency.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/contingency.cc.o.d"
+  "CMakeFiles/sdadcs_stats.dir/descriptive.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/sdadcs_stats.dir/fisher.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/fisher.cc.o.d"
+  "CMakeFiles/sdadcs_stats.dir/normal.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/normal.cc.o.d"
+  "CMakeFiles/sdadcs_stats.dir/special_functions.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/sdadcs_stats.dir/wilcoxon.cc.o"
+  "CMakeFiles/sdadcs_stats.dir/wilcoxon.cc.o.d"
+  "libsdadcs_stats.a"
+  "libsdadcs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

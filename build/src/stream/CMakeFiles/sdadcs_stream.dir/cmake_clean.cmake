@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_stream.dir/window_miner.cc.o"
+  "CMakeFiles/sdadcs_stream.dir/window_miner.cc.o.d"
+  "libsdadcs_stream.a"
+  "libsdadcs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_subgroup.dir/beam.cc.o"
+  "CMakeFiles/sdadcs_subgroup.dir/beam.cc.o.d"
+  "libsdadcs_subgroup.a"
+  "libsdadcs_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

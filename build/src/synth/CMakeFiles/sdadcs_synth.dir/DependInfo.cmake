@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/manufacturing.cc" "src/synth/CMakeFiles/sdadcs_synth.dir/manufacturing.cc.o" "gcc" "src/synth/CMakeFiles/sdadcs_synth.dir/manufacturing.cc.o.d"
+  "/root/repo/src/synth/scaling.cc" "src/synth/CMakeFiles/sdadcs_synth.dir/scaling.cc.o" "gcc" "src/synth/CMakeFiles/sdadcs_synth.dir/scaling.cc.o.d"
+  "/root/repo/src/synth/simulated.cc" "src/synth/CMakeFiles/sdadcs_synth.dir/simulated.cc.o" "gcc" "src/synth/CMakeFiles/sdadcs_synth.dir/simulated.cc.o.d"
+  "/root/repo/src/synth/two_group.cc" "src/synth/CMakeFiles/sdadcs_synth.dir/two_group.cc.o" "gcc" "src/synth/CMakeFiles/sdadcs_synth.dir/two_group.cc.o.d"
+  "/root/repo/src/synth/uci_like.cc" "src/synth/CMakeFiles/sdadcs_synth.dir/uci_like.cc.o" "gcc" "src/synth/CMakeFiles/sdadcs_synth.dir/uci_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/sdadcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

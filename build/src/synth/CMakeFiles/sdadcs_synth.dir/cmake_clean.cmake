@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_synth.dir/manufacturing.cc.o"
+  "CMakeFiles/sdadcs_synth.dir/manufacturing.cc.o.d"
+  "CMakeFiles/sdadcs_synth.dir/scaling.cc.o"
+  "CMakeFiles/sdadcs_synth.dir/scaling.cc.o.d"
+  "CMakeFiles/sdadcs_synth.dir/simulated.cc.o"
+  "CMakeFiles/sdadcs_synth.dir/simulated.cc.o.d"
+  "CMakeFiles/sdadcs_synth.dir/two_group.cc.o"
+  "CMakeFiles/sdadcs_synth.dir/two_group.cc.o.d"
+  "CMakeFiles/sdadcs_synth.dir/uci_like.cc.o"
+  "CMakeFiles/sdadcs_synth.dir/uci_like.cc.o.d"
+  "libsdadcs_synth.a"
+  "libsdadcs_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_util.dir/flags.cc.o"
+  "CMakeFiles/sdadcs_util.dir/flags.cc.o.d"
+  "CMakeFiles/sdadcs_util.dir/logging.cc.o"
+  "CMakeFiles/sdadcs_util.dir/logging.cc.o.d"
+  "CMakeFiles/sdadcs_util.dir/random.cc.o"
+  "CMakeFiles/sdadcs_util.dir/random.cc.o.d"
+  "CMakeFiles/sdadcs_util.dir/status.cc.o"
+  "CMakeFiles/sdadcs_util.dir/status.cc.o.d"
+  "CMakeFiles/sdadcs_util.dir/string_util.cc.o"
+  "CMakeFiles/sdadcs_util.dir/string_util.cc.o.d"
+  "CMakeFiles/sdadcs_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sdadcs_util.dir/thread_pool.cc.o.d"
+  "libsdadcs_util.a"
+  "libsdadcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/core_tests.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/contrast_test.cc" "tests/CMakeFiles/core_tests.dir/core/contrast_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/contrast_test.cc.o.d"
+  "/root/repo/tests/core/diversity_test.cc" "tests/CMakeFiles/core_tests.dir/core/diversity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/diversity_test.cc.o.d"
+  "/root/repo/tests/core/interest_test.cc" "tests/CMakeFiles/core_tests.dir/core/interest_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/interest_test.cc.o.d"
+  "/root/repo/tests/core/item_test.cc" "tests/CMakeFiles/core_tests.dir/core/item_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/item_test.cc.o.d"
+  "/root/repo/tests/core/itemset_test.cc" "tests/CMakeFiles/core_tests.dir/core/itemset_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/itemset_test.cc.o.d"
+  "/root/repo/tests/core/meaningful_test.cc" "tests/CMakeFiles/core_tests.dir/core/meaningful_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/meaningful_test.cc.o.d"
+  "/root/repo/tests/core/miner_test.cc" "tests/CMakeFiles/core_tests.dir/core/miner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/miner_test.cc.o.d"
+  "/root/repo/tests/core/optimistic_test.cc" "tests/CMakeFiles/core_tests.dir/core/optimistic_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimistic_test.cc.o.d"
+  "/root/repo/tests/core/productivity_test.cc" "tests/CMakeFiles/core_tests.dir/core/productivity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/productivity_test.cc.o.d"
+  "/root/repo/tests/core/pruning_test.cc" "tests/CMakeFiles/core_tests.dir/core/pruning_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pruning_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/core_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/sdad_test.cc" "tests/CMakeFiles/core_tests.dir/core/sdad_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sdad_test.cc.o.d"
+  "/root/repo/tests/core/search_test.cc" "tests/CMakeFiles/core_tests.dir/core/search_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/search_test.cc.o.d"
+  "/root/repo/tests/core/space_test.cc" "tests/CMakeFiles/core_tests.dir/core/space_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/space_test.cc.o.d"
+  "/root/repo/tests/core/split_kind_test.cc" "tests/CMakeFiles/core_tests.dir/core/split_kind_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/split_kind_test.cc.o.d"
+  "/root/repo/tests/core/stability_test.cc" "tests/CMakeFiles/core_tests.dir/core/stability_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stability_test.cc.o.d"
+  "/root/repo/tests/core/stucco_test.cc" "tests/CMakeFiles/core_tests.dir/core/stucco_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stucco_test.cc.o.d"
+  "/root/repo/tests/core/support_test.cc" "tests/CMakeFiles/core_tests.dir/core/support_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/support_test.cc.o.d"
+  "/root/repo/tests/core/topk_test.cc" "tests/CMakeFiles/core_tests.dir/core/topk_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/topk_test.cc.o.d"
+  "/root/repo/tests/core/validate_test.cc" "tests/CMakeFiles/core_tests.dir/core/validate_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/validate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/sdadcs_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sdadcs_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/subgroup/CMakeFiles/sdadcs_subgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/discretize/CMakeFiles/sdadcs_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/sdadcs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdadcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdadcs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sdadcs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdadcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

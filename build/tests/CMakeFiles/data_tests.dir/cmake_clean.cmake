@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/csv_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/csv_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/dataset_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/group_info_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/group_info_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/index_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/index_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/profile_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/profile_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/sample_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/sample_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/selection_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/selection_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/sort_index_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/sort_index_test.cc.o.d"
+  "data_tests"
+  "data_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

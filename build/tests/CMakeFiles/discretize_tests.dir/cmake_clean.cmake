@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretize_tests.dir/discretize/binned_miner_test.cc.o"
+  "CMakeFiles/discretize_tests.dir/discretize/binned_miner_test.cc.o.d"
+  "CMakeFiles/discretize_tests.dir/discretize/equal_bins_test.cc.o"
+  "CMakeFiles/discretize_tests.dir/discretize/equal_bins_test.cc.o.d"
+  "CMakeFiles/discretize_tests.dir/discretize/fayyad_test.cc.o"
+  "CMakeFiles/discretize_tests.dir/discretize/fayyad_test.cc.o.d"
+  "CMakeFiles/discretize_tests.dir/discretize/mvd_test.cc.o"
+  "CMakeFiles/discretize_tests.dir/discretize/mvd_test.cc.o.d"
+  "CMakeFiles/discretize_tests.dir/discretize/srikant_test.cc.o"
+  "CMakeFiles/discretize_tests.dir/discretize/srikant_test.cc.o.d"
+  "discretize_tests"
+  "discretize_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tests.dir/parallel/parallel_miner_test.cc.o"
+  "CMakeFiles/parallel_tests.dir/parallel/parallel_miner_test.cc.o.d"
+  "parallel_tests"
+  "parallel_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

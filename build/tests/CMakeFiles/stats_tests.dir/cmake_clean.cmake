@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/chi_squared_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/chi_squared_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/fisher_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/fisher_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/normal_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/normal_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/special_functions_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/special_functions_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/wilcoxon_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/wilcoxon_test.cc.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_tests.dir/stream/window_miner_test.cc.o"
+  "CMakeFiles/stream_tests.dir/stream/window_miner_test.cc.o.d"
+  "stream_tests"
+  "stream_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

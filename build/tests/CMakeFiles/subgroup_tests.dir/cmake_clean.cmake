@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgroup_tests.dir/subgroup/beam_test.cc.o"
+  "CMakeFiles/subgroup_tests.dir/subgroup/beam_test.cc.o.d"
+  "subgroup_tests"
+  "subgroup_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgroup_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

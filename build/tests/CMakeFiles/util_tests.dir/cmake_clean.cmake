@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/flags_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/flags_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/logging_timer_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/logging_timer_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/random_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/random_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/status_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/string_util_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o.d"
+  "util_tests"
+  "util_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_tests "/root/repo/build/tests/util_tests")
+set_tests_properties(util_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(data_tests "/root/repo/build/tests/data_tests")
+set_tests_properties(data_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_tests "/root/repo/build/tests/stats_tests")
+set_tests_properties(stats_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;32;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;41;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(discretize_tests "/root/repo/build/tests/discretize_tests")
+set_tests_properties(discretize_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;65;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(subgroup_tests "/root/repo/build/tests/subgroup_tests")
+set_tests_properties(subgroup_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;73;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(synth_tests "/root/repo/build/tests/synth_tests")
+set_tests_properties(synth_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;77;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stream_tests "/root/repo/build/tests/stream_tests")
+set_tests_properties(stream_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;81;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parallel_tests "/root/repo/build/tests/parallel_tests")
+set_tests_properties(parallel_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;85;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;89;sdadcs_add_test_binary;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdadcs_tool.dir/sdadcs_tool.cc.o"
+  "CMakeFiles/sdadcs_tool.dir/sdadcs_tool.cc.o.d"
+  "sdadcs_tool"
+  "sdadcs_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdadcs_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
