@@ -4,6 +4,7 @@
 // level suppresses combinations at the next — the property the paper
 // adopts the Webb & Zhang ordering for.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/common.h"

@@ -1,12 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives of the
 // miner: support counting, median partitioning, chi-square testing,
-// prune-table lookups and itemset covers.
+// prune-table lookups and itemset covers — plus a fused-vs-naive
+// split+count kernel comparison on the scaling dataset that records
+// machine-readable metrics in BENCH_micro.json.
+//
+// Usage: bench_micro [--smoke] [google-benchmark flags]
+//   --smoke  small dataset, few repetitions, skip the google-benchmark
+//            suite — a CI-speed check that still writes the JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "bench/common.h"
 #include "core/optimistic.h"
 #include "core/pruning.h"
 #include "core/space.h"
+#include "core/split_kernel.h"
 #include "core/support.h"
 #include "data/group_info.h"
 #include "data/index.h"
@@ -14,9 +27,11 @@
 #include "stats/chi_squared.h"
 #include "stats/fisher.h"
 #include "stream/window_miner.h"
+#include "synth/scaling.h"
 #include "synth/uci_like.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace sdadcs {
 namespace {
@@ -225,7 +240,144 @@ void BM_StreamAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamAppend);
 
+void BM_SplitAndCountTwoAxes(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  int age = *f.nd.db.schema().IndexOf("age");
+  int hours = *f.nd.db.schema().IndexOf("hours_per_week");
+  core::Space space;
+  space.bounds = {{age, 18.0, 90.0}, {hours, 0.0, 99.0}};
+  space.rows = f.gi.base_selection();
+  std::vector<double> medians = core::PartitionMedians(f.nd.db, space);
+  core::SplitScratch scratch;
+  for (auto _ : state) {
+    core::SplitResult split =
+        core::SplitAndCount(f.nd.db, f.gi, space, medians, &scratch);
+    benchmark::DoNotOptimize(split.cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(space.rows.size()));
+}
+BENCHMARK(BM_SplitAndCountTwoAxes);
+
+// Fused-vs-naive split+count comparison on the Section 6 scaling
+// dataset. The naive reference is exactly the seed hot path: FindCombs
+// (per-cell Selection::Filter) followed by per-cell CountGroups. Writes
+// wall time, throughput, peak cell count and speedup per axis count to
+// BENCH_micro.json.
+void RunKernelComparison(bool smoke) {
+  synth::ScalingOptions opt;
+  opt.rows = smoke ? 20000 : 100000;
+  opt.continuous_features = 8;
+  opt.categorical_features = 2;
+  synth::NamedDataset nd = synth::MakeScalingDataset(opt);
+  auto attr = nd.db.schema().IndexOf(nd.group_attr);
+  SDADCS_CHECK(attr.ok());
+  auto gi_or = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+  SDADCS_CHECK(gi_or.ok());
+  const data::GroupInfo& gi = *gi_or;
+  const int reps = smoke ? 3 : 20;
+
+  bench::BenchJson json("micro");
+  json.Set("dataset", nd.name);
+  json.Set("rows", static_cast<uint64_t>(nd.db.num_rows()));
+  json.Set("repetitions", static_cast<uint64_t>(reps));
+  json.Set("mode", std::string(smoke ? "smoke" : "full"));
+
+  std::printf("\n== split+count kernel: fused vs naive (%s rows) ==\n",
+              std::to_string(nd.db.num_rows()).c_str());
+  std::printf("%6s | %12s %12s | %10s | %8s\n", "axes", "naive(s)",
+              "fused(s)", "rows/s", "speedup");
+
+  double min_speedup = std::numeric_limits<double>::infinity();
+  for (int axes : {2, 4, 6}) {
+    core::Space space;
+    for (int a = 0; a < axes; ++a) {
+      std::string name = "feat_c00" + std::to_string(a);
+      auto idx = nd.db.schema().IndexOf(name);
+      SDADCS_CHECK(idx.ok());
+      core::RootBounds rb =
+          core::ComputeRootBounds(nd.db, *idx, gi.base_selection());
+      space.bounds.push_back({*idx, rb.lo, rb.hi});
+    }
+    space.rows = gi.base_selection();
+    std::vector<double> cuts = core::PartitionMedians(nd.db, space);
+
+    // Naive reference: the seed's per-cell filter + count.
+    util::WallTimer naive_timer;
+    size_t peak_cells = 0;
+    std::vector<core::GroupCounts> naive_counts;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<core::Space> cells = core::FindCombs(nd.db, space, cuts);
+      peak_cells = std::max(peak_cells, cells.size());
+      naive_counts.clear();
+      for (const core::Space& cell : cells) {
+        naive_counts.push_back(core::CountGroups(gi, cell.rows));
+      }
+      benchmark::DoNotOptimize(naive_counts.data());
+    }
+    double naive_sec = naive_timer.Seconds();
+
+    // Fused kernel.
+    core::SplitScratch scratch;
+    util::WallTimer fused_timer;
+    core::SplitResult split;
+    for (int rep = 0; rep < reps; ++rep) {
+      split = core::SplitAndCount(nd.db, gi, space, cuts, &scratch);
+      benchmark::DoNotOptimize(split.cells.data());
+    }
+    double fused_sec = fused_timer.Seconds();
+
+    // Sanity: both kernels must agree before the numbers mean anything.
+    SDADCS_CHECK(split.counts.size() == naive_counts.size());
+    for (size_t c = 0; c < split.counts.size(); ++c) {
+      SDADCS_CHECK(split.counts[c].counts == naive_counts[c].counts);
+      SDADCS_CHECK(split.cells[c].rows.rows() ==
+                   core::FindCombs(nd.db, space, cuts)[c].rows.rows());
+    }
+
+    const double total_rows =
+        static_cast<double>(space.rows.size()) * reps;
+    double rows_per_sec = fused_sec > 0.0 ? total_rows / fused_sec : 0.0;
+    double speedup = fused_sec > 0.0 ? naive_sec / fused_sec : 0.0;
+    min_speedup = std::min(min_speedup, speedup);
+
+    std::printf("%6d | %12.4f %12.4f | %10.3g | %7.2fx\n", axes,
+                naive_sec, fused_sec, rows_per_sec, speedup);
+
+    json.BeginCase("split_count_axes_" + std::to_string(axes));
+    json.SetCase("axes", static_cast<uint64_t>(axes));
+    json.SetCase("naive_wall_seconds", naive_sec);
+    json.SetCase("fused_wall_seconds", fused_sec);
+    json.SetCase("rows_per_sec", rows_per_sec);
+    json.SetCase("peak_cells", static_cast<uint64_t>(peak_cells));
+    json.SetCase("speedup", speedup);
+  }
+  json.Set("min_speedup", min_speedup);
+  json.Write();
+}
+
 }  // namespace
 }  // namespace sdadcs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  sdadcs::RunKernelComparison(smoke);
+  if (smoke) return 0;
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@ void Run() {
               "SDAD(s)", "MVD(s)", "SDAD-NP(s)", "SDAD(#)", "MVD(#)",
               "SDAD-NP(#)");
 
+  BenchJson json("table5_time");
   for (const std::string& name : synth::UciLikeNames()) {
     Bench b = Load(name);
     core::MinerConfig cfg = PaperConfig(/*depth=*/2);
@@ -31,7 +32,21 @@ void Run() {
                 static_cast<unsigned long long>(sdad.partitions),
                 static_cast<unsigned long long>(mvd.partitions),
                 static_cast<unsigned long long>(np.partitions));
+
+    json.BeginCase(name);
+    json.SetCase("rows", static_cast<uint64_t>(b.nd.db.num_rows()));
+    json.SetCase("sdad_wall_seconds", sdad.seconds);
+    json.SetCase("sdad_partitions", sdad.partitions);
+    json.SetCase("sdad_rows_per_sec",
+                 sdad.seconds > 0.0
+                     ? static_cast<double>(b.nd.db.num_rows()) / sdad.seconds
+                     : 0.0);
+    json.SetCase("mvd_wall_seconds", mvd.seconds);
+    json.SetCase("mvd_partitions", mvd.partitions);
+    json.SetCase("sdad_np_wall_seconds", np.seconds);
+    json.SetCase("sdad_np_partitions", np.partitions);
   }
+  json.Write();
   std::printf(
       "\npaper-shape check: pruning makes SDAD-CS evaluate fewer "
       "partitions than SDAD-CS NP on every dataset, and it is the "

@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "discretize/fayyad.h"
@@ -117,6 +118,130 @@ double MeanOf(const std::vector<double>& values) {
 
 void PrintHeader(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
+}
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendEntries(const std::vector<BenchJson::Entry>& entries,
+                   const std::string& indent, std::string* out);
+
+}  // namespace
+
+void BenchJson::Set(const std::string& key, double value) {
+  entries_.push_back({key, JsonNumber(value)});
+}
+
+void BenchJson::Set(const std::string& key, uint64_t value) {
+  entries_.push_back({key, std::to_string(value)});
+}
+
+void BenchJson::Set(const std::string& key, const std::string& value) {
+  entries_.push_back({key, JsonString(value)});
+}
+
+void BenchJson::BeginCase(const std::string& name) {
+  cases_.push_back({name, {}});
+}
+
+void BenchJson::SetCase(const std::string& key, double value) {
+  SDADCS_CHECK(!cases_.empty());
+  cases_.back().entries.push_back({key, JsonNumber(value)});
+}
+
+void BenchJson::SetCase(const std::string& key, uint64_t value) {
+  SDADCS_CHECK(!cases_.empty());
+  cases_.back().entries.push_back({key, std::to_string(value)});
+}
+
+void BenchJson::SetCase(const std::string& key, const std::string& value) {
+  SDADCS_CHECK(!cases_.empty());
+  cases_.back().entries.push_back({key, JsonString(value)});
+}
+
+namespace {
+
+void AppendEntries(const std::vector<BenchJson::Entry>& entries,
+                   const std::string& indent, std::string* out) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    *out += indent + JsonString(entries[i].key) + ": " +
+            entries[i].rendered;
+    if (i + 1 < entries.size()) *out += ',';
+    *out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string BenchJson::Write() const {
+  // Render every top-level member to its own string, then join — no
+  // trailing-comma bookkeeping.
+  std::vector<std::string> members;
+  members.push_back("  \"bench\": " + JsonString(name_));
+  for (const Entry& e : entries_) {
+    members.push_back("  " + JsonString(e.key) + ": " + e.rendered);
+  }
+  if (!cases_.empty()) {
+    std::string arr = "  \"cases\": [\n";
+    for (size_t c = 0; c < cases_.size(); ++c) {
+      arr += "    {\n";
+      std::vector<Entry> with_name = cases_[c].entries;
+      with_name.insert(with_name.begin(),
+                       {"name", JsonString(cases_[c].name)});
+      AppendEntries(with_name, "      ", &arr);
+      arr += "    }";
+      if (c + 1 < cases_.size()) arr += ',';
+      arr += '\n';
+    }
+    arr += "  ]";
+    members.push_back(std::move(arr));
+  }
+  std::string body = "{\n";
+  for (size_t i = 0; i < members.size(); ++i) {
+    body += members[i];
+    if (i + 1 < members.size()) body += ',';
+    body += '\n';
+  }
+  body += "}\n";
+
+  std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SDADCS_LOG(kWarning) << "cannot write bench metrics to " << path;
+    return "";
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("bench metrics written to %s\n", path.c_str());
+  return path;
 }
 
 void PrintPatterns(const Bench& b, const AlgoRun& run, size_t k) {

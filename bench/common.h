@@ -66,6 +66,44 @@ void PrintHeader(const std::string& title);
 /// Prints the top `k` patterns of a run, one per line, with supports.
 void PrintPatterns(const Bench& b, const AlgoRun& run, size_t k);
 
+/// Machine-readable metrics sink for the bench binaries. Collects flat
+/// key/value metrics plus per-case metric groups, then serialises to
+/// `BENCH_<name>.json` in the working directory so driver scripts can
+/// diff runs without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, uint64_t value);
+  void Set(const std::string& key, const std::string& value);
+
+  /// Starts a named metric group (one JSON object in the "cases" array);
+  /// subsequent SetCase calls land in it.
+  void BeginCase(const std::string& name);
+  void SetCase(const std::string& key, double value);
+  void SetCase(const std::string& key, uint64_t value);
+  void SetCase(const std::string& key, const std::string& value);
+
+  /// Writes BENCH_<name>.json and returns its path ("" on failure).
+  std::string Write() const;
+
+  struct Entry {
+    std::string key;
+    std::string rendered;  // value already rendered as JSON
+  };
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<Entry> entries;
+  };
+
+  std::string name_;
+  std::vector<Entry> entries_;
+  std::vector<Case> cases_;
+};
+
 }  // namespace sdadcs::bench
 
 #endif  // SDADCS_BENCH_COMMON_H_

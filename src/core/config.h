@@ -87,6 +87,13 @@ struct MinerConfig {
     return meaningful_pruning && productivity_filter;
   }
 
+  /// Use the fused single-pass split+count kernels (SplitAndCount) in
+  /// the SDAD-CS recursion. The naive reference pipeline (per-cell
+  /// Selection::Filter + CountGroups) is kept behind this switch solely
+  /// so the differential tests can prove the fast path bit-identical;
+  /// there is no reason to turn it off in production.
+  bool columnar_kernels = true;
+
   /// Bottom-up merging of contiguous similar spaces (Lines 26-29 of
   /// Algorithm 1).
   bool merge_spaces = true;

@@ -148,17 +148,19 @@ SdadCall MakeRootCall(const MiningContext& ctx, const Itemset& cat_items,
     SDADCS_CHECK(it != ctx.root_bounds.end());
     call.space.bounds.push_back({attr, it->second.lo, it->second.hi});
   }
-  call.space.rows =
-      ctx.gi->base_selection().Filter([&](uint32_t r) {
+  GroupCounts root_counts;
+  call.space.rows = FilterCountGroups(
+      *ctx.gi, ctx.gi->base_selection(),
+      [&](uint32_t r) {
         if (!cat_items.Matches(db, r)) return false;
         for (int attr : cont_attrs) {
           if (db.continuous(attr).is_missing(r)) return false;
         }
         return true;
-      });
+      },
+      &root_counts);
   call.outer_db_size = static_cast<double>(call.space.rows.size());
 
-  GroupCounts root_counts = CountGroups(*ctx.gi, call.space.rows);
   call.parent_supports = root_counts.Supports(*ctx.gi);
   call.parent_diff = SupportDifference(call.parent_supports);
   return call;
@@ -173,8 +175,25 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
   std::vector<ContrastPattern> d;       // contrasts (Line 2)
   std::vector<ContrastPattern> d_temp;  // maybe-contrasts (Line 3)
 
-  std::vector<double> cuts = PartitionCuts(*ctx.db, call.space, cfg.split);
-  std::vector<Space> cells = FindCombs(*ctx.db, call.space, cuts);
+  // Split the space and count the children. The columnar path computes
+  // each row's cell in one pass and fuses the per-cell group counting
+  // into that same pass; the naive reference path (one Filter scan per
+  // cell, then one CountGroups scan per cell) is kept behind the switch
+  // so the differential tests can prove the outputs bit-identical.
+  std::vector<double> cuts;
+  std::vector<Space> cells;
+  std::vector<GroupCounts> fused_counts;
+  if (cfg.columnar_kernels) {
+    cuts = PartitionCuts(*ctx.db, call.space, cfg.split,
+                         &ctx.split_scratch.values);
+    SplitResult split =
+        SplitAndCount(*ctx.db, *ctx.gi, call.space, cuts, &ctx.split_scratch);
+    cells = std::move(split.cells);
+    fused_counts = std::move(split.counts);
+  } else {
+    cuts = PartitionCuts(*ctx.db, call.space, cfg.split);
+    cells = FindCombs(*ctx.db, call.space, cuts);
+  }
   if (cells.empty()) return {};
 
   const int item_count = static_cast<int>(call.cat_items.size() +
@@ -183,7 +202,8 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
   const int dof = ctx.gi->num_groups() - 1;
   const double chi2_critical = ctx.ChiCritical(alpha_level, dof);
 
-  for (const Space& cell : cells) {
+  for (size_t ci = 0; ci < cells.size(); ++ci) {
+    const Space& cell = cells[ci];
     Itemset itemset = CellItemset(call.cat_items, cell.bounds);
     ++counters.partitions_evaluated;
 
@@ -192,7 +212,9 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
       continue;
     }
 
-    GroupCounts gc = CountGroups(*ctx.gi, cell.rows);
+    GroupCounts gc = cfg.columnar_kernels
+                         ? std::move(fused_counts[ci])
+                         : CountGroups(*ctx.gi, cell.rows);
     std::vector<double> supports = gc.Supports(*ctx.gi);
     double diff = SupportDifference(supports);
     double purity = PurityRatio(supports);

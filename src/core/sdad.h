@@ -8,6 +8,7 @@
 #include "core/contrast.h"
 #include "core/pruning.h"
 #include "core/space.h"
+#include "core/split_kernel.h"
 #include "core/topk.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
@@ -29,6 +30,10 @@ struct MiningContext {
   /// Per continuous attribute: display/normalization bounds over the
   /// analysis rows.
   std::unordered_map<int, RootBounds> root_bounds;
+  /// Reusable buffers for the split-and-count kernels; owned by this
+  /// context (i.e. by one mining thread) and recycled across the whole
+  /// SDAD-CS recursion.
+  SplitScratch split_scratch;
 
   /// Memoized chi-square critical values: the inverse survival function
   /// costs ~13 µs per evaluation (bisection) and the same handful of

@@ -122,11 +122,13 @@ void LatticeSearch::EnumerateCategorical(const std::vector<int>& cat_attrs,
       ++ctx_.counters->pruned_lookup;
       continue;
     }
-    data::Selection sub = rows.Filter(
-        [&](uint32_t r) { return item.Matches(*ctx_.db, r); });
-    // Partial-itemset minimum deviation: supports only shrink as items
-    // are added, so a below-δ prefix can be abandoned outright.
-    GroupCounts gc = CountGroups(*ctx_.gi, sub);
+    // Fused scan: filter to the item's rows and count groups in one
+    // pass. Partial-itemset minimum deviation: supports only shrink as
+    // items are added, so a below-δ prefix can be abandoned outright.
+    GroupCounts gc;
+    data::Selection sub = FilterCountGroups(
+        *ctx_.gi, rows,
+        [&](uint32_t r) { return item.Matches(*ctx_.db, r); }, &gc);
     if (BelowMinimumDeviation(gc.Supports(*ctx_.gi), ctx_.cfg->delta)) {
       if (ctx_.cfg->meaningful_pruning) {
         ctx_.prune_table->Insert(candidate, PruneReason::kMinSupport);
@@ -235,15 +237,18 @@ void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
     SDADCS_CHECK(it != ctx_.root_bounds.end());
     call.space.bounds.push_back({attr, it->second.lo, it->second.hi});
   }
-  call.space.rows = rows.Filter([&](uint32_t r) {
-    for (int attr : cont_attrs) {
-      if (db.continuous(attr).is_missing(r)) return false;
-    }
-    return true;
-  });
+  GroupCounts root_counts;
+  call.space.rows = FilterCountGroups(
+      *ctx_.gi, rows,
+      [&](uint32_t r) {
+        for (int attr : cont_attrs) {
+          if (db.continuous(attr).is_missing(r)) return false;
+        }
+        return true;
+      },
+      &root_counts);
   if (call.space.rows.empty()) return;
   call.outer_db_size = static_cast<double>(call.space.rows.size());
-  GroupCounts root_counts = CountGroups(*ctx_.gi, call.space.rows);
   call.parent_supports = root_counts.Supports(*ctx_.gi);
   call.parent_diff = SupportDifference(call.parent_supports);
 

@@ -23,13 +23,19 @@ RootBounds ComputeRootBounds(const data::Dataset& db, int attr,
   // (the paper renders "18 < Age <= 26" on Adult), otherwise a small
   // fraction of the range below the minimum.
   const data::ContinuousColumn& col = db.continuous(attr);
-  bool integral = true;
-  for (uint32_t r : sel) {
-    double v = col.value(r);
-    if (std::isnan(v)) continue;
-    if (v != std::floor(v)) {
-      integral = false;
-      break;
+  // The sealed per-column cache answers the common case (fully integral
+  // column) without touching the rows; only columns that do contain a
+  // fractional value somewhere fall back to scanning the selection.
+  bool integral = col.AllIntegral();
+  if (!integral) {
+    integral = true;
+    for (uint32_t r : sel) {
+      double v = col.value(r);
+      if (std::isnan(v)) continue;
+      if (v != std::floor(v)) {
+        integral = false;
+        break;
+      }
     }
   }
   if (integral) {
@@ -62,12 +68,13 @@ double MeanOnAxis(const data::Dataset& db, int attr,
 }  // namespace
 
 std::vector<double> PartitionCuts(const data::Dataset& db,
-                                  const Space& space, SplitKind kind) {
+                                  const Space& space, SplitKind kind,
+                                  std::vector<double>* scratch) {
   std::vector<double> cuts;
   cuts.reserve(space.bounds.size());
   for (const AxisBound& b : space.bounds) {
     double m = kind == SplitKind::kMedian
-                   ? data::MedianInSelection(db, b.attr, space.rows)
+                   ? data::MedianInSelection(db, b.attr, space.rows, scratch)
                    : MeanOnAxis(db, b.attr, space.rows);
     if (std::isnan(m) || m >= b.hi || m <= b.lo) {
       // Not splittable two ways inside (lo, hi].
@@ -98,16 +105,28 @@ std::vector<double> PartitionMedians(const data::Dataset& db,
   return PartitionCuts(db, space, SplitKind::kMedian);
 }
 
+std::vector<int> SplittableAxes(const std::vector<double>& cuts) {
+  std::vector<int> splittable;
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    if (!std::isnan(cuts[i])) splittable.push_back(static_cast<int>(i));
+  }
+  if (splittable.size() > kMaxSplitAxes) {
+    SDADCS_LOG(kWarning) << "split request with " << splittable.size()
+                         << " splittable axes exceeds the cap of "
+                         << kMaxSplitAxes
+                         << "; the extra axes are left unsplit";
+    splittable.resize(kMaxSplitAxes);
+  }
+  return splittable;
+}
+
 std::vector<Space> FindCombs(const data::Dataset& db, const Space& space,
                              const std::vector<double>& medians) {
   SDADCS_CHECK(medians.size() == space.bounds.size());
-  std::vector<int> splittable;
-  for (size_t i = 0; i < medians.size(); ++i) {
-    if (!std::isnan(medians[i])) splittable.push_back(static_cast<int>(i));
-  }
+  std::vector<int> splittable = SplittableAxes(medians);
   if (splittable.empty()) return {};
 
-  const size_t num_cells = 1u << splittable.size();
+  const size_t num_cells = size_t{1} << splittable.size();
   std::vector<Space> cells;
   cells.reserve(num_cells);
   for (size_t mask = 0; mask < num_cells; ++mask) {
@@ -115,7 +134,7 @@ std::vector<Space> FindCombs(const data::Dataset& db, const Space& space,
     cell.bounds = space.bounds;
     for (size_t bit = 0; bit < splittable.size(); ++bit) {
       int axis = splittable[bit];
-      if (mask & (1u << bit)) {
+      if (mask & (size_t{1} << bit)) {
         cell.bounds[axis].lo = medians[axis];  // right half (m, hi]
       } else {
         cell.bounds[axis].hi = medians[axis];  // left half (lo, m]

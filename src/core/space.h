@@ -45,13 +45,27 @@ RootBounds ComputeRootBounds(const data::Dataset& db, int attr,
 /// partition(ca) of Algorithm 1: the split value of each axis of
 /// `space` (computed over the space's rows) — the median (paper default)
 /// or the mean. An axis whose rows cannot be split two ways (all values
-/// equal, or the cut leaves one side empty) gets NaN.
+/// equal, or the cut leaves one side empty) gets NaN. `scratch`, when
+/// non-null, is a reusable gather buffer for the median computation.
 std::vector<double> PartitionCuts(const data::Dataset& db,
-                                  const Space& space, SplitKind kind);
+                                  const Space& space, SplitKind kind,
+                                  std::vector<double>* scratch = nullptr);
 
 /// PartitionCuts with the paper's default, the median.
 std::vector<double> PartitionMedians(const data::Dataset& db,
                                      const Space& space);
+
+/// Hard cap on the number of axes split at once: each splittable axis
+/// doubles the cell count, and the cell index must fit a machine word.
+/// Splitting more axes than this in one step is never useful (2^24 cells
+/// dwarf any row count), so excess axes are left unsplit with a logged
+/// warning rather than invoking shift UB.
+inline constexpr size_t kMaxSplitAxes = 24;
+
+/// Indices of the splittable axes (non-NaN cuts), capped at
+/// kMaxSplitAxes with a warning. Shared by the naive FindCombs and the
+/// fused SplitAndCount kernel so both agree on which axes split.
+std::vector<int> SplittableAxes(const std::vector<double>& cuts);
 
 /// find_combs(p) of Algorithm 1: the child cells obtained by cutting
 /// every splittable axis at its median — the Cartesian product of

@@ -1,0 +1,107 @@
+#include "core/split_kernel.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// Columnar view of one splittable axis: raw value pointer plus the
+// parent bounds and the cut. Kept in a flat array so the per-row loop
+// touches no indirection beyond the column data itself.
+struct AxisView {
+  const double* values;
+  double lo;
+  double hi;
+  double cut;
+};
+
+}  // namespace
+
+SplitResult SplitAndCount(const data::Dataset& db, const data::GroupInfo& gi,
+                          const Space& space, const std::vector<double>& cuts,
+                          SplitScratch* scratch) {
+  SDADCS_CHECK(cuts.size() == space.bounds.size());
+  SplitResult out;
+  const std::vector<int> splittable = SplittableAxes(cuts);
+  if (splittable.empty()) return out;
+
+  const size_t k = splittable.size();
+  const size_t num_cells = size_t{1} << k;
+  const size_t num_groups = static_cast<size_t>(gi.num_groups());
+
+  AxisView axes[kMaxSplitAxes];
+  for (size_t bit = 0; bit < k; ++bit) {
+    const AxisBound& b = space.bounds[splittable[bit]];
+    axes[bit] = {db.continuous(b.attr).values().data(), b.lo, b.hi,
+                 cuts[splittable[bit]]};
+  }
+
+  // Pass 1 — one scan of the parent rows: compute each row's cell index
+  // (bit b = right half of splittable axis b), drop rows that are
+  // missing or outside the parent bounds on a splittable axis (exactly
+  // the rows the naive per-cell Filter rejects everywhere), and fuse the
+  // per-cell group counting into the same scan.
+  scratch->row_ids.clear();
+  scratch->row_cells.clear();
+  scratch->row_ids.reserve(space.rows.size());
+  scratch->row_cells.reserve(space.rows.size());
+  scratch->cell_sizes.assign(num_cells, 0);
+  scratch->counts.assign(num_cells * num_groups, 0.0);
+  const int16_t* groups = gi.group_codes();
+
+  for (uint32_t r : space.rows) {
+    uint32_t cell = 0;
+    bool inside = true;
+    for (size_t bit = 0; bit < k; ++bit) {
+      const AxisView& a = axes[bit];
+      double v = a.values[r];
+      // NaN fails both comparisons' complements, so the single ordered
+      // test below rejects missing values too.
+      if (!(v > a.lo && v <= a.hi)) {
+        inside = false;
+        break;
+      }
+      cell |= static_cast<uint32_t>(v > a.cut) << bit;
+    }
+    if (!inside) continue;
+    scratch->row_ids.push_back(r);
+    scratch->row_cells.push_back(cell);
+    ++scratch->cell_sizes[cell];
+    int16_t g = groups[r];
+    if (g >= 0) scratch->counts[cell * num_groups + g] += 1.0;
+  }
+
+  // Pass 2 — materialize the cells in mask order. Scattering rows in
+  // selection order keeps every cell's row vector sorted.
+  out.cells.resize(num_cells);
+  out.counts.resize(num_cells);
+  std::vector<std::vector<uint32_t>> cell_rows(num_cells);
+  for (size_t mask = 0; mask < num_cells; ++mask) {
+    Space& cell = out.cells[mask];
+    cell.bounds = space.bounds;
+    for (size_t bit = 0; bit < k; ++bit) {
+      int axis = splittable[bit];
+      if (mask & (size_t{1} << bit)) {
+        cell.bounds[axis].lo = cuts[axis];  // right half (m, hi]
+      } else {
+        cell.bounds[axis].hi = cuts[axis];  // left half (lo, m]
+      }
+    }
+    cell_rows[mask].reserve(scratch->cell_sizes[mask]);
+    out.counts[mask].counts.assign(
+        scratch->counts.begin() + mask * num_groups,
+        scratch->counts.begin() + (mask + 1) * num_groups);
+  }
+  for (size_t i = 0; i < scratch->row_ids.size(); ++i) {
+    cell_rows[scratch->row_cells[i]].push_back(scratch->row_ids[i]);
+  }
+  for (size_t mask = 0; mask < num_cells; ++mask) {
+    out.cells[mask].rows = data::Selection(std::move(cell_rows[mask]));
+  }
+  return out;
+}
+
+}  // namespace sdadcs::core

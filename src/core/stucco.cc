@@ -13,10 +13,13 @@ namespace sdadcs::core {
 
 namespace {
 
-// A live node of the breadth-first frontier.
+// A live node of the breadth-first frontier. Group counts are filled by
+// the fused filter+count scan that builds the cover, so evaluation never
+// re-scans the cover.
 struct Node {
   Itemset itemset;
   data::Selection cover;
+  GroupCounts counts;
   int last_attr;  // only attributes after this extend the node
 };
 
@@ -36,7 +39,7 @@ StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
   }
 
   std::vector<Node> frontier;
-  frontier.push_back({Itemset(), gi.base_selection(), -1});
+  frontier.push_back({Itemset(), gi.base_selection(), {}, -1});
 
   for (int level = 1;
        level <= config.max_depth && !frontier.empty(); ++level) {
@@ -51,8 +54,10 @@ StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
           Item item = Item::Categorical(attr, code);
           Node child;
           child.itemset = node.itemset.WithItem(item);
-          child.cover = node.cover.Filter(
-              [&](uint32_t r) { return item.Matches(db, r); });
+          child.cover = FilterCountGroups(
+              gi, node.cover,
+              [&](uint32_t r) { return item.Matches(db, r); },
+              &child.counts);
           child.last_attr = attr;
           if (!child.cover.empty()) candidates.push_back(std::move(child));
         }
@@ -71,7 +76,7 @@ StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
     std::vector<Node> survivors;
     for (Node& node : candidates) {
       ++result.itemsets_evaluated;
-      GroupCounts gc = CountGroups(gi, node.cover);
+      const GroupCounts& gc = node.counts;
       std::vector<double> supports = gc.Supports(gi);
 
       // Minimum deviation size: no specialization of a below-delta

@@ -27,9 +27,13 @@ GroupCounts CountGroups(const data::GroupInfo& gi,
                         const data::Selection& sel) {
   GroupCounts gc;
   gc.counts.assign(gi.num_groups(), 0.0);
+  // Branch-light loop over the dense int16 group array; the compiler
+  // keeps the accumulators in registers for the common 2-group case.
+  const int16_t* groups = gi.group_codes();
+  double* counts = gc.counts.data();
   for (uint32_t r : sel) {
-    int g = gi.group_of(r);
-    if (g >= 0) gc.counts[g] += 1.0;
+    int16_t g = groups[r];
+    if (g >= 0) counts[g] += 1.0;
   }
   return gc;
 }

@@ -38,6 +38,27 @@ GroupCounts CountMatches(const data::Dataset& db, const data::GroupInfo& gi,
 GroupCounts CountGroups(const data::GroupInfo& gi,
                         const data::Selection& sel);
 
+/// Fused filter + group count: one scan of `sel` both collects the rows
+/// satisfying `pred` (order preserved) and accumulates their per-group
+/// counts into `*gc`. Replaces the Selection::Filter-then-CountGroups
+/// double scan at every call site that needs both.
+template <typename Pred>
+data::Selection FilterCountGroups(const data::GroupInfo& gi,
+                                  const data::Selection& sel, Pred&& pred,
+                                  GroupCounts* gc) {
+  gc->counts.assign(gi.num_groups(), 0.0);
+  const int16_t* groups = gi.group_codes();
+  std::vector<uint32_t> rows;
+  rows.reserve(sel.size());
+  for (uint32_t r : sel) {
+    if (!pred(r)) continue;
+    rows.push_back(r);
+    int16_t g = groups[r];
+    if (g >= 0) gc->counts[g] += 1.0;
+  }
+  return data::Selection(std::move(rows));
+}
+
 /// Group sizes |g_k| as doubles (for the statistics code).
 std::vector<double> GroupSizes(const data::GroupInfo& gi);
 

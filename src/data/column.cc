@@ -32,4 +32,26 @@ double ContinuousColumn::Max() const {
   return m;
 }
 
+namespace {
+
+bool ScanAllIntegral(const std::vector<double>& values) {
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    if (v != std::floor(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ContinuousColumn::AllIntegral() const {
+  if (integral_sealed_) return all_integral_;
+  return ScanAllIntegral(values_);
+}
+
+void ContinuousColumn::SealIntegrality() {
+  all_integral_ = ScanAllIntegral(values_);
+  integral_sealed_ = true;
+}
+
 }  // namespace sdadcs::data

@@ -67,7 +67,10 @@ class ContinuousColumn {
 
   bool is_missing(uint32_t row) const { return std::isnan(values_[row]); }
 
-  void Append(double v) { values_.push_back(v); }
+  void Append(double v) {
+    values_.push_back(v);
+    integral_sealed_ = false;
+  }
 
   void AppendMissing() {
     values_.push_back(std::numeric_limits<double>::quiet_NaN());
@@ -80,8 +83,20 @@ class ContinuousColumn {
   /// Maximum over non-missing values (-inf if all missing).
   double Max() const;
 
+  /// True when every non-missing value is integral (v == floor(v)).
+  /// Answered from the cache sealed at Dataset build time when
+  /// available, otherwise by scanning the column.
+  bool AllIntegral() const;
+
+  /// Computes and caches the AllIntegral() answer; called by
+  /// DatasetBuilder::Build so the shared immutable Dataset answers the
+  /// query in O(1). Appending after sealing invalidates the cache.
+  void SealIntegrality();
+
  private:
   std::vector<double> values_;
+  bool integral_sealed_ = false;
+  bool all_integral_ = false;
 };
 
 }  // namespace sdadcs::data

@@ -92,6 +92,9 @@ util::StatusOr<Dataset> DatasetBuilder::Build() && {
     }
   }
   ds_.num_rows_ = n;
+  for (auto& col : ds_.continuous_) {
+    if (col != nullptr) col->SealIntegrality();
+  }
   return std::move(ds_);
 }
 

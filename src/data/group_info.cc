@@ -38,6 +38,10 @@ util::StatusOr<GroupInfo> GroupInfo::CreateForValues(
     return util::Status::InvalidArgument(
         "contrast mining needs at least two groups");
   }
+  if (values.size() > static_cast<size_t>(kMaxGroups)) {
+    return util::Status::InvalidArgument(
+        "too many groups (limit " + std::to_string(kMaxGroups) + ")");
+  }
   const CategoricalColumn& col = db.categorical(group_attr);
 
   GroupInfo info;
@@ -46,14 +50,14 @@ util::StatusOr<GroupInfo> GroupInfo::CreateForValues(
   info.sizes_.assign(values.size(), 0);
 
   // Map dictionary code -> dense group id.
-  std::unordered_map<int32_t, int> code_to_group;
+  std::unordered_map<int32_t, int16_t> code_to_group;
   for (size_t g = 0; g < values.size(); ++g) {
     int32_t code = col.CodeOf(values[g]);
     if (code == kMissingCode) {
       return util::Status::NotFound("group value '" + values[g] +
                                     "' does not occur in the data");
     }
-    if (!code_to_group.emplace(code, static_cast<int>(g)).second) {
+    if (!code_to_group.emplace(code, static_cast<int16_t>(g)).second) {
       return util::Status::InvalidArgument("duplicate group value '" +
                                            values[g] + "'");
     }
@@ -106,7 +110,7 @@ util::StatusOr<GroupInfo> GroupInfo::CreateOneVsRest(
   base_rows.reserve(db.num_rows());
   for (uint32_t r = 0; r < db.num_rows(); ++r) {
     if (col.is_missing(r)) continue;
-    int g = col.code(r) == code ? 0 : 1;
+    int16_t g = col.code(r) == code ? 0 : 1;
     info.row_groups_[r] = g;
     ++info.sizes_[g];
     base_rows.push_back(r);
@@ -127,7 +131,7 @@ util::StatusOr<GroupInfo> GroupInfo::Restrict(const Selection& rows) const {
   out.row_groups_.assign(row_groups_.size(), -1);
   Selection base = base_.Intersect(rows);
   for (uint32_t r : base) {
-    int g = row_groups_[r];
+    int16_t g = row_groups_[r];
     out.row_groups_[r] = g;
     ++out.sizes_[g];
   }

@@ -20,6 +20,11 @@ namespace sdadcs::data {
 /// every other education level excluded from the analysis).
 class GroupInfo {
  public:
+  /// Maximum number of groups — the dense per-row array stores group ids
+  /// as int16, which is plenty (the paper never contrasts more than a
+  /// handful of groups) and keeps the counting kernels cache-friendly.
+  static constexpr int kMaxGroups = 32767;
+
   /// One group per distinct non-missing value of `group_attr`.
   static util::StatusOr<GroupInfo> Create(const Dataset& db, int group_attr);
 
@@ -45,6 +50,12 @@ class GroupInfo {
   /// interest (missing or excluded value).
   int group_of(uint32_t row) const { return row_groups_[row]; }
 
+  /// Raw per-row group ids (one int16 per dataset row, -1 = excluded).
+  /// The counting kernels index this array directly; it stays 4x denser
+  /// in cache than a vector<int> would be. Group counts are capped at
+  /// kMaxGroups accordingly.
+  const int16_t* group_codes() const { return row_groups_.data(); }
+
   /// Rows that belong to some group of interest, sorted.
   const Selection& base_selection() const { return base_; }
 
@@ -63,7 +74,7 @@ class GroupInfo {
   int group_attr_ = -1;
   std::vector<std::string> names_;
   std::vector<size_t> sizes_;
-  std::vector<int> row_groups_;  // per dataset row; -1 = excluded
+  std::vector<int16_t> row_groups_;  // per dataset row; -1 = excluded
   Selection base_;
 };
 

@@ -10,16 +10,6 @@ Selection Selection::All(size_t n) {
   return Selection(std::move(rows));
 }
 
-Selection Selection::Filter(
-    const std::function<bool(uint32_t)>& pred) const {
-  std::vector<uint32_t> out;
-  out.reserve(rows_.size());
-  for (uint32_t r : rows_) {
-    if (pred(r)) out.push_back(r);
-  }
-  return Selection(std::move(out));
-}
-
 Selection Selection::Intersect(const Selection& other) const {
   std::vector<uint32_t> out;
   out.reserve(std::min(rows_.size(), other.rows_.size()));

@@ -1,8 +1,9 @@
 #ifndef SDADCS_DATA_SELECTION_H_
 #define SDADCS_DATA_SELECTION_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 namespace sdadcs::data {
@@ -27,8 +28,29 @@ class Selection {
   auto begin() const { return rows_.begin(); }
   auto end() const { return rows_.end(); }
 
-  /// Rows for which `pred(row)` holds, preserving order.
-  Selection Filter(const std::function<bool(uint32_t)>& pred) const;
+  /// Rows for which `pred(row)` holds, preserving order. Templated on the
+  /// predicate so the call inlines into the scan loop (the hot paths used
+  /// to pay a std::function indirection per row here).
+  template <typename Pred>
+  Selection Filter(Pred&& pred) const {
+    std::vector<uint32_t> out;
+    out.reserve(rows_.size());
+    for (uint32_t r : rows_) {
+      if (pred(r)) out.push_back(r);
+    }
+    return Selection(std::move(out));
+  }
+
+  /// Filter variant that appends matches into a caller-owned buffer, so
+  /// tight loops can reuse one allocation across many filters. `out` is
+  /// cleared first; its capacity is preserved.
+  template <typename Pred>
+  void FilterInto(std::vector<uint32_t>* out, Pred&& pred) const {
+    out->clear();
+    for (uint32_t r : rows_) {
+      if (pred(r)) out->push_back(r);
+    }
+  }
 
   /// Set intersection with another sorted selection.
   Selection Intersect(const Selection& other) const;

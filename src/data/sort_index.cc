@@ -8,22 +8,16 @@
 
 namespace sdadcs::data {
 
-namespace {
-
-// Gathers non-missing values of `attr` over `sel`.
-std::vector<double> GatherValues(const Dataset& db, int attr,
-                                 const Selection& sel) {
+void GatherValuesInto(const Dataset& db, int attr, const Selection& sel,
+                      std::vector<double>* out) {
   const ContinuousColumn& col = db.continuous(attr);
-  std::vector<double> vals;
-  vals.reserve(sel.size());
+  out->clear();
+  out->reserve(sel.size());
   for (uint32_t r : sel) {
     double v = col.value(r);
-    if (!std::isnan(v)) vals.push_back(v);
+    if (!std::isnan(v)) out->push_back(v);
   }
-  return vals;
 }
-
-}  // namespace
 
 SortIndex SortIndex::Build(const Dataset& db, int attr) {
   const ContinuousColumn& col = db.continuous(attr);
@@ -39,8 +33,11 @@ SortIndex SortIndex::Build(const Dataset& db, int attr) {
   return idx;
 }
 
-double MedianInSelection(const Dataset& db, int attr, const Selection& sel) {
-  std::vector<double> vals = GatherValues(db, attr, sel);
+double MedianInSelection(const Dataset& db, int attr, const Selection& sel,
+                         std::vector<double>* scratch) {
+  std::vector<double> local;
+  std::vector<double>& vals = scratch != nullptr ? *scratch : local;
+  GatherValuesInto(db, attr, sel, &vals);
   if (vals.empty()) return std::numeric_limits<double>::quiet_NaN();
   // Lower middle: rank (n-1)/2, so that "value <= median" keeps at least
   // one element on each side whenever the values are not all equal.
@@ -50,9 +47,11 @@ double MedianInSelection(const Dataset& db, int attr, const Selection& sel) {
 }
 
 double QuantileInSelection(const Dataset& db, int attr, const Selection& sel,
-                           double q) {
+                           double q, std::vector<double>* scratch) {
   SDADCS_CHECK(q >= 0.0 && q <= 1.0);
-  std::vector<double> vals = GatherValues(db, attr, sel);
+  std::vector<double> local;
+  std::vector<double>& vals = scratch != nullptr ? *scratch : local;
+  GatherValuesInto(db, attr, sel, &vals);
   if (vals.empty()) return std::numeric_limits<double>::quiet_NaN();
   size_t k = static_cast<size_t>(q * static_cast<double>(vals.size() - 1));
   std::nth_element(vals.begin(), vals.begin() + k, vals.end());

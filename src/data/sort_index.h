@@ -33,11 +33,20 @@ class SortIndex {
 /// non-missing values. For even counts returns the lower middle value,
 /// which keeps the split value an actual data point — important because
 /// SDAD-CS splits at "x <= median" and both halves must be non-empty.
-double MedianInSelection(const Dataset& db, int attr, const Selection& sel);
+/// `scratch`, when non-null, is the reusable gather buffer — the SDAD
+/// recursion computes one median per axis per call, and reusing the
+/// buffer keeps the hot path allocation-free.
+double MedianInSelection(const Dataset& db, int attr, const Selection& sel,
+                         std::vector<double>* scratch = nullptr);
 
 /// q-quantile (0<=q<=1) of `attr` over `sel`, by rank floor(q*(n-1)).
 double QuantileInSelection(const Dataset& db, int attr, const Selection& sel,
-                           double q);
+                           double q, std::vector<double>* scratch = nullptr);
+
+/// Gathers the non-missing values of `attr` over `sel` into `out`
+/// (cleared first, capacity preserved).
+void GatherValuesInto(const Dataset& db, int attr, const Selection& sel,
+                      std::vector<double>* out);
 
 /// Minimum and maximum of `attr` over `sel`; {NaN, NaN} when empty.
 struct MinMax {

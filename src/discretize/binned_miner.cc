@@ -38,35 +38,39 @@ class BinnedEnumerator {
         stats_(stats) {}
 
   std::vector<ContrastPattern> Run() {
-    Recurse(0, Itemset(), gi_.base_selection(), 0);
+    Recurse(0, Itemset(), gi_.base_selection(), GroupCounts(), 0);
     return topk_.Sorted();
   }
 
  private:
   // Depth-first over attribute positions; each position either skips the
   // attribute or fixes one of its items. Support-based pruning bounds
-  // the expansion exactly as in the categorical STUCCO search.
+  // the expansion exactly as in the categorical STUCCO search. `counts`
+  // are the group counts of `rows`, computed by the caller's fused
+  // filter+count scan (empty only at the root, where `itemset` is empty
+  // and Evaluate is never reached).
   void Recurse(size_t pos, const Itemset& itemset,
-               const data::Selection& rows, int depth) {
-    if (!itemset.empty()) Evaluate(itemset, rows);
+               const data::Selection& rows, const GroupCounts& counts,
+               int depth) {
+    if (!itemset.empty()) Evaluate(itemset, counts);
     if (depth >= config_.max_depth || pos >= attr_items_.size()) return;
     for (size_t p = pos; p < attr_items_.size(); ++p) {
       for (const Item& item : attr_items_[p].items) {
-        data::Selection sub =
-            rows.Filter([&](uint32_t r) { return item.Matches(db_, r); });
+        GroupCounts gc;
+        data::Selection sub = core::FilterCountGroups(
+            gi_, rows, [&](uint32_t r) { return item.Matches(db_, r); },
+            &gc);
         if (sub.empty()) continue;
-        GroupCounts gc = core::CountGroups(gi_, sub);
         if (core::BelowMinimumDeviation(gc.Supports(gi_), config_.delta)) {
           continue;
         }
-        Recurse(p + 1, itemset.WithItem(item), sub, depth + 1);
+        Recurse(p + 1, itemset.WithItem(item), sub, gc, depth + 1);
       }
     }
   }
 
-  void Evaluate(const Itemset& itemset, const data::Selection& rows) {
+  void Evaluate(const Itemset& itemset, const GroupCounts& gc) {
     if (stats_ != nullptr) ++stats_->partitions_evaluated;
-    GroupCounts gc = core::CountGroups(gi_, rows);
     if (gc.total() < config_.min_coverage) return;
     std::vector<double> supports = gc.Supports(gi_);
     double diff = core::SupportDifference(supports);

@@ -17,10 +17,12 @@ namespace {
 using core::Item;
 using core::Itemset;
 
-// A beam member: description + its cover.
+// A beam member: description + its cover. Group counts come from the
+// fused filter+count scan that builds the cover.
 struct Candidate {
   Itemset description;
   data::Selection cover;
+  core::GroupCounts counts;
   double quality = 0.0;
 };
 
@@ -71,7 +73,7 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
   std::vector<double> group_sizes = core::GroupSizes(gi);
 
   std::vector<Candidate> beam;
-  beam.push_back({Itemset(), gi.base_selection(), 0.0});
+  beam.push_back({Itemset(), gi.base_selection(), {}, 0.0});
 
   // Best subgroups across all levels, deduplicated by description.
   std::vector<Candidate> best;
@@ -101,8 +103,9 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
           cand.description = member.description.WithItem(item);
           std::string key = cand.description.Key();
           if (seen.count(key) > 0) continue;
-          cand.cover = member.cover.Filter(
-              [&](uint32_t r) { return item.Matches(db, r); });
+          cand.cover = core::FilterCountGroups(
+              gi, member.cover,
+              [&](uint32_t r) { return item.Matches(db, r); }, &cand.counts);
           if (static_cast<int>(cand.cover.size()) < config_.min_coverage) {
             continue;
           }
@@ -111,8 +114,8 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
             continue;
           }
           if (stats != nullptr) ++stats->descriptions_evaluated;
-          core::GroupCounts gc = core::CountGroups(gi, cand.cover);
-          cand.quality = core::WRAcc(gc.counts, group_sizes, target_group);
+          cand.quality =
+              core::WRAcc(cand.counts.counts, group_sizes, target_group);
           seen.insert(std::move(key));
           level.push_back(std::move(cand));
         }
@@ -140,8 +143,7 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
     Subgroup sg;
     sg.description = std::move(c.description);
     sg.quality = c.quality;
-    core::GroupCounts gc = core::CountGroups(gi, c.cover);
-    sg.counts = std::move(gc.counts);
+    sg.counts = std::move(c.counts.counts);
     out.push_back(std::move(sg));
   }
   if (stats != nullptr) stats->elapsed_seconds = timer.Seconds();
