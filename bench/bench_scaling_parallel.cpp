@@ -22,7 +22,9 @@ double TimeRun(const Bench& b, const core::MinerConfig& cfg,
                size_t threads) {
   parallel::ParallelMiner miner(cfg, threads);
   util::WallTimer timer;
-  auto result = miner.MineWithGroups(b.nd.db, b.gi);
+  core::MineRequest request;
+  request.groups = &b.gi;
+  auto result = miner.Mine(b.nd.db, request);
   SDADCS_CHECK(result.ok());
   return timer.Seconds();
 }

@@ -35,7 +35,9 @@ Bench LoadNamed(synth::NamedDataset nd) {
 
 AlgoRun RunSdad(const Bench& b, const core::MinerConfig& cfg) {
   core::Miner miner(cfg);
-  auto result = miner.MineWithGroups(b.nd.db, b.gi);
+  core::MineRequest request;
+  request.groups = &b.gi;
+  auto result = miner.Mine(b.nd.db, request);
   SDADCS_CHECK(result.ok());
   return {"SDAD-CS", std::move(result->contrasts), result->elapsed_seconds,
           result->counters.partitions_evaluated};
@@ -45,7 +47,9 @@ AlgoRun RunSdadNp(const Bench& b, core::MinerConfig cfg) {
   cfg.meaningful_pruning = false;
   cfg.optimistic_pruning = false;
   core::Miner miner(cfg);
-  auto result = miner.MineWithGroups(b.nd.db, b.gi);
+  core::MineRequest request;
+  request.groups = &b.gi;
+  auto result = miner.Mine(b.nd.db, request);
   SDADCS_CHECK(result.ok());
   return {"SDAD-CS NP", std::move(result->contrasts),
           result->elapsed_seconds, result->counters.partitions_evaluated};

@@ -50,14 +50,16 @@ int Run() {
   // View 1: optimize Purity Ratio — favors homogeneous regions such as
   // the Bachelors-only young-age band.
   cfg.measure = MeasureKind::kPurityRatio;
-  auto pr = Miner(cfg).MineWithGroups(adult.db, *gi);
+  sdadcs::core::MineRequest request;
+  request.groups = &*gi;
+  auto pr = Miner(cfg).Mine(adult.db, request);
   if (!pr.ok()) return 1;
   PrintTop(adult, *gi, "Top contrasts, Purity Ratio view:", pr->contrasts,
            6);
 
   // View 2: optimize support difference — favors wide, covering bins.
   cfg.measure = MeasureKind::kSupportDiff;
-  auto sd = Miner(cfg).MineWithGroups(adult.db, *gi);
+  auto sd = Miner(cfg).Mine(adult.db, request);
   if (!sd.ok()) return 1;
   PrintTop(adult, *gi, "Top contrasts, Support Difference view:",
            sd->contrasts, 6);
@@ -65,7 +67,7 @@ int Run() {
   // What the meaningfulness machinery throws away: rerun without it and
   // classify the raw list.
   cfg.meaningful_pruning = false;
-  auto raw = Miner(cfg).MineWithGroups(adult.db, *gi);
+  auto raw = Miner(cfg).Mine(adult.db, request);
   if (!raw.ok()) return 1;
   auto report = sdadcs::core::ClassifyPatterns(adult.db, *gi, cfg,
                                                raw->contrasts);

@@ -47,9 +47,10 @@ int main(int argc, char** argv) {
   if (cfg.max_depth < 1) cfg.max_depth = 2;
 
   sdadcs::core::Miner miner(cfg);
-  auto result = group_values.empty()
-                    ? miner.Mine(*db, group_attr)
-                    : miner.Mine(*db, group_attr, group_values);
+  sdadcs::core::MineRequest request;
+  request.group_attr = group_attr;
+  request.group_values = group_values;  // empty = all values
+  auto result = miner.Mine(*db, request);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());

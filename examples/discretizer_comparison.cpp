@@ -60,7 +60,9 @@ int Run() {
   sdadcs::core::MinerConfig cfg;
   cfg.max_depth = 2;
   cfg.measure = sdadcs::core::MeasureKind::kSurprising;
-  auto sdad = sdadcs::core::Miner(cfg).MineWithGroups(db, *gi);
+  sdadcs::core::MineRequest request;
+  request.groups = &*gi;
+  auto sdad = sdadcs::core::Miner(cfg).Mine(db, request);
   if (!sdad.ok()) return 1;
   std::printf("%-28s %14zu %12.3f\n", "SDAD-CS (this library)",
               sdad->contrasts.size(), BestDiff(sdad->contrasts));

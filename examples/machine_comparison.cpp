@@ -42,7 +42,9 @@ int Run() {
     auto gi = sdadcs::data::GroupInfo::CreateOneVsRest(mfg.db, cam_attr,
                                                        machine);
     if (!gi.ok()) continue;
-    auto result = miner.MineWithGroups(mfg.db, *gi);
+    sdadcs::core::MineRequest request;
+    request.groups = &*gi;
+    auto result = miner.Mine(mfg.db, request);
     if (!result.ok()) continue;
 
     std::printf("\n=== machine %s (n=%zu) vs rest (n=%zu): %zu contrasts\n",

@@ -37,7 +37,9 @@ int Run() {
   cfg.max_depth = 2;
   cfg.measure = sdadcs::core::MeasureKind::kSupportDiff;
   Miner miner(cfg);
-  auto result = miner.MineWithGroups(mfg.db, *gi);
+  sdadcs::core::MineRequest request;
+  request.groups = &*gi;
+  auto result = miner.Mine(mfg.db, request);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());

@@ -56,12 +56,20 @@ int RunQuickstart() {
   cfg.max_depth = 2;  // patterns of up to two items
 
   Miner miner(cfg);
-  auto result = miner.Mine(db, "Group");
+  sdadcs::core::MineRequest request;
+  request.group_attr = "Group";
+  // An optional run control bounds the wall clock; an expired deadline
+  // returns the best patterns found so far instead of an error.
+  request.run_control =
+      sdadcs::util::RunControl::WithDeadline(std::chrono::seconds(30));
+  auto result = miner.Mine(db, request);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
+  std::printf("completion: %s\n",
+              sdadcs::core::CompletionToString(result->completion));
 
   auto gi = sdadcs::data::GroupInfo::Create(
       db, db.schema().IndexOf("Group").value());

@@ -1,6 +1,45 @@
 #include "core/config.h"
 
+#include "util/string_util.h"
+
 namespace sdadcs::core {
+
+namespace {
+
+util::Status FieldError(const char* field, const char* constraint,
+                        const std::string& got) {
+  return util::Status::InvalidArgument(std::string(field) + " must be " +
+                                       constraint + ", got " + got);
+}
+
+}  // namespace
+
+util::Status MinerConfig::Validate() const {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return FieldError("alpha", "in (0, 1)", util::FormatDouble(alpha));
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return FieldError("delta", "in (0, 1)", util::FormatDouble(delta));
+  }
+  if (max_depth < 1) {
+    return FieldError("max_depth", ">= 1", std::to_string(max_depth));
+  }
+  if (sdad_max_level < 1) {
+    return FieldError("sdad_max_level", ">= 1",
+                      std::to_string(sdad_max_level));
+  }
+  if (top_k < 1) {
+    return FieldError("top_k", ">= 1", std::to_string(top_k));
+  }
+  if (min_coverage < 0) {
+    return FieldError("min_coverage", ">= 0", std::to_string(min_coverage));
+  }
+  if (!std::isnan(merge_alpha) && !(merge_alpha > 0.0 && merge_alpha < 1.0)) {
+    return FieldError("merge_alpha", "NaN or in (0, 1)",
+                      util::FormatDouble(merge_alpha));
+  }
+  return util::Status::OK();
+}
 
 void MiningCounters::Add(const MiningCounters& other) {
   partitions_evaluated += other.partitions_evaluated;
@@ -17,6 +56,7 @@ void MiningCounters::Add(const MiningCounters& other) {
   merges += other.merges;
   chi2_tests += other.chi2_tests;
   truncated_candidates += other.truncated_candidates;
+  abandoned_candidates += other.abandoned_candidates;
 }
 
 }  // namespace sdadcs::core

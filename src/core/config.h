@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/interest.h"
+#include "util/status.h"
 
 namespace sdadcs::core {
 
@@ -135,6 +136,12 @@ struct MinerConfig {
     for (int i = 0; i < level; ++i) a *= 0.5;
     return a;
   }
+
+  /// Range-checks every field and names the offending one in the error
+  /// message (e.g. "alpha must be in (0, 1), got 1.5"). Every engine
+  /// entry point — Miner, ParallelMiner, WindowMiner and the beam
+  /// baseline — validates through this before mining.
+  util::Status Validate() const;
 };
 
 /// Observability counters accumulated during one mining run. "Partitions
@@ -154,6 +161,9 @@ struct MiningCounters {
   uint64_t merges = 0;                ///< space merges performed
   uint64_t chi2_tests = 0;
   uint64_t truncated_candidates = 0;  ///< combos dropped by the level cap
+  /// Attribute combinations never mined because the run stopped early
+  /// (deadline, cancellation or budget). Zero on a kComplete run.
+  uint64_t abandoned_candidates = 0;
 
   void Add(const MiningCounters& other);
 };

@@ -17,51 +17,53 @@ double MiningResult::MeanSupportDifference(size_t k) const {
   return sum / static_cast<double>(n);
 }
 
-util::Status Miner::ValidateConfig() const {
-  if (config_.alpha <= 0.0 || config_.alpha >= 1.0) {
-    return util::Status::InvalidArgument("alpha must be in (0, 1)");
+util::StatusOr<data::GroupInfo> ResolveRequestGroups(
+    const data::Dataset& db, const MineRequest& request) {
+  util::StatusOr<int> attr = db.schema().IndexOf(request.group_attr);
+  if (!attr.ok()) return attr.status();
+  if (request.group_values.empty()) {
+    return data::GroupInfo::Create(db, *attr);
   }
-  if (config_.delta <= 0.0 || config_.delta >= 1.0) {
-    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  return data::GroupInfo::CreateForValues(db, *attr, request.group_values);
+}
+
+util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
+                                         const MineRequest& request) const {
+  if (request.groups != nullptr) {
+    return MineImpl(db, *request.groups, request.run_control);
   }
-  if (config_.max_depth < 1) {
-    return util::Status::InvalidArgument("max_depth must be >= 1");
-  }
-  if (config_.sdad_max_level < 1) {
-    return util::Status::InvalidArgument("sdad_max_level must be >= 1");
-  }
-  if (config_.top_k < 1) {
-    return util::Status::InvalidArgument("top_k must be >= 1");
-  }
-  if (config_.min_coverage < 0) {
-    return util::Status::InvalidArgument("min_coverage must be >= 0");
-  }
-  return util::Status::OK();
+  util::StatusOr<data::GroupInfo> gi = ResolveRequestGroups(db, request);
+  if (!gi.ok()) return gi.status();
+  return MineImpl(db, *gi, request.run_control);
 }
 
 util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
                                          const std::string& group_attr) const {
-  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
-  if (!attr.ok()) return attr.status();
-  util::StatusOr<data::GroupInfo> gi = data::GroupInfo::Create(db, *attr);
-  if (!gi.ok()) return gi.status();
-  return MineWithGroups(db, *gi);
+  MineRequest request;
+  request.group_attr = group_attr;
+  return Mine(db, request);
 }
 
 util::StatusOr<MiningResult> Miner::Mine(
     const data::Dataset& db, const std::string& group_attr,
     const std::vector<std::string>& group_values) const {
-  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
-  if (!attr.ok()) return attr.status();
-  util::StatusOr<data::GroupInfo> gi =
-      data::GroupInfo::CreateForValues(db, *attr, group_values);
-  if (!gi.ok()) return gi.status();
-  return MineWithGroups(db, *gi);
+  MineRequest request;
+  request.group_attr = group_attr;
+  request.group_values = group_values;
+  return Mine(db, request);
 }
 
 util::StatusOr<MiningResult> Miner::MineWithGroups(
     const data::Dataset& db, const data::GroupInfo& gi) const {
-  SDADCS_RETURN_IF_ERROR(ValidateConfig());
+  MineRequest request;
+  request.groups = &gi;
+  return Mine(db, request);
+}
+
+util::StatusOr<MiningResult> Miner::MineImpl(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const util::RunControl& control) const {
+  SDADCS_RETURN_IF_ERROR(config_.Validate());
   util::WallTimer timer;
 
   // Resolve the attribute universe.
@@ -98,6 +100,7 @@ util::StatusOr<MiningResult> Miner::MineWithGroups(
   ctx.prune_table = &prune_table;
   ctx.topk = &topk;
   ctx.counters = &counters;
+  ctx.run = RunState(control);
   ctx.group_sizes = GroupSizes(gi);
   for (int a : attrs) {
     if (db.is_continuous(a)) {
@@ -110,12 +113,15 @@ util::StatusOr<MiningResult> Miner::MineWithGroups(
 
   MiningResult result;
   result.contrasts = topk.Sorted();
+  // The independently-productive post-filter only removes patterns, so
+  // it is safe (and most useful) on a partial best-so-far list too.
   if (config_.meaningful_pruning &&
       config_.independently_productive_filter) {
     result.contrasts =
         FilterIndependentlyProductive(ctx, std::move(result.contrasts));
   }
   result.counters = counters;
+  result.completion = ctx.run.completion();
   result.elapsed_seconds = timer.Seconds();
   for (int g = 0; g < gi.num_groups(); ++g) {
     result.group_names.push_back(gi.group_name(g));

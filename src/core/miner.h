@@ -6,11 +6,40 @@
 
 #include "core/config.h"
 #include "core/contrast.h"
+#include "core/run_state.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
+#include "util/run_control.h"
 #include "util/status.h"
 
 namespace sdadcs::core {
+
+/// One mining request: which groups to contrast and how the run is
+/// controlled. The single argument of every engine's Mine(db, request)
+/// entry point (Miner, ParallelMiner, WindowMiner passes, beam).
+///
+///   MineRequest req;
+///   req.group_attr = "class";
+///   req.group_values = {"Doctorate", "Bachelors"};
+///   req.run_control = util::RunControl::WithDeadline(250ms);
+///   auto result = miner.Mine(db, req);
+struct MineRequest {
+  /// Name of the group attribute.
+  std::string group_attr;
+  /// Group values to contrast; empty = every value of `group_attr`.
+  std::vector<std::string> group_values;
+  /// Pre-built groups (must refer to the mined dataset). When set,
+  /// `group_attr` / `group_values` are ignored.
+  const data::GroupInfo* groups = nullptr;
+  /// Deadline / cancellation / budget / progress handle. Default:
+  /// unlimited.
+  util::RunControl run_control;
+};
+
+/// Builds the GroupInfo a request asks for (ignoring `request.groups`,
+/// which the caller can use directly). Shared by every engine.
+util::StatusOr<data::GroupInfo> ResolveRequestGroups(
+    const data::Dataset& db, const MineRequest& request);
 
 /// Output of one mining run.
 struct MiningResult {
@@ -19,6 +48,10 @@ struct MiningResult {
   MiningCounters counters;
   double elapsed_seconds = 0.0;
   std::vector<std::string> group_names;
+  /// Whether the run finished or drained early; on anything other than
+  /// kComplete, `contrasts` is the valid, sorted best-so-far list and
+  /// `counters.abandoned_candidates` records the skipped work.
+  Completion completion = Completion::kComplete;
 
   /// Mean support difference of the strongest `k` patterns — the metric
   /// of Table 4. Averages over fewer patterns when the list is shorter;
@@ -31,29 +64,46 @@ struct MiningResult {
 /// filters).
 ///
 ///   Miner miner(cfg);
-///   auto result = miner.Mine(db, "class", {"Doctorate", "Bachelors"});
+///   MineRequest req;
+///   req.group_attr = "class";
+///   req.group_values = {"Doctorate", "Bachelors"};
+///   auto result = miner.Mine(db, req);
 class Miner {
  public:
   explicit Miner(MinerConfig config) : config_(std::move(config)) {}
 
   const MinerConfig& config() const { return config_; }
 
+  /// Unified entry point: validates the config, resolves the groups and
+  /// mines under the request's RunControl. An expired deadline, a
+  /// Cancel() from another thread or an exhausted node budget drains
+  /// the search cleanly and returns the best-so-far result with the
+  /// matching MiningResult::completion — not an error.
+  util::StatusOr<MiningResult> Mine(const data::Dataset& db,
+                                    const MineRequest& request) const;
+
   /// Mines contrasts between all values of `group_attr`.
+  [[deprecated("build a MineRequest and call Mine(db, request)")]]
   util::StatusOr<MiningResult> Mine(const data::Dataset& db,
                                     const std::string& group_attr) const;
 
   /// Mines contrasts between the listed values of `group_attr`; rows
   /// with other values are excluded from the analysis.
+  [[deprecated("build a MineRequest and call Mine(db, request)")]]
   util::StatusOr<MiningResult> Mine(
       const data::Dataset& db, const std::string& group_attr,
       const std::vector<std::string>& group_values) const;
 
   /// Mines against a pre-built GroupInfo (must refer to `db`).
+  [[deprecated(
+      "set MineRequest::groups and call Mine(db, request)")]]
   util::StatusOr<MiningResult> MineWithGroups(
       const data::Dataset& db, const data::GroupInfo& gi) const;
 
  private:
-  util::Status ValidateConfig() const;
+  util::StatusOr<MiningResult> MineImpl(const data::Dataset& db,
+                                        const data::GroupInfo& gi,
+                                        const util::RunControl& control) const;
 
   MinerConfig config_;
 };

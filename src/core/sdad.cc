@@ -170,6 +170,12 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
                                        const SdadCall& call) {
   const MinerConfig& cfg = *ctx.cfg;
   MiningCounters& counters = *ctx.counters;
+  // Cancellation checkpoint before the split: the fused split+count
+  // pass scans every row of this space, so charge its weight here and
+  // bail before the scan when the run is already over.
+  if (ctx.run.CheckPoint(RunState::NodeWeight(call.space.rows.size()))) {
+    return {};
+  }
   ++counters.sdad_calls;
 
   std::vector<ContrastPattern> d;       // contrasts (Line 2)
@@ -204,6 +210,9 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
 
   for (size_t ci = 0; ci < cells.size(); ++ci) {
     const Space& cell = cells[ci];
+    // Per-cell checkpoint: on stop, keep the patterns already collected
+    // in this call (best-so-far) and drain out through the merge phase.
+    if (ctx.run.CheckPoint(RunState::NodeWeight(cell.rows.size()))) break;
     Itemset itemset = CellItemset(call.cat_items, cell.bounds);
     ++counters.partitions_evaluated;
 

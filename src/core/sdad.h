@@ -7,6 +7,7 @@
 #include "core/config.h"
 #include "core/contrast.h"
 #include "core/pruning.h"
+#include "core/run_state.h"
 #include "core/space.h"
 #include "core/split_kernel.h"
 #include "core/topk.h"
@@ -34,6 +35,11 @@ struct MiningContext {
   /// context (i.e. by one mining thread) and recycled across the whole
   /// SDAD-CS recursion.
   SplitScratch split_scratch;
+  /// This thread's view of the run's deadline / cancellation / budget
+  /// handle. Default-constructed = unlimited. Checkpoints sit at node
+  /// granularity (one per evaluated partition or itemset), never inside
+  /// the split-kernel inner loops.
+  RunState run;
 
   /// Memoized chi-square critical values: the inverse survival function
   /// costs ~13 µs per evaluation (bisection) and the same handful of

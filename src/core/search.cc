@@ -72,15 +72,39 @@ void LatticeSearch::Run(const std::vector<int>& attrs) {
       ctx_.counters->truncated_candidates += candidates.size() - cap;
       candidates.resize(cap);
     }
+    // Candidate generation for a wide level is itself non-trivial work;
+    // re-check the limits before committing to the level.
+    if (ctx_.run.CheckNow()) {
+      ctx_.counters->abandoned_candidates += candidates.size();
+      break;
+    }
+    ReportProgress(level, 0, candidates.size());
 
     std::vector<std::vector<int>> alive_cur;
-    for (const std::vector<int>& combo : candidates) {
-      if (MineCombo(combo)) alive_cur.push_back(combo);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (ctx_.run.stopped()) {
+        ctx_.counters->abandoned_candidates += candidates.size() - i;
+        break;
+      }
+      if (MineCombo(candidates[i])) alive_cur.push_back(candidates[i]);
+      ReportProgress(level, i + 1, candidates.size());
     }
+    if (ctx_.run.stopped()) break;
     std::sort(alive_cur.begin(), alive_cur.end());
     alive_prev = std::move(alive_cur);
     if (alive_prev.empty()) break;
   }
+}
+
+void LatticeSearch::ReportProgress(int level, uint64_t done,
+                                   uint64_t total) const {
+  if (!ctx_.run.control().has_progress_callback()) return;
+  util::RunProgress progress;
+  progress.level = level;
+  progress.candidates_done = done;
+  progress.candidates_total = total;
+  progress.topk_threshold = ctx_.topk->threshold();
+  ctx_.run.control().ReportProgress(progress);
 }
 
 bool LatticeSearch::MineCombo(const std::vector<int>& combo) {
@@ -115,6 +139,8 @@ void LatticeSearch::EnumerateCategorical(const std::vector<int>& cat_attrs,
   const int attr = cat_attrs[next];
   const data::CategoricalColumn& col = ctx_.db->categorical(attr);
   for (int32_t code = 0; code < col.cardinality(); ++code) {
+    // Each value expansion scans `rows` once; checkpoint per value.
+    if (ctx_.run.CheckPoint(RunState::NodeWeight(rows.size()))) return;
     Item item = Item::Categorical(attr, code);
     Itemset candidate = prefix.WithItem(item);
     if (ctx_.cfg->meaningful_pruning &&
@@ -145,6 +171,7 @@ void LatticeSearch::EvaluateCategoricalLeaf(const Itemset& itemset,
                                             const data::Selection& rows,
                                             bool* alive) {
   if (itemset.empty()) return;
+  if (ctx_.run.CheckPoint(RunState::NodeWeight(rows.size()))) return;
   MiningCounters& counters = *ctx_.counters;
   const MinerConfig& cfg = *ctx_.cfg;
   ++counters.partitions_evaluated;
@@ -225,6 +252,7 @@ void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
                                      const std::vector<int>& cont_attrs,
                                      const data::Selection& rows,
                                      bool* alive) {
+  if (ctx_.run.CheckPoint(RunState::NodeWeight(rows.size()))) return;
   const data::Dataset& db = *ctx_.db;
   SdadCall call;
   call.cat_items = cat_items;

@@ -1,6 +1,7 @@
 #ifndef SDADCS_CORE_SEARCH_H_
 #define SDADCS_CORE_SEARCH_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,9 @@ class LatticeSearch {
   /// Looks up cached per-group supports of an itemset, counting on demand
   /// and caching on miss.
   const std::vector<double>* CachedSupports(const Itemset& itemset);
+
+  /// Invokes the run's progress callback, if any.
+  void ReportProgress(int level, uint64_t done, uint64_t total) const;
 
   MiningContext& ctx_;
   std::unordered_map<std::string, std::vector<double>> support_cache_;

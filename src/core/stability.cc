@@ -58,7 +58,9 @@ util::StatusOr<StabilityReport> AnalyzeStability(
   }
 
   Miner miner(miner_config);
-  auto full = miner.MineWithGroups(db, gi);
+  MineRequest request;
+  request.groups = &gi;
+  auto full = miner.Mine(db, request);
   if (!full.ok()) return full.status();
 
   StabilityReport report;
@@ -76,7 +78,9 @@ util::StatusOr<StabilityReport> AnalyzeStability(
     auto sampled = data::SampleGroups(
         gi, sample_size, config.seed + static_cast<uint64_t>(rep) * 1000);
     if (!sampled.ok()) return sampled.status();
-    auto result = miner.MineWithGroups(db, *sampled);
+    MineRequest rep_request;
+    rep_request.groups = &*sampled;
+    auto result = miner.Mine(db, rep_request);
     if (!result.ok()) return result.status();
 
     for (PatternStability& ps : report.patterns) {

@@ -26,8 +26,11 @@ struct Node {
 }  // namespace
 
 StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
-                        const StuccoConfig& config) {
+                        const StuccoConfig& config,
+                        const util::RunControl* control) {
   StuccoResult result;
+  RunState run =
+      control != nullptr ? RunState(*control) : RunState();
   std::vector<double> group_sizes = GroupSizes(gi);
   TopK topk(static_cast<size_t>(config.top_k), config.delta);
 
@@ -47,10 +50,16 @@ StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
     // of each later attribute.
     std::vector<Node> candidates;
     for (const Node& node : frontier) {
+      if (run.stopped()) break;
       for (int attr : cat_attrs) {
+        if (run.stopped()) break;
         if (attr <= node.last_attr) continue;
         const data::CategoricalColumn& col = db.categorical(attr);
         for (int32_t code = 0; code < col.cardinality(); ++code) {
+          // The extension scan below walks the node's cover once.
+          if (run.CheckPoint(RunState::NodeWeight(node.cover.size()))) {
+            break;
+          }
           Item item = Item::Categorical(attr, code);
           Node child;
           child.itemset = node.itemset.WithItem(item);
@@ -74,7 +83,12 @@ StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
         stats::ChiSquaredCritical(alpha_level, dof);
 
     std::vector<Node> survivors;
-    for (Node& node : candidates) {
+    for (size_t ni = 0; ni < candidates.size(); ++ni) {
+      if (run.stopped()) {
+        result.abandoned_itemsets += candidates.size() - ni;
+        break;
+      }
+      Node& node = candidates[ni];
       ++result.itemsets_evaluated;
       const GroupCounts& gc = node.counts;
       std::vector<double> supports = gc.Supports(gi);
@@ -114,9 +128,11 @@ StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
       survivors.push_back(std::move(node));
     }
     frontier = std::move(survivors);
+    if (run.stopped()) break;
   }
 
   result.contrasts = topk.Sorted();
+  result.completion = run.completion();
   return result;
 }
 

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "core/contrast.h"
+#include "core/run_state.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
+#include "util/run_control.h"
 
 namespace sdadcs::core {
 
@@ -27,6 +29,11 @@ struct StuccoResult {
   uint64_t pruned_support = 0;
   uint64_t pruned_expected = 0;
   uint64_t pruned_chi_bound = 0;
+  /// Whether the run finished or was stopped by its RunControl; on a
+  /// stop, `contrasts` is the best-so-far list and `abandoned_itemsets`
+  /// counts the frontier nodes never evaluated.
+  Completion completion = Completion::kComplete;
+  uint64_t abandoned_itemsets = 0;
 };
 
 /// Reference implementation of STUCCO (Bay & Pazzani, "Detecting group
@@ -39,8 +46,13 @@ struct StuccoResult {
 ///
 /// Continuous attributes are ignored; this is both a baseline and a test
 /// oracle for the categorical path of the lattice search.
+///
+/// `control`, when given, carries the run's deadline / cancellation /
+/// budget; on a stop the best-so-far result is returned with the
+/// matching `completion`.
 StuccoResult MineStucco(const data::Dataset& db, const data::GroupInfo& gi,
-                        const StuccoConfig& config);
+                        const StuccoConfig& config,
+                        const util::RunControl* control = nullptr);
 
 }  // namespace sdadcs::core
 

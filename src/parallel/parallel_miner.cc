@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <thread>
 
 #include "core/productivity.h"
+#include "core/run_state.h"
 #include "core/search.h"
 #include "core/support.h"
 #include "util/thread_pool.h"
@@ -18,7 +20,20 @@ using core::LatticeSearch;
 using core::MiningContext;
 using core::MiningCounters;
 using core::PruneTable;
+using core::RunState;
 using core::TopK;
+
+// A per-level progress report from the coordinator thread.
+void ReportLevel(const util::RunControl& control, int level, uint64_t done,
+                 uint64_t total, double threshold) {
+  if (!control.has_progress_callback()) return;
+  util::RunProgress progress;
+  progress.level = level;
+  progress.candidates_done = done;
+  progress.candidates_total = total;
+  progress.topk_threshold = threshold;
+  control.ReportProgress(progress);
+}
 
 // Per-worker state for one level. The local prune table holds only this
 // worker's new entries; pooled knowledge is consulted via the parent
@@ -38,32 +53,51 @@ struct WorkerState {
 
 }  // namespace
 
+ParallelMiner::ParallelMiner(core::MinerConfig config, size_t num_threads)
+    : config_(std::move(config)), num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::Mine(
+    const data::Dataset& db, const core::MineRequest& request) const {
+  if (request.groups != nullptr) {
+    return MineImpl(db, *request.groups, request.run_control);
+  }
+  util::StatusOr<data::GroupInfo> gi = core::ResolveRequestGroups(db, request);
+  if (!gi.ok()) return gi.status();
+  return MineImpl(db, *gi, request.run_control);
+}
+
 util::StatusOr<core::MiningResult> ParallelMiner::Mine(
     const data::Dataset& db, const std::string& group_attr) const {
-  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
-  if (!attr.ok()) return attr.status();
-  util::StatusOr<data::GroupInfo> gi = data::GroupInfo::Create(db, *attr);
-  if (!gi.ok()) return gi.status();
-  return MineWithGroups(db, *gi);
+  core::MineRequest request;
+  request.group_attr = group_attr;
+  return Mine(db, request);
 }
 
 util::StatusOr<core::MiningResult> ParallelMiner::Mine(
     const data::Dataset& db, const std::string& group_attr,
     const std::vector<std::string>& group_values) const {
-  util::StatusOr<int> attr = db.schema().IndexOf(group_attr);
-  if (!attr.ok()) return attr.status();
-  util::StatusOr<data::GroupInfo> gi =
-      data::GroupInfo::CreateForValues(db, *attr, group_values);
-  if (!gi.ok()) return gi.status();
-  return MineWithGroups(db, *gi);
+  core::MineRequest request;
+  request.group_attr = group_attr;
+  request.group_values = group_values;
+  return Mine(db, request);
 }
 
 util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
     const data::Dataset& db, const data::GroupInfo& gi) const {
+  core::MineRequest request;
+  request.groups = &gi;
+  return Mine(db, request);
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::MineImpl(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const util::RunControl& control) const {
+  SDADCS_RETURN_IF_ERROR(config_.Validate());
   util::WallTimer timer;
-  if (num_threads_ < 1) {
-    return util::Status::InvalidArgument("num_threads must be >= 1");
-  }
 
   std::vector<int> attrs;
   if (config_.attributes.empty()) {
@@ -96,12 +130,19 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
   TopK global_topk(static_cast<size_t>(config_.top_k), config_.delta);
   MiningCounters global_counters;
 
+  // The coordinator's view of the shared control: workers observe the
+  // same cancel flag / deadline / budget through their own RunStates, so
+  // checking here between levels is enough to classify how the run
+  // ended.
+  RunState coord_run(control);
+
   util::ThreadPool pool(num_threads_);
   const int max_depth =
       std::min<int>(config_.max_depth, static_cast<int>(attrs.size()));
   std::vector<std::vector<int>> alive_prev;
 
   for (int level = 1; level <= max_depth; ++level) {
+    if (coord_run.CheckNow()) break;
     std::vector<std::vector<int>> candidates =
         core::GenerateLevelCandidates(level, attrs, alive_prev);
     if (candidates.empty()) break;
@@ -110,10 +151,12 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
       global_counters.truncated_candidates += candidates.size() - cap;
       candidates.resize(cap);
     }
+    ReportLevel(control, level, 0, candidates.size(),
+                global_topk.threshold());
 
-    // One worker state per thread; each worker handles a contiguous
-    // slice of the level's combinations with its own prune table and
-    // top-k seeded from the pooled state.
+    // One worker state per thread; each worker handles a strided slice
+    // of the level's combinations with its own prune table and top-k
+    // seeded from the pooled state.
     const size_t num_workers =
         std::min(num_threads_, std::max<size_t>(1, candidates.size()));
     std::vector<WorkerState> workers;
@@ -124,7 +167,6 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
                            static_cast<size_t>(config_.top_k), floor);
     }
 
-    std::mutex dispatch_mu;
     for (size_t w = 0; w < num_workers; ++w) {
       pool.Submit([&, w] {
         WorkerState& state = workers[w];
@@ -135,16 +177,24 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
         ctx.prune_table = &state.prune_table;
         ctx.topk = &state.topk;
         ctx.counters = &state.counters;
+        // Every worker's RunState wraps the same control, so a stop
+        // observed by one thread is observed by all at their next
+        // checkpoint (between combinations and inside MineCombo).
+        ctx.run = RunState(control);
         ctx.group_sizes = group_sizes;
         ctx.root_bounds = root_bounds;
         LatticeSearch search(ctx);
         for (size_t i = w; i < candidates.size(); i += num_workers) {
+          if (ctx.run.stopped()) {
+            state.counters.abandoned_candidates +=
+                (candidates.size() - i + num_workers - 1) / num_workers;
+            break;
+          }
           if (search.MineCombo(candidates[i])) {
             state.alive.push_back(candidates[i]);
           }
         }
         state.patterns = state.topk.Sorted();
-        (void)dispatch_mu;
       });
     }
     pool.Wait();
@@ -161,10 +211,14 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
         alive_cur.push_back(std::move(combo));
       }
     }
+    ReportLevel(control, level, candidates.size(), candidates.size(),
+                global_topk.threshold());
     std::sort(alive_cur.begin(), alive_cur.end());
     alive_prev = std::move(alive_cur);
     if (alive_prev.empty()) break;
   }
+  // Classify a stop the workers hit during the final level.
+  coord_run.CheckNow();
 
   core::MiningResult result;
   result.contrasts = global_topk.Sorted();
@@ -185,6 +239,7 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
         core::FilterIndependentlyProductive(ctx, std::move(result.contrasts));
   }
   result.counters = global_counters;
+  result.completion = coord_run.completion();
   result.elapsed_seconds = timer.Seconds();
   for (int g = 0; g < gi.num_groups(); ++g) {
     result.group_names.push_back(gi.group_name(g));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/miner.h"
+#include "util/run_control.h"
 #include "util/status.h"
 
 namespace sdadcs::parallel {
@@ -19,24 +20,40 @@ namespace sdadcs::parallel {
 /// space across subtrees" (workers do not see each other's discoveries
 /// within a level), but each worker still applies every within-subtree
 /// pruning strategy, and the pooled knowledge drives the next level.
+///
+/// The request's RunControl is shared across all workers: one Cancel()
+/// (or the shared deadline / node budget) stops every thread at its
+/// next checkpoint, the level drains, and the pooled best-so-far result
+/// is returned with the matching completion.
 class ParallelMiner {
  public:
-  ParallelMiner(core::MinerConfig config, size_t num_threads)
-      : config_(std::move(config)), num_threads_(num_threads) {}
+  /// `num_threads == 0` resolves to std::thread::hardware_concurrency()
+  /// (at least 1); num_threads() reports the resolved value.
+  ParallelMiner(core::MinerConfig config, size_t num_threads);
 
   const core::MinerConfig& config() const { return config_; }
   size_t num_threads() const { return num_threads_; }
 
-  /// See Miner::Mine.
+  /// Unified entry point; see Miner::Mine.
+  util::StatusOr<core::MiningResult> Mine(
+      const data::Dataset& db, const core::MineRequest& request) const;
+
+  [[deprecated("build a MineRequest and call Mine(db, request)")]]
   util::StatusOr<core::MiningResult> Mine(
       const data::Dataset& db, const std::string& group_attr) const;
+  [[deprecated("build a MineRequest and call Mine(db, request)")]]
   util::StatusOr<core::MiningResult> Mine(
       const data::Dataset& db, const std::string& group_attr,
       const std::vector<std::string>& group_values) const;
+  [[deprecated("set MineRequest::groups and call Mine(db, request)")]]
   util::StatusOr<core::MiningResult> MineWithGroups(
       const data::Dataset& db, const data::GroupInfo& gi) const;
 
  private:
+  util::StatusOr<core::MiningResult> MineImpl(
+      const data::Dataset& db, const data::GroupInfo& gi,
+      const util::RunControl& control) const;
+
   core::MinerConfig config_;
   size_t num_threads_;
 };

@@ -55,6 +55,10 @@ bool WindowMiner::SameSignature(const PatternSig& a, const PatternSig& b,
 
 util::StatusOr<std::optional<PatternDelta>> WindowMiner::Append(
     std::vector<StreamValue> row) {
+  if (!config_validated_) {
+    SDADCS_RETURN_IF_ERROR(config_.miner.Validate());
+    config_validated_ = true;
+  }
   if (row.size() != attributes_.size()) {
     return util::Status::InvalidArgument(
         "row width does not match the declared attributes");
@@ -120,8 +124,12 @@ std::optional<PatternDelta> WindowMiner::MinePass() {
   if (!gi.ok()) return std::nullopt;  // e.g. one group only: skip pass
 
   core::Miner miner(config_.miner);
-  auto result = miner.MineWithGroups(*db, *gi);
+  core::MineRequest request;
+  request.groups = &*gi;
+  request.run_control = config_.run_control;
+  auto result = miner.Mine(*db, request);
   if (!result.ok()) return std::nullopt;
+  const bool partial = result->completion != core::Completion::kComplete;
 
   // Build signatures for the new pattern set.
   std::vector<PatternSig> current;
@@ -146,6 +154,7 @@ std::optional<PatternDelta> WindowMiner::MinePass() {
 
   PatternDelta delta;
   delta.rows_seen = rows_seen_;
+  delta.completion = result->completion;
   std::vector<bool> prev_matched(previous_.size(), false);
   for (const PatternSig& sig : current) {
     bool matched = false;
@@ -159,6 +168,10 @@ std::optional<PatternDelta> WindowMiner::MinePass() {
     }
     (matched ? delta.persisted : delta.appeared).push_back(sig.rendered);
   }
+  // A partial pass cannot tell "disappeared" from "the miner never got
+  // there", so it neither reports disappearances nor advances the
+  // baseline the next pass diffs against.
+  if (partial) return delta;
   for (size_t i = 0; i < previous_.size(); ++i) {
     if (!prev_matched[i]) {
       delta.disappeared.push_back(previous_[i].rendered);

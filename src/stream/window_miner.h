@@ -8,6 +8,7 @@
 
 #include "core/miner.h"
 #include "data/dataset.h"
+#include "util/run_control.h"
 #include "util/status.h"
 
 namespace sdadcs::stream {
@@ -48,6 +49,10 @@ struct StreamConfig {
   /// boundaries drift slightly between windows).
   double interval_jaccard = 0.5;
   core::MinerConfig miner;
+  /// Deadline / cancellation / budget handle applied to every mining
+  /// pass. Default: unlimited. A pass stopped early reports its
+  /// completion in the delta and does not advance the diff baseline.
+  util::RunControl run_control;
 };
 
 /// What changed between consecutive mining passes. Patterns are rendered
@@ -57,6 +62,10 @@ struct PatternDelta {
   std::vector<std::string> appeared;
   std::vector<std::string> disappeared;
   std::vector<std::string> persisted;
+  /// kComplete, or how the pass's RunControl stopped it. A partial pass
+  /// cannot distinguish "disappeared" from "not mined yet", so
+  /// `disappeared` is left empty and the diff baseline is not advanced.
+  core::Completion completion = core::Completion::kComplete;
 
   bool drifted() const { return !appeared.empty() || !disappeared.empty(); }
 };
@@ -80,7 +89,8 @@ class WindowMiner {
   /// Appends one row (values parallel to the attribute declarations).
   /// Returns a delta when this append triggered a mining pass, nullopt
   /// otherwise. A window whose rows do not span two groups skips its
-  /// pass (empty-handed, no delta).
+  /// pass (empty-handed, no delta). The first call validates the
+  /// configured miner settings via MinerConfig::Validate.
   util::StatusOr<std::optional<PatternDelta>> Append(
       std::vector<StreamValue> row);
 
@@ -98,6 +108,7 @@ class WindowMiner {
   StreamConfig config_;
   std::vector<data::Attribute> attributes_;
   std::string group_attr_;
+  bool config_validated_ = false;
   std::deque<std::vector<StreamValue>> window_;
   uint64_t rows_seen_ = 0;
   uint64_t since_last_pass_ = 0;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/config.h"
 #include "core/support.h"
 #include "discretize/equal_bins.h"
 #include "util/timer.h"
@@ -16,6 +17,7 @@ namespace {
 
 using core::Item;
 using core::Itemset;
+using core::RunState;
 
 // A beam member: description + its cover. Group counts come from the
 // fused filter+count scan that builds the cover.
@@ -66,10 +68,34 @@ std::vector<Item> IntervalRefinements(const data::Dataset& db,
 
 }  // namespace
 
+util::Status BeamConfig::Validate() const {
+  // The knobs shared with the lattice miner go through the one shared
+  // validator so the error messages match across engines.
+  core::MinerConfig shared;
+  shared.max_depth = max_depth;
+  shared.top_k = top_k;
+  shared.min_coverage = min_coverage;
+  SDADCS_RETURN_IF_ERROR(shared.Validate());
+  if (beam_width < 1) {
+    return util::Status::InvalidArgument("beam_width must be >= 1, got " +
+                                         std::to_string(beam_width));
+  }
+  if (num_bins < 2) {
+    return util::Status::InvalidArgument("num_bins must be >= 2, got " +
+                                         std::to_string(num_bins));
+  }
+  if (max_coverage < 0) {
+    return util::Status::InvalidArgument("max_coverage must be >= 0, got " +
+                                         std::to_string(max_coverage));
+  }
+  return util::Status::OK();
+}
+
 std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
     const data::Dataset& db, const data::GroupInfo& gi, int target_group,
-    BeamStats* stats) const {
+    BeamStats* stats, const util::RunControl* control) const {
   util::WallTimer timer;
+  RunState run = control != nullptr ? RunState(*control) : RunState();
   std::vector<double> group_sizes = core::GroupSizes(gi);
 
   std::vector<Candidate> beam;
@@ -81,8 +107,16 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
 
   for (int depth = 1; depth <= config_.max_depth; ++depth) {
     std::vector<Candidate> level;
-    for (const Candidate& member : beam) {
+    for (size_t mi = 0; mi < beam.size(); ++mi) {
+      if (run.stopped()) {
+        if (stats != nullptr) {
+          stats->abandoned_descriptions += beam.size() - mi;
+        }
+        break;
+      }
+      const Candidate& member = beam[mi];
       for (size_t a = 0; a < db.num_attributes(); ++a) {
+        if (run.stopped()) break;
         int attr = static_cast<int>(a);
         if (attr == gi.group_attr()) continue;
         if (member.description.ConstrainsAttribute(attr)) continue;
@@ -99,6 +133,10 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
         }
 
         for (const Item& item : refinements) {
+          // Each refinement scans the member's cover once.
+          if (run.CheckPoint(RunState::NodeWeight(member.cover.size()))) {
+            break;
+          }
           Candidate cand;
           cand.description = member.description.WithItem(item);
           std::string key = cand.description.Key();
@@ -121,6 +159,8 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
         }
       }
     }
+    // Candidates scored before a stop still enter the result: the run
+    // drains with the best found so far.
     if (level.empty()) break;
     std::sort(level.begin(), level.end(), QualityGreater);
     if (static_cast<int>(level.size()) > config_.beam_width) {
@@ -130,6 +170,7 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
       if (c.quality >= config_.min_quality) best.push_back(c);
     }
     beam = std::move(level);
+    if (run.stopped()) break;
   }
 
   std::sort(best.begin(), best.end(), QualityGreater);
@@ -146,16 +187,24 @@ std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
     sg.counts = std::move(c.counts.counts);
     out.push_back(std::move(sg));
   }
-  if (stats != nullptr) stats->elapsed_seconds = timer.Seconds();
+  if (stats != nullptr) {
+    stats->elapsed_seconds = timer.Seconds();
+    if (stats->completion == core::Completion::kComplete) {
+      stats->completion = run.completion();
+    }
+  }
   return out;
 }
 
 std::vector<core::ContrastPattern> BeamSubgroupDiscovery::DiscoverContrasts(
     const data::Dataset& db, const data::GroupInfo& gi,
-    core::MeasureKind measure, BeamStats* stats) const {
+    core::MeasureKind measure, BeamStats* stats,
+    const util::RunControl* control) const {
+  RunState run = control != nullptr ? RunState(*control) : RunState();
   std::unordered_map<std::string, core::ContrastPattern> pooled;
   for (int g = 0; g < gi.num_groups(); ++g) {
-    for (Subgroup& sg : Discover(db, gi, g, stats)) {
+    if (run.CheckNow()) break;
+    for (Subgroup& sg : Discover(db, gi, g, stats, control)) {
       std::string key = sg.description.Key();
       if (pooled.count(key) > 0) continue;
       core::ContrastPattern p;
@@ -165,11 +214,45 @@ std::vector<core::ContrastPattern> BeamSubgroupDiscovery::DiscoverContrasts(
       pooled.emplace(std::move(key), std::move(p));
     }
   }
+  if (stats != nullptr && stats->completion == core::Completion::kComplete) {
+    stats->completion = run.completion();
+  }
   std::vector<core::ContrastPattern> out;
   out.reserve(pooled.size());
   for (auto& [key, p] : pooled) out.push_back(std::move(p));
   core::SortByMeasureDesc(&out);
   return out;
+}
+
+util::StatusOr<core::MiningResult> BeamSubgroupDiscovery::Mine(
+    const data::Dataset& db, const core::MineRequest& request) const {
+  SDADCS_RETURN_IF_ERROR(config_.Validate());
+  util::WallTimer timer;
+  auto mine = [&](const data::GroupInfo& groups) {
+    return MineOnGroups(db, groups, request.run_control, timer);
+  };
+  if (request.groups != nullptr) return mine(*request.groups);
+  util::StatusOr<data::GroupInfo> resolved =
+      core::ResolveRequestGroups(db, request);
+  if (!resolved.ok()) return resolved.status();
+  return mine(*resolved);
+}
+
+core::MiningResult BeamSubgroupDiscovery::MineOnGroups(
+    const data::Dataset& db, const data::GroupInfo& gi,
+    const util::RunControl& control, const util::WallTimer& timer) const {
+  BeamStats stats;
+  core::MiningResult result;
+  result.contrasts =
+      DiscoverContrasts(db, gi, config_.measure, &stats, &control);
+  result.counters.partitions_evaluated = stats.descriptions_evaluated;
+  result.counters.abandoned_candidates = stats.abandoned_descriptions;
+  result.completion = stats.completion;
+  result.elapsed_seconds = timer.Seconds();
+  for (int g = 0; g < gi.num_groups(); ++g) {
+    result.group_names.push_back(gi.group_name(g));
+  }
+  return result;
 }
 
 }  // namespace sdadcs::subgroup

@@ -7,8 +7,13 @@
 #include "core/contrast.h"
 #include "core/interest.h"
 #include "core/itemset.h"
+#include "core/miner.h"
+#include "core/run_state.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
+#include "util/run_control.h"
+#include "util/status.h"
+#include "util/timer.h"
 
 namespace sdadcs::subgroup {
 
@@ -29,6 +34,13 @@ struct BeamConfig {
   /// paper's Cortana setting).
   int max_coverage = 0;
   int top_k = 100;
+  /// Interest measure used when pooled subgroups are rendered as
+  /// contrast patterns (Mine / DiscoverContrasts).
+  core::MeasureKind measure = core::MeasureKind::kSupportDiff;
+
+  /// Range-checks the shared miner knobs through MinerConfig::Validate
+  /// (max_depth, top_k, min_coverage) and the beam-specific fields.
+  util::Status Validate() const;
 };
 
 /// One discovered subgroup: a conjunctive description and its WRAcc
@@ -43,6 +55,10 @@ struct Subgroup {
 struct BeamStats {
   uint64_t descriptions_evaluated = 0;
   double elapsed_seconds = 0.0;
+  /// kComplete, or how the run's RunControl stopped it (the returned
+  /// subgroups are then the best found so far).
+  core::Completion completion = core::Completion::kComplete;
+  uint64_t abandoned_descriptions = 0;
 };
 
 /// Classic top-k beam search over conjunctive descriptions (nominal
@@ -59,19 +75,35 @@ class BeamSubgroupDiscovery {
 
   const BeamConfig& config() const { return config_; }
 
-  /// Finds the top subgroups for one target group.
+  /// Unified entry point: validates the config, resolves the request's
+  /// groups, runs DiscoverContrasts under the request's RunControl and
+  /// wraps the pooled patterns as a MiningResult (best-so-far on an
+  /// early stop, like every other engine).
+  util::StatusOr<core::MiningResult> Mine(
+      const data::Dataset& db, const core::MineRequest& request) const;
+
+  /// Finds the top subgroups for one target group. `control`, when
+  /// given, can stop the search early (best-so-far results).
   std::vector<Subgroup> Discover(const data::Dataset& db,
                                  const data::GroupInfo& gi, int target_group,
-                                 BeamStats* stats = nullptr) const;
+                                 BeamStats* stats = nullptr,
+                                 const util::RunControl* control =
+                                     nullptr) const;
 
   /// Runs Discover once per group and pools every subgroup found as a
   /// contrast pattern (deduplicated, sorted by support difference) — how
   /// the paper turns Cortana output into a contrast set.
   std::vector<core::ContrastPattern> DiscoverContrasts(
       const data::Dataset& db, const data::GroupInfo& gi,
-      core::MeasureKind measure, BeamStats* stats = nullptr) const;
+      core::MeasureKind measure, BeamStats* stats = nullptr,
+      const util::RunControl* control = nullptr) const;
 
  private:
+  core::MiningResult MineOnGroups(const data::Dataset& db,
+                                  const data::GroupInfo& gi,
+                                  const util::RunControl& control,
+                                  const util::WallTimer& timer) const;
+
   BeamConfig config_;
 };
 

@@ -1,0 +1,97 @@
+#include "util/run_control.h"
+
+namespace sdadcs::util {
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "unknown";
+}
+
+RunControl::RunControl() : shared_(std::make_shared<Shared>()) {}
+
+RunControl RunControl::WithDeadline(std::chrono::milliseconds budget) {
+  RunControl rc;
+  rc.set_deadline_after(budget);
+  return rc;
+}
+
+RunControl& RunControl::set_deadline(Clock::time_point deadline) {
+  shared_->has_deadline = true;
+  shared_->deadline = deadline;
+  return *this;
+}
+
+RunControl& RunControl::set_deadline_after(std::chrono::milliseconds budget) {
+  return set_deadline(Clock::now() + budget);
+}
+
+RunControl& RunControl::set_node_budget(uint64_t nodes) {
+  shared_->has_budget = true;
+  shared_->budget_remaining.store(static_cast<int64_t>(nodes),
+                                  std::memory_order_relaxed);
+  return *this;
+}
+
+RunControl& RunControl::set_progress_callback(ProgressFn fn) {
+  shared_->progress = std::move(fn);
+  return *this;
+}
+
+void RunControl::Cancel() {
+  shared_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool RunControl::cancelled() const {
+  return shared_->cancelled.load(std::memory_order_relaxed);
+}
+
+bool RunControl::has_deadline() const { return shared_->has_deadline; }
+
+RunControl::Clock::time_point RunControl::deadline() const {
+  return shared_->deadline;
+}
+
+StopReason RunControl::Charge(uint64_t nodes, Clock::time_point now) {
+  if (cancelled()) return StopReason::kCancelled;
+  if (shared_->has_deadline && now >= shared_->deadline) {
+    return StopReason::kDeadlineExceeded;
+  }
+  if (shared_->has_budget &&
+      shared_->budget_remaining.fetch_sub(static_cast<int64_t>(nodes),
+                                          std::memory_order_relaxed) <
+          static_cast<int64_t>(nodes)) {
+    return StopReason::kBudgetExhausted;
+  }
+  return StopReason::kNone;
+}
+
+StopReason RunControl::Check(Clock::time_point now) const {
+  if (cancelled()) return StopReason::kCancelled;
+  if (shared_->has_deadline && now >= shared_->deadline) {
+    return StopReason::kDeadlineExceeded;
+  }
+  if (shared_->has_budget &&
+      shared_->budget_remaining.load(std::memory_order_relaxed) < 0) {
+    return StopReason::kBudgetExhausted;
+  }
+  return StopReason::kNone;
+}
+
+void RunControl::ReportProgress(const RunProgress& progress) const {
+  if (shared_->progress) shared_->progress(progress);
+}
+
+bool RunControl::has_progress_callback() const {
+  return static_cast<bool>(shared_->progress);
+}
+
+}  // namespace sdadcs::util

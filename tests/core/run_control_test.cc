@@ -1,0 +1,250 @@
+// Engine-level behaviour of the run-control layer: deadlines, budgets
+// and cancellation drain cleanly with valid best-so-far results, and an
+// unbounded MineRequest is byte-identical to the legacy overloads.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/stucco.h"
+#include "synth/scaling.h"
+#include "synth/simulated.h"
+#include "synth/uci_like.h"
+#include "util/run_control.h"
+
+namespace sdadcs::core {
+namespace {
+
+// Byte-exact rendering of a mined result (same shape as the
+// differential tests): itemset, exact counts and full-precision stats,
+// in rank order.
+std::string RenderResult(const std::vector<ContrastPattern>& patterns) {
+  std::string out;
+  char buf[512];
+  for (const ContrastPattern& p : patterns) {
+    out += p.itemset.Key();
+    for (double c : p.counts) {
+      std::snprintf(buf, sizeof(buf), " %.17g", c);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  " | diff=%.17g measure=%.17g chi2=%.17g p=%.17g\n", p.diff,
+                  p.measure, p.chi2, p.p_value);
+    out += buf;
+  }
+  return out;
+}
+
+void ExpectSortedByMeasure(const std::vector<ContrastPattern>& patterns) {
+  for (size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_GE(patterns[i - 1].measure, patterns[i].measure) << "rank " << i;
+  }
+}
+
+TEST(RunControlMiningTest, DeadlineMidRunReturnsSortedPartialTopK) {
+  // Wide + deep enough that an unbounded run takes many times the
+  // deadline; the informative features come first, so even a short
+  // prefix of level 1 yields patterns.
+  synth::ScalingOptions opt;
+  opt.rows = 40000;
+  opt.continuous_features = 60;
+  opt.categorical_features = 20;
+  synth::NamedDataset sc = synth::MakeScalingDataset(opt);
+
+  MinerConfig cfg;
+  cfg.max_depth = 3;
+  Miner miner(cfg);
+
+  // Unoptimized / sanitizer builds mine an order of magnitude slower,
+  // so they get a longer deadline (enough to score the first
+  // candidates) and a looser drain bound; the release acceptance
+  // numbers stay 100 ms + 50 ms overshoot.
+#ifdef NDEBUG
+  constexpr std::chrono::milliseconds kDeadline(100);
+  constexpr double kMaxWall = 0.150;
+#else
+  constexpr std::chrono::milliseconds kDeadline(500);
+  constexpr double kMaxWall = 2.0;
+#endif
+  MineRequest request;
+  request.group_attr = sc.group_attr;
+  request.run_control = util::RunControl::WithDeadline(kDeadline);
+  auto before = util::RunControl::Clock::now();
+  auto result = miner.Mine(sc.db, request);
+  double wall = std::chrono::duration<double>(
+                    util::RunControl::Clock::now() - before)
+                    .count();
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(result->completion, Completion::kDeadlineExceeded);
+  // The run drains within 50 ms of the 100 ms deadline (release).
+  EXPECT_LT(wall, kMaxWall);
+  // Best-so-far: non-empty, correctly sorted, valid patterns.
+  ASSERT_FALSE(result->contrasts.empty());
+  ExpectSortedByMeasure(result->contrasts);
+  for (const ContrastPattern& p : result->contrasts) {
+    EXPECT_GE(p.itemset.size(), 1u);
+    EXPECT_GT(p.diff, 0.0);
+  }
+}
+
+TEST(RunControlMiningTest, NodeBudgetStopsTheRun) {
+  data::Dataset db = synth::MakeSimulated4(1500);
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+
+  MineRequest request;
+  request.group_attr = "Group";
+  request.run_control.set_node_budget(8);
+  auto result = Miner(cfg).Mine(db, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completion, Completion::kBudgetExhausted);
+
+  // An ample budget completes and is not misreported as exhausted.
+  MineRequest ample;
+  ample.group_attr = "Group";
+  ample.run_control.set_node_budget(100000000);
+  auto full = Miner(cfg).Mine(db, ample);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->completion, Completion::kComplete);
+}
+
+TEST(RunControlMiningTest, PreCancelledRequestReturnsOkAndEmptyish) {
+  data::Dataset db = synth::MakeSimulated3(800);
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+
+  MineRequest request;
+  request.group_attr = "Group";
+  request.run_control.Cancel();
+  auto result = Miner(cfg).Mine(db, request);
+  // Cancellation is a completion state, never an error.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completion, Completion::kCancelled);
+  EXPECT_TRUE(result->contrasts.empty());
+}
+
+TEST(RunControlMiningTest, AbandonedWorkIsCounted) {
+  data::Dataset db = synth::MakeSimulated4(1200);
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  MineRequest request;
+  request.group_attr = "Group";
+  request.run_control.set_node_budget(4);
+  auto result = Miner(cfg).Mine(db, request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->completion, Completion::kBudgetExhausted);
+  EXPECT_GT(result->counters.abandoned_candidates, 0u);
+}
+
+TEST(RunControlMiningTest, ProgressCallbackSeesLevels) {
+  data::Dataset db = synth::MakeSimulated4(1000);
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+
+  std::vector<util::RunProgress> seen;
+  MineRequest request;
+  request.group_attr = "Group";
+  request.run_control.set_progress_callback(
+      [&seen](const util::RunProgress& p) { seen.push_back(p); });
+  auto result = Miner(cfg).Mine(db, request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(seen.empty());
+  int max_level = 0;
+  for (const util::RunProgress& p : seen) {
+    EXPECT_LE(p.candidates_done, p.candidates_total);
+    max_level = std::max(max_level, p.level);
+  }
+  EXPECT_EQ(max_level, 2);
+}
+
+TEST(RunControlMiningTest, UnboundedRequestMatchesLegacyOverloads) {
+  // The MineRequest path must be byte-identical to the legacy overloads
+  // it replaces — same patterns, same order, same stats to the last bit.
+  for (const std::string& name :
+       {std::string("adult"), std::string("transfusion")}) {
+    synth::NamedDataset nd = synth::MakeUciLike(name, /*seed=*/7);
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.top_k = 50;
+    Miner miner(cfg);
+
+    MineRequest request;
+    request.group_attr = nd.group_attr;
+    request.group_values = nd.groups;
+    auto via_request = miner.Mine(nd.db, request);
+    ASSERT_TRUE(via_request.ok());
+    EXPECT_EQ(via_request->completion, Completion::kComplete);
+
+    auto via_legacy = miner.Mine(nd.db, nd.group_attr, nd.groups);
+    ASSERT_TRUE(via_legacy.ok());
+
+    EXPECT_EQ(RenderResult(via_request->contrasts),
+              RenderResult(via_legacy->contrasts))
+        << "dataset " << name;
+    EXPECT_EQ(via_request->counters.partitions_evaluated,
+              via_legacy->counters.partitions_evaluated)
+        << "dataset " << name;
+  }
+}
+
+TEST(RunControlMiningTest, UnboundedScalingRunIsComplete) {
+  synth::ScalingOptions opt;
+  opt.rows = 2000;
+  opt.continuous_features = 10;
+  opt.categorical_features = 5;
+  synth::NamedDataset sc = synth::MakeScalingDataset(opt);
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+
+  MineRequest request;
+  request.group_attr = sc.group_attr;
+  auto bounded_free = Miner(cfg).Mine(sc.db, request);
+  ASSERT_TRUE(bounded_free.ok());
+  EXPECT_EQ(bounded_free->completion, Completion::kComplete);
+  EXPECT_EQ(bounded_free->counters.abandoned_candidates, 0u);
+
+  auto legacy = Miner(cfg).Mine(sc.db, sc.group_attr);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(RenderResult(bounded_free->contrasts),
+            RenderResult(legacy->contrasts));
+}
+
+TEST(RunControlMiningTest, StuccoHonoursControl) {
+  // Needs categorical attributes: STUCCO ignores continuous ones.
+  synth::NamedDataset nd = synth::MakeAdultLike();
+  auto attr = nd.db.schema().IndexOf(nd.group_attr);
+  ASSERT_TRUE(attr.ok());
+  auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+  ASSERT_TRUE(gi.ok());
+  StuccoConfig cfg;
+
+  util::RunControl cancelled;
+  cancelled.Cancel();
+  StuccoResult stopped = MineStucco(nd.db, *gi, cfg, &cancelled);
+  EXPECT_EQ(stopped.completion, Completion::kCancelled);
+  EXPECT_TRUE(stopped.contrasts.empty());
+
+  StuccoResult full = MineStucco(nd.db, *gi, cfg);
+  EXPECT_EQ(full.completion, Completion::kComplete);
+  EXPECT_GT(full.itemsets_evaluated, 0u);
+}
+
+TEST(RunControlMiningTest, InvalidConfigReportsField) {
+  data::Dataset db = synth::MakeSimulated3(300);
+  MinerConfig cfg;
+  cfg.top_k = 0;
+  MineRequest request;
+  request.group_attr = "Group";
+  auto result = Miner(cfg).Mine(db, request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("top_k"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdadcs::core

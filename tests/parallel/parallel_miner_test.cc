@@ -1,13 +1,16 @@
 #include "parallel/parallel_miner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "synth/scaling.h"
 #include "synth/simulated.h"
 #include "synth/uci_like.h"
+#include "util/timer.h"
 
 namespace sdadcs::parallel {
 namespace {
@@ -45,9 +48,54 @@ TEST(ParallelMinerTest, SingleThreadWorks) {
   EXPECT_FALSE(result->contrasts.empty());
 }
 
-TEST(ParallelMinerTest, ZeroThreadsRejected) {
+TEST(ParallelMinerTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ParallelMiner miner(BaseConfig(), 0);
+  size_t expected = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(miner.num_threads(), expected);
   data::Dataset db = synth::MakeSimulated3(300);
-  EXPECT_FALSE(ParallelMiner(BaseConfig(), 0).Mine(db, "Group").ok());
+  auto result = miner.Mine(db, "Group");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completion, core::Completion::kComplete);
+}
+
+TEST(ParallelMinerTest, InvalidConfigRejected) {
+  core::MinerConfig cfg = BaseConfig();
+  cfg.alpha = 1.5;
+  data::Dataset db = synth::MakeSimulated3(300);
+  auto result = ParallelMiner(cfg, 2).Mine(db, "Group");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("alpha"), std::string::npos);
+}
+
+TEST(ParallelMinerTest, CancelFromSecondThreadUnblocksQuickly) {
+  // Big enough that the unbounded run takes far longer than the cancel
+  // round-trip the test asserts on.
+  synth::ScalingOptions opt;
+  opt.rows = 20000;
+  opt.continuous_features = 40;
+  opt.categorical_features = 10;
+  synth::NamedDataset sc = synth::MakeScalingDataset(opt);
+  core::MinerConfig cfg = BaseConfig();
+  cfg.max_depth = 3;
+
+  util::RunControl control;
+  core::MineRequest request;
+  request.group_attr = sc.group_attr;
+  request.run_control = control;
+
+  util::StatusOr<core::MiningResult> result =
+      util::Status::Internal("not run");
+  std::thread worker([&] {
+    result = ParallelMiner(cfg, 4).Mine(sc.db, request);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  util::WallTimer unblock;
+  control.Cancel();
+  worker.join();
+  // Cancellation must reach every worker within 100 ms.
+  EXPECT_LT(unblock.Seconds(), 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completion, core::Completion::kCancelled);
 }
 
 TEST(ParallelMinerTest, UnknownGroupAttrRejected) {

@@ -137,6 +137,40 @@ TEST(WindowMinerTest, StablePatternsPersistAcrossPasses) {
   EXPECT_GE(persisted_passes, deltas.size() - 2);
 }
 
+TEST(WindowMinerTest, InvalidMinerConfigRejectedByAppend) {
+  StreamConfig cfg = SmallConfig();
+  cfg.miner.alpha = -1.0;
+  WindowMiner miner(cfg, TwoColumnSchema(), "g");
+  auto st = miner.Append(
+      {StreamValue::Category("a"), StreamValue::Number(1.0)});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().ToString().find("alpha"), std::string::npos);
+}
+
+TEST(WindowMinerTest, CancelledControlYieldsPartialPasses) {
+  StreamConfig cfg = SmallConfig();
+  cfg.run_control.Cancel();
+  WindowMiner miner(cfg, TwoColumnSchema(), "g");
+  util::Rng rng(6);
+  std::vector<PatternDelta> deltas;
+  for (int i = 0; i < 700; ++i) {
+    double x = rng.Uniform(0.0, 10.0);
+    const char* g = x > 5.0 ? "bad" : "good";
+    auto delta =
+        miner.Append({StreamValue::Category(g), StreamValue::Number(x)});
+    ASSERT_TRUE(delta.ok());
+    if (delta->has_value()) deltas.push_back(**delta);
+  }
+  ASSERT_FALSE(deltas.empty());
+  for (const PatternDelta& d : deltas) {
+    EXPECT_EQ(d.completion, core::Completion::kCancelled);
+    // A partial pass cannot classify disappearances and must not move
+    // the diff baseline.
+    EXPECT_TRUE(d.disappeared.empty());
+  }
+  EXPECT_TRUE(miner.current_patterns().empty());
+}
+
 TEST(WindowMinerTest, MissingValuesStreamThrough) {
   WindowMiner miner(SmallConfig(), TwoColumnSchema(), "g");
   util::Rng rng(5);

@@ -43,6 +43,64 @@ TEST(BeamTest, QualitySortedDescending) {
   }
 }
 
+TEST(BeamTest, ValidateCatchesSharedAndBeamFields) {
+  BeamConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.top_k = 0;  // shared knob, checked through MinerConfig::Validate
+  auto st = cfg.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("top_k"), std::string::npos);
+
+  BeamConfig beam_field;
+  beam_field.beam_width = 0;
+  auto st2 = beam_field.Validate();
+  ASSERT_FALSE(st2.ok());
+  EXPECT_NE(st2.ToString().find("beam_width"), std::string::npos);
+}
+
+TEST(BeamTest, UnifiedMineEntryPoint) {
+  data::Dataset db = synth::MakeSimulated3(1000);
+  BeamConfig cfg;
+  cfg.max_depth = 2;
+  BeamSubgroupDiscovery beam(cfg);
+
+  core::MineRequest request;
+  request.group_attr = "Group";
+  auto result = beam.Mine(db, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completion, core::Completion::kComplete);
+  EXPECT_FALSE(result->contrasts.empty());
+  EXPECT_GT(result->counters.partitions_evaluated, 0u);
+  EXPECT_EQ(result->group_names.size(), 2u);
+
+  // Invalid config is rejected before any work happens.
+  BeamConfig bad;
+  bad.num_bins = 1;
+  auto rejected = BeamSubgroupDiscovery(bad).Mine(db, request);
+  EXPECT_FALSE(rejected.ok());
+}
+
+TEST(BeamTest, CancelledControlReturnsEarly) {
+  data::Dataset db = synth::MakeSimulated4(1000);
+  auto gi = data::GroupInfo::Create(db, 0);
+  ASSERT_TRUE(gi.ok());
+  util::RunControl control;
+  control.Cancel();
+  BeamStats stats;
+  BeamSubgroupDiscovery beam;
+  std::vector<Subgroup> subgroups =
+      beam.Discover(db, *gi, 0, &stats, &control);
+  EXPECT_TRUE(subgroups.empty());
+  EXPECT_EQ(stats.completion, core::Completion::kCancelled);
+
+  core::MineRequest request;
+  request.group_attr = "Group";
+  request.run_control = control;
+  auto result = beam.Mine(db, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completion, core::Completion::kCancelled);
+}
+
 TEST(BeamTest, RespectsTopKAndMinQuality) {
   data::Dataset db = synth::MakeSimulated4(1200);
   auto gi = data::GroupInfo::Create(db, 0);

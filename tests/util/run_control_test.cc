@@ -1,0 +1,181 @@
+#include "util/run_control.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/run_state.h"
+
+namespace sdadcs::util {
+namespace {
+
+using Clock = RunControl::Clock;
+
+TEST(RunControlTest, DefaultIsUnlimited) {
+  RunControl control;
+  EXPECT_FALSE(control.cancelled());
+  EXPECT_FALSE(control.has_deadline());
+  EXPECT_EQ(control.Check(Clock::now()), StopReason::kNone);
+  EXPECT_EQ(control.Charge(1000, Clock::now()), StopReason::kNone);
+}
+
+TEST(RunControlTest, CopiesShareCancellation) {
+  RunControl control;
+  RunControl copy = control;
+  copy.Cancel();
+  EXPECT_TRUE(control.cancelled());
+  EXPECT_EQ(control.Check(Clock::now()), StopReason::kCancelled);
+}
+
+TEST(RunControlTest, CancelFromAnotherThread) {
+  RunControl control;
+  std::thread t([control]() mutable { control.Cancel(); });
+  t.join();
+  EXPECT_TRUE(control.cancelled());
+}
+
+TEST(RunControlTest, DeadlineTrips) {
+  RunControl control;
+  Clock::time_point now = Clock::now();
+  control.set_deadline(now + std::chrono::milliseconds(10));
+  EXPECT_TRUE(control.has_deadline());
+  EXPECT_EQ(control.Check(now), StopReason::kNone);
+  EXPECT_EQ(control.Check(now + std::chrono::milliseconds(11)),
+            StopReason::kDeadlineExceeded);
+  // Charge observes the deadline too.
+  EXPECT_EQ(control.Charge(1, now + std::chrono::milliseconds(11)),
+            StopReason::kDeadlineExceeded);
+}
+
+TEST(RunControlTest, WithDeadlineConvenience) {
+  RunControl control = RunControl::WithDeadline(std::chrono::hours(1));
+  EXPECT_TRUE(control.has_deadline());
+  EXPECT_EQ(control.Check(Clock::now()), StopReason::kNone);
+}
+
+TEST(RunControlTest, BudgetExhaustsAfterCharges) {
+  RunControl control;
+  control.set_node_budget(10);
+  Clock::time_point now = Clock::now();
+  EXPECT_EQ(control.Charge(6, now), StopReason::kNone);
+  EXPECT_EQ(control.Charge(4, now), StopReason::kNone);  // exactly consumed
+  // A fully consumed budget is not "exhausted" until more work is asked.
+  EXPECT_EQ(control.Check(now), StopReason::kNone);
+  EXPECT_EQ(control.Charge(1, now), StopReason::kBudgetExhausted);
+  EXPECT_EQ(control.Check(now), StopReason::kBudgetExhausted);
+}
+
+TEST(RunControlTest, CancellationWinsOverBudget) {
+  RunControl control;
+  control.set_node_budget(0);
+  control.Cancel();
+  EXPECT_EQ(control.Charge(1, Clock::now()), StopReason::kCancelled);
+}
+
+TEST(RunControlTest, StopReasonNames) {
+  EXPECT_STREQ(StopReasonToString(StopReason::kNone), "none");
+  EXPECT_STREQ(StopReasonToString(StopReason::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(StopReasonToString(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonToString(StopReason::kBudgetExhausted),
+               "budget_exhausted");
+}
+
+TEST(RunControlTest, ProgressCallbackDelivered) {
+  RunControl control;
+  EXPECT_FALSE(control.has_progress_callback());
+  std::vector<RunProgress> seen;
+  control.set_progress_callback(
+      [&seen](const RunProgress& p) { seen.push_back(p); });
+  EXPECT_TRUE(control.has_progress_callback());
+  RunProgress p;
+  p.level = 2;
+  p.candidates_done = 3;
+  p.candidates_total = 7;
+  p.topk_threshold = 0.25;
+  control.ReportProgress(p);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].level, 2);
+  EXPECT_EQ(seen[0].candidates_done, 3u);
+  EXPECT_EQ(seen[0].candidates_total, 7u);
+  EXPECT_DOUBLE_EQ(seen[0].topk_threshold, 0.25);
+}
+
+TEST(RunStateTest, DefaultNeverStops) {
+  core::RunState run;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(run.CheckPoint());
+  EXPECT_FALSE(run.CheckNow());
+  EXPECT_EQ(run.completion(), core::Completion::kComplete);
+}
+
+TEST(RunStateTest, CancellationObservedOnNextCheckpoint) {
+  RunControl control;
+  core::RunState run(control);
+  EXPECT_FALSE(run.CheckPoint());
+  control.Cancel();
+  // Cancellation is observed on the very next checkpoint, regardless of
+  // the amortization stride.
+  EXPECT_TRUE(run.CheckPoint());
+  EXPECT_EQ(run.reason(), StopReason::kCancelled);
+  EXPECT_EQ(run.completion(), core::Completion::kCancelled);
+}
+
+TEST(RunStateTest, StopIsSticky) {
+  RunControl control;
+  core::RunState run(control);
+  control.Cancel();
+  EXPECT_TRUE(run.CheckNow());
+  EXPECT_TRUE(run.CheckPoint());
+  EXPECT_TRUE(run.stopped());
+}
+
+TEST(RunStateTest, DeadlineObservedWithinStride) {
+  RunControl control;
+  control.set_deadline(Clock::now() - std::chrono::milliseconds(1));
+  core::RunState run(control);
+  // The clock is only consulted every kStrideWeight units of checkpoint
+  // weight, so an expired deadline trips within one stride of
+  // weight-1 checkpoints...
+  bool stopped = false;
+  for (int i = 0; i < 16 && !stopped; ++i) stopped = run.CheckPoint();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(run.completion(), core::Completion::kDeadlineExceeded);
+
+  // ...and immediately for a large node, whose weight alone crosses the
+  // stride.
+  core::RunState heavy(control);
+  EXPECT_TRUE(heavy.CheckPoint(core::RunState::NodeWeight(1 << 20)));
+}
+
+TEST(RunStateTest, BudgetChargesNodesNotWeight) {
+  RunControl control;
+  control.set_node_budget(5);
+  core::RunState run(control);
+  // Six nodes of weight 16 flush on every checkpoint; the sixth node
+  // exceeds the 5-node budget.
+  int stopped_at = -1;
+  for (int i = 0; i < 6; ++i) {
+    if (run.CheckPoint(16)) {
+      stopped_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(stopped_at, 5);
+  EXPECT_EQ(run.completion(), core::Completion::kBudgetExhausted);
+}
+
+TEST(RunStateTest, CompletionNames) {
+  EXPECT_STREQ(core::CompletionToString(core::Completion::kComplete),
+               "complete");
+  EXPECT_STREQ(core::CompletionToString(core::Completion::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(core::CompletionToString(core::Completion::kCancelled),
+               "cancelled");
+  EXPECT_STREQ(core::CompletionToString(core::Completion::kBudgetExhausted),
+               "budget_exhausted");
+}
+
+}  // namespace
+}  // namespace sdadcs::util

@@ -5,6 +5,9 @@
 //   sdadcs_tool discretize <file.csv> --group <attr> --method <m> [options]
 //   sdadcs_tool onevsrest <file.csv> --group <attr> [options]
 //
+// The dataset argument is a CSV path, or `synth:<name>[:<rows>]` for a
+// built-in generated dataset (`synth:scaling:50000`, `synth:adult`, ...).
+//
 // Common mining options:
 //   --groups a,b        contrast exactly these two group values
 //   --depth N           max items per pattern          (default 2)
@@ -18,11 +21,18 @@
 //   --sample N          mine a stratified N-row sample (big extracts)
 //   --diverse J         keep only patterns whose row covers overlap by
 //                       less than Jaccard J (extensional de-dup)
+//   --deadline-ms N     wall-clock budget; on expiry the run drains and
+//                       the best-so-far patterns are printed
+//   --node-budget N     stop after evaluating ~N partitions/itemsets
+//
+// Ctrl-C (SIGINT) cancels a running mine the same way: the search
+// drains cleanly and the partial results are printed.
 //
 // discretize options:
 //   --method M          fayyad | mvd | srikant | equal_width | equal_freq
 //   --bins N            bin count for the unsupervised methods
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -32,6 +42,7 @@
 #include "core/miner.h"
 #include "core/diversity.h"
 #include "core/report.h"
+#include "core/run_state.h"
 #include "core/validate.h"
 #include "data/csv.h"
 #include "data/profile.h"
@@ -40,18 +51,57 @@
 #include "discretize/fayyad.h"
 #include "discretize/mvd.h"
 #include "discretize/srikant.h"
+#include "synth/scaling.h"
+#include "synth/uci_like.h"
 #include "util/flags.h"
+#include "util/run_control.h"
 #include "util/string_util.h"
 
 namespace {
 
 using sdadcs::util::Flags;
 
+// The run control every mining command runs under. SIGINT cancels it:
+// RunControl::Cancel is a lock-free atomic store, safe from a signal
+// handler, and the engines drain cooperatively and print best-so-far
+// results.
+sdadcs::util::RunControl& GlobalRunControl() {
+  static sdadcs::util::RunControl control;
+  return control;
+}
+
+extern "C" void HandleSigint(int) { GlobalRunControl().Cancel(); }
+
+// Applies --deadline-ms / --node-budget to the global control and
+// returns a copy (copies share state, so SIGINT still reaches it).
+sdadcs::util::RunControl RunControlFromArgs(const Flags& args) {
+  sdadcs::util::RunControl& control = GlobalRunControl();
+  if (args.Has("deadline-ms")) {
+    control.set_deadline_after(
+        std::chrono::milliseconds(args.GetInt("deadline-ms", 0)));
+  }
+  if (args.Has("node-budget")) {
+    control.set_node_budget(
+        static_cast<uint64_t>(args.GetInt("node-budget", 0)));
+  }
+  return control;
+}
+
+void PrintCompletion(const sdadcs::core::MiningResult& result) {
+  std::printf("completion: %s\n",
+              sdadcs::core::CompletionToString(result.completion));
+  if (result.completion != sdadcs::core::Completion::kComplete) {
+    std::printf("abandoned candidates: %llu\n",
+                static_cast<unsigned long long>(
+                    result.counters.abandoned_candidates));
+  }
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: sdadcs_tool <profile|mine|discretize|onevsrest> <file.csv> "
-      "[--group <attr>] [options]\n"
+      "usage: sdadcs_tool <profile|mine|discretize|onevsrest> "
+      "<file.csv|synth:name[:rows]> [--group <attr>] [options]\n"
       "see the header of tools/sdadcs_tool.cc for every option\n");
   return 2;
 }
@@ -123,6 +173,7 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
 
   sdadcs::core::MinerConfig cfg = ConfigFromArgs(args);
   sdadcs::core::Miner miner(cfg);
+  sdadcs::util::RunControl control = RunControlFromArgs(args);
 
   if (args.Has("sample")) {
     size_t n = static_cast<size_t>(args.GetInt("sample", 10000));
@@ -143,7 +194,10 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
       std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
       return 1;
     }
-    auto result = miner.MineWithGroups(db, split->train);
+    sdadcs::core::MineRequest request;
+    request.groups = &split->train;
+    request.run_control = control;
+    auto result = miner.Mine(db, request);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -159,10 +213,14 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
                   v.pattern.diff, v.test_diff,
                   v.generalizes ? "yes" : "NO");
     }
+    PrintCompletion(*result);
     return 0;
   }
 
-  auto result = miner.MineWithGroups(db, *gi);
+  sdadcs::core::MineRequest request;
+  request.groups = &*gi;
+  request.run_control = control;
+  auto result = miner.Mine(db, request);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -179,6 +237,7 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
   if (args.Get("format", "table") == "table") {
     std::printf("\n%s\n", sdadcs::core::SummarizeRun(*result).c_str());
   }
+  PrintCompletion(*result);
   return 0;
 }
 
@@ -255,12 +314,16 @@ int RunOneVsRest(const Flags& args, const sdadcs::data::Dataset& db) {
   }
   sdadcs::core::MinerConfig cfg = ConfigFromArgs(args);
   sdadcs::core::Miner miner(cfg);
+  sdadcs::util::RunControl control = RunControlFromArgs(args);
   const auto& col = db.categorical(*attr);
   for (int32_t code = 0; code < col.cardinality(); ++code) {
     const std::string& value = col.ValueOf(code);
     auto gi = sdadcs::data::GroupInfo::CreateOneVsRest(db, *attr, value);
     if (!gi.ok()) continue;
-    auto result = miner.MineWithGroups(db, *gi);
+    sdadcs::core::MineRequest request;
+    request.groups = &*gi;
+    request.run_control = control;
+    auto result = miner.Mine(db, request);
     if (!result.ok()) continue;
     std::printf("\n=== %s = %s (n=%zu) vs rest (n=%zu): %zu contrasts\n",
                 group.c_str(), value.c_str(), gi->group_size(0),
@@ -271,6 +334,33 @@ int RunOneVsRest(const Flags& args, const sdadcs::data::Dataset& db) {
                stdout);
   }
   return 0;
+}
+
+// Loads `synth:<name>[:<rows>]`: the scaling dataset or one of the
+// UCI-like generators (rows applies to scaling only).
+sdadcs::util::StatusOr<sdadcs::data::Dataset> LoadSynthDataset(
+    const std::string& spec) {
+  std::string rest = spec.substr(6);  // after "synth:"
+  std::string name = rest;
+  size_t rows = 0;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    name = rest.substr(0, colon);
+    rows = static_cast<size_t>(
+        std::strtoull(rest.c_str() + colon + 1, nullptr, 10));
+  }
+  if (name == "scaling") {
+    sdadcs::synth::ScalingOptions options;
+    if (rows > 0) options.rows = rows;
+    return std::move(sdadcs::synth::MakeScalingDataset(options).db);
+  }
+  for (const std::string& known : sdadcs::synth::UciLikeNames()) {
+    if (name == known) {
+      return std::move(sdadcs::synth::MakeUciLike(name).db);
+    }
+  }
+  return sdadcs::util::Status::InvalidArgument(
+      "unknown synthetic dataset '" + name + "'");
 }
 
 }  // namespace
@@ -286,7 +376,11 @@ int main(int argc, char** argv) {
   const std::string& command = flags->positional()[0];
   const std::string& csv_path = flags->positional()[1];
 
-  auto db = sdadcs::data::ReadCsvFile(csv_path);
+  std::signal(SIGINT, HandleSigint);
+
+  auto db = csv_path.rfind("synth:", 0) == 0
+                ? LoadSynthDataset(csv_path)
+                : sdadcs::data::ReadCsvFile(csv_path);
   if (!db.ok()) {
     std::fprintf(stderr, "failed to read '%s': %s\n", csv_path.c_str(),
                  db.status().ToString().c_str());
