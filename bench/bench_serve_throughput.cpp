@@ -1,0 +1,138 @@
+// Serving-layer throughput: requests/second through the full Server
+// stack (registry lookup, canonical cache key, admission, engine) at
+// 1, 4 and hardware-concurrency workers, cold versus warm.
+//
+// Cold = every request misses the result cache (each worker iteration
+// perturbs top_k, so every key is new). Warm = every request after the
+// first is a byte-identical repeat and must be served from the cache.
+// The ratio between the two is the headline number of the serving PR:
+// a warm hit costs a hash lookup, not a mining run.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "serve/server.h"
+#include "synth/scaling.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sdadcs::bench {
+namespace {
+
+constexpr char kDataset[] = "scaling";
+// A cold request is a full mining run (seconds); a warm one is a cache
+// lookup (microseconds). Iteration counts are sized so each sweep takes
+// comparable wall time and the warm number is not thread-startup noise.
+constexpr int kColdPerWorker = 4;
+constexpr int kWarmPerWorker = 4000;
+
+serve::MineCall BaseCall() {
+  serve::MineCall call;
+  call.dataset = kDataset;
+  call.config = PaperConfig(/*depth=*/2);
+  call.group_attr = "batch";
+  return call;
+}
+
+struct Sweep {
+  double cold_rps = 0.0;
+  double warm_rps = 0.0;
+};
+
+/// Drives `workers` threads, each issuing `iterations` requests.
+/// `distinct_keys` makes every request a fresh cache key (cold);
+/// otherwise all requests share one key (warm after the first).
+double MeasureRps(serve::Server& server, size_t workers, int iterations,
+                  bool distinct_keys) {
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  util::WallTimer timer;
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&server, w, iterations, distinct_keys] {
+      for (int i = 0; i < iterations; ++i) {
+        serve::MineCall call = BaseCall();
+        if (distinct_keys) {
+          // Unique (worker, iteration) -> unique semantic fingerprint.
+          call.config.top_k = 100 + static_cast<int>(w) * iterations + i;
+        }
+        serve::MineOutcome out = server.Mine(call);
+        SDADCS_CHECK(out.verdict == serve::Verdict::kOk);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double secs = timer.Seconds();
+  double total = static_cast<double>(workers) * iterations;
+  return secs > 0 ? total / secs : 0.0;
+}
+
+Sweep RunSweep(size_t workers, size_t rows) {
+  serve::ServerOptions options;
+  options.max_concurrent_runs = static_cast<int>(workers);
+  options.max_queue = static_cast<int>(workers) * kColdPerWorker;
+  options.result_cache_capacity =
+      workers * kColdPerWorker + 16;  // no eviction mid-sweep
+  serve::Server server(options);
+
+  char spec[64];
+  std::snprintf(spec, sizeof(spec), "synth:scaling:%zu", rows);
+  auto loaded = server.Load(kDataset, spec);
+  SDADCS_CHECK(loaded.ok());
+
+  Sweep sweep;
+  sweep.cold_rps =
+      MeasureRps(server, workers, kColdPerWorker, /*distinct_keys=*/true);
+  // One priming request, then every warm request repeats its key.
+  (void)server.Mine(BaseCall());
+  sweep.warm_rps =
+      MeasureRps(server, workers, kWarmPerWorker, /*distinct_keys=*/false);
+  return sweep;
+}
+
+void Run() {
+  PrintHeader("Serving throughput: cold vs warm requests/second");
+  const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  const size_t rows = 2000;
+
+  BenchJson json("serve_throughput");
+  json.Set("rows", static_cast<uint64_t>(rows));
+  json.Set("cold_per_worker", static_cast<uint64_t>(kColdPerWorker));
+  json.Set("warm_per_worker", static_cast<uint64_t>(kWarmPerWorker));
+
+  std::printf(
+      "dataset synth:scaling:%zu, %d cold / %d warm requests per worker\n\n",
+      rows, kColdPerWorker, kWarmPerWorker);
+  std::printf("%8s %14s %14s %10s\n", "workers", "cold req/s", "warm req/s",
+              "speedup");
+  std::vector<size_t> worker_counts = {1, 4};
+  if (hw != 1 && hw != 4) worker_counts.push_back(hw);
+  for (size_t workers : worker_counts) {
+    Sweep sweep = RunSweep(workers, rows);
+    double speedup =
+        sweep.cold_rps > 0 ? sweep.warm_rps / sweep.cold_rps : 0.0;
+    std::printf("%8zu %14.2f %14.2f %9.1fx\n", workers, sweep.cold_rps,
+                sweep.warm_rps, speedup);
+    char name[32];
+    std::snprintf(name, sizeof(name), "workers_%zu", workers);
+    json.BeginCase(name);
+    json.SetCase("workers", static_cast<uint64_t>(workers));
+    json.SetCase("cold_rps", sweep.cold_rps);
+    json.SetCase("warm_rps", sweep.warm_rps);
+    json.SetCase("warm_over_cold", speedup);
+  }
+  std::printf(
+      "\nwarm requests are cache hits: no admission wait, no engine "
+      "run — the gap over cold is the point of the result cache.\n");
+  std::string path = json.Write();
+  if (!path.empty()) std::printf("metrics: %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace sdadcs::bench
+
+int main() {
+  sdadcs::bench::Run();
+  return 0;
+}

@@ -142,6 +142,16 @@ struct MinerConfig {
   /// entry point — Miner, ParallelMiner, WindowMiner and the beam
   /// baseline — validates through this before mining.
   util::Status Validate() const;
+
+  /// Stable 64-bit hash of the *semantic* fields — every knob that can
+  /// change the mined patterns, each mixed under its own field tag so
+  /// two configs collide only if they would produce identical output.
+  /// Deliberately not a hash of the struct bytes: `columnar_kernels` is
+  /// excluded (the fused kernels are proven byte-identical to the naive
+  /// pipeline by the differential tests), and a NaN `merge_alpha` is
+  /// canonicalized so "default" always hashes the same. The serving
+  /// layer's result cache keys on this; see core/request_key.h.
+  uint64_t Fingerprint() const;
 };
 
 /// Observability counters accumulated during one mining run. "Partitions

@@ -1,0 +1,79 @@
+#ifndef SDADCS_CORE_REQUEST_KEY_H_
+#define SDADCS_CORE_REQUEST_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace sdadcs::core {
+
+/// Which mining engine answers a request. Serial and parallel runs are
+/// distinct cache universes: the level-parallel miner loses some
+/// cross-subtree pruning, so its (still correct) result list can differ
+/// from the serial one — they must never share a cache entry.
+enum class EngineKind {
+  kAuto = 0,  ///< resolved per request from the dataset size
+  kSerial,
+  kParallel,
+};
+
+/// Stable lower_snake name ("auto", "serial", "parallel").
+const char* EngineKindToString(EngineKind kind);
+
+/// 128-bit canonical fingerprint of one mining request; the key of the
+/// serving layer's result cache. Two requests share a key iff a complete
+/// run of either is a valid answer for both.
+struct RequestKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const RequestKey& a, const RequestKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const RequestKey& a, const RequestKey& b) {
+    return !(a == b);
+  }
+
+  /// "hhhhhhhhhhhhhhhh:llllllllllllllll" hex rendering for logs.
+  std::string ToString() const;
+};
+
+/// Hash functor for unordered_map<RequestKey, ...>.
+struct RequestKeyHash {
+  size_t operator()(const RequestKey& k) const {
+    return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Canonicalizes the semantic identity of a mining request:
+///   - `dataset_fingerprint`: identity *and version* of the dataset (the
+///     registry hashes name + load generation, so replacing a dataset
+///     under the same name changes every key derived from it);
+///   - the MinerConfig via MinerConfig::Fingerprint() (semantic fields
+///     only — see its contract);
+///   - the group spec: attribute name plus the ordered value list (order
+///     matters — it fixes group numbering and therefore the sign of
+///     support differences);
+///   - the resolved engine (kAuto must be resolved by the caller first;
+///     passing kAuto is a programming error the key does not hide — it
+///     hashes distinctly from both resolved kinds).
+///
+/// RunControl (deadline / budget / cancellation) is deliberately NOT part
+/// of the key: limits shape *how far* a run gets, not what a complete run
+/// means. The result cache squares this by only ever storing results
+/// whose Completion is kComplete.
+RequestKey CanonicalRequestKey(uint64_t dataset_fingerprint,
+                               const MinerConfig& config,
+                               const std::string& group_attr,
+                               const std::vector<std::string>& group_values,
+                               EngineKind engine);
+
+/// Fingerprint a registry entry: stable hash of the dataset's name and
+/// its monotonically increasing load generation.
+uint64_t DatasetFingerprint(const std::string& name, uint64_t generation);
+
+}  // namespace sdadcs::core
+
+#endif  // SDADCS_CORE_REQUEST_KEY_H_

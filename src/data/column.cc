@@ -54,4 +54,25 @@ void ContinuousColumn::SealIntegrality() {
   integral_sealed_ = true;
 }
 
+size_t CategoricalColumn::MemoryUsage() const {
+  size_t bytes = codes_.capacity() * sizeof(int32_t);
+  for (const std::string& s : dictionary_) {
+    bytes += sizeof(std::string) + s.capacity();
+  }
+  // The intern index roughly doubles the dictionary: a node per entry
+  // (string + code + bucket pointer) plus the bucket array.
+  bytes += index_.size() * (sizeof(std::string) + 2 * sizeof(void*) +
+                            sizeof(int32_t));
+  for (const auto& [key, code] : index_) {
+    (void)code;
+    bytes += key.capacity();
+  }
+  bytes += index_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+size_t ContinuousColumn::MemoryUsage() const {
+  return values_.capacity() * sizeof(double);
+}
+
 }  // namespace sdadcs::data

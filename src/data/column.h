@@ -52,6 +52,10 @@ class CategoricalColumn {
 
   const std::vector<int32_t>& codes() const { return codes_; }
 
+  /// Approximate resident bytes: code array, dictionary strings and the
+  /// intern index. Feeds the serving layer's dataset memory budget.
+  size_t MemoryUsage() const;
+
  private:
   std::vector<int32_t> codes_;
   std::vector<std::string> dictionary_;
@@ -92,6 +96,9 @@ class ContinuousColumn {
   /// DatasetBuilder::Build so the shared immutable Dataset answers the
   /// query in O(1). Appending after sealing invalidates the cache.
   void SealIntegrality();
+
+  /// Approximate resident bytes of the value array.
+  size_t MemoryUsage() const;
 
  private:
   std::vector<double> values_;

@@ -32,6 +32,17 @@ std::string Dataset::DebugRow(uint32_t row) const {
   return out;
 }
 
+size_t Dataset::MemoryUsage() const {
+  size_t bytes = sizeof(Dataset);
+  for (size_t a = 0; a < num_attributes(); ++a) {
+    bytes += sizeof(void*) * 2;  // the two parallel column slots
+    if (categorical_[a]) bytes += categorical_[a]->MemoryUsage();
+    if (continuous_[a]) bytes += continuous_[a]->MemoryUsage();
+    bytes += schema_.attribute(static_cast<int>(a)).name.capacity();
+  }
+  return bytes;
+}
+
 int DatasetBuilder::AddCategorical(const std::string& name) {
   util::Status st = ds_.schema_.Add(name, AttributeType::kCategorical);
   if (!st.ok() && deferred_error_.ok()) {

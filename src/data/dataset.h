@@ -35,6 +35,11 @@ class Dataset {
   /// Renders row `row` as "name=value, ..." for debugging.
   std::string DebugRow(uint32_t row) const;
 
+  /// Approximate resident bytes across every column (code/value arrays,
+  /// dictionaries, intern indexes). The serving layer's DatasetRegistry
+  /// charges this against its memory budget when deciding LRU eviction.
+  size_t MemoryUsage() const;
+
  private:
   friend class DatasetBuilder;
   Dataset() = default;

@@ -1,0 +1,100 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sdadcs::serve {
+
+AdmissionController::AdmissionController(int max_concurrent, int max_queue)
+    : max_concurrent_(std::max(1, max_concurrent)),
+      max_queue_(std::max(0, max_queue)) {
+  counters_.max_concurrent = max_concurrent_;
+  counters_.max_queue = max_queue_;
+}
+
+const char* AdmissionController::OutcomeToString(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kAdmitted:
+      return "admitted";
+    case Outcome::kRejectedBusy:
+      return "rejected_busy";
+    case Outcome::kExpiredInQueue:
+      return "expired_in_queue";
+    case Outcome::kCancelledInQueue:
+      return "cancelled_in_queue";
+  }
+  return "unknown";
+}
+
+AdmissionController::Outcome AdmissionController::Admit(
+    const util::RunControl& control, double* queue_wait_seconds) {
+  if (queue_wait_seconds != nullptr) *queue_wait_seconds = 0.0;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < max_concurrent_ && queue_.empty()) {
+    ++running_;
+    ++counters_.admitted;
+    return Outcome::kAdmitted;
+  }
+  if (static_cast<int>(queue_.size()) >= max_queue_) {
+    ++counters_.rejected_busy;
+    return Outcome::kRejectedBusy;
+  }
+
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  const auto queued_at = std::chrono::steady_clock::now();
+  // Poll in short slices: cancellation and deadline belong to the
+  // request's RunControl, which cannot signal our condition variable.
+  constexpr auto kPollInterval = std::chrono::milliseconds(5);
+  Outcome outcome = Outcome::kAdmitted;
+  while (true) {
+    if (!queue_.empty() && queue_.front() == ticket &&
+        running_ < max_concurrent_) {
+      queue_.pop_front();
+      ++running_;
+      ++counters_.admitted;
+      ++counters_.admitted_after_wait;
+      // More than one slot may have freed at once; wake the next waiter
+      // rather than leaving it to the poll interval.
+      slot_free_.notify_all();
+      break;
+    }
+    util::StopReason stop =
+        control.Check(util::RunControl::Clock::now());
+    if (stop != util::StopReason::kNone) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+      ++counters_.expired_in_queue;
+      outcome = stop == util::StopReason::kCancelled
+                    ? Outcome::kCancelledInQueue
+                    : Outcome::kExpiredInQueue;
+      // Our departure may unblock the waiter behind us.
+      slot_free_.notify_all();
+      break;
+    }
+    slot_free_.wait_for(lock, kPollInterval);
+  }
+  double waited = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - queued_at)
+                      .count();
+  counters_.total_queue_wait_seconds += waited;
+  if (queue_wait_seconds != nullptr) *queue_wait_seconds = waited;
+  return outcome;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  slot_free_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.running = running_;
+  s.queued = static_cast<int>(queue_.size());
+  return s;
+}
+
+}  // namespace sdadcs::serve

@@ -1,0 +1,166 @@
+#include "serve/dataset_registry.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "core/request_key.h"
+#include "data/csv.h"
+#include "synth/scaling.h"
+#include "synth/uci_like.h"
+#include "util/string_util.h"
+
+namespace sdadcs::serve {
+
+util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec) {
+  if (!util::StartsWith(spec, "synth:")) {
+    return data::ReadCsvFile(spec);
+  }
+  std::string rest = spec.substr(6);
+  std::string name = rest;
+  size_t rows = 0;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    name = rest.substr(0, colon);
+    rows = static_cast<size_t>(
+        std::strtoull(rest.c_str() + colon + 1, nullptr, 10));
+  }
+  if (name == "scaling") {
+    synth::ScalingOptions options;
+    if (rows > 0) options.rows = rows;
+    return std::move(synth::MakeScalingDataset(options).db);
+  }
+  for (const std::string& known : synth::UciLikeNames()) {
+    if (name == known) {
+      return std::move(synth::MakeUciLike(name).db);
+    }
+  }
+  return util::Status::InvalidArgument("unknown synthetic dataset '" + name +
+                                       "'");
+}
+
+DatasetRegistry::DatasetRegistry(size_t memory_budget_bytes)
+    : budget_bytes_(memory_budget_bytes) {
+  counters_.budget_bytes = memory_budget_bytes;
+}
+
+void DatasetRegistry::set_eviction_listener(EvictionListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
+}
+
+util::StatusOr<std::shared_ptr<const ServedDataset>> DatasetRegistry::Load(
+    const std::string& name, const std::string& spec) {
+  if (name.empty()) {
+    return util::Status::InvalidArgument("dataset name must not be empty");
+  }
+  // Parse/generate outside the lock: loads are the slow path and must
+  // not stall concurrent Get()s.
+  util::StatusOr<data::Dataset> db = LoadDatasetFromSpec(spec);
+  if (!db.ok()) return db.status();
+
+  auto served = std::make_shared<ServedDataset>(std::move(*db));
+  served->name = name;
+  served->spec = spec;
+  served->memory_bytes = served->db.MemoryUsage();
+
+  std::vector<std::shared_ptr<const ServedDataset>> dropped;
+  EvictionListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    served->generation = next_generation_++;
+    served->fingerprint =
+        core::DatasetFingerprint(name, served->generation);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      ++counters_.replacements;
+      resident_bytes_ -= it->second.ds->memory_bytes;
+      dropped.push_back(it->second.ds);
+      recency_.erase(it->second.pos);
+      entries_.erase(it);
+    }
+    recency_.push_front(name);
+    entries_[name] = Entry{served, recency_.begin()};
+    resident_bytes_ += served->memory_bytes;
+    ++counters_.loads;
+    EnforceBudgetLocked(name, &dropped);
+    listener = listener_;
+  }
+  if (listener) {
+    for (const auto& ds : dropped) listener(ds);
+  }
+  return std::shared_ptr<const ServedDataset>(served);
+}
+
+util::StatusOr<std::shared_ptr<const ServedDataset>> DatasetRegistry::Get(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return util::Status::NotFound("dataset '" + name +
+                                  "' is not loaded (use the load op)");
+  }
+  ++counters_.hits;
+  TouchLocked(name);
+  return it->second.ds;
+}
+
+bool DatasetRegistry::Evict(const std::string& name) {
+  std::shared_ptr<const ServedDataset> dropped;
+  EvictionListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    dropped = it->second.ds;
+    resident_bytes_ -= it->second.ds->memory_bytes;
+    recency_.erase(it->second.pos);
+    entries_.erase(it);
+    ++counters_.evictions;
+    listener = listener_;
+  }
+  if (listener) listener(dropped);
+  return true;
+}
+
+DatasetRegistry::Stats DatasetRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.resident = entries_.size();
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+std::vector<std::string> DatasetRegistry::ResidentNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recency_.begin(), recency_.end()};
+}
+
+void DatasetRegistry::EnforceBudgetLocked(
+    const std::string& keep,
+    std::vector<std::shared_ptr<const ServedDataset>>* out) {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ > budget_bytes_ && entries_.size() > 1) {
+    // Walk from the LRU end, skipping the entry we must keep.
+    auto victim = recency_.end();
+    do {
+      --victim;
+    } while (victim != recency_.begin() && *victim == keep);
+    if (*victim == keep) return;
+    auto it = entries_.find(*victim);
+    resident_bytes_ -= it->second.ds->memory_bytes;
+    out->push_back(it->second.ds);
+    entries_.erase(it);
+    recency_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+void DatasetRegistry::TouchLocked(const std::string& name) {
+  auto it = entries_.find(name);
+  recency_.erase(it->second.pos);
+  recency_.push_front(name);
+  it->second.pos = recency_.begin();
+}
+
+}  // namespace sdadcs::serve

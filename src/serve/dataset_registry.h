@@ -1,0 +1,119 @@
+#ifndef SDADCS_SERVE_DATASET_REGISTRY_H_
+#define SDADCS_SERVE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sdadcs::serve {
+
+/// One resident dataset, sealed and immutable, shared by reference with
+/// every in-flight mining run. Eviction from the registry only drops the
+/// registry's reference — runs holding the shared_ptr finish safely on
+/// the old data.
+struct ServedDataset {
+  explicit ServedDataset(data::Dataset dataset) : db(std::move(dataset)) {}
+
+  std::string name;
+  std::string spec;          ///< CSV path or "synth:<name>[:rows]"
+  uint64_t generation = 0;   ///< global monotonic load counter
+  uint64_t fingerprint = 0;  ///< core::DatasetFingerprint(name, generation)
+  size_t memory_bytes = 0;   ///< Dataset::MemoryUsage() at load time
+  data::Dataset db;
+};
+
+/// Loads a dataset spec directly (no registry): a CSV path, or
+/// `synth:<name>[:rows]` for a built-in generator (`synth:scaling:50000`,
+/// `synth:adult`, ...). Shared by sdadcs_tool and the serving layer.
+util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec);
+
+/// Keeps datasets resident under string handles so repeated queries skip
+/// the load/seal cost, with LRU eviction against a byte budget.
+///
+/// Semantics:
+///   - Load(name, spec) parses + seals the dataset once and publishes it
+///     under `name`. Re-loading an existing name REPLACES it and bumps
+///     the generation, so every cache key derived from the old handle is
+///     unreachable; the eviction listener fires for the replaced entry.
+///   - Get(name) returns the shared handle and marks it most recent.
+///   - When the byte budget is exceeded, least-recently-used entries are
+///     evicted until the total fits. The entry being loaded is exempt: a
+///     single dataset larger than the whole budget stays resident alone
+///     (serving nothing would be strictly worse), and the overage is
+///     visible in stats().resident_bytes.
+///
+/// Thread-safe; all methods may be called concurrently.
+class DatasetRegistry {
+ public:
+  /// `memory_budget_bytes` = 0 means unlimited.
+  explicit DatasetRegistry(size_t memory_budget_bytes = 0);
+
+  /// Invoked (outside the registry lock) for every dataset that leaves
+  /// the registry — evicted, replaced, or explicitly removed. The
+  /// serving layer hooks cache invalidation here.
+  using EvictionListener =
+      std::function<void(const std::shared_ptr<const ServedDataset>&)>;
+  void set_eviction_listener(EvictionListener listener);
+
+  /// Loads (or replaces) `name` from `spec`.
+  util::StatusOr<std::shared_ptr<const ServedDataset>> Load(
+      const std::string& name, const std::string& spec);
+
+  /// Resident lookup; NotFound if absent (no load-through: the caller
+  /// decides which spec a name maps to).
+  util::StatusOr<std::shared_ptr<const ServedDataset>> Get(
+      const std::string& name);
+
+  /// Explicitly removes `name`; false if it was not resident.
+  bool Evict(const std::string& name);
+
+  struct Stats {
+    size_t resident = 0;        ///< datasets currently held
+    size_t resident_bytes = 0;  ///< sum of their memory_bytes
+    size_t budget_bytes = 0;    ///< 0 = unlimited
+    uint64_t loads = 0;         ///< successful Load calls
+    uint64_t replacements = 0;  ///< loads that displaced an existing name
+    uint64_t hits = 0;          ///< Get found the name
+    uint64_t misses = 0;        ///< Get did not
+    uint64_t evictions = 0;     ///< LRU + explicit evictions (not replaces)
+  };
+  Stats stats() const;
+
+  /// Names of resident datasets, most recently used first.
+  std::vector<std::string> ResidentNames() const;
+
+ private:
+  /// Evicts LRU entries until the budget fits, never touching `keep`.
+  /// Appends the dropped entries to `out` (listener runs unlocked).
+  void EnforceBudgetLocked(
+      const std::string& keep,
+      std::vector<std::shared_ptr<const ServedDataset>>* out);
+  void TouchLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  size_t budget_bytes_;
+  uint64_t next_generation_ = 1;
+  // MRU-first recency list; the map holds the list iterator for O(1)
+  // touch.
+  std::list<std::string> recency_;
+  struct Entry {
+    std::shared_ptr<const ServedDataset> ds;
+    std::list<std::string>::iterator pos;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  size_t resident_bytes_ = 0;
+  Stats counters_;
+  EvictionListener listener_;
+};
+
+}  // namespace sdadcs::serve
+
+#endif  // SDADCS_SERVE_DATASET_REGISTRY_H_

@@ -1,0 +1,127 @@
+#include "serve/result_cache.h"
+
+#include <chrono>
+
+namespace sdadcs::serve {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
+  counters_.capacity = capacity;
+}
+
+ResultCache::Lookup ResultCache::Acquire(const core::RequestKey& key,
+                                         const std::string& dataset_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = entries_.find(key);
+  if (hit != entries_.end()) {
+    ++counters_.hits;
+    TouchLocked(key);
+    return Lookup{LookupKind::kHit, hit->second.result, nullptr};
+  }
+  auto flying = in_flight_.find(key);
+  if (flying != in_flight_.end()) {
+    ++counters_.coalesced;
+    return Lookup{LookupKind::kFollower, nullptr, flying->second};
+  }
+  ++counters_.misses;
+  auto flight = std::make_shared<InFlight>(key, dataset_name);
+  in_flight_[key] = flight;
+  return Lookup{LookupKind::kLeader, nullptr, flight};
+}
+
+void ResultCache::Publish(const std::shared_ptr<InFlight>& flight,
+                          ResultPtr result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!flight->done_) {
+    flight->done_ = true;
+    flight->result_ = result;
+    in_flight_.erase(flight->key_);
+    if (result != nullptr &&
+        result->completion == core::Completion::kComplete) {
+      InsertLocked(flight->key_, flight->dataset_name_, std::move(result));
+    }
+    flight->cv_.notify_all();
+  }
+}
+
+void ResultCache::Abandon(const std::shared_ptr<InFlight>& flight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!flight->done_) {
+    ++counters_.abandons;
+    flight->done_ = true;
+    in_flight_.erase(flight->key_);
+    flight->cv_.notify_all();
+  }
+}
+
+ResultCache::ResultPtr ResultCache::Wait(
+    const std::shared_ptr<InFlight>& flight, const util::RunControl& control,
+    bool* abandoned) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Short waits keep the follower responsive to its own Cancel() even
+  // though cancellation does not signal the cache's condition variable.
+  constexpr auto kPollInterval = std::chrono::milliseconds(5);
+  while (!flight->done_) {
+    if (control.Check(util::RunControl::Clock::now()) !=
+        util::StopReason::kNone) {
+      *abandoned = false;
+      return nullptr;
+    }
+    flight->cv_.wait_for(lock, kPollInterval);
+  }
+  *abandoned = flight->result_ == nullptr;
+  return flight->result_;
+}
+
+size_t ResultCache::InvalidateDataset(const std::string& dataset_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.dataset_name == dataset_name) {
+      recency_.erase(it->second.pos);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  counters_.invalidations += dropped;
+  return dropped;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.invalidations += entries_.size();
+  entries_.clear();
+  recency_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.size = entries_.size();
+  return s;
+}
+
+void ResultCache::TouchLocked(const core::RequestKey& key) {
+  auto it = entries_.find(key);
+  recency_.erase(it->second.pos);
+  recency_.push_front(key);
+  it->second.pos = recency_.begin();
+}
+
+void ResultCache::InsertLocked(const core::RequestKey& key,
+                               const std::string& dataset_name,
+                               ResultPtr result) {
+  if (capacity_ == 0) return;
+  recency_.push_front(key);
+  entries_[key] = Entry{std::move(result), dataset_name, recency_.begin()};
+  ++counters_.inserts;
+  while (entries_.size() > capacity_) {
+    const core::RequestKey& victim = recency_.back();
+    entries_.erase(victim);
+    recency_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+}  // namespace sdadcs::serve

@@ -1,0 +1,138 @@
+#ifndef SDADCS_SERVE_RESULT_CACHE_H_
+#define SDADCS_SERVE_RESULT_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/miner.h"
+#include "core/request_key.h"
+#include "util/run_control.h"
+
+namespace sdadcs::serve {
+
+/// LRU cache of complete mining results keyed by the canonical
+/// RequestKey (see core/request_key.h), with built-in single-flight
+/// coalescing of concurrent identical misses.
+///
+/// Contract:
+///   - Only Completion::kComplete results are ever stored. Partial runs
+///     (deadline / cancel / budget) are answers to *that caller's*
+///     limits, not to the request's semantic identity, so the leader
+///     Abandon()s instead of Publish()ing and the entry never poisons
+///     later queries.
+///   - Acquire() returns one of: a hit (shared result), the leader role
+///     (this caller must mine and then Publish or Abandon — dropping the
+///     ticket without either would strand followers, so hold it in a
+///     FlightGuard), or a follower ticket to Wait() on.
+///   - A follower whose Wait() ends by its own cancellation or deadline
+///     just walks away: the in-flight entry is untouched and the leader
+///     still completes and publishes for everyone else.
+///   - On Abandon, followers are woken with no result; each retries
+///     Acquire() and the first one in becomes the new leader.
+///
+/// Invalidation: entries remember their dataset's name; InvalidateDataset
+/// drops every entry mined from it (called by the server when the
+/// registry replaces or evicts a dataset). Generation-bumped keys would
+/// already be unreachable — invalidation reclaims their memory.
+class ResultCache {
+ public:
+  using ResultPtr = std::shared_ptr<const core::MiningResult>;
+
+  /// `capacity` = max cached entries (LRU beyond that); 0 disables
+  /// storage but single-flight coalescing still works.
+  explicit ResultCache(size_t capacity);
+
+  class InFlight;
+
+  enum class LookupKind { kHit, kLeader, kFollower };
+  struct Lookup {
+    LookupKind kind;
+    ResultPtr result;                  ///< set on kHit
+    std::shared_ptr<InFlight> flight;  ///< set on kLeader / kFollower
+  };
+
+  /// Looks up `key`; on a miss, joins or starts the in-flight entry.
+  /// `dataset_name` tags the eventual cache entry for invalidation.
+  Lookup Acquire(const core::RequestKey& key, const std::string& dataset_name);
+
+  /// Leader success path: stores the result (it must be kComplete),
+  /// wakes every follower with it, and retires the flight.
+  void Publish(const std::shared_ptr<InFlight>& flight, ResultPtr result);
+
+  /// Leader failure path (error, partial run, admission rejection):
+  /// wakes followers empty-handed and retires the flight. Nothing is
+  /// cached.
+  void Abandon(const std::shared_ptr<InFlight>& flight);
+
+  /// Follower wait. Returns the published result; nullptr when the
+  /// leader abandoned (caller should re-Acquire) or when `control`
+  /// stopped this waiter first (caller reports its own cancellation).
+  /// `*abandoned` distinguishes the two nullptr cases.
+  ResultPtr Wait(const std::shared_ptr<InFlight>& flight,
+                 const util::RunControl& control, bool* abandoned);
+
+  /// Drops every entry mined from `dataset_name`; returns the count.
+  size_t InvalidateDataset(const std::string& dataset_name);
+
+  void Clear();
+
+  struct Stats {
+    size_t size = 0;            ///< resident entries
+    size_t capacity = 0;
+    uint64_t hits = 0;          ///< Acquire found a stored result
+    uint64_t misses = 0;        ///< Acquire found nothing (leader starts)
+    uint64_t coalesced = 0;     ///< Acquire joined an in-flight run
+    uint64_t inserts = 0;       ///< successful Publish calls
+    uint64_t evictions = 0;     ///< LRU drops
+    uint64_t invalidations = 0; ///< entries dropped by InvalidateDataset
+    uint64_t abandons = 0;      ///< leader gave up (partial/error/rejected)
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    ResultPtr result;
+    std::string dataset_name;
+    std::list<core::RequestKey>::iterator pos;
+  };
+
+  void TouchLocked(const core::RequestKey& key);
+  void InsertLocked(const core::RequestKey& key,
+                    const std::string& dataset_name, ResultPtr result);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<core::RequestKey> recency_;  // MRU first
+  std::unordered_map<core::RequestKey, Entry, core::RequestKeyHash> entries_;
+  std::unordered_map<core::RequestKey, std::shared_ptr<InFlight>,
+                     core::RequestKeyHash>
+      in_flight_;
+  Stats counters_;
+};
+
+/// Shared state of one in-flight mining run. Owned jointly by the
+/// leader, its followers and (until retirement) the cache's in-flight
+/// map; all fields are guarded by the cache mutex.
+class ResultCache::InFlight {
+ public:
+  explicit InFlight(const core::RequestKey& key, std::string dataset_name)
+      : key_(key), dataset_name_(std::move(dataset_name)) {}
+
+ private:
+  friend class ResultCache;
+
+  core::RequestKey key_;
+  std::string dataset_name_;
+  bool done_ = false;
+  ResultPtr result_;  // set iff published
+  std::condition_variable cv_;
+};
+
+}  // namespace sdadcs::serve
+
+#endif  // SDADCS_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,168 @@
+#ifndef SDADCS_SERVE_SERVER_H_
+#define SDADCS_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/request_key.h"
+#include "serve/admission.h"
+#include "serve/dataset_registry.h"
+#include "serve/result_cache.h"
+#include "util/run_control.h"
+#include "util/status.h"
+
+namespace sdadcs::serve {
+
+/// Knobs of the in-process serving layer. Defaults suit tests and the
+/// CLI; a deployment tunes them from flags.
+struct ServerOptions {
+  /// DatasetRegistry byte budget (0 = unlimited).
+  size_t dataset_memory_budget = 0;
+  /// ResultCache entry capacity (0 disables storage; single-flight
+  /// coalescing still applies).
+  size_t result_cache_capacity = 256;
+  /// Concurrent mining runs and the bounded admission queue behind them.
+  int max_concurrent_runs = 2;
+  int max_queue = 8;
+  /// Server-wide caps stamped onto requests that arrive without their
+  /// own deadline / node budget (0 = none). A request's own tighter
+  /// limits always win; these only bound the unlimited.
+  int64_t default_deadline_ms = 0;
+  uint64_t default_node_budget = 0;
+  /// kAuto engine resolution: datasets with at least this many rows mine
+  /// on the level-parallel engine, smaller ones serially.
+  size_t parallel_threshold_rows = 100000;
+  /// Worker threads of the parallel engine (0 = hardware concurrency).
+  size_t parallel_threads = 0;
+};
+
+/// One mining request against a registered dataset.
+struct MineCall {
+  std::string dataset;  ///< registry handle
+  core::MinerConfig config;
+  std::string group_attr;
+  std::vector<std::string> group_values;  ///< empty = every value
+  core::EngineKind engine = core::EngineKind::kAuto;
+  util::RunControl run_control;
+  bool use_cache = true;
+};
+
+/// How the server disposed of one MineCall.
+enum class Verdict {
+  kOk = 0,          ///< a result was produced (possibly partial — see
+                    ///< result->completion)
+  kRejectedBusy,    ///< shed at admission: queue full
+  kExpiredInQueue,  ///< the request's own deadline passed while waiting
+                    ///< (in the admission queue or on a shared in-flight
+                    ///< run) before any result existed
+  kCancelled,       ///< cancelled before any result existed
+  kError,           ///< invalid request (see status)
+};
+const char* VerdictToString(Verdict verdict);
+
+/// Where the answer came from.
+enum class CacheStatus {
+  kMiss = 0,  ///< this call ran the miner
+  kHit,       ///< served from the cache, no run
+  kShared,    ///< waited on another call's identical in-flight run
+  kBypass,    ///< caching disabled for this call
+};
+const char* CacheStatusToString(CacheStatus status);
+
+/// Per-request report: verdict, cache disposition, timings and the
+/// (shared, immutable) result.
+struct MineOutcome {
+  Verdict verdict = Verdict::kError;
+  util::Status status;  ///< non-OK iff verdict == kError
+  CacheStatus cache = CacheStatus::kMiss;
+  core::EngineKind engine = core::EngineKind::kSerial;  ///< resolved
+  std::shared_ptr<const core::MiningResult> result;     ///< null unless kOk
+  double queue_seconds = 0.0;  ///< time spent in the admission queue
+  double run_seconds = 0.0;    ///< time inside the mining engine
+  double total_seconds = 0.0;  ///< end-to-end inside Server::Mine
+};
+
+/// Aggregated server counters (see the component Stats for details).
+struct ServerStats {
+  DatasetRegistry::Stats registry;
+  ResultCache::Stats cache;
+  AdmissionController::Stats admission;
+  uint64_t requests = 0;      ///< Mine() calls
+  uint64_t runs_started = 0;  ///< calls that executed a mining engine
+  uint64_t ok = 0;
+  uint64_t rejected_busy = 0;
+  uint64_t errors = 0;
+};
+
+/// The in-process serving facade: dataset registry + canonical result
+/// cache + admission control in front of the mining engines. Thread-safe;
+/// one Server instance is meant to outlive many concurrent Mine calls.
+///
+///   Server server(options);
+///   server.Load("adult", "synth:adult");
+///   MineCall call;
+///   call.dataset = "adult";
+///   call.group_attr = "class";
+///   MineOutcome out = server.Mine(call);   // cold: runs the miner
+///   MineOutcome again = server.Mine(call); // warm: CacheStatus::kHit
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  const ServerOptions& options() const { return options_; }
+
+  /// Loads (or replaces) a dataset under `name`; invalidates any cached
+  /// results of a replaced generation.
+  util::StatusOr<std::shared_ptr<const ServedDataset>> Load(
+      const std::string& name, const std::string& spec);
+
+  /// Evicts `name` from the registry and its results from the cache.
+  bool Evict(const std::string& name);
+
+  /// Resident dataset lookup (registry Get: counts a hit/miss and
+  /// refreshes recency). Front ends use it to render pattern bodies
+  /// against the dataset a result was mined from.
+  util::StatusOr<std::shared_ptr<const ServedDataset>> Dataset(
+      const std::string& name);
+
+  /// Serves one mining request end to end: registry lookup, canonical
+  /// cache key, single-flight coalescing, admission control, engine
+  /// selection, run, publish. Never blocks indefinitely: the queue is
+  /// bounded and every wait honours the request's RunControl.
+  MineOutcome Mine(const MineCall& call);
+
+  ServerStats Stats() const;
+
+ private:
+  /// Resolves kAuto against the dataset size.
+  core::EngineKind ResolveEngine(core::EngineKind requested,
+                                 size_t rows) const;
+  /// Applies the server-wide default deadline / node budget to a request
+  /// that set none. Copies of a RunControl share state, so the caller's
+  /// handle observes the stamped limits too (documented contract).
+  void ApplyServerLimits(util::RunControl* control) const;
+  /// Runs the selected engine once (admission already granted).
+  util::StatusOr<core::MiningResult> RunEngine(
+      const ServedDataset& ds, const MineCall& call, core::EngineKind engine,
+      const util::RunControl& control) const;
+
+  ServerOptions options_;
+  DatasetRegistry registry_;
+  ResultCache cache_;
+  AdmissionController admission_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t requests_ = 0;
+  uint64_t runs_started_ = 0;
+  uint64_t ok_ = 0;
+  uint64_t rejected_busy_ = 0;
+  uint64_t errors_ = 0;
+};
+
+}  // namespace sdadcs::serve
+
+#endif  // SDADCS_SERVE_SERVER_H_

@@ -56,6 +56,8 @@ bool RunControl::cancelled() const {
 
 bool RunControl::has_deadline() const { return shared_->has_deadline; }
 
+bool RunControl::has_node_budget() const { return shared_->has_budget; }
+
 RunControl::Clock::time_point RunControl::deadline() const {
   return shared_->deadline;
 }

@@ -76,6 +76,10 @@ class RunControl {
 
   bool has_deadline() const;
   Clock::time_point deadline() const;
+  /// Whether set_node_budget was ever called. The serving layer uses
+  /// this to stamp a server-wide default budget only onto requests that
+  /// arrived without their own.
+  bool has_node_budget() const;
 
   /// Charges `nodes` against the budget and checks every limit; returns
   /// the first limit hit or kNone. `now` is passed in so callers can

@@ -1,0 +1,33 @@
+#ifndef SDADCS_TESTS_COMMON_REQUESTS_H_
+#define SDADCS_TESTS_COMMON_REQUESTS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/miner.h"
+#include "data/group_info.h"
+
+namespace sdadcs::test_support {
+
+/// Builds the unified MineRequest most tests need: contrast the values
+/// of `group_attr` (all of them when `group_values` is empty).
+inline core::MineRequest GroupRequest(
+    std::string group_attr, std::vector<std::string> group_values = {}) {
+  core::MineRequest request;
+  request.group_attr = std::move(group_attr);
+  request.group_values = std::move(group_values);
+  return request;
+}
+
+/// A request against a pre-built GroupInfo; `gi` must outlive the
+/// mining call.
+inline core::MineRequest GroupsRequest(const data::GroupInfo& gi) {
+  core::MineRequest request;
+  request.groups = &gi;
+  return request;
+}
+
+}  // namespace sdadcs::test_support
+
+#endif  // SDADCS_TESTS_COMMON_REQUESTS_H_

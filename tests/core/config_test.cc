@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "synth/uci_like.h"
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupRequest;
 
 TEST(AlphaForLevelTest, PerLevelHalving) {
   MinerConfig cfg;
@@ -46,7 +49,8 @@ class SwitchCounters : public testing::Test {
     cfg.max_depth = 2;
     cfg.attributes = {"age", "hours_per_week", "occupation", "sex"};
     Miner miner(cfg);
-    auto result = miner.Mine(adult->db, adult->group_attr, adult->groups);
+    auto result = miner.Mine(
+        adult->db, GroupRequest(adult->group_attr, adult->groups));
     EXPECT_TRUE(result.ok());
     return result->counters;
   }

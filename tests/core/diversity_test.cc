@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "core/support.h"
 #include "synth/uci_like.h"
@@ -9,6 +10,8 @@
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupsRequest;
 
 struct Fixture {
   data::Dataset db;
@@ -103,7 +106,7 @@ TEST(SelectDiverseTest, ShrinksNpOutputOverlap) {
   cfg.max_depth = 2;
   cfg.meaningful_pruning = false;
   cfg.attributes = {"attr1", "attr2", "attr9"};
-  auto result = Miner(cfg).MineWithGroups(f.db, f.gi);
+  auto result = Miner(cfg).Mine(f.db, GroupsRequest(f.gi));
   ASSERT_TRUE(result.ok());
   ASSERT_GT(result->contrasts.size(), 3u);
   CoverOverlap before =

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "core/support.h"
 #include "synth/simulated.h"
@@ -9,6 +10,8 @@
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupRequest;
 
 TEST(PatternClassNameTest, Stable) {
   EXPECT_STREQ(PatternClassName(PatternClass::kMeaningful), "meaningful");
@@ -36,7 +39,8 @@ TEST(ClassifyPatternsTest, UnfilteredNpOutputIsMostlyMeaningless) {
   cfg.meaningful_pruning = false;
   cfg.attributes = {"attr1", "attr2", "attr9"};
   Miner miner(cfg);
-  auto result = miner.Mine(shuttle.db, shuttle.group_attr, shuttle.groups);
+  auto result =
+      miner.Mine(shuttle.db, GroupRequest(shuttle.group_attr, shuttle.groups));
   ASSERT_TRUE(result.ok());
   ASSERT_GT(result->contrasts.size(), 5u);
 
@@ -62,7 +66,8 @@ TEST(ClassifyPatternsTest, CountsAddUp) {
   cfg.meaningful_pruning = false;
   cfg.attributes = {"age", "hours_per_week", "occupation"};
   Miner miner(cfg);
-  auto result = miner.Mine(adult.db, adult.group_attr, adult.groups);
+  auto result =
+      miner.Mine(adult.db, GroupRequest(adult.group_attr, adult.groups));
   ASSERT_TRUE(result.ok());
   auto gi = data::GroupInfo::CreateForValues(
       adult.db, *adult.db.schema().IndexOf(adult.group_attr), adult.groups);

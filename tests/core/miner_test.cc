@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "synth/simulated.h"
 #include "synth/uci_like.h"
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupRequest;
 
 MinerConfig BaseConfig() {
   MinerConfig cfg;
@@ -28,32 +31,33 @@ TEST(MinerTest, ValidatesConfig) {
   data::Dataset db = synth::MakeSimulated3(200);
   MinerConfig cfg = BaseConfig();
   cfg.alpha = 1.5;
-  EXPECT_FALSE(Miner(cfg).Mine(db, "Group").ok());
+  EXPECT_FALSE(Miner(cfg).Mine(db, GroupRequest("Group")).ok());
   cfg = BaseConfig();
   cfg.delta = 0.0;
-  EXPECT_FALSE(Miner(cfg).Mine(db, "Group").ok());
+  EXPECT_FALSE(Miner(cfg).Mine(db, GroupRequest("Group")).ok());
   cfg = BaseConfig();
   cfg.top_k = 0;
-  EXPECT_FALSE(Miner(cfg).Mine(db, "Group").ok());
+  EXPECT_FALSE(Miner(cfg).Mine(db, GroupRequest("Group")).ok());
 }
 
 TEST(MinerTest, UnknownGroupAttributeFails) {
   data::Dataset db = synth::MakeSimulated3(200);
-  EXPECT_FALSE(Miner(BaseConfig()).Mine(db, "nope").ok());
+  EXPECT_FALSE(
+      Miner(BaseConfig()).Mine(db, GroupRequest("nope")).ok());
 }
 
 TEST(MinerTest, UnknownSelectedAttributeFails) {
   data::Dataset db = synth::MakeSimulated3(200);
   MinerConfig cfg = BaseConfig();
   cfg.attributes = {"ghost"};
-  EXPECT_FALSE(Miner(cfg).Mine(db, "Group").ok());
+  EXPECT_FALSE(Miner(cfg).Mine(db, GroupRequest("Group")).ok());
 }
 
 TEST(MinerTest, GroupAttributeCannotBeMined) {
   data::Dataset db = synth::MakeSimulated3(200);
   MinerConfig cfg = BaseConfig();
   cfg.attributes = {"Group"};
-  EXPECT_FALSE(Miner(cfg).Mine(db, "Group").ok());
+  EXPECT_FALSE(Miner(cfg).Mine(db, GroupRequest("Group")).ok());
 }
 
 TEST(MinerTest, Simulated1FindsOnlyTheSeparatingAttribute) {
@@ -61,7 +65,7 @@ TEST(MinerTest, Simulated1FindsOnlyTheSeparatingAttribute) {
   // pure, so no 2-attribute contrast should survive.
   data::Dataset db = synth::MakeSimulated1(1000);
   Miner miner(BaseConfig());
-  auto result = miner.Mine(db, "Group");
+  auto result = miner.Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
   EXPECT_EQ(MaxPatternSize(*result), 1);
@@ -83,7 +87,7 @@ TEST(MinerTest, Simulated2XorNeedsBothAttributes) {
   MinerConfig cfg = BaseConfig();
   cfg.measure = MeasureKind::kSurprising;
   Miner miner(cfg);
-  auto result = miner.Mine(db, "Group");
+  auto result = miner.Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   bool has_bivariate = false;
   for (const ContrastPattern& p : result->contrasts) {
@@ -95,7 +99,7 @@ TEST(MinerTest, Simulated2XorNeedsBothAttributes) {
   for (const char* attr : {"Attr1", "Attr2"}) {
     MinerConfig solo = cfg;
     solo.attributes = {attr};
-    auto r = Miner(solo).Mine(db, "Group");
+    auto r = Miner(solo).Mine(db, GroupRequest("Group"));
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(r->contrasts.empty()) << attr;
   }
@@ -106,7 +110,7 @@ TEST(MinerTest, Simulated3NoHigherLevelContrasts) {
   // only (Cortana's meaningless level-2 boxes must not appear).
   data::Dataset db = synth::MakeSimulated3(1000);
   Miner miner(BaseConfig());
-  auto result = miner.Mine(db, "Group");
+  auto result = miner.Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
   EXPECT_EQ(MaxPatternSize(*result), 1);
@@ -118,7 +122,7 @@ TEST(MinerTest, Simulated4FindsLevelTwoBlocks) {
   MinerConfig cfg = BaseConfig();
   cfg.measure = MeasureKind::kSurprising;
   Miner miner(cfg);
-  auto result = miner.Mine(db, "Group");
+  auto result = miner.Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   bool found_block = false;
   for (const ContrastPattern& p : result->contrasts) {
@@ -130,9 +134,9 @@ TEST(MinerTest, Simulated4FindsLevelTwoBlocks) {
 TEST(MinerTest, NpModeEvaluatesMorePartitions) {
   data::Dataset db = synth::MakeSimulated4(1500);
   MinerConfig cfg = BaseConfig();
-  auto pruned = Miner(cfg).Mine(db, "Group");
+  auto pruned = Miner(cfg).Mine(db, GroupRequest("Group"));
   cfg.meaningful_pruning = false;
-  auto np = Miner(cfg).Mine(db, "Group");
+  auto np = Miner(cfg).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(pruned.ok());
   ASSERT_TRUE(np.ok());
   EXPECT_GE(np->counters.partitions_evaluated,
@@ -144,8 +148,8 @@ TEST(MinerTest, NpModeEvaluatesMorePartitions) {
 TEST(MinerTest, DeterministicAcrossRuns) {
   data::Dataset db = synth::MakeSimulated4(800);
   Miner miner(BaseConfig());
-  auto a = miner.Mine(db, "Group");
-  auto b = miner.Mine(db, "Group");
+  auto a = miner.Mine(db, GroupRequest("Group"));
+  auto b = miner.Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   ASSERT_EQ(a->contrasts.size(), b->contrasts.size());
@@ -157,7 +161,8 @@ TEST(MinerTest, DeterministicAcrossRuns) {
 
 TEST(MinerTest, ResultsSortedByMeasure) {
   data::Dataset db = synth::MakeSimulated4(1000);
-  auto result = Miner(BaseConfig()).Mine(db, "Group");
+  auto result =
+      Miner(BaseConfig()).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   for (size_t i = 1; i < result->contrasts.size(); ++i) {
     EXPECT_GE(result->contrasts[i - 1].measure,
@@ -171,7 +176,8 @@ TEST(MinerTest, AdultLikeYoungAgeBandIsPureBachelors) {
   cfg.measure = MeasureKind::kPurityRatio;
   cfg.attributes = {"age", "hours_per_week"};
   Miner miner(cfg);
-  auto result = miner.Mine(adult.db, adult.group_attr, adult.groups);
+  auto result =
+      miner.Mine(adult.db, GroupRequest(adult.group_attr, adult.groups));
   ASSERT_TRUE(result.ok());
   // Table 1, row 1: a low-age interval with zero Doctorate support.
   bool found = false;

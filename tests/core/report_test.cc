@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "synth/simulated.h"
 #include "util/logging.h"
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupsRequest;
 
 struct Fixture {
   data::Dataset db;
@@ -22,7 +25,7 @@ Fixture MakeFixture() {
   f.gi = std::move(gi).value();
   MinerConfig cfg;
   cfg.max_depth = 2;
-  auto result = Miner(cfg).MineWithGroups(f.db, f.gi);
+  auto result = Miner(cfg).Mine(f.db, GroupsRequest(f.gi));
   SDADCS_CHECK(result.ok());
   f.result = std::move(result).value();
   SDADCS_CHECK(!f.result.contrasts.empty());

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "core/space.h"
 #include "synth/simulated.h"
@@ -8,6 +9,8 @@
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupRequest;
 
 data::Dataset MakeSkewed() {
   // Values 1..9 plus a heavy outlier: median 5, mean ~104.
@@ -71,7 +74,7 @@ TEST(SplitKindMinerTest, BothSplitsFindThePlantedRule) {
     MinerConfig cfg;
     cfg.max_depth = 1;
     cfg.split = kind;
-    auto result = Miner(cfg).Mine(db, "Group");
+    auto result = Miner(cfg).Mine(db, GroupRequest("Group"));
     ASSERT_TRUE(result.ok());
     ASSERT_FALSE(result->contrasts.empty())
         << (kind == SplitKind::kMedian ? "median" : "mean");
@@ -97,7 +100,7 @@ TEST(SplitKindMinerTest, MeanSplitHandlesSkewWithoutCrashing) {
   MinerConfig cfg;
   cfg.max_depth = 1;
   cfg.split = SplitKind::kMean;
-  auto result = Miner(cfg).Mine(*db, "g");
+  auto result = Miner(cfg).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   for (const ContrastPattern& p : result->contrasts) {
     EXPECT_GT(p.diff, cfg.delta);

@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupsRequest;
 
 struct Fixture {
   data::Dataset db;
@@ -121,7 +124,7 @@ TEST(StuccoTest, AgreesWithLatticeSearchOnCategoricalData) {
   mcfg.max_depth = scfg.max_depth;
   mcfg.meaningful_pruning = false;
   mcfg.optimistic_pruning = false;
-  auto lattice = Miner(mcfg).MineWithGroups(f.db, f.gi);
+  auto lattice = Miner(mcfg).Mine(f.db, GroupsRequest(f.gi));
   ASSERT_TRUE(lattice.ok());
 
   std::set<std::string> lattice_keys;

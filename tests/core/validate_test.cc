@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "core/support.h"
 #include "synth/simulated.h"
@@ -9,6 +10,8 @@
 
 namespace sdadcs::core {
 namespace {
+
+using test_support::GroupsRequest;
 
 struct Fixture {
   data::Dataset db;
@@ -63,7 +66,7 @@ TEST(ValidateTest, RealPatternGeneralizes) {
 
   MinerConfig cfg;
   cfg.max_depth = 1;
-  auto mined = Miner(cfg).MineWithGroups(f.db, split->train);
+  auto mined = Miner(cfg).Mine(f.db, GroupsRequest(split->train));
   ASSERT_TRUE(mined.ok());
   ASSERT_FALSE(mined->contrasts.empty());
 

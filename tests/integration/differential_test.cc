@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "data/csv.h"
 #include "synth/uci_like.h"
@@ -13,6 +14,8 @@ namespace {
 using core::ContrastPattern;
 using core::Miner;
 using core::MinerConfig;
+
+using test_support::GroupsRequest;
 
 // Brute force: the best support difference achievable by ANY single
 // interval (lo, hi] with endpoints on observed values of `attr`.
@@ -88,7 +91,7 @@ TEST(DifferentialTest, SdadApproximatesOptimalIntervalAndLocatesBand) {
     MinerConfig cfg;
     cfg.max_depth = 1;
     cfg.sdad_max_level = 6;
-    auto result = Miner(cfg).MineWithGroups(*db, *gi);
+    auto result = Miner(cfg).Mine(*db, GroupsRequest(*gi));
     ASSERT_TRUE(result.ok());
     ASSERT_FALSE(result->contrasts.empty()) << "seed " << seed;
     double found = result->contrasts.front().diff;
@@ -146,11 +149,11 @@ TEST(DifferentialTest, ColumnarKernelsMatchNaivePathExactly) {
     cfg.top_k = 50;
 
     cfg.columnar_kernels = true;
-    auto fused = Miner(cfg).MineWithGroups(nd.db, *gi);
+    auto fused = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
     ASSERT_TRUE(fused.ok());
 
     cfg.columnar_kernels = false;
-    auto naive = Miner(cfg).MineWithGroups(nd.db, *gi);
+    auto naive = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
     ASSERT_TRUE(naive.ok());
 
     EXPECT_EQ(RenderResult(fused->contrasts), RenderResult(naive->contrasts))

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/meaningful.h"
+#include "common/requests.h"
 #include "core/miner.h"
 #include "data/csv.h"
 #include "subgroup/beam.h"
@@ -15,7 +16,14 @@ namespace {
 
 using core::ContrastPattern;
 using core::Miner;
+using core::MineRequest;
 using core::MinerConfig;
+
+// Every synth fixture carries its group spec; this turns it into the
+// unified MineRequest the engines take.
+MineRequest RequestFor(const synth::NamedDataset& nd) {
+  return test_support::GroupRequest(nd.group_attr, nd.groups);
+}
 
 TEST(EndToEndTest, ManufacturingTriageFindsPlantedCause) {
   synth::ManufacturingOptions opt;
@@ -29,7 +37,7 @@ TEST(EndToEndTest, ManufacturingTriageFindsPlantedCause) {
   cfg.max_depth = 2;
   cfg.delta = 0.1;
   Miner miner(cfg);
-  auto result = miner.Mine(mfg.db, mfg.group_attr, mfg.groups);
+  auto result = miner.Mine(mfg.db, RequestFor(mfg));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
 
@@ -74,13 +82,13 @@ TEST(EndToEndTest, CsvRoundTripPreservesMiningResult) {
   cfg.max_depth = 2;
   cfg.attributes = {"age", "hours_per_week", "occupation"};
   Miner miner(cfg);
-  auto direct = miner.Mine(adult.db, adult.group_attr, adult.groups);
+  auto direct = miner.Mine(adult.db, RequestFor(adult));
   ASSERT_TRUE(direct.ok());
 
   std::string csv = data::WriteCsvString(adult.db);
   auto reloaded = data::ReadCsvString(csv);
   ASSERT_TRUE(reloaded.ok());
-  auto via_csv = miner.Mine(*reloaded, adult.group_attr, adult.groups);
+  auto via_csv = miner.Mine(*reloaded, RequestFor(adult));
   ASSERT_TRUE(via_csv.ok());
 
   ASSERT_EQ(direct->contrasts.size(), via_csv->contrasts.size());
@@ -102,7 +110,7 @@ TEST(EndToEndTest, SdadBeatsGreedyBaselineOnInteraction) {
   cfg.measure = core::MeasureKind::kSurprising;
   cfg.attributes = {"age", "hours_per_week"};
   Miner miner(cfg);
-  auto result = miner.Mine(adult.db, adult.group_attr, adult.groups);
+  auto result = miner.Mine(adult.db, RequestFor(adult));
   ASSERT_TRUE(result.ok());
   bool joint = false;
   for (const ContrastPattern& p : result->contrasts) {
@@ -124,11 +132,9 @@ TEST(EndToEndTest, FilteredListIsSubsetOfUnfiltered) {
   MinerConfig cfg;
   cfg.max_depth = 2;
   cfg.attributes = {"attr1", "attr2", "attr9"};
-  auto filtered = Miner(cfg).Mine(shuttle.db, shuttle.group_attr,
-                                  shuttle.groups);
+  auto filtered = Miner(cfg).Mine(shuttle.db, RequestFor(shuttle));
   cfg.meaningful_pruning = false;
-  auto raw = Miner(cfg).Mine(shuttle.db, shuttle.group_attr,
-                             shuttle.groups);
+  auto raw = Miner(cfg).Mine(shuttle.db, RequestFor(shuttle));
   ASSERT_TRUE(filtered.ok());
   ASSERT_TRUE(raw.ok());
   EXPECT_LE(filtered->contrasts.size(), raw->contrasts.size());

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "core/support.h"
 #include "synth/simulated.h"
@@ -19,6 +20,9 @@ using core::ContrastPattern;
 using core::MeasureKind;
 using core::Miner;
 using core::MinerConfig;
+
+using test_support::GroupRequest;
+using test_support::GroupsRequest;
 
 data::Dataset MakeByName(const std::string& name) {
   if (name == "sim1") return synth::MakeSimulated1(800);
@@ -47,7 +51,7 @@ TEST_P(MinerInvariants, AllPatternsSatisfyContracts) {
   cfg.measure = measure;
   cfg.meaningful_pruning = meaningful;
   Miner miner(cfg);
-  auto result = miner.MineWithGroups(db, *gi);
+  auto result = miner.Mine(db, GroupsRequest(*gi));
   ASSERT_TRUE(result.ok());
 
   double prev_measure = std::numeric_limits<double>::infinity();
@@ -110,7 +114,7 @@ TEST_P(DeltaSweep, PatternsRespectDelta) {
   MinerConfig cfg;
   cfg.max_depth = 2;
   cfg.delta = delta;
-  auto result = Miner(cfg).Mine(db, "Group");
+  auto result = Miner(cfg).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   for (const ContrastPattern& p : result->contrasts) {
     EXPECT_GT(p.diff, delta);
@@ -132,7 +136,7 @@ TEST(DeltaMonotonicityTest, HigherDeltaFewerOrEqualPatterns) {
     MinerConfig cfg;
     cfg.max_depth = 2;
     cfg.delta = delta;
-    auto result = Miner(cfg).Mine(db, "Group");
+    auto result = Miner(cfg).Mine(db, GroupRequest("Group"));
     ASSERT_TRUE(result.ok());
     EXPECT_LE(result->contrasts.size(), prev);
     prev = result->contrasts.size();
@@ -150,7 +154,7 @@ TEST(AlphaMonotonicityTest, StricterAlphaFewerOrEqualPatterns) {
     MinerConfig cfg;
     cfg.max_depth = 2;
     cfg.alpha = alpha;
-    auto result = Miner(cfg).Mine(db, "Group");
+    auto result = Miner(cfg).Mine(db, GroupRequest("Group"));
     ASSERT_TRUE(result.ok());
     EXPECT_LE(result->contrasts.size(), prev) << "alpha " << alpha;
     prev = result->contrasts.size();
@@ -169,7 +173,8 @@ TEST_P(UciSmoke, DepthOneMiningIsSane) {
   MinerConfig cfg;
   cfg.max_depth = 1;
   Miner miner(cfg);
-  auto result = miner.Mine(nd.db, nd.group_attr, nd.groups);
+  auto result =
+      miner.Mine(nd.db, GroupRequest(nd.group_attr, nd.groups));
   ASSERT_TRUE(result.ok());
   for (const ContrastPattern& p : result->contrasts) {
     EXPECT_EQ(p.itemset.size(), 1u);

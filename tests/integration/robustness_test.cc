@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "core/miner.h"
 #include "core/support.h"
 #include "util/logging.h"
@@ -15,6 +16,8 @@ namespace {
 using core::ContrastPattern;
 using core::Miner;
 using core::MinerConfig;
+
+using test_support::GroupRequest;
 
 MinerConfig SmallConfig() {
   MinerConfig cfg;
@@ -36,7 +39,7 @@ TEST(RobustnessTest, AllMissingContinuousColumn) {
   }
   auto db = std::move(b).Build();
   ASSERT_TRUE(db.ok());
-  auto result = Miner(SmallConfig()).Mine(*db, "g");
+  auto result = Miner(SmallConfig()).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   // The live attribute still yields its contrast.
   EXPECT_FALSE(result->contrasts.empty());
@@ -59,7 +62,7 @@ TEST(RobustnessTest, ConstantColumnsHandled) {
   }
   auto db = std::move(b).Build();
   ASSERT_TRUE(db.ok());
-  auto result = Miner(SmallConfig()).Mine(*db, "g");
+  auto result = Miner(SmallConfig()).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->contrasts.empty());
 }
@@ -78,7 +81,7 @@ TEST(RobustnessTest, HighCardinalityCategorical) {
   }
   auto db = std::move(b).Build();
   ASSERT_TRUE(db.ok());
-  auto result = Miner(SmallConfig()).Mine(*db, "g");
+  auto result = Miner(SmallConfig()).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->contrasts.empty());
   EXPECT_GT(result->counters.pruned_min_support +
@@ -100,7 +103,7 @@ TEST(RobustnessTest, HeavilyImbalancedGroups) {
   }
   auto db = std::move(b).Build();
   ASSERT_TRUE(db.ok());
-  auto result = Miner(SmallConfig()).Mine(*db, "g");
+  auto result = Miner(SmallConfig()).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
   // Supports stay per-group: the rare group's pattern support is high
@@ -121,7 +124,7 @@ TEST(RobustnessTest, ThreeGroupMining) {
   }
   auto db = std::move(b).Build();
   ASSERT_TRUE(db.ok());
-  auto result = Miner(SmallConfig()).Mine(*db, "g");
+  auto result = Miner(SmallConfig()).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
   for (const ContrastPattern& p : result->contrasts) {
@@ -145,7 +148,7 @@ TEST(RobustnessTest, SingleContinuousAttributeDepthBeyondAttrs) {
   ASSERT_TRUE(db.ok());
   MinerConfig cfg;
   cfg.max_depth = 5;  // more than the attribute count
-  auto result = Miner(cfg).Mine(*db, "g");
+  auto result = Miner(cfg).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->contrasts.empty());
 }
@@ -163,7 +166,7 @@ TEST(RobustnessTest, DuplicatedRowsDoNotBreakMedians) {
   }
   auto db = std::move(b).Build();
   ASSERT_TRUE(db.ok());
-  auto result = Miner(SmallConfig()).Mine(*db, "g");
+  auto result = Miner(SmallConfig()).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
   // x = 0 exactly identifies group a.
@@ -184,7 +187,7 @@ TEST(RobustnessTest, MinCoverageSuppressesSlivers) {
   ASSERT_TRUE(db.ok());
   MinerConfig cfg = SmallConfig();
   cfg.min_coverage = 150;
-  auto result = Miner(cfg).Mine(*db, "g");
+  auto result = Miner(cfg).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   for (const ContrastPattern& p : result->contrasts) {
     double total = 0.0;
@@ -207,7 +210,7 @@ TEST(RobustnessTest, EntropyPurityMeasureRuns) {
   ASSERT_TRUE(db.ok());
   MinerConfig cfg = SmallConfig();
   cfg.measure = core::MeasureKind::kEntropyPurity;
-  auto result = Miner(cfg).Mine(*db, "g");
+  auto result = Miner(cfg).Mine(*db, GroupRequest("g"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->contrasts.empty());
   // Pure boundary region must surface with measure near 1.

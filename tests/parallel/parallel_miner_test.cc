@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/requests.h"
 #include "synth/scaling.h"
 #include "synth/simulated.h"
 #include "synth/uci_like.h"
@@ -14,6 +15,8 @@
 
 namespace sdadcs::parallel {
 namespace {
+
+using test_support::GroupRequest;
 
 core::MinerConfig BaseConfig() {
   core::MinerConfig cfg;
@@ -24,8 +27,8 @@ core::MinerConfig BaseConfig() {
 TEST(ParallelMinerTest, FindsSamePatternsAsSerial) {
   data::Dataset db = synth::MakeSimulated4(1500);
   core::MinerConfig cfg = BaseConfig();
-  auto serial = core::Miner(cfg).Mine(db, "Group");
-  auto parallel = ParallelMiner(cfg, 4).Mine(db, "Group");
+  auto serial = core::Miner(cfg).Mine(db, GroupRequest("Group"));
+  auto parallel = ParallelMiner(cfg, 4).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   // Workers lose some cross-subtree pruning but the pattern *set* of
@@ -43,7 +46,7 @@ TEST(ParallelMinerTest, FindsSamePatternsAsSerial) {
 
 TEST(ParallelMinerTest, SingleThreadWorks) {
   data::Dataset db = synth::MakeSimulated3(600);
-  auto result = ParallelMiner(BaseConfig(), 1).Mine(db, "Group");
+  auto result = ParallelMiner(BaseConfig(), 1).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->contrasts.empty());
 }
@@ -53,7 +56,7 @@ TEST(ParallelMinerTest, ZeroThreadsResolvesToHardwareConcurrency) {
   size_t expected = std::max(1u, std::thread::hardware_concurrency());
   EXPECT_EQ(miner.num_threads(), expected);
   data::Dataset db = synth::MakeSimulated3(300);
-  auto result = miner.Mine(db, "Group");
+  auto result = miner.Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->completion, core::Completion::kComplete);
 }
@@ -62,7 +65,7 @@ TEST(ParallelMinerTest, InvalidConfigRejected) {
   core::MinerConfig cfg = BaseConfig();
   cfg.alpha = 1.5;
   data::Dataset db = synth::MakeSimulated3(300);
-  auto result = ParallelMiner(cfg, 2).Mine(db, "Group");
+  auto result = ParallelMiner(cfg, 2).Mine(db, GroupRequest("Group"));
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().ToString().find("alpha"), std::string::npos);
 }
@@ -100,7 +103,8 @@ TEST(ParallelMinerTest, CancelFromSecondThreadUnblocksQuickly) {
 
 TEST(ParallelMinerTest, UnknownGroupAttrRejected) {
   data::Dataset db = synth::MakeSimulated3(300);
-  EXPECT_FALSE(ParallelMiner(BaseConfig(), 2).Mine(db, "nope").ok());
+  EXPECT_FALSE(
+      ParallelMiner(BaseConfig(), 2).Mine(db, GroupRequest("nope")).ok());
 }
 
 TEST(ParallelMinerTest, XorStructureSurvivesParallelism) {
@@ -109,7 +113,7 @@ TEST(ParallelMinerTest, XorStructureSurvivesParallelism) {
   data::Dataset db = synth::MakeSimulated2(1200);
   core::MinerConfig cfg = BaseConfig();
   cfg.measure = core::MeasureKind::kSurprising;
-  auto result = ParallelMiner(cfg, 3).Mine(db, "Group");
+  auto result = ParallelMiner(cfg, 3).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(result.ok());
   bool has_bivariate = false;
   for (const auto& p : result->contrasts) {
@@ -122,8 +126,8 @@ TEST(ParallelMinerTest, GroupValueSelectionWorks) {
   synth::NamedDataset adult = synth::MakeAdultLike();
   core::MinerConfig cfg = BaseConfig();
   cfg.attributes = {"age", "occupation"};
-  auto result = ParallelMiner(cfg, 2).Mine(adult.db, adult.group_attr,
-                                           adult.groups);
+  auto result = ParallelMiner(cfg, 2).Mine(
+      adult.db, GroupRequest(adult.group_attr, adult.groups));
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->contrasts.empty());
   EXPECT_EQ(result->group_names,
@@ -144,8 +148,8 @@ TEST_P(ParallelEquivalence, MatchesSerialPatternSet) {
                                   : synth::MakeSimulated4(1200);
   core::MinerConfig cfg = BaseConfig();
   cfg.meaningful_pruning = meaningful;
-  auto serial = core::Miner(cfg).Mine(db, "Group");
-  auto par = ParallelMiner(cfg, 3).Mine(db, "Group");
+  auto serial = core::Miner(cfg).Mine(db, GroupRequest("Group"));
+  auto par = ParallelMiner(cfg, 3).Mine(db, GroupRequest("Group"));
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(par.ok());
   std::set<std::string> a;
@@ -170,7 +174,7 @@ TEST(ParallelMinerTest, WideDatasetCompletes) {
   opt.categorical_features = 5;
   synth::NamedDataset sc = synth::MakeScalingDataset(opt);
   core::MinerConfig cfg = BaseConfig();
-  auto result = ParallelMiner(cfg, 4).Mine(sc.db, sc.group_attr);
+  auto result = ParallelMiner(cfg, 4).Mine(sc.db, GroupRequest(sc.group_attr));
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->counters.partitions_evaluated, 0u);
   EXPECT_FALSE(result->contrasts.empty());

@@ -1,0 +1,162 @@
+// DatasetRegistry: spec loading, handle replacement with generation
+// bumps, LRU eviction against a byte budget, and the eviction listener
+// the serving layer hangs cache invalidation on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/dataset_registry.h"
+
+namespace sdadcs::serve {
+namespace {
+
+TEST(LoadDatasetFromSpecTest, SynthScalingHonoursRowCount) {
+  auto db = LoadDatasetFromSpec("synth:scaling:1000");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_rows(), 1000u);
+  EXPECT_GT(db->num_attributes(), 100u);  // 120 features + group attr
+}
+
+TEST(LoadDatasetFromSpecTest, SynthUciLikeByName) {
+  auto db = LoadDatasetFromSpec("synth:breast");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_rows(), 699u);  // 458 benign + 241 malignant
+}
+
+TEST(LoadDatasetFromSpecTest, UnknownSynthNameIsInvalidArgument) {
+  auto db = LoadDatasetFromSpec("synth:nosuch");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(LoadDatasetFromSpecTest, MissingCsvPathFails) {
+  EXPECT_FALSE(LoadDatasetFromSpec("/nonexistent/file.csv").ok());
+}
+
+TEST(DatasetRegistryTest, LoadThenGetSharesOneSealedDataset) {
+  DatasetRegistry registry;
+  auto loaded = registry.Load("b", "synth:breast");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->name, "b");
+  EXPECT_EQ((*loaded)->spec, "synth:breast");
+  EXPECT_GT((*loaded)->memory_bytes, 0u);
+  EXPECT_NE((*loaded)->fingerprint, 0u);
+
+  auto got = registry.Get("b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->get(), loaded->get());  // same resident object
+
+  auto missing = registry.Get("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+
+  DatasetRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.resident, 1u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.resident_bytes, (*loaded)->memory_bytes);
+}
+
+TEST(DatasetRegistryTest, EmptyNameRejected) {
+  DatasetRegistry registry;
+  EXPECT_FALSE(registry.Load("", "synth:breast").ok());
+}
+
+TEST(DatasetRegistryTest, ReloadReplacesAndBumpsGeneration) {
+  DatasetRegistry registry;
+  std::vector<std::string> evicted_names;
+  registry.set_eviction_listener(
+      [&](const std::shared_ptr<const ServedDataset>& ds) {
+        evicted_names.push_back(ds->name);
+      });
+
+  auto v1 = registry.Load("d", "synth:breast");
+  ASSERT_TRUE(v1.ok());
+  auto v2 = registry.Load("d", "synth:transfusion");
+  ASSERT_TRUE(v2.ok());
+
+  // The replaced generation fired the listener; the new one is resident.
+  EXPECT_EQ(evicted_names, std::vector<std::string>{"d"});
+  EXPECT_GT((*v2)->generation, (*v1)->generation);
+  EXPECT_NE((*v2)->fingerprint, (*v1)->fingerprint);
+
+  DatasetRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.resident, 1u);
+  EXPECT_EQ(s.loads, 2u);
+  EXPECT_EQ(s.replacements, 1u);
+  EXPECT_EQ(s.evictions, 0u);  // replacement is not an eviction
+
+  // The old handle stays alive for whoever still holds it.
+  EXPECT_EQ((*v1)->spec, "synth:breast");
+  EXPECT_GT((*v1)->db.num_rows(), 0u);
+}
+
+TEST(DatasetRegistryTest, ExplicitEvictFiresListener) {
+  DatasetRegistry registry;
+  int evictions = 0;
+  registry.set_eviction_listener(
+      [&](const std::shared_ptr<const ServedDataset>&) { ++evictions; });
+  ASSERT_TRUE(registry.Load("d", "synth:breast").ok());
+  EXPECT_TRUE(registry.Evict("d"));
+  EXPECT_FALSE(registry.Evict("d"));  // already gone
+  EXPECT_EQ(evictions, 1);
+  EXPECT_FALSE(registry.Get("d").ok());
+}
+
+TEST(DatasetRegistryTest, BudgetEvictsLeastRecentlyUsedFirst) {
+  // Size the budget from a real dataset so the test tracks MemoryUsage
+  // drift: room for about two transfusion-sized datasets, not three.
+  auto probe = DatasetRegistry().Load("probe", "synth:transfusion");
+  ASSERT_TRUE(probe.ok());
+  const size_t one = (*probe)->memory_bytes;
+
+  DatasetRegistry registry(2 * one + one / 2);
+  std::vector<std::string> evicted;
+  registry.set_eviction_listener(
+      [&](const std::shared_ptr<const ServedDataset>& ds) {
+        evicted.push_back(ds->name);
+      });
+
+  ASSERT_TRUE(registry.Load("a", "synth:transfusion").ok());
+  ASSERT_TRUE(registry.Load("b", "synth:transfusion").ok());
+  // Touch "a" so "b" is the LRU victim when "c" overflows the budget.
+  ASSERT_TRUE(registry.Get("a").ok());
+  ASSERT_TRUE(registry.Load("c", "synth:transfusion").ok());
+
+  EXPECT_EQ(evicted, std::vector<std::string>{"b"});
+  EXPECT_EQ(registry.ResidentNames(), (std::vector<std::string>{"c", "a"}));
+  DatasetRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.resident, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.resident_bytes, s.budget_bytes);
+}
+
+TEST(DatasetRegistryTest, OversizedDatasetStaysResidentAlone) {
+  // A single dataset larger than the whole budget is kept (serving
+  // nothing would be strictly worse); the overage shows in stats.
+  DatasetRegistry registry(1);  // 1 byte
+  ASSERT_TRUE(registry.Load("big", "synth:breast").ok());
+  DatasetRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.resident, 1u);
+  EXPECT_GT(s.resident_bytes, s.budget_bytes);
+  EXPECT_TRUE(registry.Get("big").ok());
+
+  // Loading a second dataset now evicts the LRU one to chase the budget.
+  ASSERT_TRUE(registry.Load("big2", "synth:transfusion").ok());
+  EXPECT_EQ(registry.ResidentNames(), std::vector<std::string>{"big2"});
+}
+
+TEST(DatasetRegistryTest, ResidentNamesIsMruFirst) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load("a", "synth:breast").ok());
+  ASSERT_TRUE(registry.Load("b", "synth:transfusion").ok());
+  EXPECT_EQ(registry.ResidentNames(), (std::vector<std::string>{"b", "a"}));
+  ASSERT_TRUE(registry.Get("a").ok());
+  EXPECT_EQ(registry.ResidentNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace sdadcs::serve

@@ -1,0 +1,248 @@
+// ResultCache: LRU storage, single-flight coalescing, the
+// only-cache-complete-results invariant, dataset invalidation and the
+// counters the stats op reports.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/request_key.h"
+#include "gtest/gtest.h"
+#include "serve/result_cache.h"
+#include "util/run_control.h"
+
+namespace sdadcs::serve {
+namespace {
+
+core::RequestKey Key(uint64_t n) {
+  // Distinct synthetic keys; the real canonicalization is covered by
+  // core/fingerprint_test.
+  return core::RequestKey{n * 0x9e3779b97f4a7c15ULL + 1, n};
+}
+
+ResultCache::ResultPtr MakeResult(
+    double marker, core::Completion completion = core::Completion::kComplete) {
+  auto r = std::make_shared<core::MiningResult>();
+  r->elapsed_seconds = marker;  // lets tests tell results apart
+  r->completion = completion;
+  return r;
+}
+
+TEST(ResultCacheTest, MissPublishHit) {
+  ResultCache cache(8);
+  ResultCache::Lookup miss = cache.Acquire(Key(1), "ds");
+  ASSERT_EQ(miss.kind, ResultCache::LookupKind::kLeader);
+  cache.Publish(miss.flight, MakeResult(1.0));
+
+  ResultCache::Lookup hit = cache.Acquire(Key(1), "ds");
+  ASSERT_EQ(hit.kind, ResultCache::LookupKind::kHit);
+  EXPECT_DOUBLE_EQ(hit.result->elapsed_seconds, 1.0);
+
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.size, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.coalesced, 0u);
+}
+
+TEST(ResultCacheTest, PartialResultsAreNeverStored) {
+  ResultCache cache(8);
+  for (core::Completion c :
+       {core::Completion::kDeadlineExceeded, core::Completion::kCancelled,
+        core::Completion::kBudgetExhausted}) {
+    ResultCache::Lookup lead = cache.Acquire(Key(2), "ds");
+    ASSERT_EQ(lead.kind, ResultCache::LookupKind::kLeader);
+    cache.Publish(lead.flight, MakeResult(0.5, c));
+    // The follower-visible result existed, but nothing was cached: the
+    // next Acquire is a fresh miss, not a hit.
+    EXPECT_EQ(cache.Acquire(Key(2), "ds").kind,
+              ResultCache::LookupKind::kLeader);
+    cache.Abandon(cache.Acquire(Key(2), "ds").flight);
+  }
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(ResultCacheTest, FollowerReceivesLeadersResult) {
+  ResultCache cache(8);
+  ResultCache::Lookup lead = cache.Acquire(Key(3), "ds");
+  ASSERT_EQ(lead.kind, ResultCache::LookupKind::kLeader);
+  ResultCache::Lookup follow = cache.Acquire(Key(3), "ds");
+  ASSERT_EQ(follow.kind, ResultCache::LookupKind::kFollower);
+
+  std::thread waiter([&] {
+    util::RunControl control;
+    bool abandoned = true;
+    ResultCache::ResultPtr got =
+        cache.Wait(follow.flight, control, &abandoned);
+    ASSERT_NE(got, nullptr);
+    EXPECT_DOUBLE_EQ(got->elapsed_seconds, 3.0);
+    EXPECT_FALSE(abandoned);
+  });
+  cache.Publish(lead.flight, MakeResult(3.0));
+  waiter.join();
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+}
+
+TEST(ResultCacheTest, AbandonWakesFollowerToRetryAsLeader) {
+  ResultCache cache(8);
+  ResultCache::Lookup lead = cache.Acquire(Key(4), "ds");
+  ResultCache::Lookup follow = cache.Acquire(Key(4), "ds");
+  ASSERT_EQ(follow.kind, ResultCache::LookupKind::kFollower);
+
+  cache.Abandon(lead.flight);
+  util::RunControl control;
+  bool abandoned = false;
+  EXPECT_EQ(cache.Wait(follow.flight, control, &abandoned), nullptr);
+  EXPECT_TRUE(abandoned);
+  // The retry finds no entry and no in-flight run: it leads now.
+  EXPECT_EQ(cache.Acquire(Key(4), "ds").kind,
+            ResultCache::LookupKind::kLeader);
+  EXPECT_EQ(cache.stats().abandons, 1u);
+}
+
+TEST(ResultCacheTest, CancelledFollowerWalksAwayWithoutPoisoningTheFlight) {
+  ResultCache cache(8);
+  ResultCache::Lookup lead = cache.Acquire(Key(5), "ds");
+  ResultCache::Lookup follow = cache.Acquire(Key(5), "ds");
+
+  util::RunControl follower_control;
+  follower_control.Cancel();
+  bool abandoned = true;
+  EXPECT_EQ(cache.Wait(follow.flight, follower_control, &abandoned), nullptr);
+  EXPECT_FALSE(abandoned);  // the walk-away is the follower's own doing
+
+  // The leader still publishes for everyone else; the entry is clean.
+  cache.Publish(lead.flight, MakeResult(5.0));
+  ResultCache::Lookup hit = cache.Acquire(Key(5), "ds");
+  ASSERT_EQ(hit.kind, ResultCache::LookupKind::kHit);
+  EXPECT_DOUBLE_EQ(hit.result->elapsed_seconds, 5.0);
+}
+
+TEST(ResultCacheTest, DeadlineBoundsFollowerWait) {
+  ResultCache cache(8);
+  ResultCache::Lookup lead = cache.Acquire(Key(6), "ds");
+  ResultCache::Lookup follow = cache.Acquire(Key(6), "ds");
+  util::RunControl control =
+      util::RunControl::WithDeadline(std::chrono::milliseconds(20));
+  bool abandoned = true;
+  EXPECT_EQ(cache.Wait(follow.flight, control, &abandoned), nullptr);
+  EXPECT_FALSE(abandoned);
+  cache.Abandon(lead.flight);  // clean up the stranded flight
+}
+
+TEST(ResultCacheTest, LruEvictsBeyondCapacity) {
+  ResultCache cache(2);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ResultCache::Lookup lead = cache.Acquire(Key(10 + i), "ds");
+    cache.Publish(lead.flight, MakeResult(static_cast<double>(i)));
+  }
+  // Key(10) was least recently used and fell out.
+  EXPECT_EQ(cache.Acquire(Key(10), "ds").kind,
+            ResultCache::LookupKind::kLeader);
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  cache.Abandon(cache.Acquire(Key(10), "ds").flight);
+}
+
+TEST(ResultCacheTest, HitsRefreshRecency) {
+  ResultCache cache(2);
+  for (uint64_t i = 0; i < 2; ++i) {
+    cache.Publish(cache.Acquire(Key(20 + i), "ds").flight,
+                  MakeResult(static_cast<double>(i)));
+  }
+  // Touch Key(20) so Key(21) is the victim of the next insert.
+  ASSERT_EQ(cache.Acquire(Key(20), "ds").kind,
+            ResultCache::LookupKind::kHit);
+  cache.Publish(cache.Acquire(Key(22), "ds").flight, MakeResult(2.0));
+  EXPECT_EQ(cache.Acquire(Key(20), "ds").kind,
+            ResultCache::LookupKind::kHit);
+  EXPECT_EQ(cache.Acquire(Key(21), "ds").kind,
+            ResultCache::LookupKind::kLeader);
+  cache.Abandon(cache.Acquire(Key(21), "ds").flight);
+}
+
+TEST(ResultCacheTest, InvalidateDatasetDropsOnlyItsEntries) {
+  ResultCache cache(8);
+  cache.Publish(cache.Acquire(Key(30), "adult").flight, MakeResult(1.0));
+  cache.Publish(cache.Acquire(Key(31), "adult").flight, MakeResult(2.0));
+  cache.Publish(cache.Acquire(Key(32), "breast").flight, MakeResult(3.0));
+
+  EXPECT_EQ(cache.InvalidateDataset("adult"), 2u);
+  EXPECT_EQ(cache.Acquire(Key(30), "adult").kind,
+            ResultCache::LookupKind::kLeader);
+  cache.Abandon(cache.Acquire(Key(30), "adult").flight);
+  EXPECT_EQ(cache.Acquire(Key(32), "breast").kind,
+            ResultCache::LookupKind::kHit);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityStillCoalesces) {
+  ResultCache cache(0);
+  ResultCache::Lookup lead = cache.Acquire(Key(40), "ds");
+  ASSERT_EQ(lead.kind, ResultCache::LookupKind::kLeader);
+  ResultCache::Lookup follow = cache.Acquire(Key(40), "ds");
+  ASSERT_EQ(follow.kind, ResultCache::LookupKind::kFollower);
+
+  std::thread waiter([&] {
+    util::RunControl control;
+    bool abandoned = true;
+    ResultCache::ResultPtr got =
+        cache.Wait(follow.flight, control, &abandoned);
+    ASSERT_NE(got, nullptr);
+    EXPECT_DOUBLE_EQ(got->elapsed_seconds, 40.0);
+  });
+  cache.Publish(lead.flight, MakeResult(40.0));
+  waiter.join();
+
+  // Followers were served, but nothing was stored.
+  EXPECT_EQ(cache.Acquire(Key(40), "ds").kind,
+            ResultCache::LookupKind::kLeader);
+  cache.Abandon(cache.Acquire(Key(40), "ds").flight);
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(ResultCacheTest, ManyConcurrentAcquirersOneLeader) {
+  ResultCache cache(8);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> leaders{0};
+  std::atomic<int> served{0};
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ResultCache::Lookup look = cache.Acquire(Key(50), "ds");
+      if (look.kind == ResultCache::LookupKind::kLeader) {
+        ++leaders;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        cache.Publish(look.flight, MakeResult(50.0));
+        ++served;
+      } else if (look.kind == ResultCache::LookupKind::kFollower) {
+        util::RunControl control;
+        bool abandoned = true;
+        ResultCache::ResultPtr got =
+            cache.Wait(look.flight, control, &abandoned);
+        if (got != nullptr) ++served;
+      } else {
+        ++served;  // raced past the publish: a plain hit
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(served.load(), kThreads);
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.coalesced + s.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace sdadcs::serve

@@ -1,0 +1,379 @@
+// sdadcs_serve — newline-delimited JSON mining server over stdin/stdout.
+//
+//   ./sdadcs_serve [--max-concurrent N] [--queue N] [--cache-capacity N]
+//                  [--memory-budget-mb N] [--deadline-ms N]
+//                  [--node-budget N] [--threads N]
+//                  [--parallel-threshold ROWS]
+//
+// One JSON object per input line, one JSON response line per request —
+// scriptable from shell pipes and CI with no network dependency:
+//
+//   {"op":"load","name":"d1","spec":"synth:scaling:20000"}
+//   {"op":"mine","dataset":"d1","group":"batch","config":{"depth":2}}
+//   {"op":"mine","dataset":"d1","group":"batch","config":{"depth":2}}
+//   {"op":"stats"}
+//   {"op":"evict","name":"d1"}
+//   {"op":"shutdown"}
+//
+// Ops:
+//   load     name, spec                 → rows/attributes/bytes/version
+//   mine     dataset, group, groups[],  → verdict, cache status, timings
+//            engine (auto|serial|parallel), deadline_ms, node_budget,
+//            cache (bool), emit ("summary"|"patterns"), burst (int),
+//            config {depth, delta, alpha, top, measure, np}
+//   stats                               → registry/cache/admission counters
+//   evict    name                       → evicted (bool)
+//   shutdown                            → acknowledges, then exits
+//
+// `burst` fires N copies of the request concurrently through the
+// admission controller and reports each outcome — the scripted way to
+// observe single-flight coalescing ("cache":"shared") and load shedding
+// ("verdict":"rejected_busy") without a second process.
+//
+// Every response carries "ok" plus the echoed "op"; protocol errors
+// (bad JSON, unknown op) answer {"ok":false,"error":...} and keep the
+// session alive. Responses never interleave: requests are handled one
+// line at a time.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/run_state.h"
+#include "data/group_info.h"
+#include "serve/ndjson.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using sdadcs::core::EngineKind;
+using sdadcs::serve::JsonObjectWriter;
+using sdadcs::serve::JsonValue;
+using sdadcs::serve::MineCall;
+using sdadcs::serve::MineOutcome;
+using sdadcs::serve::Server;
+using sdadcs::serve::ServerOptions;
+
+void Respond(const JsonObjectWriter& w) {
+  std::string line = w.Str();
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void RespondError(const std::string& op, const std::string& error) {
+  JsonObjectWriter w;
+  w.Add("ok", false);
+  if (!op.empty()) w.Add("op", op);
+  w.Add("error", error);
+  Respond(w);
+}
+
+sdadcs::core::MinerConfig ConfigFromJson(const JsonValue& request) {
+  sdadcs::core::MinerConfig cfg;
+  const JsonValue* config = request.Find("config");
+  if (config == nullptr || !config->IsObject()) return cfg;
+  cfg.max_depth = static_cast<int>(config->GetInt("depth", cfg.max_depth));
+  cfg.delta = config->GetNumber("delta", cfg.delta);
+  cfg.alpha = config->GetNumber("alpha", cfg.alpha);
+  cfg.top_k = static_cast<int>(config->GetInt("top", cfg.top_k));
+  std::string measure = config->GetString("measure", "diff");
+  if (measure == "pr") {
+    cfg.measure = sdadcs::core::MeasureKind::kPurityRatio;
+  } else if (measure == "surprising") {
+    cfg.measure = sdadcs::core::MeasureKind::kSurprising;
+  } else if (measure == "entropy") {
+    cfg.measure = sdadcs::core::MeasureKind::kEntropyPurity;
+  }
+  if (config->GetBool("np", false)) {
+    cfg.meaningful_pruning = false;
+    cfg.optimistic_pruning = false;
+  }
+  return cfg;
+}
+
+// Appends one MineOutcome's fields to `w`. `patterns_json` is spliced in
+// when non-empty.
+void OutcomeToJson(const MineOutcome& outcome,
+                   const std::string& patterns_json, JsonObjectWriter* out) {
+  JsonObjectWriter& w = *out;
+  w.Add("verdict", sdadcs::serve::VerdictToString(outcome.verdict));
+  w.Add("cache", sdadcs::serve::CacheStatusToString(outcome.cache));
+  w.Add("engine", sdadcs::core::EngineKindToString(outcome.engine));
+  w.Add("queue_ms", outcome.queue_seconds * 1e3);
+  w.Add("run_ms", outcome.run_seconds * 1e3);
+  w.Add("total_ms", outcome.total_seconds * 1e3);
+  if (outcome.result != nullptr) {
+    w.Add("completion",
+          sdadcs::core::CompletionToString(outcome.result->completion));
+    w.Add("patterns_found",
+          static_cast<uint64_t>(outcome.result->contrasts.size()));
+  }
+  if (outcome.verdict == sdadcs::serve::Verdict::kError) {
+    w.Add("error", outcome.status.ToString());
+  }
+  if (!patterns_json.empty()) w.AddRaw("patterns", patterns_json);
+}
+
+void HandleLoad(Server& server, const JsonValue& request) {
+  std::string name = request.GetString("name");
+  std::string spec = request.GetString("spec");
+  if (name.empty() || spec.empty()) {
+    RespondError("load", "load requires \"name\" and \"spec\"");
+    return;
+  }
+  auto loaded = server.Load(name, spec);
+  if (!loaded.ok()) {
+    RespondError("load", loaded.status().ToString());
+    return;
+  }
+  JsonObjectWriter w;
+  w.Add("ok", true);
+  w.Add("op", "load");
+  w.Add("name", name);
+  w.Add("rows", static_cast<uint64_t>((*loaded)->db.num_rows()));
+  w.Add("attributes",
+        static_cast<uint64_t>((*loaded)->db.num_attributes()));
+  w.Add("bytes", static_cast<uint64_t>((*loaded)->memory_bytes));
+  w.Add("version", (*loaded)->generation);
+  Respond(w);
+}
+
+void HandleMine(Server& server, const JsonValue& request) {
+  MineCall call;
+  call.dataset = request.GetString("dataset");
+  call.group_attr = request.GetString("group");
+  call.group_values = request.GetStringArray("groups");
+  call.config = ConfigFromJson(request);
+  call.use_cache = request.GetBool("cache", true);
+  std::string engine = request.GetString("engine", "auto");
+  if (engine == "serial") {
+    call.engine = EngineKind::kSerial;
+  } else if (engine == "parallel") {
+    call.engine = EngineKind::kParallel;
+  } else if (engine != "auto") {
+    RespondError("mine", "unknown engine '" + engine + "'");
+    return;
+  }
+  if (call.dataset.empty() || call.group_attr.empty()) {
+    RespondError("mine", "mine requires \"dataset\" and \"group\"");
+    return;
+  }
+  int64_t deadline_ms = request.GetInt("deadline_ms", 0);
+  int64_t node_budget = request.GetInt("node_budget", 0);
+  bool emit_patterns = request.GetString("emit", "summary") == "patterns";
+
+  int64_t burst = request.GetInt("burst", 1);
+  if (burst < 1) burst = 1;
+  if (burst > 256) {
+    RespondError("mine", "burst is capped at 256");
+    return;
+  }
+
+  // Each burst copy gets its own RunControl: limits and cancellation are
+  // per request, and sharing one handle would serialize deadlines.
+  auto make_call = [&]() {
+    MineCall c = call;
+    c.run_control = sdadcs::util::RunControl();
+    if (deadline_ms > 0) {
+      c.run_control.set_deadline_after(
+          std::chrono::milliseconds(deadline_ms));
+    }
+    if (node_budget > 0) {
+      c.run_control.set_node_budget(static_cast<uint64_t>(node_budget));
+    }
+    return c;
+  };
+
+  // Serving the patterns body needs the GroupInfo for attribute names;
+  // rebuild it from the request spec against the resident dataset.
+  auto patterns_body = [&](const MineOutcome& outcome) -> std::string {
+    if (!emit_patterns || outcome.result == nullptr) return "";
+    auto handle = server.Dataset(call.dataset);
+    if (!handle.ok()) return "";
+    sdadcs::core::MineRequest probe;
+    probe.group_attr = call.group_attr;
+    probe.group_values = call.group_values;
+    auto gi = sdadcs::core::ResolveRequestGroups((*handle)->db, probe);
+    if (!gi.ok()) return "";
+    return sdadcs::core::PatternsToJson((*handle)->db, *gi,
+                                        outcome.result->contrasts);
+  };
+
+  if (burst == 1) {
+    MineOutcome outcome = server.Mine(make_call());
+    JsonObjectWriter w;
+    w.Add("ok", outcome.verdict != sdadcs::serve::Verdict::kError);
+    w.Add("op", "mine");
+    OutcomeToJson(outcome, patterns_body(outcome), &w);
+    Respond(w);
+    return;
+  }
+
+  std::vector<MineOutcome> outcomes(static_cast<size_t>(burst));
+  {
+    sdadcs::util::ThreadPool pool(static_cast<size_t>(burst));
+    for (int64_t i = 0; i < burst; ++i) {
+      MineCall c = make_call();
+      pool.Submit([&server, &outcomes, i, c]() {
+        outcomes[static_cast<size_t>(i)] = server.Mine(c);
+      });
+    }
+    pool.Wait();
+  }
+  std::string results = "[";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i > 0) results += ",";
+    JsonObjectWriter one;
+    OutcomeToJson(outcomes[i], "", &one);
+    results += one.Str();
+  }
+  results += "]";
+  JsonObjectWriter w;
+  w.Add("ok", true);
+  w.Add("op", "mine");
+  w.Add("burst", static_cast<int64_t>(burst));
+  w.AddRaw("results", results);
+  Respond(w);
+}
+
+void HandleStats(Server& server) {
+  sdadcs::serve::ServerStats s = server.Stats();
+  JsonObjectWriter registry;
+  registry.Add("resident", static_cast<uint64_t>(s.registry.resident));
+  registry.Add("resident_bytes",
+               static_cast<uint64_t>(s.registry.resident_bytes));
+  registry.Add("budget_bytes",
+               static_cast<uint64_t>(s.registry.budget_bytes));
+  registry.Add("loads", s.registry.loads);
+  registry.Add("replacements", s.registry.replacements);
+  registry.Add("hits", s.registry.hits);
+  registry.Add("misses", s.registry.misses);
+  registry.Add("evictions", s.registry.evictions);
+
+  JsonObjectWriter cache;
+  cache.Add("size", static_cast<uint64_t>(s.cache.size));
+  cache.Add("capacity", static_cast<uint64_t>(s.cache.capacity));
+  cache.Add("hits", s.cache.hits);
+  cache.Add("misses", s.cache.misses);
+  cache.Add("coalesced", s.cache.coalesced);
+  cache.Add("inserts", s.cache.inserts);
+  cache.Add("evictions", s.cache.evictions);
+  cache.Add("invalidations", s.cache.invalidations);
+  cache.Add("abandons", s.cache.abandons);
+
+  JsonObjectWriter admission;
+  admission.Add("max_concurrent", s.admission.max_concurrent);
+  admission.Add("max_queue", s.admission.max_queue);
+  admission.Add("running", s.admission.running);
+  admission.Add("queued", s.admission.queued);
+  admission.Add("admitted", s.admission.admitted);
+  admission.Add("admitted_after_wait", s.admission.admitted_after_wait);
+  admission.Add("rejected_busy", s.admission.rejected_busy);
+  admission.Add("expired_in_queue", s.admission.expired_in_queue);
+  admission.Add("total_queue_wait_ms",
+                s.admission.total_queue_wait_seconds * 1e3);
+
+  JsonObjectWriter w;
+  w.Add("ok", true);
+  w.Add("op", "stats");
+  w.Add("requests", s.requests);
+  w.Add("runs_started", s.runs_started);
+  w.Add("ok_requests", s.ok);
+  w.Add("rejected_busy", s.rejected_busy);
+  w.Add("errors", s.errors);
+  w.AddRaw("registry", registry.Str());
+  w.AddRaw("cache", cache.Str());
+  w.AddRaw("admission", admission.Str());
+  Respond(w);
+}
+
+void HandleEvict(Server& server, const JsonValue& request) {
+  std::string name = request.GetString("name");
+  if (name.empty()) {
+    RespondError("evict", "evict requires \"name\"");
+    return;
+  }
+  JsonObjectWriter w;
+  w.Add("ok", true);
+  w.Add("op", "evict");
+  w.Add("name", name);
+  w.Add("evicted", server.Evict(name));
+  Respond(w);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = sdadcs::util::Flags::Parse(argc, argv, /*boolean_flags=*/{});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+
+  ServerOptions options;
+  options.max_concurrent_runs = flags->GetInt("max-concurrent", 2);
+  options.max_queue = flags->GetInt("queue", 8);
+  options.result_cache_capacity =
+      static_cast<size_t>(flags->GetInt("cache-capacity", 256));
+  options.dataset_memory_budget =
+      static_cast<size_t>(flags->GetInt("memory-budget-mb", 0)) * 1024 *
+      1024;
+  options.default_deadline_ms = flags->GetInt("deadline-ms", 0);
+  options.default_node_budget =
+      static_cast<uint64_t>(flags->GetInt("node-budget", 0));
+  options.parallel_threads =
+      static_cast<size_t>(flags->GetInt("threads", 0));
+  options.parallel_threshold_rows =
+      static_cast<size_t>(flags->GetInt("parallel-threshold", 100000));
+
+  Server server(options);
+
+  std::string line;
+  char buffer[1 << 16];
+  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+    line.assign(buffer);
+    // Lines longer than the buffer: keep reading until newline.
+    while (!line.empty() && line.back() != '\n' &&
+           std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+      line += buffer;
+    }
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+
+    auto request = JsonValue::Parse(line);
+    if (!request.ok()) {
+      RespondError("", request.status().ToString());
+      continue;
+    }
+    if (!request->IsObject()) {
+      RespondError("", "request must be a JSON object");
+      continue;
+    }
+    std::string op = request->GetString("op");
+    if (op == "load") {
+      HandleLoad(server, *request);
+    } else if (op == "mine") {
+      HandleMine(server, *request);
+    } else if (op == "stats") {
+      HandleStats(server);
+    } else if (op == "evict") {
+      HandleEvict(server, *request);
+    } else if (op == "shutdown") {
+      JsonObjectWriter w;
+      w.Add("ok", true);
+      w.Add("op", "shutdown");
+      Respond(w);
+      return 0;
+    } else {
+      RespondError(op, "unknown op '" + op + "'");
+    }
+  }
+  return 0;
+}

@@ -51,8 +51,7 @@
 #include "discretize/fayyad.h"
 #include "discretize/mvd.h"
 #include "discretize/srikant.h"
-#include "synth/scaling.h"
-#include "synth/uci_like.h"
+#include "serve/dataset_registry.h"
 #include "util/flags.h"
 #include "util/run_control.h"
 #include "util/string_util.h"
@@ -336,33 +335,6 @@ int RunOneVsRest(const Flags& args, const sdadcs::data::Dataset& db) {
   return 0;
 }
 
-// Loads `synth:<name>[:<rows>]`: the scaling dataset or one of the
-// UCI-like generators (rows applies to scaling only).
-sdadcs::util::StatusOr<sdadcs::data::Dataset> LoadSynthDataset(
-    const std::string& spec) {
-  std::string rest = spec.substr(6);  // after "synth:"
-  std::string name = rest;
-  size_t rows = 0;
-  size_t colon = rest.find(':');
-  if (colon != std::string::npos) {
-    name = rest.substr(0, colon);
-    rows = static_cast<size_t>(
-        std::strtoull(rest.c_str() + colon + 1, nullptr, 10));
-  }
-  if (name == "scaling") {
-    sdadcs::synth::ScalingOptions options;
-    if (rows > 0) options.rows = rows;
-    return std::move(sdadcs::synth::MakeScalingDataset(options).db);
-  }
-  for (const std::string& known : sdadcs::synth::UciLikeNames()) {
-    if (name == known) {
-      return std::move(sdadcs::synth::MakeUciLike(name).db);
-    }
-  }
-  return sdadcs::util::Status::InvalidArgument(
-      "unknown synthetic dataset '" + name + "'");
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,9 +350,7 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSigint);
 
-  auto db = csv_path.rfind("synth:", 0) == 0
-                ? LoadSynthDataset(csv_path)
-                : sdadcs::data::ReadCsvFile(csv_path);
+  auto db = sdadcs::serve::LoadDatasetFromSpec(csv_path);
   if (!db.ok()) {
     std::fprintf(stderr, "failed to read '%s': %s\n", csv_path.c_str(),
                  db.status().ToString().c_str());
