@@ -2,10 +2,10 @@
 
 #include <algorithm>
 
-#include "core/productivity.h"
+#include "core/pruning.h"
 #include "core/search.h"
-#include "core/support.h"
-#include "util/timer.h"
+#include "core/topk.h"
+#include "engine/session.h"
 
 namespace sdadcs::core {
 
@@ -29,12 +29,22 @@ util::StatusOr<data::GroupInfo> ResolveRequestGroups(
 
 util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
                                          const MineRequest& request) const {
-  if (request.groups != nullptr) {
-    return MineImpl(db, *request.groups, request.run_control);
-  }
-  util::StatusOr<data::GroupInfo> gi = ResolveRequestGroups(db, request);
-  if (!gi.ok()) return gi.status();
-  return MineImpl(db, *gi, request.run_control);
+  // Prologue (validation, group/attribute resolution, root bounds) and
+  // epilogue (sort, independently-productive filter, completion) are the
+  // shared engine session; only the search strategy lives here.
+  util::StatusOr<engine::MiningSession> session =
+      engine::MiningSession::Begin(db, config_, request);
+  if (!session.ok()) return session.status();
+
+  PruneTable prune_table;
+  TopK topk(static_cast<size_t>(config_.top_k), config_.delta);
+  MiningCounters counters;
+  MiningContext ctx = session->MakeContext(&prune_table, &topk, &counters);
+
+  LatticeSearch search(ctx);
+  search.Run(session->attributes());
+
+  return session->Finalize(topk.Sorted(), counters, ctx.run.completion());
 }
 
 util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
@@ -58,75 +68,6 @@ util::StatusOr<MiningResult> Miner::MineWithGroups(
   MineRequest request;
   request.groups = &gi;
   return Mine(db, request);
-}
-
-util::StatusOr<MiningResult> Miner::MineImpl(
-    const data::Dataset& db, const data::GroupInfo& gi,
-    const util::RunControl& control) const {
-  SDADCS_RETURN_IF_ERROR(config_.Validate());
-  util::WallTimer timer;
-
-  // Resolve the attribute universe.
-  std::vector<int> attrs;
-  if (config_.attributes.empty()) {
-    for (size_t a = 0; a < db.num_attributes(); ++a) {
-      if (static_cast<int>(a) != gi.group_attr()) {
-        attrs.push_back(static_cast<int>(a));
-      }
-    }
-  } else {
-    for (const std::string& name : config_.attributes) {
-      util::StatusOr<int> idx = db.schema().IndexOf(name);
-      if (!idx.ok()) return idx.status();
-      if (*idx == gi.group_attr()) {
-        return util::Status::InvalidArgument(
-            "attribute '" + name + "' is the group attribute");
-      }
-      attrs.push_back(*idx);
-    }
-  }
-  if (attrs.empty()) {
-    return util::Status::InvalidArgument("no attributes to mine");
-  }
-
-  PruneTable prune_table;
-  TopK topk(static_cast<size_t>(config_.top_k), config_.delta);
-  MiningCounters counters;
-
-  MiningContext ctx;
-  ctx.db = &db;
-  ctx.gi = &gi;
-  ctx.cfg = &config_;
-  ctx.prune_table = &prune_table;
-  ctx.topk = &topk;
-  ctx.counters = &counters;
-  ctx.run = RunState(control);
-  ctx.group_sizes = GroupSizes(gi);
-  for (int a : attrs) {
-    if (db.is_continuous(a)) {
-      ctx.root_bounds[a] = ComputeRootBounds(db, a, gi.base_selection());
-    }
-  }
-
-  LatticeSearch search(ctx);
-  search.Run(attrs);
-
-  MiningResult result;
-  result.contrasts = topk.Sorted();
-  // The independently-productive post-filter only removes patterns, so
-  // it is safe (and most useful) on a partial best-so-far list too.
-  if (config_.meaningful_pruning &&
-      config_.independently_productive_filter) {
-    result.contrasts =
-        FilterIndependentlyProductive(ctx, std::move(result.contrasts));
-  }
-  result.counters = counters;
-  result.completion = ctx.run.completion();
-  result.elapsed_seconds = timer.Seconds();
-  for (int g = 0; g < gi.num_groups(); ++g) {
-    result.group_names.push_back(gi.group_name(g));
-  }
-  return result;
 }
 
 }  // namespace sdadcs::core

@@ -101,10 +101,6 @@ class Miner {
       const data::Dataset& db, const data::GroupInfo& gi) const;
 
  private:
-  util::StatusOr<MiningResult> MineImpl(const data::Dataset& db,
-                                        const data::GroupInfo& gi,
-                                        const util::RunControl& control) const;
-
   MinerConfig config_;
 };
 

@@ -39,16 +39,43 @@ uint64_t SplitMix(uint64_t x) {
 
 }  // namespace
 
+namespace {
+
+// Name table in enum order; the single source both directions read.
+constexpr struct {
+  EngineKind kind;
+  const char* name;
+} kEngineKindNames[] = {
+    {EngineKind::kAuto, "auto"},
+    {EngineKind::kSerial, "serial"},
+    {EngineKind::kParallel, "parallel"},
+    {EngineKind::kBeam, "beam"},
+    {EngineKind::kWindow, "window"},
+    {EngineKind::kBinnedFayyad, "binned:fayyad"},
+    {EngineKind::kBinnedMvd, "binned:mvd"},
+    {EngineKind::kBinnedSrikant, "binned:srikant"},
+    {EngineKind::kBinnedEqualWidth, "binned:equal_width"},
+    {EngineKind::kBinnedEqualFreq, "binned:equal_freq"},
+};
+
+}  // namespace
+
 const char* EngineKindToString(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kAuto:
-      return "auto";
-    case EngineKind::kSerial:
-      return "serial";
-    case EngineKind::kParallel:
-      return "parallel";
+  for (const auto& entry : kEngineKindNames) {
+    if (entry.kind == kind) return entry.name;
   }
   return "unknown";
+}
+
+util::StatusOr<EngineKind> EngineKindFromString(const std::string& name) {
+  std::string known;
+  for (const auto& entry : kEngineKindNames) {
+    if (name == entry.name) return entry.kind;
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  return util::Status::InvalidArgument("unknown engine '" + name +
+                                       "'; expected one of: " + known);
 }
 
 std::string RequestKey::ToString() const {

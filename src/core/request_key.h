@@ -6,21 +6,39 @@
 #include <vector>
 
 #include "core/config.h"
+#include "util/status.h"
 
 namespace sdadcs::core {
 
-/// Which mining engine answers a request. Serial and parallel runs are
-/// distinct cache universes: the level-parallel miner loses some
-/// cross-subtree pruning, so its (still correct) result list can differ
-/// from the serial one — they must never share a cache entry.
+/// Which mining engine answers a request. Every kind is a distinct
+/// cache universe: even engines that run the same search (serial vs.
+/// level-parallel, which loses some cross-subtree pruning) can return
+/// different — still correct — result lists, so they never share a
+/// cache entry. The numeric values are part of the RequestKey hash and
+/// must never be reordered; new kinds append.
 enum class EngineKind {
   kAuto = 0,  ///< resolved per request from the dataset size
   kSerial,
   kParallel,
+  kBeam,             ///< beam-search subgroup discovery
+  kWindow,           ///< serial SDAD-CS over the most recent rows only
+  kBinnedFayyad,     ///< pre-binned STUCCO, Fayyad-MDL global bins
+  kBinnedMvd,        ///< ... MVD bins
+  kBinnedSrikant,    ///< ... Srikant partial-completeness bins
+  kBinnedEqualWidth, ///< ... equal-width bins
+  kBinnedEqualFreq,  ///< ... equal-frequency bins
 };
 
-/// Stable lower_snake name ("auto", "serial", "parallel").
+/// Stable name of each kind — exactly the engine registry's name for
+/// every kind except kAuto ("auto", which the registry does not hold):
+/// "serial", "parallel", "beam", "window", "binned:fayyad",
+/// "binned:mvd", "binned:srikant", "binned:equal_width",
+/// "binned:equal_freq".
 const char* EngineKindToString(EngineKind kind);
+
+/// Inverse of EngineKindToString. Unknown names are an InvalidArgument
+/// naming the offending value and listing every accepted name.
+util::StatusOr<EngineKind> EngineKindFromString(const std::string& name);
 
 /// 128-bit canonical fingerprint of one mining request; the key of the
 /// serving layer's result cache. Two requests share a key iff a complete

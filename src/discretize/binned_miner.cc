@@ -5,6 +5,7 @@
 #include "core/pruning.h"
 #include "core/support.h"
 #include "core/topk.h"
+#include "engine/session.h"
 #include "stats/chi_squared.h"
 #include "util/timer.h"
 
@@ -16,6 +17,7 @@ using core::ContrastPattern;
 using core::GroupCounts;
 using core::Item;
 using core::Itemset;
+using core::RunState;
 
 // The per-attribute item alternatives available to the enumerator.
 struct AttributeItems {
@@ -28,14 +30,15 @@ class BinnedEnumerator {
   BinnedEnumerator(const data::Dataset& db, const data::GroupInfo& gi,
                    const BinnedMinerConfig& config,
                    std::vector<AttributeItems> attr_items,
-                   BinnedMinerStats* stats)
+                   BinnedMinerStats* stats, RunState* run)
       : db_(db),
         gi_(gi),
         config_(config),
         attr_items_(std::move(attr_items)),
         group_sizes_(core::GroupSizes(gi)),
         topk_(static_cast<size_t>(config.top_k), config.delta),
-        stats_(stats) {}
+        stats_(stats),
+        run_(run) {}
 
   std::vector<ContrastPattern> Run() {
     Recurse(0, Itemset(), gi_.base_selection(), GroupCounts(), 0);
@@ -56,6 +59,9 @@ class BinnedEnumerator {
     if (depth >= config_.max_depth || pos >= attr_items_.size()) return;
     for (size_t p = pos; p < attr_items_.size(); ++p) {
       for (const Item& item : attr_items_[p].items) {
+        // Each expansion scans `rows` once; the checkpoint charges that
+        // cost against the run's budget and observes deadline/cancel.
+        if (run_->CheckPoint(RunState::NodeWeight(rows.size()))) return;
         GroupCounts gc;
         data::Selection sub = core::FilterCountGroups(
             gi_, rows, [&](uint32_t r) { return item.Matches(db_, r); },
@@ -65,6 +71,7 @@ class BinnedEnumerator {
           continue;
         }
         Recurse(p + 1, itemset.WithItem(item), sub, gc, depth + 1);
+        if (run_->stopped()) return;
       }
     }
   }
@@ -92,16 +99,31 @@ class BinnedEnumerator {
   std::vector<double> group_sizes_;
   core::TopK topk_;
   BinnedMinerStats* stats_;
+  RunState* run_;
 };
 
 }  // namespace
+
+BinnedMinerConfig BinnedMinerConfig::FromMinerConfig(
+    const core::MinerConfig& config) {
+  BinnedMinerConfig out;
+  out.alpha = config.alpha;
+  out.delta = config.delta;
+  out.max_depth = config.max_depth;
+  out.top_k = config.top_k;
+  out.min_coverage = config.min_coverage;
+  out.measure = config.measure;
+  return out;
+}
 
 std::vector<ContrastPattern> MineWithBins(
     const data::Dataset& db, const data::GroupInfo& gi,
     const std::vector<AttributeBins>& bins,
     const std::vector<int>& categorical_attrs,
-    const BinnedMinerConfig& config, BinnedMinerStats* stats) {
+    const BinnedMinerConfig& config, BinnedMinerStats* stats,
+    const util::RunControl* control) {
   util::WallTimer timer;
+  RunState run = control != nullptr ? RunState(*control) : RunState();
   std::vector<AttributeItems> attr_items;
   for (const AttributeBins& ab : bins) {
     AttributeItems ai;
@@ -125,16 +147,22 @@ std::vector<ContrastPattern> MineWithBins(
     if (!ai.items.empty()) attr_items.push_back(std::move(ai));
   }
 
-  BinnedEnumerator enumerator(db, gi, config, std::move(attr_items), stats);
+  BinnedEnumerator enumerator(db, gi, config, std::move(attr_items), stats,
+                              &run);
   std::vector<ContrastPattern> out = enumerator.Run();
-  if (stats != nullptr) stats->elapsed_seconds = timer.Seconds();
+  if (stats != nullptr) {
+    stats->elapsed_seconds = timer.Seconds();
+    if (stats->completion == core::Completion::kComplete) {
+      stats->completion = run.completion();
+    }
+  }
   return out;
 }
 
 std::vector<ContrastPattern> DiscretizeAndMine(
     const data::Dataset& db, const data::GroupInfo& gi,
     const Discretizer& disc, const BinnedMinerConfig& config,
-    BinnedMinerStats* stats) {
+    BinnedMinerStats* stats, const util::RunControl* control) {
   std::vector<int> cont_attrs;
   std::vector<int> cat_attrs;
   for (size_t a = 0; a < db.num_attributes(); ++a) {
@@ -147,7 +175,39 @@ std::vector<ContrastPattern> DiscretizeAndMine(
     }
   }
   std::vector<AttributeBins> bins = disc.Discretize(db, gi, cont_attrs);
-  return MineWithBins(db, gi, bins, cat_attrs, config, stats);
+  return MineWithBins(db, gi, bins, cat_attrs, config, stats, control);
+}
+
+util::StatusOr<core::MiningResult> MineWithDiscretizer(
+    const data::Dataset& db, const core::MineRequest& request,
+    const Discretizer& disc, const core::MinerConfig& config) {
+  util::StatusOr<engine::MiningSession> session =
+      engine::MiningSession::Begin(db, config, request);
+  if (!session.ok()) return session.status();
+
+  // Split the session's attribute universe (which already honors
+  // config.attributes and excludes the group attribute).
+  std::vector<int> cont_attrs;
+  std::vector<int> cat_attrs;
+  for (int attr : session->attributes()) {
+    if (db.is_continuous(attr)) {
+      cont_attrs.push_back(attr);
+    } else {
+      cat_attrs.push_back(attr);
+    }
+  }
+  std::vector<AttributeBins> bins =
+      disc.Discretize(db, session->groups(), cont_attrs);
+
+  BinnedMinerStats stats;
+  std::vector<ContrastPattern> patterns = MineWithBins(
+      db, session->groups(), bins, cat_attrs,
+      BinnedMinerConfig::FromMinerConfig(config), &stats,
+      &session->control());
+
+  core::MiningCounters counters;
+  counters.partitions_evaluated = stats.partitions_evaluated;
+  return session->Finalize(std::move(patterns), counters, stats.completion);
 }
 
 }  // namespace sdadcs::discretize

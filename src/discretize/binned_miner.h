@@ -6,9 +6,13 @@
 
 #include "core/contrast.h"
 #include "core/interest.h"
+#include "core/miner.h"
+#include "core/run_state.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
 #include "discretize/discretizer.h"
+#include "util/run_control.h"
+#include "util/status.h"
 
 namespace sdadcs::discretize {
 
@@ -20,12 +24,20 @@ struct BinnedMinerConfig {
   int top_k = 100;
   int min_coverage = 2;
   core::MeasureKind measure = core::MeasureKind::kSupportDiff;
+
+  /// The shared knobs of a MinerConfig, viewed as a binned-miner config.
+  /// The SDAD-CS-only knobs (split kind, recursion depth, merge
+  /// settings) have no pre-binned counterpart and are ignored.
+  static BinnedMinerConfig FromMinerConfig(const core::MinerConfig& config);
 };
 
 /// Statistics of one pre-binned mining run.
 struct BinnedMinerStats {
   uint64_t partitions_evaluated = 0;
   double elapsed_seconds = 0.0;
+  /// kComplete, or how the run's RunControl stopped it (the returned
+  /// patterns are then the best found so far).
+  core::Completion completion = core::Completion::kComplete;
 };
 
 /// STUCCO-style level-wise contrast mining over *pre-binned* data: every
@@ -40,11 +52,15 @@ struct BinnedMinerStats {
 /// Returned patterns carry interval items over the *original* continuous
 /// attributes, so their supports are directly comparable with SDAD-CS
 /// output.
+///
+/// `control`, when given, can stop the enumeration early; the stats then
+/// carry the matching completion.
 std::vector<core::ContrastPattern> MineWithBins(
     const data::Dataset& db, const data::GroupInfo& gi,
     const std::vector<AttributeBins>& bins,
     const std::vector<int>& categorical_attrs,
-    const BinnedMinerConfig& config, BinnedMinerStats* stats = nullptr);
+    const BinnedMinerConfig& config, BinnedMinerStats* stats = nullptr,
+    const util::RunControl* control = nullptr);
 
 /// Convenience: discretizes the given continuous attributes with
 /// `disc`, then mines. Attribute lists default to "all continuous" /
@@ -52,7 +68,17 @@ std::vector<core::ContrastPattern> MineWithBins(
 std::vector<core::ContrastPattern> DiscretizeAndMine(
     const data::Dataset& db, const data::GroupInfo& gi,
     const Discretizer& disc, const BinnedMinerConfig& config,
-    BinnedMinerStats* stats = nullptr);
+    BinnedMinerStats* stats = nullptr,
+    const util::RunControl* control = nullptr);
+
+/// Engine entry point: the shared session prologue/epilogue (config
+/// validation, group/attribute resolution, sort, meaningfulness
+/// post-filter, completion) around DiscretizeAndMine. The shared knobs
+/// of `config` (alpha, delta, max_depth, top_k, min_coverage, measure,
+/// attributes) apply; the SDAD-CS-only knobs are ignored.
+util::StatusOr<core::MiningResult> MineWithDiscretizer(
+    const data::Dataset& db, const core::MineRequest& request,
+    const Discretizer& disc, const core::MinerConfig& config);
 
 }  // namespace sdadcs::discretize
 

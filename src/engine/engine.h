@@ -1,0 +1,47 @@
+#ifndef SDADCS_ENGINE_ENGINE_H_
+#define SDADCS_ENGINE_ENGINE_H_
+
+#include <string>
+
+#include "core/miner.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sdadcs::engine {
+
+/// The one abstraction every layer above the miners talks to: tools,
+/// benches, the serving layer and future RPC front ends all hold an
+/// Engine and call Mine(db, request). Each registered engine wraps one
+/// search strategy (serial lattice, level-parallel lattice, beam
+/// subgroup discovery, pre-binned STUCCO, tail-window) behind the
+/// shared MiningSession prologue/epilogue, so every engine validates,
+/// resolves groups, sorts, filters and stamps completion the same way.
+///
+/// Engines are cheap to construct (they hold a config, no dataset
+/// state), immutable after construction, and safe to share across
+/// threads: Mine() is const and keeps all run state on the stack.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// The engine's stable registry name ("serial", "beam",
+  /// "binned:fayyad", ...). Part of the cache-key identity via
+  /// core::EngineKind — two engines with different names never share a
+  /// cached result.
+  virtual std::string Name() const = 0;
+
+  /// One-line human description for --help output and the registry
+  /// listing.
+  virtual std::string Describe() const = 0;
+
+  /// Mines one request. Same contract as core::Miner::Mine: an expired
+  /// deadline, cancellation or exhausted budget drains cleanly into a
+  /// sorted best-so-far result with the matching completion — not an
+  /// error. Errors are reserved for invalid configs/requests.
+  virtual util::StatusOr<core::MiningResult> Mine(
+      const data::Dataset& db, const core::MineRequest& request) const = 0;
+};
+
+}  // namespace sdadcs::engine
+
+#endif  // SDADCS_ENGINE_ENGINE_H_

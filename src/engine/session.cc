@@ -1,0 +1,110 @@
+#include "engine/session.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/productivity.h"
+#include "core/run_state.h"
+#include "core/space.h"
+#include "core/support.h"
+
+namespace sdadcs::engine {
+
+util::StatusOr<MiningSession> MiningSession::Begin(
+    const data::Dataset& db, const core::MinerConfig& config,
+    const core::MineRequest& request) {
+  SDADCS_RETURN_IF_ERROR(config.Validate());
+
+  MiningSession session;
+  session.db_ = &db;
+  session.config_ = &config;
+  session.control_ = request.run_control;
+
+  if (request.groups != nullptr) {
+    session.groups_ = request.groups;
+  } else {
+    util::StatusOr<data::GroupInfo> gi =
+        core::ResolveRequestGroups(db, request);
+    if (!gi.ok()) return gi.status();
+    session.owned_groups_ =
+        std::make_unique<data::GroupInfo>(std::move(*gi));
+    session.groups_ = session.owned_groups_.get();
+  }
+  const data::GroupInfo& gi = *session.groups_;
+
+  // Resolve the attribute universe: the configured names, or every
+  // attribute except the group attribute.
+  if (config.attributes.empty()) {
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      if (static_cast<int>(a) != gi.group_attr()) {
+        session.attributes_.push_back(static_cast<int>(a));
+      }
+    }
+  } else {
+    for (const std::string& name : config.attributes) {
+      util::StatusOr<int> idx = db.schema().IndexOf(name);
+      if (!idx.ok()) return idx.status();
+      if (*idx == gi.group_attr()) {
+        return util::Status::InvalidArgument(
+            "attribute '" + name + "' is the group attribute");
+      }
+      session.attributes_.push_back(*idx);
+    }
+  }
+  if (session.attributes_.empty()) {
+    return util::Status::InvalidArgument("no attributes to mine");
+  }
+
+  session.group_sizes_ = core::GroupSizes(gi);
+  for (int a : session.attributes_) {
+    if (db.is_continuous(a)) {
+      session.root_bounds_[a] =
+          core::ComputeRootBounds(db, a, gi.base_selection());
+    }
+  }
+  return session;
+}
+
+core::MiningContext MiningSession::MakeContext(
+    core::PruneTable* prune_table, core::TopK* topk,
+    core::MiningCounters* counters) const {
+  core::MiningContext ctx;
+  ctx.db = db_;
+  ctx.gi = groups_;
+  ctx.cfg = config_;
+  ctx.prune_table = prune_table;
+  ctx.topk = topk;
+  ctx.counters = counters;
+  ctx.group_sizes = group_sizes_;
+  ctx.root_bounds = root_bounds_;
+  ctx.run = core::RunState(control_);
+  return ctx;
+}
+
+core::MiningResult MiningSession::Finalize(
+    std::vector<core::ContrastPattern> contrasts,
+    core::MiningCounters counters, core::Completion completion) const {
+  core::MiningResult result;
+  core::SortByMeasureDesc(&contrasts);
+  result.contrasts = std::move(contrasts);
+  // The independently-productive post-filter only removes patterns, so
+  // it is safe (and most useful) on a partial best-so-far list too. The
+  // filter never touches the context's prune table or top-k list, so
+  // the scratch context leaves them unset.
+  if (config_->meaningful_pruning &&
+      config_->independently_productive_filter) {
+    core::MiningContext scratch =
+        MakeContext(/*prune_table=*/nullptr, /*topk=*/nullptr, &counters);
+    result.contrasts = core::FilterIndependentlyProductive(
+        scratch, std::move(result.contrasts));
+  }
+  result.counters = counters;
+  result.completion = completion;
+  result.elapsed_seconds = timer_.Seconds();
+  for (int g = 0; g < groups_->num_groups(); ++g) {
+    result.group_names.push_back(groups_->group_name(g));
+  }
+  return result;
+}
+
+}  // namespace sdadcs::engine

@@ -1,15 +1,12 @@
 #include "parallel/parallel_miner.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
-#include "core/productivity.h"
 #include "core/run_state.h"
 #include "core/search.h"
-#include "core/support.h"
+#include "engine/session.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace sdadcs::parallel {
 
@@ -62,69 +59,13 @@ ParallelMiner::ParallelMiner(core::MinerConfig config, size_t num_threads)
 
 util::StatusOr<core::MiningResult> ParallelMiner::Mine(
     const data::Dataset& db, const core::MineRequest& request) const {
-  if (request.groups != nullptr) {
-    return MineImpl(db, *request.groups, request.run_control);
-  }
-  util::StatusOr<data::GroupInfo> gi = core::ResolveRequestGroups(db, request);
-  if (!gi.ok()) return gi.status();
-  return MineImpl(db, *gi, request.run_control);
-}
-
-util::StatusOr<core::MiningResult> ParallelMiner::Mine(
-    const data::Dataset& db, const std::string& group_attr) const {
-  core::MineRequest request;
-  request.group_attr = group_attr;
-  return Mine(db, request);
-}
-
-util::StatusOr<core::MiningResult> ParallelMiner::Mine(
-    const data::Dataset& db, const std::string& group_attr,
-    const std::vector<std::string>& group_values) const {
-  core::MineRequest request;
-  request.group_attr = group_attr;
-  request.group_values = group_values;
-  return Mine(db, request);
-}
-
-util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
-    const data::Dataset& db, const data::GroupInfo& gi) const {
-  core::MineRequest request;
-  request.groups = &gi;
-  return Mine(db, request);
-}
-
-util::StatusOr<core::MiningResult> ParallelMiner::MineImpl(
-    const data::Dataset& db, const data::GroupInfo& gi,
-    const util::RunControl& control) const {
-  SDADCS_RETURN_IF_ERROR(config_.Validate());
-  util::WallTimer timer;
-
-  std::vector<int> attrs;
-  if (config_.attributes.empty()) {
-    for (size_t a = 0; a < db.num_attributes(); ++a) {
-      if (static_cast<int>(a) != gi.group_attr()) {
-        attrs.push_back(static_cast<int>(a));
-      }
-    }
-  } else {
-    for (const std::string& name : config_.attributes) {
-      util::StatusOr<int> idx = db.schema().IndexOf(name);
-      if (!idx.ok()) return idx.status();
-      attrs.push_back(*idx);
-    }
-  }
-  if (attrs.empty()) {
-    return util::Status::InvalidArgument("no attributes to mine");
-  }
-
-  // Shared read-only pieces of the context.
-  std::unordered_map<int, core::RootBounds> root_bounds;
-  for (int a : attrs) {
-    if (db.is_continuous(a)) {
-      root_bounds[a] = core::ComputeRootBounds(db, a, gi.base_selection());
-    }
-  }
-  std::vector<double> group_sizes = core::GroupSizes(gi);
+  // Shared prologue/epilogue; only the level-parallel scheduling below
+  // is this engine's own.
+  util::StatusOr<engine::MiningSession> session =
+      engine::MiningSession::Begin(db, config_, request);
+  if (!session.ok()) return session.status();
+  const std::vector<int>& attrs = session->attributes();
+  const util::RunControl& control = session->control();
 
   PruneTable pooled_table;
   TopK global_topk(static_cast<size_t>(config_.top_k), config_.delta);
@@ -170,19 +111,12 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineImpl(
     for (size_t w = 0; w < num_workers; ++w) {
       pool.Submit([&, w] {
         WorkerState& state = workers[w];
-        MiningContext ctx;
-        ctx.db = &db;
-        ctx.gi = &gi;
-        ctx.cfg = &config_;
-        ctx.prune_table = &state.prune_table;
-        ctx.topk = &state.topk;
-        ctx.counters = &state.counters;
-        // Every worker's RunState wraps the same control, so a stop
-        // observed by one thread is observed by all at their next
-        // checkpoint (between combinations and inside MineCombo).
-        ctx.run = RunState(control);
-        ctx.group_sizes = group_sizes;
-        ctx.root_bounds = root_bounds;
+        // Every worker's context wraps the same session (and therefore
+        // the same RunControl), so a stop observed by one thread is
+        // observed by all at their next checkpoint (between combinations
+        // and inside MineCombo).
+        MiningContext ctx = session->MakeContext(
+            &state.prune_table, &state.topk, &state.counters);
         LatticeSearch search(ctx);
         for (size_t i = w; i < candidates.size(); i += num_workers) {
           if (ctx.run.stopped()) {
@@ -220,31 +154,31 @@ util::StatusOr<core::MiningResult> ParallelMiner::MineImpl(
   // Classify a stop the workers hit during the final level.
   coord_run.CheckNow();
 
-  core::MiningResult result;
-  result.contrasts = global_topk.Sorted();
-  if (config_.meaningful_pruning &&
-      config_.independently_productive_filter) {
-    PruneTable scratch_table;
-    TopK scratch_topk(1, config_.delta);
-    MiningContext ctx;
-    ctx.db = &db;
-    ctx.gi = &gi;
-    ctx.cfg = &config_;
-    ctx.prune_table = &scratch_table;
-    ctx.topk = &scratch_topk;
-    ctx.counters = &global_counters;
-    ctx.group_sizes = group_sizes;
-    ctx.root_bounds = root_bounds;
-    result.contrasts =
-        core::FilterIndependentlyProductive(ctx, std::move(result.contrasts));
-  }
-  result.counters = global_counters;
-  result.completion = coord_run.completion();
-  result.elapsed_seconds = timer.Seconds();
-  for (int g = 0; g < gi.num_groups(); ++g) {
-    result.group_names.push_back(gi.group_name(g));
-  }
-  return result;
+  return session->Finalize(global_topk.Sorted(), global_counters,
+                           coord_run.completion());
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::Mine(
+    const data::Dataset& db, const std::string& group_attr) const {
+  core::MineRequest request;
+  request.group_attr = group_attr;
+  return Mine(db, request);
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::Mine(
+    const data::Dataset& db, const std::string& group_attr,
+    const std::vector<std::string>& group_values) const {
+  core::MineRequest request;
+  request.group_attr = group_attr;
+  request.group_values = group_values;
+  return Mine(db, request);
+}
+
+util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
+    const data::Dataset& db, const data::GroupInfo& gi) const {
+  core::MineRequest request;
+  request.groups = &gi;
+  return Mine(db, request);
 }
 
 }  // namespace sdadcs::parallel

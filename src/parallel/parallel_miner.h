@@ -50,10 +50,6 @@ class ParallelMiner {
       const data::Dataset& db, const data::GroupInfo& gi) const;
 
  private:
-  util::StatusOr<core::MiningResult> MineImpl(
-      const data::Dataset& db, const data::GroupInfo& gi,
-      const util::RunControl& control) const;
-
   core::MinerConfig config_;
   size_t num_threads_;
 };

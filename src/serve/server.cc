@@ -3,7 +3,7 @@
 #include <chrono>
 #include <utility>
 
-#include "parallel/parallel_miner.h"
+#include "engine/registry.h"
 #include "util/timer.h"
 
 namespace sdadcs::serve {
@@ -97,12 +97,17 @@ util::StatusOr<core::MiningResult> Server::RunEngine(
     const ServedDataset& ds, const MineCall& call, core::EngineKind engine,
     const util::RunControl& control) const {
   core::MineRequest request = BuildRequest(call, control);
-  if (engine == core::EngineKind::kParallel) {
-    parallel::ParallelMiner miner(call.config, options_.parallel_threads);
-    return miner.Mine(ds.db, request);
-  }
-  core::Miner miner(call.config);
-  return miner.Mine(ds.db, request);
+  // Every engine — including the historical serial/parallel pair — is
+  // constructed through the registry; there is no other name-to-miner
+  // path in the server.
+  engine::EngineOptions opts;
+  opts.parallel_threads = options_.parallel_threads;
+  opts.window_rows = options_.window_rows;
+  opts.equal_bins = options_.equal_bins;
+  util::StatusOr<std::unique_ptr<engine::Engine>> eng =
+      engine::EngineRegistry::Global().Create(engine, call.config, opts);
+  if (!eng.ok()) return eng.status();
+  return (*eng)->Mine(ds.db, request);
 }
 
 MineOutcome Server::Mine(const MineCall& call) {
@@ -149,6 +154,13 @@ MineOutcome Server::Mine(const MineCall& call) {
   const core::EngineKind engine =
       ResolveEngine(call.engine, (*ds)->db.num_rows());
   outcome.engine = engine;
+  // The key is stamped on every outcome (cached or not): clients and the
+  // CI smoke use it to confirm that two calls were or were not the same
+  // canonical request.
+  const core::RequestKey key = core::CanonicalRequestKey(
+      (*ds)->fingerprint, call.config, call.group_attr, call.group_values,
+      engine);
+  outcome.key = key;
 
   util::RunControl control = call.run_control;
   ApplyServerLimits(&control);
@@ -213,10 +225,6 @@ MineOutcome Server::Mine(const MineCall& call) {
     admit_and_run(nullptr);
     return finish(outcome);
   }
-
-  const core::RequestKey key = core::CanonicalRequestKey(
-      (*ds)->fingerprint, call.config, call.group_attr, call.group_values,
-      engine);
 
   while (true) {
     ResultCache::Lookup lookup = cache_.Acquire(key, (*ds)->name);

@@ -38,6 +38,14 @@ struct ServerOptions {
   size_t parallel_threshold_rows = 100000;
   /// Worker threads of the parallel engine (0 = hardware concurrency).
   size_t parallel_threads = 0;
+  /// Tail rows the "window" engine mines (0 = the whole dataset).
+  size_t window_rows = 0;
+  /// Bin count of the binned:equal_width / binned:equal_freq engines.
+  int equal_bins = 10;
+  // parallel_threads / window_rows / equal_bins are deployment-wide
+  // constants, not per-request knobs, so they stay out of the request
+  // key: within one server process a key can never alias two different
+  // effective configurations.
 };
 
 /// One mining request against a registered dataset.
@@ -80,6 +88,9 @@ struct MineOutcome {
   util::Status status;  ///< non-OK iff verdict == kError
   CacheStatus cache = CacheStatus::kMiss;
   core::EngineKind engine = core::EngineKind::kSerial;  ///< resolved
+  /// Canonical request key (dataset + config + groups + resolved
+  /// engine); zero only when the call failed before the dataset lookup.
+  core::RequestKey key;
   std::shared_ptr<const core::MiningResult> result;     ///< null unless kOk
   double queue_seconds = 0.0;  ///< time spent in the admission queue
   double run_seconds = 0.0;    ///< time inside the mining engine

@@ -30,6 +30,34 @@ double IntervalJaccard(double lo_a, double hi_a, double lo_b, double hi_b) {
 
 }  // namespace
 
+util::StatusOr<core::MiningResult> MineTailWindow(
+    const data::Dataset& db, const core::MineRequest& request,
+    const core::MinerConfig& config, size_t window_rows) {
+  const size_t rows = db.num_rows();
+  const size_t take = window_rows == 0 ? rows : std::min(window_rows, rows);
+
+  // Resolve the full-dataset groups first, then restrict to the tail.
+  util::StatusOr<data::GroupInfo> resolved =
+      request.groups != nullptr
+          ? util::StatusOr<data::GroupInfo>(*request.groups)
+          : core::ResolveRequestGroups(db, request);
+  if (!resolved.ok()) return resolved.status();
+
+  std::vector<uint32_t> tail;
+  tail.reserve(take);
+  for (size_t r = rows - take; r < rows; ++r) {
+    tail.push_back(static_cast<uint32_t>(r));
+  }
+  util::StatusOr<data::GroupInfo> windowed =
+      resolved->Restrict(data::Selection(std::move(tail)));
+  if (!windowed.ok()) return windowed.status();
+
+  core::MineRequest tail_request;
+  tail_request.groups = &*windowed;
+  tail_request.run_control = request.run_control;
+  return core::Miner(config).Mine(db, tail_request);
+}
+
 WindowMiner::WindowMiner(StreamConfig config,
                          std::vector<data::Attribute> attributes,
                          std::string group_attr)

@@ -70,6 +70,17 @@ struct PatternDelta {
   bool drifted() const { return !appeared.empty() || !disappeared.empty(); }
 };
 
+/// Engine entry point for one-shot window mining: resolves the request's
+/// groups, restricts them to the most recent `window_rows` rows of `db`
+/// (0 = every row) and runs the serial SDAD-CS miner on that tail — no
+/// dataset rebuild, just a restricted GroupInfo. The registry's "window"
+/// engine; the batch counterpart of the streaming WindowMiner below.
+/// Errors if a requested group has no rows inside the window (a contrast
+/// needs every group present).
+util::StatusOr<core::MiningResult> MineTailWindow(
+    const data::Dataset& db, const core::MineRequest& request,
+    const core::MinerConfig& config, size_t window_rows);
+
 /// Sliding-window contrast miner for streaming mixed data — the
 /// extension direction of the authors' companion work (EDBT 2018,
 /// reference [17]) and the deployment mode Section 6 motivates: trace

@@ -9,6 +9,7 @@
 #include "core/config.h"
 #include "core/support.h"
 #include "discretize/equal_bins.h"
+#include "engine/session.h"
 #include "util/timer.h"
 
 namespace sdadcs::subgroup {
@@ -89,6 +90,15 @@ util::Status BeamConfig::Validate() const {
                                          std::to_string(max_coverage));
   }
   return util::Status::OK();
+}
+
+core::MinerConfig BeamConfig::SharedMinerConfig() const {
+  core::MinerConfig shared;
+  shared.max_depth = max_depth;
+  shared.top_k = top_k;
+  shared.min_coverage = min_coverage;
+  shared.measure = measure;
+  return shared;
 }
 
 std::vector<Subgroup> BeamSubgroupDiscovery::Discover(
@@ -226,33 +236,22 @@ std::vector<core::ContrastPattern> BeamSubgroupDiscovery::DiscoverContrasts(
 
 util::StatusOr<core::MiningResult> BeamSubgroupDiscovery::Mine(
     const data::Dataset& db, const core::MineRequest& request) const {
+  // Beam-only knobs are range-checked here; the shared prologue/epilogue
+  // (group resolution, sort, meaningfulness post-filter, completion) is
+  // the engine session over the shared-knob view of this config.
   SDADCS_RETURN_IF_ERROR(config_.Validate());
-  util::WallTimer timer;
-  auto mine = [&](const data::GroupInfo& groups) {
-    return MineOnGroups(db, groups, request.run_control, timer);
-  };
-  if (request.groups != nullptr) return mine(*request.groups);
-  util::StatusOr<data::GroupInfo> resolved =
-      core::ResolveRequestGroups(db, request);
-  if (!resolved.ok()) return resolved.status();
-  return mine(*resolved);
-}
+  core::MinerConfig shared = config_.SharedMinerConfig();
+  util::StatusOr<engine::MiningSession> session =
+      engine::MiningSession::Begin(db, shared, request);
+  if (!session.ok()) return session.status();
 
-core::MiningResult BeamSubgroupDiscovery::MineOnGroups(
-    const data::Dataset& db, const data::GroupInfo& gi,
-    const util::RunControl& control, const util::WallTimer& timer) const {
   BeamStats stats;
-  core::MiningResult result;
-  result.contrasts =
-      DiscoverContrasts(db, gi, config_.measure, &stats, &control);
-  result.counters.partitions_evaluated = stats.descriptions_evaluated;
-  result.counters.abandoned_candidates = stats.abandoned_descriptions;
-  result.completion = stats.completion;
-  result.elapsed_seconds = timer.Seconds();
-  for (int g = 0; g < gi.num_groups(); ++g) {
-    result.group_names.push_back(gi.group_name(g));
-  }
-  return result;
+  std::vector<core::ContrastPattern> contrasts = DiscoverContrasts(
+      db, session->groups(), config_.measure, &stats, &session->control());
+  core::MiningCounters counters;
+  counters.partitions_evaluated = stats.descriptions_evaluated;
+  counters.abandoned_candidates = stats.abandoned_descriptions;
+  return session->Finalize(std::move(contrasts), counters, stats.completion);
 }
 
 }  // namespace sdadcs::subgroup

@@ -13,7 +13,6 @@
 #include "data/group_info.h"
 #include "util/run_control.h"
 #include "util/status.h"
-#include "util/timer.h"
 
 namespace sdadcs::subgroup {
 
@@ -41,6 +40,12 @@ struct BeamConfig {
   /// Range-checks the shared miner knobs through MinerConfig::Validate
   /// (max_depth, top_k, min_coverage) and the beam-specific fields.
   util::Status Validate() const;
+
+  /// The shared-knob view of this config: the MinerConfig the engine
+  /// session (prologue/epilogue) runs under. Beam has no α of its own,
+  /// so the session's meaningfulness post-filter runs at the shared
+  /// default α.
+  core::MinerConfig SharedMinerConfig() const;
 };
 
 /// One discovered subgroup: a conjunctive description and its WRAcc
@@ -99,11 +104,6 @@ class BeamSubgroupDiscovery {
       const util::RunControl* control = nullptr) const;
 
  private:
-  core::MiningResult MineOnGroups(const data::Dataset& db,
-                                  const data::GroupInfo& gi,
-                                  const util::RunControl& control,
-                                  const util::WallTimer& timer) const;
-
   BeamConfig config_;
 };
 

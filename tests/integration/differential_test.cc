@@ -4,7 +4,10 @@
 
 #include "common/requests.h"
 #include "core/miner.h"
+#include "core/productivity.h"
 #include "data/csv.h"
+#include "engine/registry.h"
+#include "engine/session.h"
 #include "synth/uci_like.h"
 #include "util/random.h"
 
@@ -161,6 +164,112 @@ TEST(DifferentialTest, ColumnarKernelsMatchNaivePathExactly) {
     EXPECT_EQ(fused->counters.partitions_evaluated,
               naive->counters.partitions_evaluated)
         << "dataset " << name;
+  }
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(DifferentialTest, SerialEngineByteIdenticalToPreRefactorBaseline) {
+  // Golden hashes of the serial miner's byte-exact rendered output
+  // (pattern keys, counts and full-precision statistics in rank order),
+  // captured from the last commit BEFORE the engine-session refactor
+  // with the identical RenderResult/Fnv1a code. The shared
+  // prologue/epilogue must be a pure extraction: any drift in split
+  // points, pruning, sorting or the post-filter changes these hashes.
+  struct Golden {
+    const char* name;
+    size_t patterns;
+    uint64_t hash;
+  };
+  const Golden kGolden[] = {
+      {"adult", 21u, 0x40db30498c64e5d5ULL},
+      {"breast", 27u, 0x3b481c9b1db9b66aULL},
+      {"transfusion", 7u, 0xab3632eabc712362ULL},
+      {"shuttle", 6u, 0x804b93759db9254cULL},
+  };
+  for (const Golden& golden : kGolden) {
+    synth::NamedDataset nd = synth::MakeUciLike(golden.name, /*seed=*/7);
+    auto attr = nd.db.schema().IndexOf(nd.group_attr);
+    ASSERT_TRUE(attr.ok());
+    auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+    ASSERT_TRUE(gi.ok());
+
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.top_k = 50;
+    auto result = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->contrasts.size(), golden.patterns)
+        << "dataset " << golden.name;
+    EXPECT_EQ(Fnv1a(RenderResult(result->contrasts)), golden.hash)
+        << "dataset " << golden.name
+        << ": serial output drifted from the pre-refactor baseline";
+  }
+}
+
+TEST(DifferentialTest, EveryRegistryEngineReturnsWellFormedResults) {
+  // Every engine the registry can construct must honour the shared
+  // epilogue contract on real mixed data: an OK result, completion
+  // kComplete under no limits, group names filled in, and a pattern
+  // list in the canonical measure-descending order (SortByMeasureDesc
+  // is a total order, so sortedness is exact, not approximate).
+  for (const std::string& name :
+       {std::string("adult"), std::string("breast")}) {
+    synth::NamedDataset nd = synth::MakeUciLike(name, /*seed=*/7);
+    auto attr = nd.db.schema().IndexOf(nd.group_attr);
+    ASSERT_TRUE(attr.ok());
+    auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+    ASSERT_TRUE(gi.ok());
+
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.top_k = 50;
+    engine::EngineOptions opts;
+    opts.parallel_threads = 2;
+    opts.window_rows = 0;  // window engine: whole dataset
+
+    for (const auto& entry : engine::EngineRegistry::Global().entries()) {
+      auto eng = engine::EngineRegistry::Global().Create(entry.name, cfg,
+                                                         opts);
+      ASSERT_TRUE(eng.ok()) << entry.name;
+      auto result = (*eng)->Mine(nd.db, GroupsRequest(*gi));
+      ASSERT_TRUE(result.ok())
+          << entry.name << " on " << name << ": "
+          << result.status().ToString();
+      EXPECT_EQ(result->completion, core::Completion::kComplete)
+          << entry.name << " on " << name;
+      EXPECT_EQ(result->group_names.size(),
+                static_cast<size_t>(gi->num_groups()))
+          << entry.name << " on " << name;
+
+      std::vector<ContrastPattern> sorted = result->contrasts;
+      core::SortByMeasureDesc(&sorted);
+      EXPECT_EQ(RenderResult(result->contrasts), RenderResult(sorted))
+          << entry.name << " on " << name
+          << ": result list is not in canonical sorted order";
+
+      // Meaningfulness: the epilogue already ran the independently-
+      // productive post-filter, so re-applying it must be a fixed point
+      // (the predicate is per-pattern and deterministic).
+      auto session =
+          engine::MiningSession::Begin(nd.db, cfg, GroupsRequest(*gi));
+      ASSERT_TRUE(session.ok());
+      core::MiningCounters counters;
+      core::MiningContext ctx =
+          session->MakeContext(nullptr, nullptr, &counters);
+      std::vector<ContrastPattern> refiltered =
+          core::FilterIndependentlyProductive(ctx, result->contrasts);
+      EXPECT_EQ(RenderResult(refiltered), RenderResult(result->contrasts))
+          << entry.name << " on " << name
+          << ": result list is not meaningfulness-filtered";
+    }
   }
 }
 

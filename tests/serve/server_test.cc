@@ -8,12 +8,14 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/contrast.h"
 #include "core/miner.h"
+#include "engine/registry.h"
 #include "gtest/gtest.h"
 #include "serve/dataset_registry.h"
 #include "serve/server.h"
@@ -325,6 +327,44 @@ TEST(ServerTest, EngineResolutionAndDistinctCacheUniverses) {
   EXPECT_EQ(server.Mine(auto_call).cache, CacheStatus::kHit);
   EXPECT_EQ(server.Mine(serial_call).cache, CacheStatus::kHit);
   EXPECT_EQ(server.Stats().runs_started, 2u);
+}
+
+TEST(ServerTest, EveryRegistryEngineIsServableWithItsOwnRequestKey) {
+  // The same dataset + config served through each registered engine must
+  // succeed, and each engine must land in its own cache universe: all
+  // the RequestKeys stamped on the outcomes are pairwise distinct.
+  ServerOptions options;
+  options.parallel_threads = 2;
+  options.window_rows = 200;
+  Server server(options);
+  ASSERT_TRUE(server.Load("breast", "synth:breast").ok());
+
+  std::set<std::string> keys;
+  size_t engines = 0;
+  for (const auto& entry : engine::EngineRegistry::Global().entries()) {
+    MineCall call = BreastCall();
+    call.engine = entry.kind;
+    MineOutcome out = server.Mine(call);
+    ASSERT_EQ(out.verdict, Verdict::kOk)
+        << entry.name << ": " << out.status.message();
+    EXPECT_EQ(out.engine, entry.kind) << entry.name;
+    ASSERT_NE(out.result, nullptr) << entry.name;
+    EXPECT_EQ(out.result->completion, core::Completion::kComplete)
+        << entry.name;
+    EXPECT_TRUE(keys.insert(out.key.ToString()).second)
+        << entry.name << " collided on key " << out.key.ToString();
+    ++engines;
+  }
+  EXPECT_EQ(keys.size(), engines);
+  EXPECT_EQ(server.Stats().runs_started, engines);
+
+  // Warm re-serve through a distinct engine hits that engine's entry.
+  MineCall beam_call = BreastCall();
+  beam_call.engine = core::EngineKind::kBeam;
+  MineOutcome warm = server.Mine(beam_call);
+  ASSERT_EQ(warm.verdict, Verdict::kOk);
+  EXPECT_EQ(warm.cache, CacheStatus::kHit);
+  EXPECT_EQ(server.Stats().runs_started, engines);
 }
 
 TEST(ServerTest, ReplacingADatasetInvalidatesItsCachedResults) {

@@ -3,7 +3,8 @@
 //   ./sdadcs_serve [--max-concurrent N] [--queue N] [--cache-capacity N]
 //                  [--memory-budget-mb N] [--deadline-ms N]
 //                  [--node-budget N] [--threads N]
-//                  [--parallel-threshold ROWS]
+//                  [--parallel-threshold ROWS] [--window-rows N]
+//                  [--equal-bins N]
 //
 // One JSON object per input line, one JSON response line per request —
 // scriptable from shell pipes and CI with no network dependency:
@@ -17,9 +18,11 @@
 //
 // Ops:
 //   load     name, spec                 → rows/attributes/bytes/version
-//   mine     dataset, group, groups[],  → verdict, cache status, timings
-//            engine (auto|serial|parallel), deadline_ms, node_budget,
-//            cache (bool), emit ("summary"|"patterns"), burst (int),
+//   mine     dataset, group, groups[],  → verdict, cache status, request
+//            engine (auto or any registry   key, timings
+//            name: serial|parallel|beam|window|binned:<method>),
+//            deadline_ms, node_budget, cache (bool),
+//            emit ("summary"|"patterns"), burst (int),
 //            config {depth, delta, alpha, top, measure, np}
 //   stats                               → registry/cache/admission counters
 //   evict    name                       → evicted (bool)
@@ -104,6 +107,7 @@ void OutcomeToJson(const MineOutcome& outcome,
   w.Add("verdict", sdadcs::serve::VerdictToString(outcome.verdict));
   w.Add("cache", sdadcs::serve::CacheStatusToString(outcome.cache));
   w.Add("engine", sdadcs::core::EngineKindToString(outcome.engine));
+  w.Add("key", outcome.key.ToString());
   w.Add("queue_ms", outcome.queue_seconds * 1e3);
   w.Add("run_ms", outcome.run_seconds * 1e3);
   w.Add("total_ms", outcome.total_seconds * 1e3);
@@ -151,14 +155,16 @@ void HandleMine(Server& server, const JsonValue& request) {
   call.config = ConfigFromJson(request);
   call.use_cache = request.GetBool("cache", true);
   std::string engine = request.GetString("engine", "auto");
-  if (engine == "serial") {
-    call.engine = EngineKind::kSerial;
-  } else if (engine == "parallel") {
-    call.engine = EngineKind::kParallel;
-  } else if (engine != "auto") {
-    RespondError("mine", "unknown engine '" + engine + "'");
+  // Any registered engine name (or "auto") is accepted; anything else is
+  // an error naming the offending field — never a silent fall back to
+  // auto.
+  sdadcs::util::StatusOr<EngineKind> kind =
+      sdadcs::core::EngineKindFromString(engine);
+  if (!kind.ok()) {
+    RespondError("mine", "\"engine\": " + kind.status().ToString());
     return;
   }
+  call.engine = *kind;
   if (call.dataset.empty() || call.group_attr.empty()) {
     RespondError("mine", "mine requires \"dataset\" and \"group\"");
     return;
@@ -330,6 +336,9 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags->GetInt("threads", 0));
   options.parallel_threshold_rows =
       static_cast<size_t>(flags->GetInt("parallel-threshold", 100000));
+  options.window_rows =
+      static_cast<size_t>(flags->GetInt("window-rows", 0));
+  options.equal_bins = static_cast<int>(flags->GetInt("equal-bins", 10));
 
   Server server(options);
 

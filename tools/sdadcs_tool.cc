@@ -9,6 +9,10 @@
 // built-in generated dataset (`synth:scaling:50000`, `synth:adult`, ...).
 //
 // Common mining options:
+//   --engine NAME       mining engine, any registry name: serial |
+//                       parallel | beam | window | binned:<method>
+//                       (default serial); --threads, --window-rows and
+//                       --bins tune the parallel/window/binned engines
 //   --groups a,b        contrast exactly these two group values
 //   --depth N           max items per pattern          (default 2)
 //   --delta D           minimum support difference     (default 0.1)
@@ -51,6 +55,7 @@
 #include "discretize/fayyad.h"
 #include "discretize/mvd.h"
 #include "discretize/srikant.h"
+#include "engine/registry.h"
 #include "serve/dataset_registry.h"
 #include "util/flags.h"
 #include "util/run_control.h"
@@ -171,7 +176,21 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
   }
 
   sdadcs::core::MinerConfig cfg = ConfigFromArgs(args);
-  sdadcs::core::Miner miner(cfg);
+  // Every --engine value resolves through the one registry; the default
+  // is the serial reference engine.
+  sdadcs::engine::EngineOptions eopts;
+  eopts.parallel_threads =
+      static_cast<size_t>(args.GetInt("threads", 0));
+  eopts.window_rows = static_cast<size_t>(args.GetInt("window-rows", 0));
+  eopts.equal_bins = static_cast<int>(args.GetInt("bins", 10));
+  sdadcs::util::StatusOr<std::unique_ptr<sdadcs::engine::Engine>> miner =
+      sdadcs::engine::EngineRegistry::Global().Create(
+          args.Get("engine", "serial"), cfg, eopts);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "--engine: %s\n",
+                 miner.status().ToString().c_str());
+    return 2;
+  }
   sdadcs::util::RunControl control = RunControlFromArgs(args);
 
   if (args.Has("sample")) {
@@ -196,7 +215,7 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
     sdadcs::core::MineRequest request;
     request.groups = &split->train;
     request.run_control = control;
-    auto result = miner.Mine(db, request);
+    auto result = (*miner)->Mine(db, request);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -219,7 +238,7 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
   sdadcs::core::MineRequest request;
   request.groups = &*gi;
   request.run_control = control;
-  auto result = miner.Mine(db, request);
+  auto result = (*miner)->Mine(db, request);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
