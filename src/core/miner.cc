@@ -17,14 +17,31 @@ double MiningResult::MeanSupportDifference(size_t k) const {
   return sum / static_cast<double>(n);
 }
 
+util::Status GroupResolutionError(const data::Dataset& db,
+                                  const MineRequest& request,
+                                  const util::Status& status) {
+  // Anything the group spec can get wrong is a caller mistake: surface
+  // it uniformly as InvalidArgument naming the offending request field.
+  // The attribute lookup is re-run (cheap) to classify failures coming
+  // from the prepared-artifact path, which hands back one flat status.
+  bool attr_failed = !db.schema().IndexOf(request.group_attr).ok();
+  const char* field = attr_failed || request.group_values.empty()
+                          ? "group_attr: "
+                          : "group_values: ";
+  return util::Status::InvalidArgument(field + status.message());
+}
+
 util::StatusOr<data::GroupInfo> ResolveRequestGroups(
     const data::Dataset& db, const MineRequest& request) {
   util::StatusOr<int> attr = db.schema().IndexOf(request.group_attr);
-  if (!attr.ok()) return attr.status();
-  if (request.group_values.empty()) {
-    return data::GroupInfo::Create(db, *attr);
-  }
-  return data::GroupInfo::CreateForValues(db, *attr, request.group_values);
+  if (!attr.ok()) return GroupResolutionError(db, request, attr.status());
+  util::StatusOr<data::GroupInfo> gi =
+      request.group_values.empty()
+          ? data::GroupInfo::Create(db, *attr)
+          : data::GroupInfo::CreateForValues(db, *attr,
+                                             request.group_values);
+  if (!gi.ok()) return GroupResolutionError(db, request, gi.status());
+  return gi;
 }
 
 util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
@@ -45,29 +62,6 @@ util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
   search.Run(session->attributes());
 
   return session->Finalize(topk.Sorted(), counters, ctx.run.completion());
-}
-
-util::StatusOr<MiningResult> Miner::Mine(const data::Dataset& db,
-                                         const std::string& group_attr) const {
-  MineRequest request;
-  request.group_attr = group_attr;
-  return Mine(db, request);
-}
-
-util::StatusOr<MiningResult> Miner::Mine(
-    const data::Dataset& db, const std::string& group_attr,
-    const std::vector<std::string>& group_values) const {
-  MineRequest request;
-  request.group_attr = group_attr;
-  request.group_values = group_values;
-  return Mine(db, request);
-}
-
-util::StatusOr<MiningResult> Miner::MineWithGroups(
-    const data::Dataset& db, const data::GroupInfo& gi) const {
-  MineRequest request;
-  request.groups = &gi;
-  return Mine(db, request);
 }
 
 }  // namespace sdadcs::core

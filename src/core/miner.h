@@ -12,6 +12,10 @@
 #include "util/run_control.h"
 #include "util/status.h"
 
+namespace sdadcs::data {
+class PreparedDataset;
+}  // namespace sdadcs::data
+
 namespace sdadcs::core {
 
 /// One mining request: which groups to contrast and how the run is
@@ -31,15 +35,30 @@ struct MineRequest {
   /// Pre-built groups (must refer to the mined dataset). When set,
   /// `group_attr` / `group_values` are ignored.
   const data::GroupInfo* groups = nullptr;
+  /// Optional prepared-artifact bundle of the mined dataset (must wrap
+  /// the very same data::Dataset). When set, the engine session pulls
+  /// resolved groups, the attribute universe and root bounds from the
+  /// bundle instead of recomputing them, and the SDAD-CS median cuts
+  /// run on the bundle's SortIndex artifacts. Null = derive per call.
+  const data::PreparedDataset* prepared = nullptr;
   /// Deadline / cancellation / budget / progress handle. Default:
   /// unlimited.
   util::RunControl run_control;
 };
 
-/// Builds the GroupInfo a request asks for (ignoring `request.groups`,
-/// which the caller can use directly). Shared by every engine.
+/// Builds the GroupInfo a request asks for (ignoring `request.groups`
+/// and `request.prepared`, which the caller can use directly). Shared
+/// by every engine; failures come back through GroupResolutionError.
 util::StatusOr<data::GroupInfo> ResolveRequestGroups(
     const data::Dataset& db, const MineRequest& request);
+
+/// Maps a failed group resolution onto a field-named InvalidArgument:
+/// the offending MineRequest field ("group_attr" or "group_values")
+/// prefixes the data-layer message. One place defines the mapping so
+/// the per-call path and the prepared-artifact path answer identically.
+util::Status GroupResolutionError(const data::Dataset& db,
+                                  const MineRequest& request,
+                                  const util::Status& status);
 
 /// Output of one mining run.
 struct MiningResult {
@@ -81,24 +100,6 @@ class Miner {
   /// matching MiningResult::completion — not an error.
   util::StatusOr<MiningResult> Mine(const data::Dataset& db,
                                     const MineRequest& request) const;
-
-  /// Mines contrasts between all values of `group_attr`.
-  [[deprecated("build a MineRequest and call Mine(db, request)")]]
-  util::StatusOr<MiningResult> Mine(const data::Dataset& db,
-                                    const std::string& group_attr) const;
-
-  /// Mines contrasts between the listed values of `group_attr`; rows
-  /// with other values are excluded from the analysis.
-  [[deprecated("build a MineRequest and call Mine(db, request)")]]
-  util::StatusOr<MiningResult> Mine(
-      const data::Dataset& db, const std::string& group_attr,
-      const std::vector<std::string>& group_values) const;
-
-  /// Mines against a pre-built GroupInfo (must refer to `db`).
-  [[deprecated(
-      "set MineRequest::groups and call Mine(db, request)")]]
-  util::StatusOr<MiningResult> MineWithGroups(
-      const data::Dataset& db, const data::GroupInfo& gi) const;
 
  private:
   MinerConfig config_;

@@ -191,7 +191,8 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
   std::vector<GroupCounts> fused_counts;
   if (cfg.columnar_kernels) {
     cuts = PartitionCuts(*ctx.db, call.space, cfg.split,
-                         &ctx.split_scratch.values);
+                         &ctx.split_scratch.values, ctx.prepared,
+                         &ctx.split_scratch.ranks);
     SplitResult split =
         SplitAndCount(*ctx.db, *ctx.gi, call.space, cuts, &ctx.split_scratch);
     cells = std::move(split.cells);

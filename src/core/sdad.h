@@ -23,6 +23,10 @@ struct MiningContext {
   const data::Dataset* db = nullptr;
   const data::GroupInfo* gi = nullptr;
   const MinerConfig* cfg = nullptr;
+  /// Optional prepared-artifact bundle of `db` (null = none). When set,
+  /// the SDAD-CS median cuts take the rank-based path through the
+  /// bundle's shared SortIndex artifacts instead of gathering values.
+  const data::PreparedDataset* prepared = nullptr;
   PruneTable* prune_table = nullptr;
   TopK* topk = nullptr;
   MiningCounters* counters = nullptr;

@@ -8,45 +8,6 @@
 
 namespace sdadcs::core {
 
-RootBounds ComputeRootBounds(const data::Dataset& db, int attr,
-                             const data::Selection& sel) {
-  data::MinMax mm = data::MinMaxInSelection(db, attr, sel);
-  RootBounds rb;
-  if (std::isnan(mm.min)) {
-    rb.lo = 0.0;
-    rb.hi = 0.0;
-    return rb;
-  }
-  rb.hi = mm.max;
-  // Pick a display lower bound just below the minimum so the item
-  // "lo < x" includes every row: min-1 when the data look integral
-  // (the paper renders "18 < Age <= 26" on Adult), otherwise a small
-  // fraction of the range below the minimum.
-  const data::ContinuousColumn& col = db.continuous(attr);
-  // The sealed per-column cache answers the common case (fully integral
-  // column) without touching the rows; only columns that do contain a
-  // fractional value somewhere fall back to scanning the selection.
-  bool integral = col.AllIntegral();
-  if (!integral) {
-    integral = true;
-    for (uint32_t r : sel) {
-      double v = col.value(r);
-      if (std::isnan(v)) continue;
-      if (v != std::floor(v)) {
-        integral = false;
-        break;
-      }
-    }
-  }
-  if (integral) {
-    rb.lo = mm.min - 1.0;
-  } else {
-    double range = mm.max - mm.min;
-    rb.lo = mm.min - (range > 0.0 ? 1e-9 * range : 1e-9);
-  }
-  return rb;
-}
-
 namespace {
 
 // Mean of the axis values over the space's rows (NaN when empty).
@@ -69,13 +30,27 @@ double MeanOnAxis(const data::Dataset& db, int attr,
 
 std::vector<double> PartitionCuts(const data::Dataset& db,
                                   const Space& space, SplitKind kind,
-                                  std::vector<double>* scratch) {
+                                  std::vector<double>* scratch,
+                                  const data::PreparedDataset* prepared,
+                                  std::vector<uint32_t>* rank_scratch) {
   std::vector<double> cuts;
   cuts.reserve(space.bounds.size());
   for (const AxisBound& b : space.bounds) {
-    double m = kind == SplitKind::kMedian
-                   ? data::MedianInSelection(db, b.attr, space.rows, scratch)
-                   : MeanOnAxis(db, b.attr, space.rows);
+    // The rank-based path (prepared bundle available) and the value
+    // gather return bit-identical medians; only the work differs.
+    const data::SortIndex* index =
+        prepared != nullptr && kind == SplitKind::kMedian
+            ? prepared->Sorted(b.attr)
+            : nullptr;
+    double m;
+    if (index != nullptr) {
+      m = data::MedianInSelectionRanked(db, b.attr, space.rows, *index,
+                                        rank_scratch);
+    } else {
+      m = kind == SplitKind::kMedian
+              ? data::MedianInSelection(db, b.attr, space.rows, scratch)
+              : MeanOnAxis(db, b.attr, space.rows);
+    }
     if (std::isnan(m) || m >= b.hi || m <= b.lo) {
       // Not splittable two ways inside (lo, hi].
       cuts.push_back(std::numeric_limits<double>::quiet_NaN());

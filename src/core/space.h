@@ -6,6 +6,7 @@
 #include "core/config.h"
 #include "core/itemset.h"
 #include "data/dataset.h"
+#include "data/prepared.h"
 #include "data/selection.h"
 
 namespace sdadcs::core {
@@ -29,27 +30,26 @@ struct Space {
   data::Selection rows;
 };
 
-/// Display/normalization bounds of one continuous attribute over the
-/// analysis rows: lo is a "nice" value just below the minimum (min-1 for
-/// integral data, matching the paper's "18 < Age" rendering), hi is the
-/// maximum.
-struct RootBounds {
-  double lo = 0.0;
-  double hi = 0.0;
-};
-
-/// Computes RootBounds of `attr` over `sel`.
-RootBounds ComputeRootBounds(const data::Dataset& db, int attr,
-                             const data::Selection& sel);
+/// Display/normalization bounds of one continuous attribute; the struct
+/// and its computation moved into the data layer with the
+/// prepared-dataset artifacts (data/prepared.h). The aliases keep the
+/// core-layer spelling working.
+using RootBounds = data::RootBounds;
+using data::ComputeRootBounds;
 
 /// partition(ca) of Algorithm 1: the split value of each axis of
 /// `space` (computed over the space's rows) — the median (paper default)
 /// or the mean. An axis whose rows cannot be split two ways (all values
 /// equal, or the cut leaves one side empty) gets NaN. `scratch`, when
 /// non-null, is a reusable gather buffer for the median computation.
-std::vector<double> PartitionCuts(const data::Dataset& db,
-                                  const Space& space, SplitKind kind,
-                                  std::vector<double>* scratch = nullptr);
+/// With `prepared` set, median cuts take the rank-based path through
+/// the bundle's SortIndex artifacts (bit-identical values, no per-call
+/// double gather); `rank_scratch` is that path's reusable buffer.
+std::vector<double> PartitionCuts(
+    const data::Dataset& db, const Space& space, SplitKind kind,
+    std::vector<double>* scratch = nullptr,
+    const data::PreparedDataset* prepared = nullptr,
+    std::vector<uint32_t>* rank_scratch = nullptr);
 
 /// PartitionCuts with the paper's default, the median.
 std::vector<double> PartitionMedians(const data::Dataset& db,

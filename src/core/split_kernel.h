@@ -23,6 +23,8 @@ namespace sdadcs::core {
 struct SplitScratch {
   /// Gather buffer for median/quantile computation (PartitionCuts).
   std::vector<double> values;
+  /// Rank gather buffer for the prepared-dataset median path.
+  std::vector<uint32_t> ranks;
   /// Per surviving parent row: the row id, in selection order.
   std::vector<uint32_t> row_ids;
   /// Parallel to row_ids: the row's cell index (bit b set = right half

@@ -70,6 +70,17 @@ class GroupInfo {
   /// validation of mined patterns.
   util::StatusOr<GroupInfo> Restrict(const Selection& rows) const;
 
+  /// Approximate resident bytes (names + dense codes + base selection);
+  /// feeds the prepared-artifact byte accounting.
+  size_t MemoryUsage() const {
+    size_t bytes = sizeof(*this);
+    for (const std::string& n : names_) bytes += n.capacity();
+    bytes += sizes_.capacity() * sizeof(size_t);
+    bytes += row_groups_.capacity() * sizeof(int16_t);
+    bytes += base_.size() * sizeof(uint32_t);
+    return bytes;
+  }
+
  private:
   int group_attr_ = -1;
   std::vector<std::string> names_;

@@ -1,0 +1,188 @@
+#include "data/prepared.h"
+
+#include <cmath>
+#include <utility>
+
+namespace sdadcs::data {
+
+RootBounds ComputeRootBounds(const Dataset& db, int attr,
+                             const Selection& sel) {
+  MinMax mm = MinMaxInSelection(db, attr, sel);
+  RootBounds rb;
+  if (std::isnan(mm.min)) {
+    rb.lo = 0.0;
+    rb.hi = 0.0;
+    return rb;
+  }
+  rb.hi = mm.max;
+  // Pick a display lower bound just below the minimum so the item
+  // "lo < x" includes every row: min-1 when the data look integral
+  // (the paper renders "18 < Age <= 26" on Adult), otherwise a small
+  // fraction of the range below the minimum.
+  const ContinuousColumn& col = db.continuous(attr);
+  // The sealed per-column cache answers the common case (fully integral
+  // column) without touching the rows; only columns that do contain a
+  // fractional value somewhere fall back to scanning the selection.
+  bool integral = col.AllIntegral();
+  if (!integral) {
+    integral = true;
+    for (uint32_t r : sel) {
+      double v = col.value(r);
+      if (std::isnan(v)) continue;
+      if (v != std::floor(v)) {
+        integral = false;
+        break;
+      }
+    }
+  }
+  if (integral) {
+    rb.lo = mm.min - 1.0;
+  } else {
+    double range = mm.max - mm.min;
+    rb.lo = mm.min - (range > 0.0 ? 1e-9 * range : 1e-9);
+  }
+  return rb;
+}
+
+size_t PreparedGroups::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  bytes += groups.MemoryUsage();
+  bytes += attributes.capacity() * sizeof(int);
+  bytes += group_sizes.capacity() * sizeof(double);
+  bytes += root_bounds.size() * (sizeof(int) + sizeof(RootBounds) +
+                                 2 * sizeof(void*));
+  return bytes;
+}
+
+PreparedDataset::PreparedDataset(const Dataset* db)
+    : db_(db), sort_slots_(db->num_attributes()) {}
+
+const SortIndex* PreparedDataset::Sorted(int attr) const {
+  if (attr < 0 || attr >= static_cast<int>(sort_slots_.size()) ||
+      !db_->is_continuous(attr)) {
+    return nullptr;
+  }
+  SortSlot& slot = sort_slots_[static_cast<size_t>(attr)];
+  const SortIndex* ready = slot.ready.load(std::memory_order_acquire);
+  if (ready != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return ready;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ready = slot.ready.load(std::memory_order_acquire);
+    if (ready != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return ready;
+    }
+    if (!slot.building) break;
+    cv_.wait(lock);
+  }
+  slot.building = true;
+  lock.unlock();
+  // Built outside the lock: a sort over a large column must not stall
+  // requests for other artifacts.
+  auto built = std::make_unique<SortIndex>(
+      SortIndex::Build(*db_, attr, /*with_ranks=*/true));
+  lock.lock();
+  slot.storage = std::move(built);
+  ++sort_builds_;
+  bytes_ += slot.storage->MemoryUsage();
+  slot.building = false;
+  slot.ready.store(slot.storage.get(), std::memory_order_release);
+  cv_.notify_all();
+  return slot.storage.get();
+}
+
+util::StatusOr<std::shared_ptr<const PreparedGroups>>
+PreparedDataset::Groups(const std::string& group_attr,
+                        const std::vector<std::string>& group_values) const {
+  std::string key = group_attr;
+  for (const std::string& v : group_values) {
+    key += '\x1f';
+    key += v;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = group_slots_.find(key);
+    if (it == group_slots_.end()) break;  // this thread builds
+    if (it->second.artifact != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.artifact;
+    }
+    // Another thread is building this spec (or failed and erased the
+    // slot — the loop re-checks after every wake-up).
+    cv_.wait(lock);
+  }
+  group_slots_.emplace(key, GroupSlot{});
+  lock.unlock();
+
+  util::StatusOr<std::shared_ptr<const PreparedGroups>> built =
+      BuildGroups(group_attr, group_values);
+
+  lock.lock();
+  if (!built.ok()) {
+    // Failures are not cached: a retry re-resolves (cheap), and an
+    // error slot would pin a bad spec forever.
+    group_slots_.erase(key);
+    cv_.notify_all();
+    return built.status();
+  }
+  GroupSlot& slot = group_slots_[key];
+  slot.artifact = std::move(*built);
+  ++group_builds_;
+  bytes_ += slot.artifact->MemoryUsage();
+  cv_.notify_all();
+  return slot.artifact;
+}
+
+util::StatusOr<std::shared_ptr<const PreparedGroups>>
+PreparedDataset::BuildGroups(
+    const std::string& group_attr,
+    const std::vector<std::string>& group_values) const {
+  util::StatusOr<int> attr = db_->schema().IndexOf(group_attr);
+  if (!attr.ok()) return attr.status();
+  util::StatusOr<GroupInfo> gi =
+      group_values.empty()
+          ? GroupInfo::Create(*db_, *attr)
+          : GroupInfo::CreateForValues(*db_, *attr, group_values);
+  if (!gi.ok()) return gi.status();
+
+  auto pg = std::make_shared<PreparedGroups>();
+  pg->groups = std::move(*gi);
+  pg->attributes.reserve(db_->num_attributes() - 1);
+  for (size_t a = 0; a < db_->num_attributes(); ++a) {
+    if (static_cast<int>(a) != pg->groups.group_attr()) {
+      pg->attributes.push_back(static_cast<int>(a));
+    }
+  }
+  pg->group_sizes.reserve(static_cast<size_t>(pg->groups.num_groups()));
+  for (int g = 0; g < pg->groups.num_groups(); ++g) {
+    pg->group_sizes.push_back(
+        static_cast<double>(pg->groups.group_size(g)));
+  }
+  for (int a : pg->attributes) {
+    if (db_->is_continuous(a)) {
+      pg->root_bounds[a] =
+          ComputeRootBounds(*db_, a, pg->groups.base_selection());
+    }
+  }
+  return std::shared_ptr<const PreparedGroups>(std::move(pg));
+}
+
+PreparedStats PreparedDataset::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PreparedStats s;
+  s.sort_builds = sort_builds_;
+  s.group_builds = group_builds_;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.bytes = bytes_;
+  return s;
+}
+
+size_t PreparedDataset::MemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace sdadcs::data

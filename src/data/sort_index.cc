@@ -19,7 +19,7 @@ void GatherValuesInto(const Dataset& db, int attr, const Selection& sel,
   }
 }
 
-SortIndex SortIndex::Build(const Dataset& db, int attr) {
+SortIndex SortIndex::Build(const Dataset& db, int attr, bool with_ranks) {
   const ContinuousColumn& col = db.continuous(attr);
   SortIndex idx;
   idx.order_.reserve(col.size());
@@ -30,6 +30,12 @@ SortIndex SortIndex::Build(const Dataset& db, int attr) {
                    [&col](uint32_t a, uint32_t b) {
                      return col.value(a) < col.value(b);
                    });
+  if (with_ranks) {
+    idx.rank_.assign(col.size(), kNoRank);
+    for (size_t k = 0; k < idx.order_.size(); ++k) {
+      idx.rank_[idx.order_[k]] = static_cast<uint32_t>(k);
+    }
+  }
   return idx;
 }
 
@@ -44,6 +50,27 @@ double MedianInSelection(const Dataset& db, int attr, const Selection& sel,
   size_t k = (vals.size() - 1) / 2;
   std::nth_element(vals.begin(), vals.begin() + k, vals.end());
   return vals[k];
+}
+
+double MedianInSelectionRanked(const Dataset& db, int attr,
+                               const Selection& sel, const SortIndex& index,
+                               std::vector<uint32_t>* scratch) {
+  SDADCS_CHECK(index.has_ranks());
+  std::vector<uint32_t> local;
+  std::vector<uint32_t>& ranks = scratch != nullptr ? *scratch : local;
+  ranks.clear();
+  ranks.reserve(sel.size());
+  for (uint32_t r : sel) {
+    uint32_t rank = index.rank_of(r);
+    if (rank != SortIndex::kNoRank) ranks.push_back(rank);
+  }
+  if (ranks.empty()) return std::numeric_limits<double>::quiet_NaN();
+  // Same lower-middle rank as MedianInSelection; selecting on ranks
+  // instead of values yields the identical double because the rank
+  // order refines the value order.
+  size_t k = (ranks.size() - 1) / 2;
+  std::nth_element(ranks.begin(), ranks.begin() + k, ranks.end());
+  return db.continuous(attr).value(index.row_at(ranks[k]));
 }
 
 double QuantileInSelection(const Dataset& db, int attr, const Selection& sel,

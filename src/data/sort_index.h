@@ -10,22 +10,42 @@
 namespace sdadcs::data {
 
 /// Row ids of a continuous column ordered by value (missing rows
-/// excluded). Built once per attribute; used by the discretizers for
-/// equal-frequency cut points and fast quantiles.
+/// excluded), optionally with the inverse permutation (row -> rank).
+/// Built once per attribute; used by the discretizers for
+/// equal-frequency cut points and fast quantiles, and — in rank form —
+/// by the prepared-dataset artifact layer for rank-based selection
+/// medians.
 class SortIndex {
  public:
+  /// rank_of() for a missing (or absent) row.
+  static constexpr uint32_t kNoRank = 0xffffffffu;
+
   SortIndex() = default;
 
   /// Sorts all non-missing rows of `db.continuous(attr)` by value
-  /// (stable ties by row id).
-  static SortIndex Build(const Dataset& db, int attr);
+  /// (stable ties by row id). With `with_ranks` the inverse permutation
+  /// is materialized too (one uint32 per dataset row), enabling
+  /// rank_of().
+  static SortIndex Build(const Dataset& db, int attr,
+                         bool with_ranks = false);
 
   size_t size() const { return order_.size(); }
   uint32_t row_at(size_t rank) const { return order_[rank]; }
   const std::vector<uint32_t>& order() const { return order_; }
 
+  bool has_ranks() const { return !rank_.empty(); }
+  /// Rank of `row` in value order (ties broken by row id), or kNoRank
+  /// when the row's value is missing. Only valid when has_ranks().
+  uint32_t rank_of(uint32_t row) const { return rank_[row]; }
+
+  size_t MemoryUsage() const {
+    return sizeof(*this) + order_.capacity() * sizeof(uint32_t) +
+           rank_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   std::vector<uint32_t> order_;
+  std::vector<uint32_t> rank_;  ///< per dataset row; empty if not built
 };
 
 /// Median of `attr` over the rows in `sel` (non-missing only), computed
@@ -38,6 +58,16 @@ class SortIndex {
 /// buffer keeps the hot path allocation-free.
 double MedianInSelection(const Dataset& db, int attr, const Selection& sel,
                          std::vector<double>* scratch = nullptr);
+
+/// MedianInSelection computed through a rank-form SortIndex of `attr`:
+/// gathers the selection's ranks instead of its values and selects the
+/// lower-middle rank. Because ranks refine value order, the value at
+/// the selected rank is bit-identical to MedianInSelection's result —
+/// the two paths are interchangeable. `scratch` is the reusable rank
+/// gather buffer (same role as MedianInSelection's).
+double MedianInSelectionRanked(const Dataset& db, int attr,
+                               const Selection& sel, const SortIndex& index,
+                               std::vector<uint32_t>* scratch = nullptr);
 
 /// q-quantile (0<=q<=1) of `attr` over `sel`, by rank floor(q*(n-1)).
 double QuantileInSelection(const Dataset& db, int attr, const Selection& sel,

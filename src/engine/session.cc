@@ -18,10 +18,23 @@ util::StatusOr<MiningSession> MiningSession::Begin(
   MiningSession session;
   session.db_ = &db;
   session.config_ = &config;
+  session.prepared_ = request.prepared;
   session.control_ = request.run_control;
 
   if (request.groups != nullptr) {
     session.groups_ = request.groups;
+  } else if (request.prepared != nullptr) {
+    // Warm path: the bundle's keyed group artifact carries the resolved
+    // groups, group sizes, default universe and root bounds — built on
+    // first touch, reused ever after.
+    util::StatusOr<std::shared_ptr<const data::PreparedGroups>> pg =
+        request.prepared->Groups(request.group_attr,
+                                 request.group_values);
+    if (!pg.ok()) {
+      return core::GroupResolutionError(db, request, pg.status());
+    }
+    session.prepared_groups_ = std::move(*pg);
+    session.groups_ = &session.prepared_groups_->groups;
   } else {
     util::StatusOr<data::GroupInfo> gi =
         core::ResolveRequestGroups(db, request);
@@ -33,33 +46,50 @@ util::StatusOr<MiningSession> MiningSession::Begin(
   const data::GroupInfo& gi = *session.groups_;
 
   // Resolve the attribute universe: the configured names, or every
-  // attribute except the group attribute.
+  // attribute except the group attribute (the prepared artifact holds
+  // that default universe ready-made).
   if (config.attributes.empty()) {
-    for (size_t a = 0; a < db.num_attributes(); ++a) {
-      if (static_cast<int>(a) != gi.group_attr()) {
-        session.attributes_.push_back(static_cast<int>(a));
+    if (session.prepared_groups_ != nullptr) {
+      session.attributes_ = session.prepared_groups_->attributes;
+    } else {
+      for (size_t a = 0; a < db.num_attributes(); ++a) {
+        if (static_cast<int>(a) != gi.group_attr()) {
+          session.attributes_.push_back(static_cast<int>(a));
+        }
       }
     }
   } else {
     for (const std::string& name : config.attributes) {
       util::StatusOr<int> idx = db.schema().IndexOf(name);
-      if (!idx.ok()) return idx.status();
+      if (!idx.ok()) {
+        return util::Status::InvalidArgument("attributes: " +
+                                             idx.status().message());
+      }
       if (*idx == gi.group_attr()) {
         return util::Status::InvalidArgument(
-            "attribute '" + name + "' is the group attribute");
+            "attributes: '" + name + "' is the group attribute");
       }
       session.attributes_.push_back(*idx);
     }
   }
   if (session.attributes_.empty()) {
-    return util::Status::InvalidArgument("no attributes to mine");
+    return util::Status::InvalidArgument(
+        "attributes: no attributes to mine");
   }
 
-  session.group_sizes_ = core::GroupSizes(gi);
-  for (int a : session.attributes_) {
-    if (db.is_continuous(a)) {
-      session.root_bounds_[a] =
-          core::ComputeRootBounds(db, a, gi.base_selection());
+  if (session.prepared_groups_ != nullptr) {
+    // The artifact's bounds cover every continuous attribute of the
+    // default universe — a superset of any configured subset — so the
+    // copies below never trigger a row scan.
+    session.group_sizes_ = session.prepared_groups_->group_sizes;
+    session.root_bounds_ = session.prepared_groups_->root_bounds;
+  } else {
+    session.group_sizes_ = core::GroupSizes(gi);
+    for (int a : session.attributes_) {
+      if (db.is_continuous(a)) {
+        session.root_bounds_[a] =
+            data::ComputeRootBounds(db, a, gi.base_selection());
+      }
     }
   }
   return session;
@@ -77,6 +107,7 @@ core::MiningContext MiningSession::MakeContext(
   ctx.counters = counters;
   ctx.group_sizes = group_sizes_;
   ctx.root_bounds = root_bounds_;
+  ctx.prepared = prepared_;
   ctx.run = core::RunState(control_);
   return ctx;
 }

@@ -13,6 +13,7 @@
 #include "core/topk.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
+#include "data/prepared.h"
 #include "util/run_control.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -30,6 +31,14 @@ namespace sdadcs::engine {
 /// group attribute, rejecting the group attribute by name), computes
 /// the per-attribute root bounds and group sizes, and starts the wall
 /// timer the epilogue reads.
+///
+/// When the request carries a prepared-artifact bundle
+/// (request.prepared), groups, universe, group sizes and root bounds
+/// all come out of the bundle's keyed group artifact — no row scan, no
+/// GroupInfo rebuild — and every context made here hands the bundle to
+/// the SDAD-CS median kernels. The session keeps the artifact alive
+/// via shared_ptr, so it survives even a concurrent registry eviction
+/// of the dataset handle that produced it.
 ///
 /// Finalize() sorts the patterns by measure (a deterministic total
 /// order, idempotent on already-sorted input), applies the
@@ -94,6 +103,11 @@ class MiningSession {
 
   const data::Dataset* db_ = nullptr;
   const core::MinerConfig* config_ = nullptr;
+  /// The request's prepared bundle (null when mining cold).
+  const data::PreparedDataset* prepared_ = nullptr;
+  /// Set when the groups came from the prepared bundle; keeps the
+  /// artifact alive for the session's lifetime.
+  std::shared_ptr<const data::PreparedGroups> prepared_groups_;
   /// Set when the session resolved the groups itself; `groups_` then
   /// points into it.
   std::unique_ptr<data::GroupInfo> owned_groups_;

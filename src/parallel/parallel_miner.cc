@@ -158,27 +158,4 @@ util::StatusOr<core::MiningResult> ParallelMiner::Mine(
                            coord_run.completion());
 }
 
-util::StatusOr<core::MiningResult> ParallelMiner::Mine(
-    const data::Dataset& db, const std::string& group_attr) const {
-  core::MineRequest request;
-  request.group_attr = group_attr;
-  return Mine(db, request);
-}
-
-util::StatusOr<core::MiningResult> ParallelMiner::Mine(
-    const data::Dataset& db, const std::string& group_attr,
-    const std::vector<std::string>& group_values) const {
-  core::MineRequest request;
-  request.group_attr = group_attr;
-  request.group_values = group_values;
-  return Mine(db, request);
-}
-
-util::StatusOr<core::MiningResult> ParallelMiner::MineWithGroups(
-    const data::Dataset& db, const data::GroupInfo& gi) const {
-  core::MineRequest request;
-  request.groups = &gi;
-  return Mine(db, request);
-}
-
 }  // namespace sdadcs::parallel

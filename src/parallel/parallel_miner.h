@@ -34,20 +34,12 @@ class ParallelMiner {
   const core::MinerConfig& config() const { return config_; }
   size_t num_threads() const { return num_threads_; }
 
-  /// Unified entry point; see Miner::Mine.
+  /// Unified entry point; see Miner::Mine. All workers share the
+  /// session's state — including, when the request carries one, a
+  /// single prepared-artifact bundle (its single-flight construction
+  /// makes the first-touch build safe under worker concurrency).
   util::StatusOr<core::MiningResult> Mine(
       const data::Dataset& db, const core::MineRequest& request) const;
-
-  [[deprecated("build a MineRequest and call Mine(db, request)")]]
-  util::StatusOr<core::MiningResult> Mine(
-      const data::Dataset& db, const std::string& group_attr) const;
-  [[deprecated("build a MineRequest and call Mine(db, request)")]]
-  util::StatusOr<core::MiningResult> Mine(
-      const data::Dataset& db, const std::string& group_attr,
-      const std::vector<std::string>& group_values) const;
-  [[deprecated("set MineRequest::groups and call Mine(db, request)")]]
-  util::StatusOr<core::MiningResult> MineWithGroups(
-      const data::Dataset& db, const data::GroupInfo& gi) const;
 
  private:
   core::MinerConfig config_;

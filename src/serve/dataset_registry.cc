@@ -62,6 +62,10 @@ util::StatusOr<std::shared_ptr<const ServedDataset>> DatasetRegistry::Load(
   served->name = name;
   served->spec = spec;
   served->memory_bytes = served->db.MemoryUsage();
+  // Fresh bundle per load: a replace under the same name starts over
+  // with empty artifacts (the old data's sort order is meaningless for
+  // the new rows).
+  served->prepared = std::make_shared<data::PreparedDataset>(&served->db);
 
   std::vector<std::shared_ptr<const ServedDataset>> dropped;
   EvictionListener listener;
@@ -74,6 +78,7 @@ util::StatusOr<std::shared_ptr<const ServedDataset>> DatasetRegistry::Load(
     if (it != entries_.end()) {
       ++counters_.replacements;
       resident_bytes_ -= it->second.ds->memory_bytes;
+      RetireArtifactsLocked(*it->second.ds);
       dropped.push_back(it->second.ds);
       recency_.erase(it->second.pos);
       entries_.erase(it);
@@ -114,6 +119,7 @@ bool DatasetRegistry::Evict(const std::string& name) {
     if (it == entries_.end()) return false;
     dropped = it->second.ds;
     resident_bytes_ -= it->second.ds->memory_bytes;
+    RetireArtifactsLocked(*it->second.ds);
     recency_.erase(it->second.pos);
     entries_.erase(it);
     ++counters_.evictions;
@@ -128,6 +134,16 @@ DatasetRegistry::Stats DatasetRegistry::stats() const {
   Stats s = counters_;
   s.resident = entries_.size();
   s.resident_bytes = resident_bytes_;
+  // Bundles grow lazily, so artifact accounting is read live from the
+  // resident entries and topped up with the retired totals.
+  s.artifact_builds = retired_artifact_builds_;
+  s.artifact_hits = retired_artifact_hits_;
+  for (const auto& [name, entry] : entries_) {
+    data::PreparedStats ps = entry.ds->prepared->stats();
+    s.artifact_bytes += ps.bytes;
+    s.artifact_builds += ps.sort_builds + ps.group_builds;
+    s.artifact_hits += ps.hits;
+  }
   return s;
 }
 
@@ -140,7 +156,11 @@ void DatasetRegistry::EnforceBudgetLocked(
     const std::string& keep,
     std::vector<std::shared_ptr<const ServedDataset>>* out) {
   if (budget_bytes_ == 0) return;
-  while (resident_bytes_ > budget_bytes_ && entries_.size() > 1) {
+  // Artifact bytes count against the same budget as the datasets they
+  // derive from; since bundles grow lazily between loads, the sum is
+  // recomputed after every eviction.
+  while (resident_bytes_ + ArtifactBytesLocked() > budget_bytes_ &&
+         entries_.size() > 1) {
     // Walk from the LRU end, skipping the entry we must keep.
     auto victim = recency_.end();
     do {
@@ -149,11 +169,26 @@ void DatasetRegistry::EnforceBudgetLocked(
     if (*victim == keep) return;
     auto it = entries_.find(*victim);
     resident_bytes_ -= it->second.ds->memory_bytes;
+    RetireArtifactsLocked(*it->second.ds);
     out->push_back(it->second.ds);
     entries_.erase(it);
     recency_.erase(victim);
     ++counters_.evictions;
   }
+}
+
+size_t DatasetRegistry::ArtifactBytesLocked() const {
+  size_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.ds->prepared->stats().bytes;
+  }
+  return total;
+}
+
+void DatasetRegistry::RetireArtifactsLocked(const ServedDataset& ds) {
+  data::PreparedStats ps = ds.prepared->stats();
+  retired_artifact_builds_ += ps.sort_builds + ps.group_builds;
+  retired_artifact_hits_ += ps.hits;
 }
 
 void DatasetRegistry::TouchLocked(const std::string& name) {

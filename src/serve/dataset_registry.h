@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/prepared.h"
 #include "util/status.h"
 
 namespace sdadcs::serve {
@@ -28,6 +29,12 @@ struct ServedDataset {
   uint64_t fingerprint = 0;  ///< core::DatasetFingerprint(name, generation)
   size_t memory_bytes = 0;   ///< Dataset::MemoryUsage() at load time
   data::Dataset db;
+  /// Lazily-built request-invariant artifacts (sort indexes, root
+  /// bounds, resolved groups) over `db`. Created fresh per load, so a
+  /// replace (generation bump) discards the old bundle with the old
+  /// data. Borrows `db`: only reach it through a live ServedDataset
+  /// handle.
+  std::shared_ptr<data::PreparedDataset> prepared;
 };
 
 /// Loads a dataset spec directly (no registry): a CSV path, or
@@ -49,6 +56,10 @@ util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec);
 ///     single dataset larger than the whole budget stays resident alone
 ///     (serving nothing would be strictly worse), and the overage is
 ///     visible in stats().resident_bytes.
+///   - Each resident dataset carries a prepared-artifact bundle whose
+///     bytes (stats().artifact_bytes) count against the same budget at
+///     the next Load: artifacts built since the previous enforcement
+///     can push older datasets out.
 ///
 /// Thread-safe; all methods may be called concurrently.
 class DatasetRegistry {
@@ -84,6 +95,11 @@ class DatasetRegistry {
     uint64_t hits = 0;          ///< Get found the name
     uint64_t misses = 0;        ///< Get did not
     uint64_t evictions = 0;     ///< LRU + explicit evictions (not replaces)
+    /// Prepared-artifact accounting, summed over resident bundles plus
+    /// (for the counters) bundles that have since left the registry.
+    size_t artifact_bytes = 0;     ///< resident bundles only
+    uint64_t artifact_builds = 0;  ///< sort + group artifact builds
+    uint64_t artifact_hits = 0;    ///< artifact reuses (no build)
   };
   Stats stats() const;
 
@@ -97,6 +113,12 @@ class DatasetRegistry {
       const std::string& keep,
       std::vector<std::shared_ptr<const ServedDataset>>* out);
   void TouchLocked(const std::string& name);
+  /// Bytes held by resident prepared-artifact bundles (live sum: the
+  /// bundles grow lazily after load).
+  size_t ArtifactBytesLocked() const;
+  /// Folds a departing entry's artifact counters into the retired
+  /// totals so stats() stays monotonic across evictions and replaces.
+  void RetireArtifactsLocked(const ServedDataset& ds);
 
   mutable std::mutex mu_;
   size_t budget_bytes_;
@@ -111,6 +133,9 @@ class DatasetRegistry {
   std::unordered_map<std::string, Entry> entries_;
   size_t resident_bytes_ = 0;
   Stats counters_;
+  // Builds/hits of bundles no longer resident (their bytes are freed).
+  uint64_t retired_artifact_builds_ = 0;
+  uint64_t retired_artifact_hits_ = 0;
   EvictionListener listener_;
 };
 

@@ -97,6 +97,10 @@ util::StatusOr<core::MiningResult> Server::RunEngine(
     const ServedDataset& ds, const MineCall& call, core::EngineKind engine,
     const util::RunControl& control) const {
   core::MineRequest request = BuildRequest(call, control);
+  // Every run against a registered dataset mines warm: the handle's
+  // prepared bundle supplies sort indexes, root bounds and resolved
+  // groups, built at most once per load generation.
+  request.prepared = ds.prepared.get();
   // Every engine — including the historical serial/parallel pair — is
   // constructed through the registry; there is no other name-to-miner
   // path in the server.

@@ -36,24 +36,31 @@ util::StatusOr<core::MiningResult> MineTailWindow(
   const size_t rows = db.num_rows();
   const size_t take = window_rows == 0 ? rows : std::min(window_rows, rows);
 
-  // Resolve the full-dataset groups first, then restrict to the tail.
-  util::StatusOr<data::GroupInfo> resolved =
-      request.groups != nullptr
-          ? util::StatusOr<data::GroupInfo>(*request.groups)
-          : core::ResolveRequestGroups(db, request);
-  if (!resolved.ok()) return resolved.status();
-
   std::vector<uint32_t> tail;
   tail.reserve(take);
   for (size_t r = rows - take; r < rows; ++r) {
     tail.push_back(static_cast<uint32_t>(r));
   }
-  util::StatusOr<data::GroupInfo> windowed =
-      resolved->Restrict(data::Selection(std::move(tail)));
+  data::Selection tail_sel(std::move(tail));
+
+  // Restrict the full-dataset groups to the tail. A caller-supplied
+  // GroupInfo is restricted in place (Restrict reuses the parent's dense
+  // codes — no re-derivation, no copy of the parent); otherwise resolve
+  // from the request spec first.
+  util::StatusOr<data::GroupInfo> windowed = [&] {
+    if (request.groups != nullptr) return request.groups->Restrict(tail_sel);
+    util::StatusOr<data::GroupInfo> resolved =
+        core::ResolveRequestGroups(db, request);
+    if (!resolved.ok()) return resolved;
+    return resolved->Restrict(tail_sel);
+  }();
   if (!windowed.ok()) return windowed.status();
 
   core::MineRequest tail_request;
   tail_request.groups = &*windowed;
+  // Sort-index artifacts are selection-independent, so the bundle's
+  // rank-based median path stays valid under the tail restriction.
+  tail_request.prepared = request.prepared;
   tail_request.run_control = request.run_control;
   return core::Miner(config).Mine(db, tail_request);
 }

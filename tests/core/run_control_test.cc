@@ -1,12 +1,7 @@
 // Engine-level behaviour of the run-control layer: deadlines, budgets
-// and cancellation drain cleanly with valid best-so-far results, and an
-// unbounded MineRequest is byte-identical to the legacy overloads.
-//
-// This is the one test file that still calls the deprecated Mine
-// overloads on purpose — the forwarding shims stay covered here until
-// they are removed. Everything else builds with the deprecation
-// warnings fatal.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// and cancellation drain cleanly with valid best-so-far results, and a
+// named group spec is byte-identical to mining with a pre-resolved
+// GroupInfo.
 
 #include <algorithm>
 #include <chrono>
@@ -169,9 +164,11 @@ TEST(RunControlMiningTest, ProgressCallbackSeesLevels) {
   EXPECT_EQ(max_level, 2);
 }
 
-TEST(RunControlMiningTest, UnboundedRequestMatchesLegacyOverloads) {
-  // The MineRequest path must be byte-identical to the legacy overloads
-  // it replaces — same patterns, same order, same stats to the last bit.
+TEST(RunControlMiningTest, NamedSpecMatchesPrebuiltGroups) {
+  // A request naming its groups (group_attr + group_values, resolved by
+  // the engine) must be byte-identical to the same mine over a
+  // pre-resolved GroupInfo — same patterns, same order, same stats to
+  // the last bit.
   for (const std::string& name :
        {std::string("adult"), std::string("transfusion")}) {
     synth::NamedDataset nd = synth::MakeUciLike(name, /*seed=*/7);
@@ -187,14 +184,20 @@ TEST(RunControlMiningTest, UnboundedRequestMatchesLegacyOverloads) {
     ASSERT_TRUE(via_request.ok());
     EXPECT_EQ(via_request->completion, Completion::kComplete);
 
-    auto via_legacy = miner.Mine(nd.db, nd.group_attr, nd.groups);
-    ASSERT_TRUE(via_legacy.ok());
+    auto attr = nd.db.schema().IndexOf(nd.group_attr);
+    ASSERT_TRUE(attr.ok());
+    auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+    ASSERT_TRUE(gi.ok());
+    MineRequest prebuilt;
+    prebuilt.groups = &*gi;
+    auto via_groups = miner.Mine(nd.db, prebuilt);
+    ASSERT_TRUE(via_groups.ok());
 
     EXPECT_EQ(RenderResult(via_request->contrasts),
-              RenderResult(via_legacy->contrasts))
+              RenderResult(via_groups->contrasts))
         << "dataset " << name;
     EXPECT_EQ(via_request->counters.partitions_evaluated,
-              via_legacy->counters.partitions_evaluated)
+              via_groups->counters.partitions_evaluated)
         << "dataset " << name;
   }
 }
@@ -215,10 +218,16 @@ TEST(RunControlMiningTest, UnboundedScalingRunIsComplete) {
   EXPECT_EQ(bounded_free->completion, Completion::kComplete);
   EXPECT_EQ(bounded_free->counters.abandoned_candidates, 0u);
 
-  auto legacy = Miner(cfg).Mine(sc.db, sc.group_attr);
-  ASSERT_TRUE(legacy.ok());
+  auto attr = sc.db.schema().IndexOf(sc.group_attr);
+  ASSERT_TRUE(attr.ok());
+  auto gi = data::GroupInfo::Create(sc.db, *attr);
+  ASSERT_TRUE(gi.ok());
+  MineRequest prebuilt;
+  prebuilt.groups = &*gi;
+  auto via_groups = Miner(cfg).Mine(sc.db, prebuilt);
+  ASSERT_TRUE(via_groups.ok());
   EXPECT_EQ(RenderResult(bounded_free->contrasts),
-            RenderResult(legacy->contrasts));
+            RenderResult(via_groups->contrasts));
 }
 
 TEST(RunControlMiningTest, StuccoHonoursControl) {

@@ -149,6 +149,89 @@ TEST(DatasetRegistryTest, OversizedDatasetStaysResidentAlone) {
   EXPECT_EQ(registry.ResidentNames(), std::vector<std::string>{"big2"});
 }
 
+TEST(DatasetRegistryTest, ReplaceStartsAFreshArtifactBundle) {
+  DatasetRegistry registry;
+  auto v1 = registry.Load("d", "synth:breast");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_NE((*v1)->prepared, nullptr);
+
+  // Warm the old generation's bundle.
+  ASSERT_TRUE((*v1)->prepared->Groups("class", {}).ok());
+  int cont = -1;
+  for (size_t a = 0; a < (*v1)->db.num_attributes(); ++a) {
+    if ((*v1)->db.is_continuous(static_cast<int>(a))) {
+      cont = static_cast<int>(a);
+      break;
+    }
+  }
+  ASSERT_GE(cont, 0);
+  ASSERT_NE((*v1)->prepared->Sorted(cont), nullptr);
+  data::PreparedStats warm = (*v1)->prepared->stats();
+  ASSERT_GT(warm.sort_builds + warm.group_builds, 0u);
+  DatasetRegistry::Stats before = registry.stats();
+  EXPECT_EQ(before.artifact_builds, warm.sort_builds + warm.group_builds);
+  EXPECT_EQ(before.artifact_bytes, warm.bytes);
+
+  // The replacement (generation bump) carries a fresh, empty bundle:
+  // nothing derived from the old rows can leak into the new generation.
+  auto v2 = registry.Load("d", "synth:breast");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT((*v2)->generation, (*v1)->generation);
+  EXPECT_NE((*v2)->prepared.get(), (*v1)->prepared.get());
+  data::PreparedStats fresh = (*v2)->prepared->stats();
+  EXPECT_EQ(fresh.sort_builds, 0u);
+  EXPECT_EQ(fresh.group_builds, 0u);
+  EXPECT_EQ(fresh.bytes, 0u);
+
+  // The retired generation's build counters survive in the registry
+  // stats (monotonic), while its bytes are released.
+  DatasetRegistry::Stats after = registry.stats();
+  EXPECT_EQ(after.artifact_builds, before.artifact_builds);
+  EXPECT_EQ(after.artifact_bytes, 0u);
+}
+
+TEST(DatasetRegistryTest, ArtifactBytesChargeAgainstTheBudget) {
+  // Measure one dataset's load size and artifact footprint first.
+  auto probe = DatasetRegistry().Load("probe", "synth:transfusion");
+  ASSERT_TRUE(probe.ok());
+  const size_t one = (*probe)->memory_bytes;
+  ASSERT_TRUE((*probe)->prepared->Groups("donated", {}).ok());
+  for (size_t a = 0; a < (*probe)->db.num_attributes(); ++a) {
+    (*probe)->prepared->Sorted(static_cast<int>(a));
+  }
+  const size_t artifacts = (*probe)->prepared->stats().bytes;
+  ASSERT_GT(artifacts, 0u);
+  // The test needs artifacts to be the tie-breaker, not the dominant
+  // term; guard against the synth dataset shrinking under it.
+  ASSERT_LE(artifacts, 2 * one);
+
+  // Budget fits three bare datasets, but not three plus one warmed
+  // bundle: building artifacts on a resident dataset must push the LRU
+  // entry out at the next load.
+  DatasetRegistry registry(3 * one + artifacts / 2);
+  std::vector<std::string> evicted;
+  registry.set_eviction_listener(
+      [&](const std::shared_ptr<const ServedDataset>& ds) {
+        evicted.push_back(ds->name);
+      });
+  auto a = registry.Load("a", "synth:transfusion");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(registry.Load("b", "synth:transfusion").ok());
+
+  // Warm "a"'s bundle (this also refreshes its recency via Get).
+  ASSERT_TRUE(registry.Get("a").ok());
+  ASSERT_TRUE((*a)->prepared->Groups("donated", {}).ok());
+  for (size_t at = 0; at < (*a)->db.num_attributes(); ++at) {
+    (*a)->prepared->Sorted(static_cast<int>(at));
+  }
+  DatasetRegistry::Stats warm = registry.stats();
+  EXPECT_EQ(warm.artifact_bytes, artifacts);
+
+  ASSERT_TRUE(registry.Load("c", "synth:transfusion").ok());
+  EXPECT_EQ(evicted, std::vector<std::string>{"b"});
+  EXPECT_EQ(registry.ResidentNames(), (std::vector<std::string>{"c", "a"}));
+}
+
 TEST(DatasetRegistryTest, ResidentNamesIsMruFirst) {
   DatasetRegistry registry;
   ASSERT_TRUE(registry.Load("a", "synth:breast").ok());

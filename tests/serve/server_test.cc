@@ -367,6 +367,34 @@ TEST(ServerTest, EveryRegistryEngineIsServableWithItsOwnRequestKey) {
   EXPECT_EQ(server.Stats().runs_started, engines);
 }
 
+TEST(ServerTest, PreparedArtifactsReusedAcrossCacheMisses) {
+  // The warm-path guarantee: a second mine that misses the ResultCache
+  // (different config, same dataset) runs the engine again but rebuilds
+  // zero artifacts — sort indexes, root bounds and resolved groups all
+  // come out of the dataset's prepared bundle.
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Load("breast", "synth:breast").ok());
+
+  MineOutcome cold = server.Mine(BreastCall());
+  ASSERT_EQ(cold.verdict, Verdict::kOk) << cold.status.message();
+  ASSERT_EQ(cold.cache, CacheStatus::kMiss);
+  ServerStats s1 = server.Stats();
+  EXPECT_GT(s1.registry.artifact_builds, 0u);
+  EXPECT_GT(s1.registry.artifact_bytes, 0u);
+
+  MineCall different = BreastCall();
+  different.config.top_k = 77;  // new canonical key, same dataset
+  MineOutcome warm = server.Mine(different);
+  ASSERT_EQ(warm.verdict, Verdict::kOk) << warm.status.message();
+  ASSERT_EQ(warm.cache, CacheStatus::kMiss);
+  EXPECT_EQ(server.Stats().runs_started, 2u);
+
+  ServerStats s2 = server.Stats();
+  EXPECT_EQ(s2.registry.artifact_builds, s1.registry.artifact_builds)
+      << "the cache-missed run rebuilt artifacts";
+  EXPECT_GT(s2.registry.artifact_hits, s1.registry.artifact_hits);
+}
+
 TEST(ServerTest, ReplacingADatasetInvalidatesItsCachedResults) {
   Server server(ServerOptions{});
   ASSERT_TRUE(server.Load("breast", "synth:breast").ok());

@@ -260,6 +260,10 @@ void HandleStats(Server& server) {
   registry.Add("hits", s.registry.hits);
   registry.Add("misses", s.registry.misses);
   registry.Add("evictions", s.registry.evictions);
+  registry.Add("artifact_bytes",
+               static_cast<uint64_t>(s.registry.artifact_bytes));
+  registry.Add("artifact_builds", s.registry.artifact_builds);
+  registry.Add("artifact_hits", s.registry.artifact_hits);
 
   JsonObjectWriter cache;
   cache.Add("size", static_cast<uint64_t>(s.cache.size));
