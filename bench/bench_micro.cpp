@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/common.h"
+#include "core/miner.h"
 #include "core/optimistic.h"
 #include "core/pruning.h"
 #include "core/space.h"
@@ -259,6 +260,140 @@ void BM_SplitAndCountTwoAxes(benchmark::State& state) {
 }
 BENCHMARK(BM_SplitAndCountTwoAxes);
 
+// Cold-mine latency attack: end-to-end mine of a scaling dataset,
+// baseline (scalar kernel, no bound seeding) against the attack
+// configuration (vectorized kernel + sample-seeded optimistic bounds),
+// plus the anytime time-to-first-result fraction and the pruning
+// counters with and without seeding. The attack must not change the
+// answer — every knob involved is a pure speed knob.
+void AddColdMineCases(bench::BenchJson* json, bool smoke) {
+  synth::ScalingOptions opt;
+  opt.rows = smoke ? 8000 : 60000;
+  opt.continuous_features = 6;
+  opt.categorical_features = 2;
+  synth::NamedDataset nd = synth::MakeScalingDataset(opt);
+  auto attr = nd.db.schema().IndexOf(nd.group_attr);
+  SDADCS_CHECK(attr.ok());
+  auto gi_or = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+  SDADCS_CHECK(gi_or.ok());
+  const data::GroupInfo& gi = *gi_or;
+  const size_t seed_rows = smoke ? 1000 : 4000;
+
+  core::MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.top_k = 10;
+  core::MineRequest req;
+  req.groups = &gi;
+
+  // Best-of-3 wall times: a cold mine is short enough that scheduler
+  // noise can swamp a single run.
+  constexpr int kReps = 3;
+
+  // Baseline: the seed repo's cold-mine path.
+  cfg.kernel = core::KernelKind::kScalar;
+  cfg.seed_sample_rows = 0;
+  util::StatusOr<core::MiningResult> baseline =
+      util::Status::Internal("unset");
+  double base_sec = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    util::WallTimer base_timer;
+    baseline = core::Miner(cfg).Mine(nd.db, req);
+    base_sec = std::min(base_sec, base_timer.Seconds());
+    SDADCS_CHECK(baseline.ok());
+  }
+
+  // Attack: vectorized kernel + sample-seeded bounds.
+  cfg.kernel = core::KernelKind::kAvx2;
+  cfg.seed_sample_rows = seed_rows;
+  util::StatusOr<core::MiningResult> fast = util::Status::Internal("unset");
+  double fast_sec = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    util::WallTimer fast_timer;
+    fast = core::Miner(cfg).Mine(nd.db, req);
+    fast_sec = std::min(fast_sec, fast_timer.Seconds());
+    SDADCS_CHECK(fast.ok());
+  }
+
+  SDADCS_CHECK(fast->contrasts.size() == baseline->contrasts.size());
+  for (size_t i = 0; i < fast->contrasts.size(); ++i) {
+    SDADCS_CHECK(fast->contrasts[i].itemset.Key() ==
+                 baseline->contrasts[i].itemset.Key());
+    SDADCS_CHECK(fast->contrasts[i].measure ==
+                 baseline->contrasts[i].measure);
+  }
+
+  // Seeding-only run: isolates the node-count effect of the seeded
+  // bound for the counter report below.
+  cfg.kernel = core::KernelKind::kScalar;
+  auto seeded = core::Miner(cfg).Mine(nd.db, req);
+  SDADCS_CHECK(seeded.ok());
+
+  // Anytime streaming on the latency-first configuration: vectorized
+  // kernel, seeding off. The seed pre-pass trades first-result latency
+  // for total wall time, which is exactly the opposite of what an
+  // --anytime caller wants, so the time-to-first-result is measured on
+  // the configuration such a caller would run.
+  cfg.kernel = core::KernelKind::kAvx2;
+  cfg.seed_sample_rows = 0;
+  core::MineRequest any_req;
+  any_req.groups = &gi;
+  any_req.run_control.set_anytime(true);
+  util::WallTimer any_timer;
+  double first_partial_sec = -1.0;
+  any_req.run_control.set_progress_callback(
+      [&](const util::RunProgress& p) {
+        if (p.payload != nullptr && first_partial_sec < 0.0) {
+          first_partial_sec = any_timer.Seconds();
+        }
+      });
+  auto any = core::Miner(cfg).Mine(nd.db, any_req);
+  double any_sec = any_timer.Seconds();
+  SDADCS_CHECK(any.ok());
+  SDADCS_CHECK(first_partial_sec >= 0.0);
+  double ttfr_fraction =
+      any_sec > 0.0 ? first_partial_sec / any_sec : 0.0;
+  double mine_speedup = fast_sec > 0.0 ? base_sec / fast_sec : 0.0;
+
+  std::printf("\n== cold mine: scalar+unseeded vs avx2+seeded (%s rows) ==\n",
+              std::to_string(nd.db.num_rows()).c_str());
+  std::printf("baseline %.4fs | attack %.4fs | speedup %.2fx\n", base_sec,
+              fast_sec, mine_speedup);
+  std::printf("anytime: first result at %.4fs of %.4fs (%.1f%%)\n",
+              first_partial_sec, any_sec, 100.0 * ttfr_fraction);
+  std::printf("counters (unseeded vs seeded, scalar kernel):\n");
+  std::printf("  partitions_evaluated %llu vs %llu\n",
+              static_cast<unsigned long long>(
+                  baseline->counters.partitions_evaluated),
+              static_cast<unsigned long long>(
+                  seeded->counters.partitions_evaluated));
+  std::printf("  pruned_oe_measure    %llu vs %llu\n",
+              static_cast<unsigned long long>(
+                  baseline->counters.pruned_oe_measure),
+              static_cast<unsigned long long>(
+                  seeded->counters.pruned_oe_measure));
+  std::printf("  pruned_oe_chi2       %llu vs %llu\n",
+              static_cast<unsigned long long>(
+                  baseline->counters.pruned_oe_chi2),
+              static_cast<unsigned long long>(
+                  seeded->counters.pruned_oe_chi2));
+
+  json->BeginCase("cold_mine_scaling");
+  json->SetCase("rows", static_cast<uint64_t>(nd.db.num_rows()));
+  json->SetCase("seed_sample_rows", static_cast<uint64_t>(seed_rows));
+  json->SetCase("baseline_wall_seconds", base_sec);
+  json->SetCase("attack_wall_seconds", fast_sec);
+  json->SetCase("mine_speedup", mine_speedup);
+  json->SetCase("anytime_first_result_seconds", first_partial_sec);
+  json->SetCase("anytime_total_seconds", any_sec);
+  json->SetCase("anytime_ttfr_fraction", ttfr_fraction);
+  json->SetCase("unseeded_partitions",
+                baseline->counters.partitions_evaluated);
+  json->SetCase("seeded_partitions",
+                seeded->counters.partitions_evaluated);
+  json->SetCase("unseeded_pruned_oe", baseline->counters.pruned_oe_measure);
+  json->SetCase("seeded_pruned_oe", seeded->counters.pruned_oe_measure);
+}
+
 // Fused-vs-naive split+count comparison on the Section 6 scaling
 // dataset. The naive reference is exactly the seed hot path: FindCombs
 // (per-cell Selection::Filter) followed by per-cell CountGroups. Writes
@@ -285,8 +420,9 @@ void RunKernelComparison(bool smoke) {
 
   std::printf("\n== split+count kernel: fused vs naive (%s rows) ==\n",
               std::to_string(nd.db.num_rows()).c_str());
-  std::printf("%6s | %12s %12s | %10s | %8s\n", "axes", "naive(s)",
-              "fused(s)", "rows/s", "speedup");
+  std::printf("%6s | %12s %12s %12s | %10s | %8s %8s\n", "axes",
+              "naive(s)", "fused(s)", "vector(s)", "rows/s", "fuse_x",
+              "vec_x");
 
   double min_speedup = std::numeric_limits<double>::infinity();
   for (int axes : {2, 4, 6}) {
@@ -317,42 +453,66 @@ void RunKernelComparison(bool smoke) {
     }
     double naive_sec = naive_timer.Seconds();
 
-    // Fused kernel.
+    // Fused kernel, pinned to the scalar pass so "speedup" isolates the
+    // fusion win from the vectorization win measured next.
     core::SplitScratch scratch;
     util::WallTimer fused_timer;
     core::SplitResult split;
     for (int rep = 0; rep < reps; ++rep) {
-      split = core::SplitAndCount(nd.db, gi, space, cuts, &scratch);
+      split = core::SplitAndCount(nd.db, gi, space, cuts, &scratch,
+                                  core::KernelKind::kScalar);
       benchmark::DoNotOptimize(split.cells.data());
     }
     double fused_sec = fused_timer.Seconds();
 
-    // Sanity: both kernels must agree before the numbers mean anything.
+    // Vectorized pass of the same fused kernel (resolves back to scalar
+    // on hosts without AVX2, where vector_speedup will print ~1.0x).
+    core::SplitScratch vscratch;
+    util::WallTimer vector_timer;
+    core::SplitResult vsplit;
+    for (int rep = 0; rep < reps; ++rep) {
+      vsplit = core::SplitAndCount(nd.db, gi, space, cuts, &vscratch,
+                                   core::KernelKind::kAvx2);
+      benchmark::DoNotOptimize(vsplit.cells.data());
+    }
+    double vector_sec = vector_timer.Seconds();
+
+    // Sanity: all kernels must agree before the numbers mean anything.
     SDADCS_CHECK(split.counts.size() == naive_counts.size());
+    SDADCS_CHECK(vsplit.counts.size() == naive_counts.size());
     for (size_t c = 0; c < split.counts.size(); ++c) {
       SDADCS_CHECK(split.counts[c].counts == naive_counts[c].counts);
+      SDADCS_CHECK(vsplit.counts[c].counts == naive_counts[c].counts);
+      SDADCS_CHECK(vsplit.cells[c].rows.rows() ==
+                   split.cells[c].rows.rows());
       SDADCS_CHECK(split.cells[c].rows.rows() ==
                    core::FindCombs(nd.db, space, cuts)[c].rows.rows());
     }
 
     const double total_rows =
         static_cast<double>(space.rows.size()) * reps;
-    double rows_per_sec = fused_sec > 0.0 ? total_rows / fused_sec : 0.0;
+    double rows_per_sec = vector_sec > 0.0 ? total_rows / vector_sec : 0.0;
     double speedup = fused_sec > 0.0 ? naive_sec / fused_sec : 0.0;
+    double vector_speedup =
+        vector_sec > 0.0 ? fused_sec / vector_sec : 0.0;
     min_speedup = std::min(min_speedup, speedup);
 
-    std::printf("%6d | %12.4f %12.4f | %10.3g | %7.2fx\n", axes,
-                naive_sec, fused_sec, rows_per_sec, speedup);
+    std::printf("%6d | %12.4f %12.4f %12.4f | %10.3g | %7.2fx %7.2fx\n",
+                axes, naive_sec, fused_sec, vector_sec, rows_per_sec,
+                speedup, vector_speedup);
 
     json.BeginCase("split_count_axes_" + std::to_string(axes));
     json.SetCase("axes", static_cast<uint64_t>(axes));
     json.SetCase("naive_wall_seconds", naive_sec);
     json.SetCase("fused_wall_seconds", fused_sec);
+    json.SetCase("vector_wall_seconds", vector_sec);
     json.SetCase("rows_per_sec", rows_per_sec);
     json.SetCase("peak_cells", static_cast<uint64_t>(peak_cells));
     json.SetCase("speedup", speedup);
+    json.SetCase("vector_speedup", vector_speedup);
   }
   json.Set("min_speedup", min_speedup);
+  AddColdMineCases(&json, smoke);
   json.Write();
 }
 

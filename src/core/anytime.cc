@@ -1,0 +1,21 @@
+#include "core/anytime.h"
+
+#include <memory>
+
+namespace sdadcs::core {
+
+void FillProgressFromTopK(const util::RunControl& control, const TopK& topk,
+                          uint64_t* last_version,
+                          util::RunProgress* progress) {
+  progress->patterns_found = topk.size();
+  progress->best_measure = topk.best_measure();
+  progress->topk_version = topk.version();
+  if (!control.wants_anytime()) return;
+  if (topk.version() == *last_version) return;
+  auto snapshot = std::make_shared<AnytimeSnapshot>();
+  snapshot->patterns = topk.Sorted();
+  progress->payload = std::move(snapshot);
+  *last_version = topk.version();
+}
+
+}  // namespace sdadcs::core

@@ -60,6 +60,18 @@ uint64_t MixString(uint64_t h, const char* tag, const std::string& s) {
 
 }  // namespace
 
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kAuto:
+      return "auto";
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kAvx2:
+      return "avx2";
+  }
+  return "auto";
+}
+
 util::Status MinerConfig::Validate() const {
   if (!(alpha > 0.0 && alpha < 1.0)) {
     return FieldError("alpha", "in (0, 1)", util::FormatDouble(alpha));
@@ -106,7 +118,10 @@ uint64_t MinerConfig::Fingerprint() const {
   h = MixBool(h, "productivity_filter", productivity_filter);
   // columnar_kernels is intentionally NOT hashed: the fused and naive
   // pipelines are byte-identical (differential tests), so the two
-  // settings may share one cache entry.
+  // settings may share one cache entry. `kernel` and `seed_sample_rows`
+  // are excluded for the same reason: every kernel kind is differential-
+  // tested bit-exact, and a seeded run that would diverge from the
+  // unseeded result set falls back to the unseeded run.
   h = MixBool(h, "merge_spaces", merge_spaces);
   h = MixDouble(h, "merge_alpha", merge_alpha);
   h = MixBool(h, "independently_productive_filter",

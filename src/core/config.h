@@ -21,6 +21,25 @@ enum class SplitKind {
   kMean,
 };
 
+/// Which implementation of the fused split+count kernel the SDAD-CS
+/// recursion runs. Every kind is proven byte-identical by the
+/// differential tests, so the choice is purely a speed knob.
+enum class KernelKind {
+  /// Pick the widest kernel the host CPU supports at runtime (AVX2 when
+  /// available, scalar otherwise). Overridable per-process with the
+  /// SDADCS_KERNEL environment variable ("scalar" / "avx2" / "auto"),
+  /// which CI uses to force both paths through one binary.
+  kAuto,
+  /// Portable scalar reference implementation — the differential oracle.
+  kScalar,
+  /// AVX2 gather + vectorized interval compares; falls back to kScalar
+  /// when the CPU lacks AVX2.
+  kAvx2,
+};
+
+/// Stable name ("auto", "scalar", "avx2").
+const char* KernelKindName(KernelKind kind);
+
 /// How the significance level is adjusted for multiple testing.
 enum class BonferroniMode {
   /// Use α unchanged for every test.
@@ -94,6 +113,24 @@ struct MinerConfig {
   /// so the differential tests can prove the fast path bit-identical;
   /// there is no reason to turn it off in production.
   bool columnar_kernels = true;
+
+  /// Which split+count kernel implementation to run (only consulted when
+  /// `columnar_kernels` is true). All kinds produce byte-identical
+  /// results; like `columnar_kernels` this is excluded from
+  /// Fingerprint().
+  KernelKind kernel = KernelKind::kAuto;
+
+  /// Sample-seeded optimistic bounds: when > 0, MiningSession::Begin
+  /// mines a stratified subsample of this many rows, re-scores the
+  /// sample's patterns on the full data, and seeds the top-k threshold
+  /// floor with (a safety-discounted) k-th best re-scored measure so
+  /// optimistic-estimate pruning bites from node one. The final result
+  /// set is guarded: if the seeded run surfaces fewer than top_k
+  /// patterns at or above the seed floor, the miner transparently
+  /// re-runs unseeded, so seeding can only ever change node counts, not
+  /// results. 0 (default) disables the pre-pass. Excluded from
+  /// Fingerprint() for that reason.
+  size_t seed_sample_rows = 0;
 
   /// Bottom-up merging of contiguous similar spaces (Lines 26-29 of
   /// Algorithm 1).

@@ -1,0 +1,408 @@
+#include "core/match_kernel.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/split_kernel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SDADCS_MATCH_KERNEL_X86 1
+#endif
+
+namespace sdadcs::core {
+
+namespace {
+
+// Raw-pointer view of one item: the column base pointer and the kind
+// branch are resolved once per scan instead of once per row.
+struct ItemView {
+  const int32_t* codes = nullptr;  // set for categorical items
+  int32_t code = 0;
+  const double* values = nullptr;  // set for interval items
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Match(uint32_t r) const {
+    if (codes != nullptr) {
+      return codes[r] == code;  // kMissingCode never equals a value code
+    }
+    double v = values[r];
+    return v > lo && v <= hi;  // NaN fails both: missing never matches
+  }
+};
+
+std::vector<ItemView> ViewsOf(const data::Dataset& db, const Itemset& is) {
+  std::vector<ItemView> views;
+  views.reserve(is.size());
+  for (const Item& it : is.items()) {
+    ItemView v;
+    if (it.kind == Item::Kind::kCategorical) {
+      v.codes = db.categorical(it.attr).codes().data();
+      v.code = it.code;
+    } else {
+      v.values = db.continuous(it.attr).values().data();
+      v.lo = it.lo;
+      v.hi = it.hi;
+    }
+    views.push_back(v);
+  }
+  return views;
+}
+
+// Items short-circuit in itemset order, exactly like Itemset::Matches.
+bool MatchAll(const std::vector<ItemView>& views, uint32_t r) {
+  for (const ItemView& v : views) {
+    if (!v.Match(r)) return false;
+  }
+  return true;
+}
+
+#if defined(SDADCS_MATCH_KERNEL_X86)
+
+// 8-bit mask of which of rs[i..i+8) match every item in `views`:
+// categorical items gather 8 codes at once, interval items gather two
+// 4-wide double halves. Ordered compares reject NaN exactly like the
+// scalar path, and the running AND gives the same early-out the scalar
+// short-circuit has (just at 8-row granularity).
+__attribute__((target("avx2"))) inline uint32_t MatchBits8(
+    const std::vector<ItemView>& views, const uint32_t* rs, size_t i) {
+  __m256i idx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rs + i));
+  __m128i idx_lo = _mm256_castsi256_si128(idx);
+  __m128i idx_hi = _mm256_extracti128_si256(idx, 1);
+  uint32_t bits = 0xffu;
+  for (const ItemView& v : views) {
+    if (v.codes != nullptr) {
+      __m256i c = _mm256_i32gather_epi32(v.codes, idx, 4);
+      bits &= static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+          _mm256_cmpeq_epi32(c, _mm256_set1_epi32(v.code)))));
+    } else {
+      const __m256d vlo = _mm256_set1_pd(v.lo);
+      const __m256d vhi = _mm256_set1_pd(v.hi);
+      __m256d x0 = _mm256_i32gather_pd(v.values, idx_lo, 8);
+      __m256d x1 = _mm256_i32gather_pd(v.values, idx_hi, 8);
+      __m256d in0 = _mm256_and_pd(_mm256_cmp_pd(x0, vlo, _CMP_GT_OQ),
+                                  _mm256_cmp_pd(x0, vhi, _CMP_LE_OQ));
+      __m256d in1 = _mm256_and_pd(_mm256_cmp_pd(x1, vlo, _CMP_GT_OQ),
+                                  _mm256_cmp_pd(x1, vhi, _CMP_LE_OQ));
+      bits &= static_cast<uint32_t>(_mm256_movemask_pd(in0)) |
+              (static_cast<uint32_t>(_mm256_movemask_pd(in1)) << 4);
+    }
+    if (bits == 0) break;
+  }
+  return bits;
+}
+
+// Per-group tally of rows matching the whole itemset. Counting adds
+// exact 1.0 increments, so lane order cannot affect the totals.
+__attribute__((target("avx2"))) void CountMatchesAvx2(
+    const std::vector<ItemView>& views, const int16_t* groups,
+    const data::Selection& sel, double* counts) {
+  const uint32_t* rs = sel.rows().data();
+  const size_t n = sel.size();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint32_t bits = MatchBits8(views, rs, i);
+    while (bits != 0) {
+      int lane = __builtin_ctz(bits);
+      bits &= bits - 1;
+      int16_t g = groups[rs[i + static_cast<size_t>(lane)]];
+      if (g >= 0) counts[g] += 1.0;
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rs[i];
+    int16_t g = groups[r];
+    if (g < 0) continue;
+    if (MatchAll(views, r)) counts[g] += 1.0;
+  }
+}
+
+// 2x2 contingency of parts a/b within one group, 8 rows per iteration:
+// the group mask gates the (much costlier) item gathers, and the four
+// cells fall out of popcounts over the three masks.
+__attribute__((target("avx2"))) Contingency2x2 CountPartsAvx2(
+    const std::vector<ItemView>& va, const std::vector<ItemView>& vb,
+    const int16_t* groups, int group, const data::Selection& sel) {
+  const uint32_t* rs = sel.rows().data();
+  const size_t n = sel.size();
+  uint64_t cnt[4] = {0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint32_t mg = 0;
+    for (uint32_t lane = 0; lane < 8; ++lane) {
+      mg |= (groups[rs[i + lane]] == group ? 1u : 0u) << lane;
+    }
+    if (mg == 0) continue;
+    uint32_t ma = MatchBits8(va, rs, i);
+    uint32_t mb = MatchBits8(vb, rs, i);
+    cnt[3] += static_cast<uint64_t>(__builtin_popcount(ma & mb & mg));
+    cnt[2] += static_cast<uint64_t>(__builtin_popcount(ma & ~mb & mg));
+    cnt[1] += static_cast<uint64_t>(__builtin_popcount(~ma & mb & mg));
+    cnt[0] += static_cast<uint64_t>(__builtin_popcount(~ma & ~mb & mg));
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rs[i];
+    if (groups[r] != group) continue;
+    unsigned ma = MatchAll(va, r) ? 1u : 0u;
+    unsigned mb = MatchAll(vb, r) ? 1u : 0u;
+    ++cnt[(ma << 1) | mb];
+  }
+  Contingency2x2 t;
+  t.n11 = static_cast<double>(cnt[3]);
+  t.n10 = static_cast<double>(cnt[2]);
+  t.n01 = static_cast<double>(cnt[1]);
+  t.n00 = static_cast<double>(cnt[0]);
+  return t;
+}
+
+// 8 rows per iteration: gather the codes, compare against the target,
+// commit surviving lanes in ascending lane order (= selection order).
+__attribute__((target("avx2"))) data::Selection FilterCountCatAvx2(
+    const int32_t* codes, int32_t code, const int16_t* groups,
+    const data::Selection& sel, GroupCounts* gc) {
+  const uint32_t* rs = sel.rows().data();
+  const size_t n = sel.size();
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  double* counts = gc->counts.data();
+  const __m256i target = _mm256_set1_epi32(code);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rs + i));
+    __m256i c = _mm256_i32gather_epi32(codes, idx, 4);
+    int mask = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(c, target)));
+    while (mask != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      mask &= mask - 1;
+      uint32_t r = rs[i + static_cast<size_t>(lane)];
+      out.push_back(r);
+      int16_t g = groups[r];
+      if (g >= 0) counts[g] += 1.0;
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rs[i];
+    if (codes[r] != code) continue;
+    out.push_back(r);
+    int16_t g = groups[r];
+    if (g >= 0) counts[g] += 1.0;
+  }
+  return data::Selection(std::move(out));
+}
+
+// 4 rows per iteration: gather the values, test lo < v <= hi (ordered
+// compares, so NaN rejects like the scalar path), commit in lane order.
+__attribute__((target("avx2"))) data::Selection FilterCountIntervalAvx2(
+    const double* values, double lo, double hi, const int16_t* groups,
+    const data::Selection& sel, GroupCounts* gc) {
+  const uint32_t* rs = sel.rows().data();
+  const size_t n = sel.size();
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  double* counts = gc->counts.data();
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rs + i));
+    __m256d v = _mm256_i32gather_pd(values, idx, 8);
+    __m256d inside = _mm256_and_pd(_mm256_cmp_pd(v, vlo, _CMP_GT_OQ),
+                                   _mm256_cmp_pd(v, vhi, _CMP_LE_OQ));
+    int mask = _mm256_movemask_pd(inside);
+    while (mask != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      mask &= mask - 1;
+      uint32_t r = rs[i + static_cast<size_t>(lane)];
+      out.push_back(r);
+      int16_t g = groups[r];
+      if (g >= 0) counts[g] += 1.0;
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rs[i];
+    double v = values[r];
+    if (!(v > lo && v <= hi)) continue;
+    out.push_back(r);
+    int16_t g = groups[r];
+    if (g >= 0) counts[g] += 1.0;
+  }
+  return data::Selection(std::move(out));
+}
+
+// 4 rows per iteration: AND the self-ordered (non-NaN) masks of every
+// axis. Most rows are fully present, so the commit loop usually takes
+// all four lanes.
+__attribute__((target("avx2"))) data::Selection FilterAllPresentAvx2(
+    const std::vector<const double*>& cols, const int16_t* groups,
+    const data::Selection& sel, GroupCounts* gc) {
+  const uint32_t* rs = sel.rows().data();
+  const size_t n = sel.size();
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  double* counts = gc->counts.data();
+  const __m256d all_ones =
+      _mm256_castsi256_pd(_mm256_set1_epi32(-1));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rs + i));
+    __m256d present = all_ones;
+    for (const double* col : cols) {
+      __m256d v = _mm256_i32gather_pd(col, idx, 8);
+      present = _mm256_and_pd(present, _mm256_cmp_pd(v, v, _CMP_ORD_Q));
+    }
+    int mask = _mm256_movemask_pd(present);
+    while (mask != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      mask &= mask - 1;
+      uint32_t r = rs[i + static_cast<size_t>(lane)];
+      out.push_back(r);
+      int16_t g = groups[r];
+      if (g >= 0) counts[g] += 1.0;
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rs[i];
+    bool present = true;
+    for (const double* col : cols) {
+      double v = col[r];
+      if (v != v) {
+        present = false;
+        break;
+      }
+    }
+    if (!present) continue;
+    out.push_back(r);
+    int16_t g = groups[r];
+    if (g >= 0) counts[g] += 1.0;
+  }
+  return data::Selection(std::move(out));
+}
+
+#endif  // SDADCS_MATCH_KERNEL_X86
+
+}  // namespace
+
+GroupCounts CountMatchesKernel(const data::Dataset& db,
+                               const data::GroupInfo& gi,
+                               const Itemset& itemset,
+                               const data::Selection& sel,
+                               KernelKind kernel) {
+  if (ResolveKernel(kernel) != KernelKind::kAvx2) {
+    return CountMatches(db, gi, itemset, sel);
+  }
+  GroupCounts gc;
+  gc.counts.assign(gi.num_groups(), 0.0);
+  std::vector<ItemView> views = ViewsOf(db, itemset);
+  const int16_t* groups = gi.group_codes();
+  double* counts = gc.counts.data();
+#if defined(SDADCS_MATCH_KERNEL_X86)
+  CountMatchesAvx2(views, groups, sel, counts);
+#else
+  for (uint32_t r : sel) {
+    int16_t g = groups[r];
+    if (g < 0) continue;
+    if (MatchAll(views, r)) counts[g] += 1.0;
+  }
+#endif
+  return gc;
+}
+
+data::Selection FilterCountItemKernel(const data::Dataset& db,
+                                      const data::GroupInfo& gi,
+                                      const Item& item,
+                                      const data::Selection& sel,
+                                      GroupCounts* gc, KernelKind kernel) {
+#if defined(SDADCS_MATCH_KERNEL_X86)
+  if (ResolveKernel(kernel) == KernelKind::kAvx2) {
+    gc->counts.assign(gi.num_groups(), 0.0);
+    if (item.kind == Item::Kind::kCategorical) {
+      return FilterCountCatAvx2(db.categorical(item.attr).codes().data(),
+                                item.code, gi.group_codes(), sel, gc);
+    }
+    return FilterCountIntervalAvx2(db.continuous(item.attr).values().data(),
+                                   item.lo, item.hi, gi.group_codes(), sel,
+                                   gc);
+  }
+#endif
+  return FilterCountGroups(
+      gi, sel, [&](uint32_t r) { return item.Matches(db, r); }, gc);
+}
+
+data::Selection FilterAllPresentKernel(const data::Dataset& db,
+                                       const data::GroupInfo& gi,
+                                       const std::vector<int>& cont_attrs,
+                                       const data::Selection& sel,
+                                       GroupCounts* gc, KernelKind kernel) {
+#if defined(SDADCS_MATCH_KERNEL_X86)
+  if (ResolveKernel(kernel) == KernelKind::kAvx2) {
+    gc->counts.assign(gi.num_groups(), 0.0);
+    std::vector<const double*> cols;
+    cols.reserve(cont_attrs.size());
+    for (int attr : cont_attrs) {
+      cols.push_back(db.continuous(attr).values().data());
+    }
+    return FilterAllPresentAvx2(cols, gi.group_codes(), sel, gc);
+  }
+#endif
+  return FilterCountGroups(
+      gi, sel,
+      [&](uint32_t r) {
+        for (int attr : cont_attrs) {
+          if (db.continuous(attr).is_missing(r)) return false;
+        }
+        return true;
+      },
+      gc);
+}
+
+Contingency2x2 CountPartsInGroupKernel(const data::Dataset& db,
+                                       const data::GroupInfo& gi,
+                                       const Itemset& a, const Itemset& b,
+                                       int group, const data::Selection& sel,
+                                       KernelKind kernel) {
+  Contingency2x2 t;
+  if (ResolveKernel(kernel) == KernelKind::kAvx2) {
+    std::vector<ItemView> va = ViewsOf(db, a);
+    std::vector<ItemView> vb = ViewsOf(db, b);
+    const int16_t* groups = gi.group_codes();
+#if defined(SDADCS_MATCH_KERNEL_X86)
+    return CountPartsAvx2(va, vb, groups, group, sel);
+#else
+    double cnt[4] = {0.0, 0.0, 0.0, 0.0};
+    for (uint32_t r : sel) {
+      if (groups[r] != group) continue;
+      unsigned ma = MatchAll(va, r) ? 1u : 0u;
+      unsigned mb = MatchAll(vb, r) ? 1u : 0u;
+      cnt[(ma << 1) | mb] += 1.0;
+    }
+    t.n11 = cnt[3];
+    t.n10 = cnt[2];
+    t.n01 = cnt[1];
+    t.n00 = cnt[0];
+    return t;
+#endif
+  }
+  for (uint32_t r : sel) {
+    if (gi.group_of(r) != group) continue;
+    bool ma = a.Matches(db, r);
+    bool mb = b.Matches(db, r);
+    if (ma && mb) {
+      t.n11 += 1.0;
+    } else if (ma) {
+      t.n10 += 1.0;
+    } else if (mb) {
+      t.n01 += 1.0;
+    } else {
+      t.n00 += 1.0;
+    }
+  }
+  return t;
+}
+
+}  // namespace sdadcs::core

@@ -38,6 +38,7 @@ MeaningfulnessReport ClassifyPatterns(
   ctx.prune_table = &prune_table;
   ctx.topk = &topk;
   ctx.counters = &counters;
+  ctx.kernel = ResolveKernel(cfg.kernel);
   ctx.group_sizes = GroupSizes(gi);
 
   MeaningfulnessReport report;

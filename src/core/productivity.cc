@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/match_kernel.h"
 #include "core/pruning.h"
 #include "core/support.h"
 #include "stats/chi_squared.h"
@@ -15,7 +16,8 @@ namespace {
 
 // Per-group counts of `itemset` over the analysis rows.
 GroupCounts CountOverBase(const MiningContext& ctx, const Itemset& itemset) {
-  return CountMatches(*ctx.db, *ctx.gi, itemset, ctx.gi->base_selection());
+  return CountMatchesKernel(*ctx.db, *ctx.gi, itemset,
+                            ctx.gi->base_selection(), ctx.kernel);
 }
 
 // Chi-square (or Fisher when sparse) test that parts `a` and `b` of a
@@ -24,24 +26,12 @@ bool PartsDependentInGroup(MiningContext& ctx, const Itemset& a,
                            const Itemset& b, int g, double alpha) {
   const data::Dataset& db = *ctx.db;
   const data::GroupInfo& gi = *ctx.gi;
-  double n11 = 0.0;  // a & b
-  double n10 = 0.0;  // a & !b
-  double n01 = 0.0;  // !a & b
-  double n00 = 0.0;
-  for (uint32_t r : gi.base_selection()) {
-    if (gi.group_of(r) != g) continue;
-    bool ma = a.Matches(db, r);
-    bool mb = b.Matches(db, r);
-    if (ma && mb) {
-      n11 += 1.0;
-    } else if (ma) {
-      n10 += 1.0;
-    } else if (mb) {
-      n01 += 1.0;
-    } else {
-      n00 += 1.0;
-    }
-  }
+  Contingency2x2 ct = CountPartsInGroupKernel(db, gi, a, b, g,
+                                              gi.base_selection(), ctx.kernel);
+  const double n11 = ct.n11;  // a & b
+  const double n10 = ct.n10;  // a & !b
+  const double n01 = ct.n01;  // !a & b
+  const double n00 = ct.n00;
   double total = n11 + n10 + n01 + n00;
   if (total <= 0.0) return false;
   double expected = (n11 + n10) * (n11 + n01) / total;

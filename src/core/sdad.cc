@@ -192,9 +192,10 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
   if (cfg.columnar_kernels) {
     cuts = PartitionCuts(*ctx.db, call.space, cfg.split,
                          &ctx.split_scratch.values, ctx.prepared,
-                         &ctx.split_scratch.ranks);
-    SplitResult split =
-        SplitAndCount(*ctx.db, *ctx.gi, call.space, cuts, &ctx.split_scratch);
+                         &ctx.split_scratch.ranks, &ctx.split_scratch.select,
+                         ctx.kernel == KernelKind::kAvx2);
+    SplitResult split = SplitAndCount(*ctx.db, *ctx.gi, call.space, cuts,
+                                      &ctx.split_scratch, ctx.kernel);
     cells = std::move(split.cells);
     fused_counts = std::move(split.counts);
   } else {

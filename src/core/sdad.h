@@ -30,6 +30,9 @@ struct MiningContext {
   PruneTable* prune_table = nullptr;
   TopK* topk = nullptr;
   MiningCounters* counters = nullptr;
+  /// cfg->kernel resolved once per run (ResolveKernel consults the
+  /// environment and CPU; the hot loops should not re-ask per node).
+  KernelKind kernel = KernelKind::kScalar;
   /// Global group sizes |g_k|.
   std::vector<double> group_sizes;
   /// Per continuous attribute: display/normalization bounds over the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "core/anytime.h"
+#include "core/match_kernel.h"
 #include "core/optimistic.h"
 #include "core/productivity.h"
 #include "core/support.h"
@@ -78,6 +80,27 @@ void LatticeSearch::Run(const std::vector<int>& attrs) {
       ctx_.counters->abandoned_candidates += candidates.size();
       break;
     }
+    // Cheap-first ordering: combinations with fewer continuous
+    // attributes are single-scan STUCCO enumerations (or smaller SDAD
+    // spaces), so running them first establishes a top-k threshold
+    // before the expensive recursive-split combinations — more
+    // optimistic pruning, and the first anytime snapshot arrives within
+    // milliseconds. Applied after the candidate cap so the evaluated
+    // SET is unchanged; the stable sort keeps the order deterministic,
+    // so results are identical across runs and kernels (up to top-k
+    // boundary ties, which the goldens pin).
+    auto num_cont = [this](const std::vector<int>& combo) {
+      size_t c = 0;
+      for (int a : combo) {
+        if (ctx_.db->is_continuous(a)) ++c;
+      }
+      return c;
+    };
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&num_cont](const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+                       return num_cont(a) < num_cont(b);
+                     });
     ReportProgress(level, 0, candidates.size());
 
     std::vector<std::vector<int>> alive_cur;
@@ -86,6 +109,9 @@ void LatticeSearch::Run(const std::vector<int>& attrs) {
         ctx_.counters->abandoned_candidates += candidates.size() - i;
         break;
       }
+      progress_level_ = level;
+      progress_done_ = i;
+      progress_total_ = candidates.size();
       if (MineCombo(candidates[i])) alive_cur.push_back(candidates[i]);
       ReportProgress(level, i + 1, candidates.size());
     }
@@ -104,7 +130,19 @@ void LatticeSearch::ReportProgress(int level, uint64_t done,
   progress.candidates_done = done;
   progress.candidates_total = total;
   progress.topk_threshold = ctx_.topk->threshold();
+  FillProgressFromTopK(ctx_.run.control(), *ctx_.topk,
+                       &last_snapshot_version_, &progress);
   ctx_.run.control().ReportProgress(progress);
+}
+
+void LatticeSearch::MaybeReportInsert() const {
+  // Only fires when there is a new snapshot to stream: anytime runs
+  // with an advanced top-k. Keeps the callback cadence bounded by the
+  // number of top-k improvements, not by leaf count.
+  if (!ctx_.run.control().wants_anytime()) return;
+  if (!ctx_.run.control().has_progress_callback()) return;
+  if (ctx_.topk->version() == last_snapshot_version_) return;
+  ReportProgress(progress_level_, progress_done_, progress_total_);
 }
 
 bool LatticeSearch::MineCombo(const std::vector<int>& combo) {
@@ -152,9 +190,9 @@ void LatticeSearch::EnumerateCategorical(const std::vector<int>& cat_attrs,
     // pass. Partial-itemset minimum deviation: supports only shrink as
     // items are added, so a below-δ prefix can be abandoned outright.
     GroupCounts gc;
-    data::Selection sub = FilterCountGroups(
-        *ctx_.gi, rows,
-        [&](uint32_t r) { return item.Matches(*ctx_.db, r); }, &gc);
+    data::Selection sub =
+        FilterCountItemKernel(*ctx_.db, *ctx_.gi, item, rows, &gc,
+                              ctx_.kernel);
     if (BelowMinimumDeviation(gc.Supports(*ctx_.gi), ctx_.cfg->delta)) {
       if (ctx_.cfg->meaningful_pruning) {
         ctx_.prune_table->Insert(candidate, PruneReason::kMinSupport);
@@ -246,6 +284,7 @@ void LatticeSearch::EvaluateCategoricalLeaf(const Itemset& itemset,
     return;
   }
   ctx_.topk->Insert(pattern);
+  MaybeReportInsert();
 }
 
 void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
@@ -266,15 +305,8 @@ void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
     call.space.bounds.push_back({attr, it->second.lo, it->second.hi});
   }
   GroupCounts root_counts;
-  call.space.rows = FilterCountGroups(
-      *ctx_.gi, rows,
-      [&](uint32_t r) {
-        for (int attr : cont_attrs) {
-          if (db.continuous(attr).is_missing(r)) return false;
-        }
-        return true;
-      },
-      &root_counts);
+  call.space.rows = FilterAllPresentKernel(db, *ctx_.gi, cont_attrs, rows,
+                                           &root_counts, ctx_.kernel);
   if (call.space.rows.empty()) return;
   call.outer_db_size = static_cast<double>(call.space.rows.size());
   call.parent_supports = root_counts.Supports(*ctx_.gi);
@@ -299,6 +331,7 @@ void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
     support_cache_.emplace(p.itemset.Key(), p.supports);
     ctx_.topk->Insert(p);
   }
+  MaybeReportInsert();
 }
 
 const std::vector<double>* LatticeSearch::CachedSupports(
@@ -306,8 +339,8 @@ const std::vector<double>* LatticeSearch::CachedSupports(
   std::string key = itemset.Key();
   auto it = support_cache_.find(key);
   if (it != support_cache_.end()) return &it->second;
-  GroupCounts gc = CountMatches(*ctx_.db, *ctx_.gi, itemset,
-                                ctx_.gi->base_selection());
+  GroupCounts gc = CountMatchesKernel(*ctx_.db, *ctx_.gi, itemset,
+                                      ctx_.gi->base_selection(), ctx_.kernel);
   auto [ins, unused] =
       support_cache_.emplace(std::move(key), gc.Supports(*ctx_.gi));
   (void)unused;

@@ -71,8 +71,21 @@ class LatticeSearch {
   /// Invokes the run's progress callback, if any.
   void ReportProgress(int level, uint64_t done, uint64_t total) const;
 
+  /// Reports mid-combo when anytime streaming is on and the top-k has
+  /// advanced since the last snapshot, so a freshly inserted pattern
+  /// reaches the stream without waiting for the combination to finish.
+  void MaybeReportInsert() const;
+
   MiningContext& ctx_;
+  /// Level-loop position, captured so mid-combo reports carry the same
+  /// progress coordinates the end-of-combo report would.
+  int progress_level_ = 0;
+  uint64_t progress_done_ = 0;
+  uint64_t progress_total_ = 0;
   std::unordered_map<std::string, std::vector<double>> support_cache_;
+  /// TopK::version() at the last anytime snapshot; reports attach a new
+  /// snapshot only when the top-k advanced past it.
+  mutable uint64_t last_snapshot_version_ = 0;
 };
 
 }  // namespace sdadcs::core

@@ -32,9 +32,13 @@ std::vector<double> PartitionCuts(const data::Dataset& db,
                                   const Space& space, SplitKind kind,
                                   std::vector<double>* scratch,
                                   const data::PreparedDataset* prepared,
-                                  std::vector<uint32_t>* rank_scratch) {
+                                  std::vector<uint32_t>* rank_scratch,
+                                  data::SelectScratch* select_scratch,
+                                  bool simd) {
   std::vector<double> cuts;
   cuts.reserve(space.bounds.size());
+  const bool fast = simd && kind == SplitKind::kMedian &&
+                    scratch != nullptr && select_scratch != nullptr;
   for (const AxisBound& b : space.bounds) {
     // The rank-based path (prepared bundle available) and the value
     // gather return bit-identical medians; only the work differs.
@@ -42,6 +46,21 @@ std::vector<double> PartitionCuts(const data::Dataset& db,
         prepared != nullptr && kind == SplitKind::kMedian
             ? prepared->Sorted(b.attr)
             : nullptr;
+    if (fast && index == nullptr) {
+      // Vectorized path. The SDAD invariants (rows inside (lo, hi] on
+      // every axis, no missing values) make the feasibility check
+      // algebraic: the left half (lo, m] always holds the median
+      // element itself once m > lo, and the right half is non-empty
+      // exactly when some value exceeds the cut — which the gather
+      // pass's max answers without a second scan.
+      double mx;
+      double m = data::MedianInSelectionFast(db, b.attr, space.rows, scratch,
+                                             select_scratch, &mx);
+      bool splittable = !std::isnan(m) && m < b.hi && m > b.lo && mx > m;
+      cuts.push_back(splittable ? m
+                                : std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
     double m;
     if (index != nullptr) {
       m = data::MedianInSelectionRanked(db, b.attr, space.rows, *index,

@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "data/prepared.h"
 #include "data/selection.h"
+#include "data/simd_select.h"
 
 namespace sdadcs::core {
 
@@ -45,11 +46,20 @@ using data::ComputeRootBounds;
 /// With `prepared` set, median cuts take the rank-based path through
 /// the bundle's SortIndex artifacts (bit-identical values, no per-call
 /// double gather); `rank_scratch` is that path's reusable buffer.
+///
+/// With `simd` set (and both scratches supplied), median cuts go
+/// through the vectorized gather + quickselect kernels and the
+/// split-feasibility check uses the gather pass's max instead of a
+/// verification scan. That shortcut is exact only under the SDAD
+/// caller's invariants — every row value on every axis lies in
+/// (lo, hi] and rows missing any axis were stripped by the root
+/// filter — so only the mining recursion passes simd=true.
 std::vector<double> PartitionCuts(
     const data::Dataset& db, const Space& space, SplitKind kind,
     std::vector<double>* scratch = nullptr,
     const data::PreparedDataset* prepared = nullptr,
-    std::vector<uint32_t>* rank_scratch = nullptr);
+    std::vector<uint32_t>* rank_scratch = nullptr,
+    data::SelectScratch* select_scratch = nullptr, bool simd = false);
 
 /// PartitionCuts with the paper's default, the median.
 std::vector<double> PartitionMedians(const data::Dataset& db,

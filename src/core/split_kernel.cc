@@ -1,8 +1,17 @@
 #include "core/split_kernel.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/logging.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SDADCS_SPLIT_KERNEL_X86 1
+#include <immintrin.h>
+#else
+#define SDADCS_SPLIT_KERNEL_X86 0
+#endif
 
 namespace sdadcs::core {
 
@@ -18,11 +27,120 @@ struct AxisView {
   double cut;
 };
 
+// Pass 1 of SplitAndCount over `rows[0..n)`: classify each row into its
+// cell (or drop it), append survivors to the scratch row/cell arrays and
+// accumulate cell sizes and per-group counts. Factored out so the
+// vectorized kernel can reuse it for the tail rows.
+void Pass1Scalar(const uint32_t* rows, size_t n, const AxisView* axes,
+                 size_t k, const int16_t* groups, size_t num_groups,
+                 SplitScratch* scratch) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = rows[i];
+    uint32_t cell = 0;
+    bool inside = true;
+    for (size_t bit = 0; bit < k; ++bit) {
+      const AxisView& a = axes[bit];
+      double v = a.values[r];
+      // NaN fails both comparisons' complements, so the single ordered
+      // test below rejects missing values too.
+      if (!(v > a.lo && v <= a.hi)) {
+        inside = false;
+        break;
+      }
+      cell |= static_cast<uint32_t>(v > a.cut) << bit;
+    }
+    if (!inside) continue;
+    scratch->row_ids.push_back(r);
+    scratch->row_cells.push_back(cell);
+    ++scratch->cell_sizes[cell];
+    int16_t g = groups[r];
+    if (g >= 0) scratch->counts[cell * num_groups + g] += 1.0;
+  }
+}
+
+#if SDADCS_SPLIT_KERNEL_X86
+
+// AVX2 pass 1: four rows per iteration. Only the interval comparisons
+// run vectorized — values are gathered per axis and tested with ordered
+// predicates (_CMP_GT_OQ / _CMP_LE_OQ reject NaN exactly like the scalar
+// `!(v > lo && v <= hi)` test). Surviving lanes are then committed one
+// by one *in row order* with the same scalar scatter/count arithmetic as
+// Pass1Scalar, so the output is byte-identical by construction.
+__attribute__((target("avx2"))) void Pass1Avx2(
+    const uint32_t* rows, size_t n, const AxisView* axes, size_t k,
+    const int16_t* groups, size_t num_groups, SplitScratch* scratch) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i rid =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    unsigned inside = 0xFu;   // lane l bit set = row i+l inside so far
+    unsigned cell_bits[4] = {0, 0, 0, 0};
+    for (size_t bit = 0; bit < k && inside != 0; ++bit) {
+      const AxisView& a = axes[bit];
+      __m256d v = _mm256_i32gather_pd(a.values, rid, 8);
+      __m256d in_lo = _mm256_cmp_pd(v, _mm256_set1_pd(a.lo), _CMP_GT_OQ);
+      __m256d in_hi = _mm256_cmp_pd(v, _mm256_set1_pd(a.hi), _CMP_LE_OQ);
+      inside &= static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_and_pd(in_lo, in_hi)));
+      unsigned gt_cut = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_cmp_pd(v, _mm256_set1_pd(a.cut), _CMP_GT_OQ)));
+      for (int lane = 0; lane < 4; ++lane) {
+        cell_bits[lane] |= ((gt_cut >> lane) & 1u) << bit;
+      }
+    }
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((inside >> lane) & 1u) == 0) continue;
+      uint32_t r = rows[i + lane];
+      uint32_t cell = cell_bits[lane];
+      scratch->row_ids.push_back(r);
+      scratch->row_cells.push_back(cell);
+      ++scratch->cell_sizes[cell];
+      int16_t g = groups[r];
+      if (g >= 0) scratch->counts[cell * num_groups + g] += 1.0;
+    }
+  }
+  Pass1Scalar(rows + i, n - i, axes, k, groups, num_groups, scratch);
+}
+
+bool Avx2Supported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+#else  // !SDADCS_SPLIT_KERNEL_X86
+
+bool Avx2Supported() { return false; }
+
+#endif  // SDADCS_SPLIT_KERNEL_X86
+
+KernelKind EnvKernel() {
+  static const KernelKind kind = [] {
+    const char* e = std::getenv("SDADCS_KERNEL");
+    if (e == nullptr) return KernelKind::kAuto;
+    if (std::strcmp(e, "scalar") == 0) return KernelKind::kScalar;
+    if (std::strcmp(e, "avx2") == 0) return KernelKind::kAvx2;
+    return KernelKind::kAuto;  // "auto" or unrecognized: no override
+  }();
+  return kind;
+}
+
 }  // namespace
+
+KernelKind ResolveKernel(KernelKind requested) {
+  KernelKind kind = requested;
+  if (kind == KernelKind::kAuto) kind = EnvKernel();
+  if (kind == KernelKind::kAuto) {
+    kind = Avx2Supported() ? KernelKind::kAvx2 : KernelKind::kScalar;
+  }
+  if (kind == KernelKind::kAvx2 && !Avx2Supported()) {
+    kind = KernelKind::kScalar;
+  }
+  return kind;
+}
 
 SplitResult SplitAndCount(const data::Dataset& db, const data::GroupInfo& gi,
                           const Space& space, const std::vector<double>& cuts,
-                          SplitScratch* scratch) {
+                          SplitScratch* scratch, KernelKind kernel) {
   SDADCS_CHECK(cuts.size() == space.bounds.size());
   SplitResult out;
   const std::vector<int> splittable = SplittableAxes(cuts);
@@ -52,27 +170,18 @@ SplitResult SplitAndCount(const data::Dataset& db, const data::GroupInfo& gi,
   scratch->counts.assign(num_cells * num_groups, 0.0);
   const int16_t* groups = gi.group_codes();
 
-  for (uint32_t r : space.rows) {
-    uint32_t cell = 0;
-    bool inside = true;
-    for (size_t bit = 0; bit < k; ++bit) {
-      const AxisView& a = axes[bit];
-      double v = a.values[r];
-      // NaN fails both comparisons' complements, so the single ordered
-      // test below rejects missing values too.
-      if (!(v > a.lo && v <= a.hi)) {
-        inside = false;
-        break;
-      }
-      cell |= static_cast<uint32_t>(v > a.cut) << bit;
-    }
-    if (!inside) continue;
-    scratch->row_ids.push_back(r);
-    scratch->row_cells.push_back(cell);
-    ++scratch->cell_sizes[cell];
-    int16_t g = groups[r];
-    if (g >= 0) scratch->counts[cell * num_groups + g] += 1.0;
+  const uint32_t* rows = space.rows.rows().data();
+  const size_t n = space.rows.size();
+#if SDADCS_SPLIT_KERNEL_X86
+  if (ResolveKernel(kernel) == KernelKind::kAvx2) {
+    Pass1Avx2(rows, n, axes, k, groups, num_groups, scratch);
+  } else {
+    Pass1Scalar(rows, n, axes, k, groups, num_groups, scratch);
   }
+#else
+  (void)kernel;
+  Pass1Scalar(rows, n, axes, k, groups, num_groups, scratch);
+#endif
 
   // Pass 2 — materialize the cells in mask order. Scattering rows in
   // selection order keeps every cell's row vector sorted.

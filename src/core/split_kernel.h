@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/config.h"
 #include "core/space.h"
 #include "core/support.h"
 #include "data/dataset.h"
 #include "data/group_info.h"
+#include "data/simd_select.h"
 
 namespace sdadcs::core {
 
@@ -25,6 +27,8 @@ struct SplitScratch {
   std::vector<double> values;
   /// Rank gather buffer for the prepared-dataset median path.
   std::vector<uint32_t> ranks;
+  /// Partition ping-pong buffers for the vectorized quickselect.
+  data::SelectScratch select;
   /// Per surviving parent row: the row id, in selection order.
   std::vector<uint32_t> row_ids;
   /// Parallel to row_ids: the row's cell index (bit b set = right half
@@ -45,6 +49,13 @@ struct SplitResult {
   std::vector<GroupCounts> counts;
 };
 
+/// Resolves a requested kernel kind to a concrete implementation:
+/// explicit kScalar/kAvx2 requests are honored (kAvx2 falls back to
+/// kScalar on hosts without AVX2); kAuto consults the SDADCS_KERNEL
+/// environment variable ("scalar" / "avx2") and otherwise picks the
+/// widest kernel the CPU supports. Never returns kAuto.
+KernelKind ResolveKernel(KernelKind requested);
+
 /// Single-pass find_combs(p) + per-cell group counting. Computes each
 /// parent row's cell mask once (n·k work for k splittable axes),
 /// scatters rows into per-cell selections, and accumulates per-group
@@ -52,9 +63,16 @@ struct SplitResult {
 /// FindCombs followed by 2^k CountGroups scans. Returns an empty result
 /// when no axis is splittable. Bit-identical to the naive pipeline:
 /// cells come out in the same mask order with the same rows and counts.
+///
+/// `kernel` selects the implementation of the per-row interval tests
+/// (resolved through ResolveKernel). Only the comparisons are
+/// vectorized — row scatter and count accumulation run in row order with
+/// identical arithmetic — so every kind yields byte-identical output;
+/// the differential tests pin this.
 SplitResult SplitAndCount(const data::Dataset& db, const data::GroupInfo& gi,
                           const Space& space, const std::vector<double>& cuts,
-                          SplitScratch* scratch);
+                          SplitScratch* scratch,
+                          KernelKind kernel = KernelKind::kAuto);
 
 }  // namespace sdadcs::core
 

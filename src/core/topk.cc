@@ -23,12 +23,18 @@ bool TopK::Insert(const ContrastPattern& pattern) {
   keys_.insert(std::move(key));
   patterns_.push_back(pattern);
   std::push_heap(patterns_.begin(), patterns_.end(), HeapGreater);
+  best_measure_ = std::max(best_measure_, pattern.measure);
+  ++version_;
   return true;
 }
 
 double TopK::threshold() const {
-  if (patterns_.size() < k_) return floor_;
-  return patterns_.front().measure;
+  double base = patterns_.size() < k_ ? floor_ : patterns_.front().measure;
+  return std::max(base, seed_floor_);
+}
+
+void TopK::SeedFloor(double floor) {
+  seed_floor_ = std::max(seed_floor_, floor);
 }
 
 std::vector<ContrastPattern> TopK::Sorted() const {

@@ -1,0 +1,46 @@
+#ifndef SDADCS_DATA_SIMD_SELECT_H_
+#define SDADCS_DATA_SIMD_SELECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdadcs::data {
+
+/// Scratch buffers for the vectorized quickselect. The 3-way partition
+/// ping-pongs between three targets (the input buffer is read-only), so
+/// a select never allocates once the buffers have grown to the working
+/// set. One instance per mining thread, like SplitScratch.
+struct SelectScratch {
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+};
+
+/// True when the host can run the AVX2 partition kernel.
+bool SimdSelectSupported();
+
+/// k-th smallest (0-based) element of vals[0..n). `vals` is clobbered.
+/// With simd=false this is std::nth_element; with simd=true a 3-way
+/// quickselect whose partition runs on AVX2 compress stores (falling
+/// back to nth_element on hosts without AVX2). Both paths return the
+/// identical double for NaN-free input: the k-th order statistic of a
+/// multiset does not depend on the selection algorithm. (The one
+/// representational wrinkle, -0.0 vs +0.0 among equal zeros, is pinned
+/// by the differential goldens.) Requires NaN-free input and k < n.
+double SelectKth(double* vals, size_t n, size_t k, bool simd,
+                 SelectScratch* scratch);
+
+/// Gathers values[rows[i]] for i in [0, n), dropping NaNs, into the
+/// scratch buffer `out` (grown to at least n + 4 once and never shrunk,
+/// so reusing it across calls stays memset-free). Returns the surviving
+/// count; (*out)[0..count) holds the values in row order on both paths.
+/// *max_out gets the maximum surviving value (NaN when none survive).
+/// The SIMD path replaces the per-element NaN branch with a compare +
+/// compress store.
+size_t GatherNonNanMax(const double* values, const uint32_t* rows, size_t n,
+                       std::vector<double>* out, double* max_out, bool simd);
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SIMD_SELECT_H_

@@ -52,6 +52,21 @@ double MedianInSelection(const Dataset& db, int attr, const Selection& sel,
   return vals[k];
 }
 
+double MedianInSelectionFast(const Dataset& db, int attr,
+                             const Selection& sel,
+                             std::vector<double>* scratch,
+                             SelectScratch* select_scratch, double* max_out) {
+  const ContinuousColumn& col = db.continuous(attr);
+  size_t n = GatherNonNanMax(col.values().data(), sel.rows().data(),
+                             sel.size(), scratch, max_out, /*simd=*/true);
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Same lower-middle rank as MedianInSelection; the k-th order
+  // statistic is algorithm-independent, so the quickselect result is
+  // the same double nth_element would produce.
+  size_t k = (n - 1) / 2;
+  return SelectKth(scratch->data(), n, k, /*simd=*/true, select_scratch);
+}
+
 double MedianInSelectionRanked(const Dataset& db, int attr,
                                const Selection& sel, const SortIndex& index,
                                std::vector<uint32_t>* scratch) {

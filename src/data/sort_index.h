@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "data/selection.h"
+#include "data/simd_select.h"
 
 namespace sdadcs::data {
 
@@ -58,6 +59,19 @@ class SortIndex {
 /// buffer keeps the hot path allocation-free.
 double MedianInSelection(const Dataset& db, int attr, const Selection& sel,
                          std::vector<double>* scratch = nullptr);
+
+/// MedianInSelection through the vectorized kernels: one fused
+/// gather + NaN-compress + max pass, then a SIMD 3-way quickselect
+/// (data/simd_select.h). Returns the identical double to
+/// MedianInSelection. *max_out receives the selection's maximum
+/// non-missing value (NaN when empty) — the split-feasibility test
+/// "does any value exceed the cut?" falls out of the gather pass for
+/// free, so callers can skip their verification scan. Falls back to
+/// the scalar gather + nth_element on hosts without AVX2.
+double MedianInSelectionFast(const Dataset& db, int attr,
+                             const Selection& sel,
+                             std::vector<double>* scratch,
+                             SelectScratch* select_scratch, double* max_out);
 
 /// MedianInSelection computed through a rank-form SortIndex of `attr`:
 /// gathers the selection's ranks instead of its values and selects the

@@ -74,4 +74,52 @@ ChiSquaredResult ChiSquaredPresenceTest(
   return ChiSquaredTest(MakePresenceTable(match_counts, group_sizes));
 }
 
+double ChiSquaredPresenceStatistic(const std::vector<double>& match_counts,
+                                   const std::vector<double>& group_sizes,
+                                   bool* valid) {
+  const size_t k = match_counts.size();
+  SDADCS_CHECK(k == group_sizes.size());
+  // The implicit presence table is row 0 = match_counts, row 1 =
+  // group_sizes - match_counts. Every intermediate below folds left in
+  // the same order as ContingencyTable's RowTotal/ColTotal/GrandTotal so
+  // the result is bit-identical to the table-building path (all inputs
+  // are integer-valued doubles, so the sums are exact anyway).
+  double rt0 = 0.0;
+  for (size_t g = 0; g < k; ++g) rt0 += match_counts[g];
+  double rt1 = 0.0;
+  for (size_t g = 0; g < k; ++g) rt1 += group_sizes[g] - match_counts[g];
+  double grand = rt0;
+  for (size_t g = 0; g < k; ++g) grand += group_sizes[g] - match_counts[g];
+  int live_cols = 0;
+  for (size_t g = 0; g < k; ++g) {
+    double ct = match_counts[g] + (group_sizes[g] - match_counts[g]);
+    live_cols += ct > 0.0 ? 1 : 0;
+  }
+  if (!(rt0 > 0.0) || !(rt1 > 0.0) || live_cols < 2) {
+    *valid = false;
+    return 0.0;
+  }
+  // Accumulate row 0 over live columns ascending, then row 1 — exactly
+  // ChiSquaredTest's loop order.
+  double stat = 0.0;
+  for (size_t g = 0; g < k; ++g) {
+    double absent = group_sizes[g] - match_counts[g];
+    double ct = match_counts[g] + absent;
+    if (!(ct > 0.0)) continue;
+    double expected = rt0 * ct / grand;
+    double diff = std::fabs(match_counts[g] - expected);
+    stat += diff * diff / expected;
+  }
+  for (size_t g = 0; g < k; ++g) {
+    double absent = group_sizes[g] - match_counts[g];
+    double ct = match_counts[g] + absent;
+    if (!(ct > 0.0)) continue;
+    double expected = rt1 * ct / grand;
+    double diff = std::fabs(absent - expected);
+    stat += diff * diff / expected;
+  }
+  *valid = true;
+  return stat;
+}
+
 }  // namespace sdadcs::stats

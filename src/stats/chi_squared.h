@@ -35,6 +35,18 @@ ChiSquaredResult ChiSquaredPresenceTest(
     const std::vector<double>& match_counts,
     const std::vector<double>& group_sizes);
 
+/// Statistic-only fast path of ChiSquaredPresenceTest for bound checks
+/// that never read the p-value (core/optimistic's STUCCO corner
+/// enumeration): computes the identical statistic and validity —
+/// bit-for-bit, by replicating ChiSquaredTest's marginal and
+/// accumulation order on the implicit 2×k presence table — without
+/// materializing a ContingencyTable or evaluating the regularized gamma
+/// function. Returns the statistic; `*valid` mirrors
+/// ChiSquaredResult::valid (false => returns 0.0).
+double ChiSquaredPresenceStatistic(const std::vector<double>& match_counts,
+                                   const std::vector<double>& group_sizes,
+                                   bool* valid);
+
 }  // namespace sdadcs::stats
 
 #endif  // SDADCS_STATS_CHI_SQUARED_H_

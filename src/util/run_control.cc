@@ -46,6 +46,11 @@ RunControl& RunControl::set_progress_callback(ProgressFn fn) {
   return *this;
 }
 
+RunControl& RunControl::set_anytime(bool anytime) {
+  shared_->anytime = anytime;
+  return *this;
+}
+
 void RunControl::Cancel() {
   shared_->cancelled.store(true, std::memory_order_relaxed);
 }
@@ -95,5 +100,7 @@ void RunControl::ReportProgress(const RunProgress& progress) const {
 bool RunControl::has_progress_callback() const {
   return static_cast<bool>(shared_->progress);
 }
+
+bool RunControl::wants_anytime() const { return shared_->anytime; }
 
 }  // namespace sdadcs::util

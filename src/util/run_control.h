@@ -20,6 +20,14 @@ enum class StopReason {
 /// Stable lower_snake name (e.g. "deadline_exceeded"); "none" for kNone.
 const char* StopReasonToString(StopReason reason);
 
+/// Opaque base for engine-defined progress payloads. Lives in util so
+/// RunProgress can carry engine data without util depending on core;
+/// the mining layer subclasses it (core::AnytimeSnapshot) and consumers
+/// downcast on the documented concrete type.
+struct ProgressPayload {
+  virtual ~ProgressPayload() = default;
+};
+
 /// Progress snapshot delivered to a RunControl's progress callback by
 /// the mining engines: which lattice level is running, how many of its
 /// candidate combinations are done, and the current top-k pruning
@@ -29,6 +37,18 @@ struct RunProgress {
   uint64_t candidates_done = 0;
   uint64_t candidates_total = 0;
   double topk_threshold = 0.0;
+  /// Patterns collected so far and the best measure among them (0 while
+  /// empty). Filled on every report.
+  uint64_t patterns_found = 0;
+  double best_measure = 0.0;
+  /// Monotone counter of top-k insertions; grows iff the best-so-far set
+  /// changed since the previous report.
+  uint64_t topk_version = 0;
+  /// Anytime snapshot of the best-so-far results (core::AnytimeSnapshot
+  /// on the mining engines). Only attached when the run was marked
+  /// anytime via set_anytime(true) AND the top-k changed since the last
+  /// report; null otherwise.
+  std::shared_ptr<const ProgressPayload> payload;
 };
 
 /// Shared handle controlling one mining run: an optional wall-clock
@@ -68,6 +88,11 @@ class RunControl {
   /// per-thread stride before it stops.
   RunControl& set_node_budget(uint64_t nodes);
   RunControl& set_progress_callback(ProgressFn fn);
+  /// Requests anytime result streaming: engines attach a best-so-far
+  /// snapshot (RunProgress::payload) to progress reports whenever the
+  /// top-k changed since the last report. Off by default because
+  /// snapshotting copies the current result list.
+  RunControl& set_anytime(bool anytime);
 
   /// Requests cooperative cancellation; every engine loop drains at its
   /// next checkpoint. Idempotent, thread-safe, async-signal-safe.
@@ -92,6 +117,8 @@ class RunControl {
 
   void ReportProgress(const RunProgress& progress) const;
   bool has_progress_callback() const;
+  /// True when the caller asked for anytime result streaming.
+  bool wants_anytime() const;
 
  private:
   struct Shared {
@@ -101,6 +128,7 @@ class RunControl {
     bool has_budget = false;
     std::atomic<int64_t> budget_remaining{0};
     ProgressFn progress;
+    bool anytime = false;
   };
 
   std::shared_ptr<Shared> shared_;

@@ -85,6 +85,23 @@ TEST(ConfigFingerprintTest, ColumnarKernelsIsNotSemantic) {
   EXPECT_EQ(fused.Fingerprint(), naive.Fingerprint());
 }
 
+TEST(ConfigFingerprintTest, KernelAndSeedSampleRowsAreNotSemantic) {
+  // Both knobs are speed-only: the vectorized kernel is byte-identical
+  // to the scalar one (differential tests), and sample-seeded bounds are
+  // guarded so they can only change node counts, never results. All
+  // settings may therefore share a cache entry.
+  MinerConfig base;
+  MinerConfig scalar;
+  scalar.kernel = KernelKind::kScalar;
+  MinerConfig avx2;
+  avx2.kernel = KernelKind::kAvx2;
+  MinerConfig seeded;
+  seeded.seed_sample_rows = 500;
+  EXPECT_EQ(base.Fingerprint(), scalar.Fingerprint());
+  EXPECT_EQ(base.Fingerprint(), avx2.Fingerprint());
+  EXPECT_EQ(base.Fingerprint(), seeded.Fingerprint());
+}
+
 TEST(ConfigFingerprintTest, NanMergeAlphaIsCanonical) {
   MinerConfig a;
   a.merge_alpha = std::nan("1");

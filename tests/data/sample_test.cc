@@ -81,6 +81,44 @@ TEST(SampleGroupsTest, ZeroRejected) {
   EXPECT_FALSE(SampleGroups(gi, 0, 1).ok());
 }
 
+TEST(SampleGroupsTest, SampledRowsAreSubsetOfBaseWithSameLabels) {
+  // The seeding pre-pass re-scores sampled patterns on the full data, so
+  // every sampled row must be a real row of the base selection and keep
+  // its group assignment.
+  GroupInfo gi = MakeGroups();
+  auto sampled = SampleGroups(gi, 150, 13);
+  ASSERT_TRUE(sampled.ok());
+  std::set<uint32_t> base(gi.base_selection().begin(),
+                          gi.base_selection().end());
+  for (uint32_t r : sampled->base_selection()) {
+    EXPECT_EQ(base.count(r), 1u) << "row " << r << " not in base";
+    EXPECT_EQ(sampled->group_of(r), gi.group_of(r)) << "row " << r;
+  }
+}
+
+TEST(SampleGroupsTest, ThreeGroupStratification) {
+  DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  for (int i = 0; i < 900; ++i) {
+    // 600 "a", 200 "b", 100 "c".
+    const char* label = i % 9 < 6 ? "a" : (i % 9 < 8 ? "b" : "c");
+    b.AppendCategorical(g, label);
+  }
+  auto db = std::move(b).Build();
+  SDADCS_CHECK(db.ok());
+  static Dataset* stored = nullptr;
+  delete stored;
+  stored = new Dataset(std::move(db).value());
+  auto gi = GroupInfo::CreateForValues(*stored, 0, {"a", "b", "c"});
+  ASSERT_TRUE(gi.ok());
+  auto sampled = SampleGroups(*gi, 90, 17);
+  ASSERT_TRUE(sampled.ok());
+  // Strata scale with group shares: ~60/20/10 rows.
+  EXPECT_NEAR(static_cast<double>(sampled->group_size(0)), 60.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(sampled->group_size(1)), 20.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(sampled->group_size(2)), 10.0, 2.0);
+}
+
 TEST(SampleGroupsTest, DeterministicPerSeed) {
   GroupInfo gi = MakeGroups();
   auto a = SampleGroups(gi, 100, 42);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/requests.h"
+#include "core/anytime.h"
 #include "core/miner.h"
 #include "core/productivity.h"
 #include "data/csv.h"
@@ -166,6 +167,126 @@ TEST(DifferentialTest, ColumnarKernelsMatchNaivePathExactly) {
               naive->counters.partitions_evaluated)
         << "dataset " << name;
   }
+}
+
+TEST(DifferentialTest, ScalarAndVectorizedKernelsMatchExactly) {
+  // KernelKind is a pure speed knob: the AVX2 kernel vectorizes only the
+  // interval comparisons (with ordered predicates that reject NaN like
+  // the scalar test) and commits surviving rows with identical scalar
+  // arithmetic, so the mined output must be byte-identical. On hosts
+  // without AVX2, kAvx2 resolves to the scalar kernel and the comparison
+  // is trivially (but still correctly) equal.
+  for (const std::string& name :
+       {std::string("adult"), std::string("breast"),
+        std::string("transfusion"), std::string("shuttle")}) {
+    synth::NamedDataset nd = synth::MakeUciLike(name, /*seed=*/7);
+    auto attr = nd.db.schema().IndexOf(nd.group_attr);
+    ASSERT_TRUE(attr.ok());
+    auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+    ASSERT_TRUE(gi.ok());
+
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.top_k = 50;
+
+    cfg.kernel = core::KernelKind::kScalar;
+    auto scalar = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
+    ASSERT_TRUE(scalar.ok());
+
+    cfg.kernel = core::KernelKind::kAvx2;
+    auto vectorized = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
+    ASSERT_TRUE(vectorized.ok());
+
+    EXPECT_EQ(RenderResult(scalar->contrasts),
+              RenderResult(vectorized->contrasts))
+        << "dataset " << name;
+    EXPECT_EQ(scalar->counters.partitions_evaluated,
+              vectorized->counters.partitions_evaluated)
+        << "dataset " << name;
+  }
+}
+
+TEST(DifferentialTest, SampleSeededBoundsNeverChangeResults) {
+  // Sample-seeded bounds raise the top-k pruning floor from node one;
+  // the a-posteriori guard re-runs unseeded whenever the floor could
+  // have cost a result. Net effect: identical patterns, only node
+  // counts may drop. Both runs are deterministic (fixed sample seed),
+  // so this equality is stable, not flaky.
+  for (const std::string& name :
+       {std::string("adult"), std::string("breast"),
+        std::string("transfusion"), std::string("shuttle")}) {
+    synth::NamedDataset nd = synth::MakeUciLike(name, /*seed=*/7);
+    auto attr = nd.db.schema().IndexOf(nd.group_attr);
+    ASSERT_TRUE(attr.ok());
+    auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+    ASSERT_TRUE(gi.ok());
+
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.top_k = 50;
+
+    auto unseeded = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
+    ASSERT_TRUE(unseeded.ok());
+
+    cfg.seed_sample_rows = 200;
+    auto seeded = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
+    ASSERT_TRUE(seeded.ok());
+
+    EXPECT_EQ(RenderResult(unseeded->contrasts),
+              RenderResult(seeded->contrasts))
+        << "dataset " << name;
+    // Seeding never does extra main-run work: either the floor held and
+    // pruning removed nodes, or the guard forced an unseeded re-run
+    // whose counts match the pre-pass-free run exactly.
+    EXPECT_LE(seeded->counters.partitions_evaluated,
+              unseeded->counters.partitions_evaluated)
+        << "dataset " << name;
+  }
+}
+
+TEST(DifferentialTest, AnytimeStreamingMatchesNonAnytimeRun) {
+  // --anytime semantics: snapshots are monotonically improving previews
+  // delivered through the progress callback, and the exhaustive result
+  // is unchanged by streaming them.
+  synth::NamedDataset nd = synth::MakeUciLike("adult", /*seed=*/7);
+  auto attr = nd.db.schema().IndexOf(nd.group_attr);
+  ASSERT_TRUE(attr.ok());
+  auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+  ASSERT_TRUE(gi.ok());
+
+  MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.top_k = 50;
+
+  auto plain = Miner(cfg).Mine(nd.db, GroupsRequest(*gi));
+  ASSERT_TRUE(plain.ok());
+
+  size_t snapshots = 0;
+  double last_best = 0.0;
+  core::MineRequest request = GroupsRequest(*gi);
+  request.run_control.set_anytime(true);
+  request.run_control.set_progress_callback(
+      [&](const util::RunProgress& p) {
+        EXPECT_GE(p.best_measure, last_best);
+        last_best = p.best_measure;
+        if (p.payload == nullptr) return;
+        ++snapshots;
+        auto* snap =
+            dynamic_cast<const core::AnytimeSnapshot*>(p.payload.get());
+        ASSERT_NE(snap, nullptr);
+        EXPECT_FALSE(snap->patterns.empty());
+        for (size_t i = 1; i < snap->patterns.size(); ++i) {
+          EXPECT_GE(snap->patterns[i - 1].measure,
+                    snap->patterns[i].measure);
+        }
+        EXPECT_EQ(snap->patterns.empty() ? 0.0
+                                         : snap->patterns.front().measure,
+                  p.best_measure);
+      });
+  auto streamed = Miner(cfg).Mine(nd.db, request);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(RenderResult(plain->contrasts), RenderResult(streamed->contrasts));
 }
 
 uint64_t Fnv1a(const std::string& s) {

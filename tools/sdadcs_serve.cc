@@ -23,7 +23,11 @@
 //            name: serial|parallel|beam|window|binned:<method>),
 //            deadline_ms, node_budget, cache (bool),
 //            emit ("summary"|"patterns"), burst (int),
-//            config {depth, delta, alpha, top, measure, np}
+//            anytime (bool, burst 1 only: stream
+//            {"event":"partial",...} lines with best-so-far progress
+//            before the final response),
+//            config {depth, delta, alpha, top, measure, np,
+//                    kernel ("auto"|"scalar"|"avx2"), seed_sample}
 //   stats                               → registry/cache/admission counters
 //   evict    name                       → evicted (bool)
 //   shutdown                            → acknowledges, then exits
@@ -96,6 +100,14 @@ sdadcs::core::MinerConfig ConfigFromJson(const JsonValue& request) {
     cfg.meaningful_pruning = false;
     cfg.optimistic_pruning = false;
   }
+  std::string kernel = config->GetString("kernel", "auto");
+  if (kernel == "scalar") {
+    cfg.kernel = sdadcs::core::KernelKind::kScalar;
+  } else if (kernel == "avx2") {
+    cfg.kernel = sdadcs::core::KernelKind::kAvx2;
+  }
+  cfg.seed_sample_rows =
+      static_cast<size_t>(config->GetInt("seed_sample", 0));
   return cfg;
 }
 
@@ -172,11 +184,17 @@ void HandleMine(Server& server, const JsonValue& request) {
   int64_t deadline_ms = request.GetInt("deadline_ms", 0);
   int64_t node_budget = request.GetInt("node_budget", 0);
   bool emit_patterns = request.GetString("emit", "summary") == "patterns";
+  bool anytime = request.GetBool("anytime", false);
 
   int64_t burst = request.GetInt("burst", 1);
   if (burst < 1) burst = 1;
   if (burst > 256) {
     RespondError("mine", "burst is capped at 256");
+    return;
+  }
+  if (anytime && burst > 1) {
+    // Concurrent burst copies would interleave their partial streams.
+    RespondError("mine", "anytime requires burst 1");
     return;
   }
 
@@ -191,6 +209,25 @@ void HandleMine(Server& server, const JsonValue& request) {
     }
     if (node_budget > 0) {
       c.run_control.set_node_budget(static_cast<uint64_t>(node_budget));
+    }
+    if (anytime) {
+      // Stream best-so-far snapshots as ND-JSON events ahead of the
+      // final response. The mine call blocks this handler until done, so
+      // partial lines never interleave with another response; a
+      // cache-hit answer simply emits no partials.
+      c.run_control.set_anytime(true);
+      c.run_control.set_progress_callback(
+          [](const sdadcs::util::RunProgress& p) {
+            if (p.payload == nullptr) return;
+            JsonObjectWriter event;
+            event.Add("event", "partial");
+            event.Add("op", "mine");
+            event.Add("level", static_cast<int64_t>(p.level));
+            event.Add("patterns", static_cast<uint64_t>(p.patterns_found));
+            event.Add("best", p.best_measure);
+            event.Add("threshold", p.topk_threshold);
+            Respond(event);
+          });
     }
     return c;
   };

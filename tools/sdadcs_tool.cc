@@ -28,6 +28,15 @@
 //   --deadline-ms N     wall-clock budget; on expiry the run drains and
 //                       the best-so-far patterns are printed
 //   --node-budget N     stop after evaluating ~N partitions/itemsets
+//   --anytime           stream monotonically-improving best-so-far
+//                       "partial:" lines to stderr while the exhaustive
+//                       run completes (final results on stdout are
+//                       unchanged)
+//   --kernel K          split+count kernel: auto | scalar | avx2
+//                       (default auto; every kind is byte-identical)
+//   --seed-sample N     mine a stratified N-row sample first to seed
+//                       the top-k pruning floor (results unchanged,
+//                       node counts usually much lower)
 //   --repeat N          mine the same request N times against one
 //                       prepared-artifact bundle (per-iteration wall
 //                       time on stderr; iteration 1 pays the artifact
@@ -45,6 +54,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -135,6 +145,19 @@ sdadcs::core::MinerConfig ConfigFromArgs(const Flags& args) {
     cfg.meaningful_pruning = false;
     cfg.optimistic_pruning = false;
   }
+  std::string kernel = args.Get("kernel", "auto");
+  if (kernel == "scalar") {
+    cfg.kernel = sdadcs::core::KernelKind::kScalar;
+  } else if (kernel == "avx2") {
+    cfg.kernel = sdadcs::core::KernelKind::kAvx2;
+  } else if (kernel != "auto") {
+    std::fprintf(stderr,
+                 "unknown --kernel '%s' (want auto | scalar | avx2)\n",
+                 kernel.c_str());
+    std::exit(2);
+  }
+  cfg.seed_sample_rows =
+      static_cast<size_t>(args.GetInt("seed-sample", 0));
   return cfg;
 }
 
@@ -199,6 +222,20 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
     return 2;
   }
   sdadcs::util::RunControl control = RunControlFromArgs(args);
+  if (args.Has("anytime")) {
+    // Stream best-so-far snapshots to stderr; stdout stays identical to
+    // a non-anytime run, so outputs remain diffable.
+    control.set_anytime(true);
+    auto timer = std::make_shared<sdadcs::util::WallTimer>();
+    control.set_progress_callback(
+        [timer](const sdadcs::util::RunProgress& p) {
+          if (p.payload == nullptr) return;
+          std::fprintf(
+              stderr, "partial: level=%d patterns=%llu best=%.6f t_ms=%.1f\n",
+              p.level, static_cast<unsigned long long>(p.patterns_found),
+              p.best_measure, timer->Seconds() * 1e3);
+        });
+  }
 
   if (args.Has("sample")) {
     size_t n = static_cast<size_t>(args.GetInt("sample", 10000));
@@ -380,7 +417,7 @@ int RunOneVsRest(const Flags& args, const sdadcs::data::Dataset& db) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv, /*boolean_flags=*/{"np"});
+  auto flags = Flags::Parse(argc, argv, /*boolean_flags=*/{"np", "anytime"});
   if (!flags.ok() || flags->positional().size() < 2) {
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
