@@ -13,6 +13,7 @@
 // must be served from the cache: a warm hit costs a hash lookup, not a
 // mining run.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -145,6 +146,9 @@ void Run() {
               "prepared req/s", "warm req/s", "speedup");
   std::vector<size_t> worker_counts = {1, 4};
   if (hw != 1 && hw != 4) worker_counts.push_back(hw);
+  // Ascending, so BENCH_serve_throughput.json's cases read workers_1,
+  // workers_2, ... regardless of the host's core count.
+  std::sort(worker_counts.begin(), worker_counts.end());
   for (size_t workers : worker_counts) {
     Sweep sweep = RunSweep(workers, rows);
     double speedup =

@@ -97,4 +97,59 @@ AdmissionController::Stats AdmissionController::stats() const {
   return s;
 }
 
+bool AdmissionController::WaitIdle(int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto idle = [this] { return running_ == 0 && queue_.empty(); };
+  if (timeout_ms <= 0) {
+    // Release() wakes slot_free_; poll as a backstop against a waiter
+    // that left between its notify and our wait.
+    while (!idle()) {
+      slot_free_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!idle()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    slot_free_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+TenantQuota::TenantQuota(int max_inflight) : max_inflight_(max_inflight) {
+  counters_.max_inflight = max_inflight > 0 ? max_inflight : 0;
+}
+
+bool TenantQuota::TryAcquire(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_inflight_ <= 0) {
+    ++counters_.acquired;
+    return true;
+  }
+  int& held = inflight_[tenant];
+  if (held >= max_inflight_) {
+    ++counters_.rejected;
+    return false;
+  }
+  ++held;
+  ++counters_.acquired;
+  return true;
+}
+
+void TenantQuota::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_inflight_ <= 0) return;
+  auto it = inflight_.find(tenant);
+  if (it == inflight_.end()) return;
+  if (--it->second <= 0) inflight_.erase(it);
+}
+
+TenantQuota::Stats TenantQuota::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.tenants_inflight = static_cast<int>(inflight_.size());
+  return s;
+}
+
 }  // namespace sdadcs::serve

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "util/run_control.h"
 
@@ -73,14 +75,56 @@ class AdmissionController {
   };
   Stats stats() const;
 
+  /// Blocks until no run holds a slot and no waiter is queued, or until
+  /// `timeout_ms` passes (0 = wait forever). Returns true when idle.
+  /// This is the graceful-drain hook: a front end that has stopped
+  /// feeding new requests calls WaitIdle to let in-flight runs finish.
+  bool WaitIdle(int64_t timeout_ms = 0) const;
+
  private:
   mutable std::mutex mu_;
-  std::condition_variable slot_free_;
+  mutable std::condition_variable slot_free_;
   int max_concurrent_;
   int max_queue_;
   int running_ = 0;
   uint64_t next_ticket_ = 0;
   std::deque<uint64_t> queue_;  // tickets of waiters, FIFO
+  Stats counters_;
+};
+
+/// Per-tenant in-flight quota, layered in front of the shared
+/// AdmissionController by the socket front end: one tenant may hold at
+/// most `max_inflight` mining requests (queued or running) at a time, so
+/// a single chatty producer cannot monopolize the global queue. Tenants
+/// are free-form strings; the empty tenant is a bucket like any other.
+///
+/// Thread-safe. TryAcquire never blocks — quota pressure is shed
+/// immediately (kQuotaExceeded on the wire), unlike global admission
+/// which queues FIFO first.
+class TenantQuota {
+ public:
+  /// `max_inflight` per tenant; <= 0 disables the quota (every acquire
+  /// succeeds).
+  explicit TenantQuota(int max_inflight);
+
+  /// Takes one in-flight unit for `tenant`; false when the tenant is at
+  /// its cap. On true the caller MUST Release(tenant) when the request
+  /// leaves the server (any verdict).
+  bool TryAcquire(const std::string& tenant);
+  void Release(const std::string& tenant);
+
+  struct Stats {
+    int max_inflight = 0;       ///< per-tenant cap (0 = unlimited)
+    int tenants_inflight = 0;   ///< tenants holding at least one unit
+    uint64_t acquired = 0;
+    uint64_t rejected = 0;      ///< TryAcquire refusals
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  int max_inflight_;
+  std::unordered_map<std::string, int> inflight_;
   Stats counters_;
 };
 

@@ -110,6 +110,13 @@ util::StatusOr<std::shared_ptr<const ServedDataset>> DatasetRegistry::Get(
   return it->second.ds;
 }
 
+std::shared_ptr<const ServedDataset> DatasetRegistry::Peek(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.ds;
+}
+
 bool DatasetRegistry::Evict(const std::string& name) {
   std::shared_ptr<const ServedDataset> dropped;
   EvictionListener listener;

@@ -83,6 +83,11 @@ class DatasetRegistry {
   util::StatusOr<std::shared_ptr<const ServedDataset>> Get(
       const std::string& name);
 
+  /// Stat-neutral probe: the resident handle or nullptr, without
+  /// touching recency or the hit/miss counters. For fast-path peeks
+  /// that fall back to a full Get-counting code path on miss.
+  std::shared_ptr<const ServedDataset> Peek(const std::string& name) const;
+
   /// Explicitly removes `name`; false if it was not resident.
   bool Evict(const std::string& name);
 

@@ -1,0 +1,115 @@
+#include "serve/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sdadcs::serve {
+
+util::StatusOr<NetClient> NetClient::Connect(const std::string& host,
+                                             int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError("socket: " +
+                                 std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("host: cannot parse address '" +
+                                         host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = util::Status::IoError(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return NetClient(fd);
+}
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+NetClient::~NetClient() { Close(); }
+
+util::Status NetClient::Send(const std::string& line) {
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed += '\n';
+  const char* data = framed.data();
+  size_t size = framed.size();
+  while (size > 0) {
+    ssize_t sent = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return util::Status::IoError("send: " +
+                                   std::string(std::strerror(errno)));
+    }
+    data += sent;
+    size -= static_cast<size_t>(sent);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::string> NetClient::ReadLine() {
+  char chunk[1 << 16];
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      while (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      return util::Status::IoError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+util::StatusOr<JsonValue> NetClient::Call(const std::string& line) {
+  util::Status sent = Send(line);
+  if (!sent.ok()) return sent;
+  auto response = ReadLine();
+  if (!response.ok()) return response.status();
+  return JsonValue::Parse(*response);
+}
+
+void NetClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sdadcs::serve

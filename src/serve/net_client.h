@@ -1,0 +1,51 @@
+#ifndef SDADCS_SERVE_NET_CLIENT_H_
+#define SDADCS_SERVE_NET_CLIENT_H_
+
+#include <string>
+
+#include "serve/ndjson.h"
+#include "util/status.h"
+
+namespace sdadcs::serve {
+
+/// Minimal blocking ND-JSON client for the socket protocol, shared by
+/// the tests and the load harness. One connection, synchronous calls;
+/// pipelining is just several Send()s followed by several ReadLine()s.
+/// Move-only (owns the fd).
+class NetClient {
+ public:
+  static util::StatusOr<NetClient> Connect(const std::string& host, int port);
+
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  ~NetClient();
+
+  /// Writes `line` (with a trailing '\n' appended when missing).
+  util::Status Send(const std::string& line);
+
+  /// Reads the next LF-terminated frame, without the newline. kIoError
+  /// on EOF.
+  util::StatusOr<std::string> ReadLine();
+
+  /// Send + ReadLine + parse. Only valid when no responses are pending
+  /// (not mid-pipeline).
+  util::StatusOr<JsonValue> Call(const std::string& line);
+
+  /// Half-closes the write side; the server sees EOF after the pending
+  /// frames.
+  void ShutdownWrite();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned frame
+};
+
+}  // namespace sdadcs::serve
+
+#endif  // SDADCS_SERVE_NET_CLIENT_H_

@@ -1,0 +1,317 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+
+#include "core/report.h"
+#include "core/request_key.h"
+#include "core/run_state.h"
+
+namespace sdadcs::serve {
+
+namespace {
+
+/// Lifts the leading field token out of a field-named error message:
+/// "group_attr: no such attribute" and "max_depth must be >= 1" both
+/// name their field first, per the library's Validate convention.
+std::string ExtractField(const std::string& message) {
+  size_t i = 0;
+  while (i < message.size() &&
+         (std::isalnum(static_cast<unsigned char>(message[i])) ||
+          message[i] == '_' || message[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return "";
+  std::string token = message.substr(0, i);
+  if (i < message.size() && message[i] == ':') return token;
+  if (message.compare(i, 9, " must be ") == 0) return token;
+  return "";
+}
+
+ErrorCode CodeFromStatus(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kInvalidArgument:
+    case util::StatusCode::kOutOfRange:
+    case util::StatusCode::kFailedPrecondition:
+      return ErrorCode::kInvalidArgument;
+    case util::StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    default:
+      return ErrorCode::kInternal;
+  }
+}
+
+}  // namespace
+
+const char* ErrorCodeToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported_version";
+    case ErrorCode::kUnknownOp:
+      return "unknown_op";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kQuotaExceeded:
+      return "quota_exceeded";
+    case ErrorCode::kDraining:
+      return "draining";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+WireError WireError::FromStatus(const util::Status& status,
+                                std::string field_hint) {
+  WireError error;
+  error.code = CodeFromStatus(status);
+  error.field =
+      field_hint.empty() ? ExtractField(status.message()) : field_hint;
+  error.message = status.message();
+  return error;
+}
+
+std::string WireError::ToJson() const {
+  JsonObjectWriter w;
+  w.Add("code", ErrorCodeToString(code));
+  if (!field.empty()) w.Add("field", field);
+  w.Add("message", message);
+  return w.Str();
+}
+
+std::string WireError::ToText() const {
+  std::string text = ErrorCodeToString(code);
+  if (!field.empty()) text += "[" + field + "]";
+  text += ": " + message;
+  return text;
+}
+
+std::optional<WireError> CheckProtocolVersion(const JsonValue& request) {
+  const JsonValue* v = request.Find("v");
+  if (v == nullptr) return std::nullopt;  // unpinned: current version
+  if (v->IsNumber() &&
+      static_cast<int64_t>(v->AsNumber()) == kProtocolVersion) {
+    return std::nullopt;
+  }
+  return WireError{ErrorCode::kUnsupportedVersion, "v",
+                   "this server speaks protocol version " +
+                       std::to_string(kProtocolVersion)};
+}
+
+util::StatusOr<core::MeasureKind> MeasureFromString(const std::string& name) {
+  if (name == "diff") return core::MeasureKind::kSupportDiff;
+  if (name == "pr") return core::MeasureKind::kPurityRatio;
+  if (name == "surprising") return core::MeasureKind::kSurprising;
+  if (name == "entropy") return core::MeasureKind::kEntropyPurity;
+  return util::Status::InvalidArgument(
+      "unknown measure '" + name + "' (want diff | pr | surprising | entropy)");
+}
+
+util::StatusOr<core::KernelKind> KernelFromString(const std::string& name) {
+  if (name == "auto") return core::KernelKind::kAuto;
+  if (name == "scalar") return core::KernelKind::kScalar;
+  if (name == "avx2") return core::KernelKind::kAvx2;
+  return util::Status::InvalidArgument("unknown kernel '" + name +
+                                       "' (want auto | scalar | avx2)");
+}
+
+std::optional<WireError> ParseMinerConfig(const JsonValue& request,
+                                          core::MinerConfig* out) {
+  core::MinerConfig cfg;
+  const JsonValue* config = request.Find("config");
+  if (config != nullptr && !config->IsObject()) {
+    return WireError{ErrorCode::kInvalidArgument, "config",
+                     "\"config\" must be a JSON object"};
+  }
+  if (config != nullptr) {
+    cfg.max_depth = static_cast<int>(config->GetInt("depth", cfg.max_depth));
+    cfg.delta = config->GetNumber("delta", cfg.delta);
+    cfg.alpha = config->GetNumber("alpha", cfg.alpha);
+    cfg.top_k = static_cast<int>(config->GetInt("top", cfg.top_k));
+    auto measure = MeasureFromString(config->GetString("measure", "diff"));
+    if (!measure.ok()) {
+      return WireError::FromStatus(measure.status(), "config.measure");
+    }
+    cfg.measure = *measure;
+    if (config->GetBool("np", false)) {
+      cfg.meaningful_pruning = false;
+      cfg.optimistic_pruning = false;
+    }
+    auto kernel = KernelFromString(config->GetString("kernel", "auto"));
+    if (!kernel.ok()) {
+      return WireError::FromStatus(kernel.status(), "config.kernel");
+    }
+    cfg.kernel = *kernel;
+    cfg.seed_sample_rows =
+        static_cast<size_t>(config->GetInt("seed_sample", 0));
+  }
+  *out = cfg;
+  return std::nullopt;
+}
+
+std::optional<WireError> ParseMineCall(const JsonValue& request,
+                                       MineFrame* out) {
+  MineFrame frame;
+  frame.call.dataset = request.GetString("dataset");
+  frame.call.group_attr = request.GetString("group");
+  frame.call.group_values = request.GetStringArray("groups");
+  frame.call.use_cache = request.GetBool("cache", true);
+  if (frame.call.dataset.empty()) {
+    return WireError{ErrorCode::kInvalidArgument, "dataset",
+                     "mine requires \"dataset\""};
+  }
+  if (frame.call.group_attr.empty()) {
+    return WireError{ErrorCode::kInvalidArgument, "group",
+                     "mine requires \"group\""};
+  }
+  if (auto error = ParseMinerConfig(request, &frame.call.config)) {
+    return error;
+  }
+  // Any registered engine name (or "auto") is accepted; anything else is
+  // an error naming the offending field — never a silent fall back.
+  util::StatusOr<core::EngineKind> kind =
+      core::EngineKindFromString(request.GetString("engine", "auto"));
+  if (!kind.ok()) return WireError::FromStatus(kind.status(), "engine");
+  frame.call.engine = *kind;
+
+  frame.deadline_ms = request.GetInt("deadline_ms", 0);
+  frame.node_budget =
+      static_cast<uint64_t>(request.GetInt("node_budget", 0));
+  frame.emit_patterns = request.GetString("emit", "summary") == "patterns";
+  frame.anytime = request.GetBool("anytime", false);
+  frame.tenant = request.GetString("tenant");
+  frame.id = request.GetString("id");
+
+  frame.burst = request.GetInt("burst", 1);
+  if (frame.burst < 1) frame.burst = 1;
+  if (frame.burst > 256) {
+    return WireError{ErrorCode::kInvalidArgument, "burst",
+                     "burst is capped at 256"};
+  }
+  if (frame.anytime && frame.burst > 1) {
+    // Concurrent burst copies would interleave their partial streams.
+    return WireError{ErrorCode::kInvalidArgument, "anytime",
+                     "anytime requires burst 1"};
+  }
+  *out = std::move(frame);
+  return std::nullopt;
+}
+
+void ApplyFrameLimits(const MineFrame& frame, util::RunControl* control) {
+  if (frame.deadline_ms > 0) {
+    control->set_deadline_after(std::chrono::milliseconds(frame.deadline_ms));
+  }
+  if (frame.node_budget > 0) control->set_node_budget(frame.node_budget);
+}
+
+JsonObjectWriter ResponseEnvelope(bool ok, const std::string& op,
+                                  const std::string& id) {
+  JsonObjectWriter w;
+  w.Add("v", kProtocolVersion);
+  w.Add("ok", ok);
+  if (!op.empty()) w.Add("op", op);
+  if (!id.empty()) w.Add("id", id);
+  return w;
+}
+
+JsonObjectWriter ErrorResponse(const std::string& op, const WireError& error,
+                               const std::string& id) {
+  JsonObjectWriter w = ResponseEnvelope(false, op, id);
+  w.AddRaw("error", error.ToJson());
+  return w;
+}
+
+void RenderMineOutcome(const MineOutcome& outcome,
+                       const std::string& patterns_json,
+                       JsonObjectWriter* out) {
+  JsonObjectWriter& w = *out;
+  w.Add("verdict", VerdictToString(outcome.verdict));
+  w.Add("cache", CacheStatusToString(outcome.cache));
+  w.Add("engine", core::EngineKindToString(outcome.engine));
+  w.Add("key", outcome.key.ToString());
+  w.Add("queue_ms", outcome.queue_seconds * 1e3);
+  w.Add("run_ms", outcome.run_seconds * 1e3);
+  w.Add("total_ms", outcome.total_seconds * 1e3);
+  if (outcome.result != nullptr) {
+    w.Add("completion",
+          core::CompletionToString(outcome.result->completion));
+    w.Add("patterns_found",
+          static_cast<uint64_t>(outcome.result->contrasts.size()));
+  }
+  if (outcome.verdict == Verdict::kError) {
+    w.AddRaw("error", WireError::FromStatus(outcome.status).ToJson());
+  }
+  if (!patterns_json.empty()) w.AddRaw("patterns", patterns_json);
+}
+
+void RenderStats(const ServerStats& s, JsonObjectWriter* out) {
+  JsonObjectWriter registry;
+  registry.Add("resident", static_cast<uint64_t>(s.registry.resident));
+  registry.Add("resident_bytes",
+               static_cast<uint64_t>(s.registry.resident_bytes));
+  registry.Add("budget_bytes",
+               static_cast<uint64_t>(s.registry.budget_bytes));
+  registry.Add("loads", s.registry.loads);
+  registry.Add("replacements", s.registry.replacements);
+  registry.Add("hits", s.registry.hits);
+  registry.Add("misses", s.registry.misses);
+  registry.Add("evictions", s.registry.evictions);
+  registry.Add("artifact_bytes",
+               static_cast<uint64_t>(s.registry.artifact_bytes));
+  registry.Add("artifact_builds", s.registry.artifact_builds);
+  registry.Add("artifact_hits", s.registry.artifact_hits);
+
+  JsonObjectWriter cache;
+  cache.Add("size", static_cast<uint64_t>(s.cache.size));
+  cache.Add("capacity", static_cast<uint64_t>(s.cache.capacity));
+  cache.Add("hits", s.cache.hits);
+  cache.Add("misses", s.cache.misses);
+  cache.Add("coalesced", s.cache.coalesced);
+  cache.Add("inserts", s.cache.inserts);
+  cache.Add("evictions", s.cache.evictions);
+  cache.Add("invalidations", s.cache.invalidations);
+  cache.Add("abandons", s.cache.abandons);
+
+  JsonObjectWriter admission;
+  admission.Add("max_concurrent", s.admission.max_concurrent);
+  admission.Add("max_queue", s.admission.max_queue);
+  admission.Add("running", s.admission.running);
+  admission.Add("queued", s.admission.queued);
+  admission.Add("admitted", s.admission.admitted);
+  admission.Add("admitted_after_wait", s.admission.admitted_after_wait);
+  admission.Add("rejected_busy", s.admission.rejected_busy);
+  admission.Add("expired_in_queue", s.admission.expired_in_queue);
+  admission.Add("total_queue_wait_ms",
+                s.admission.total_queue_wait_seconds * 1e3);
+
+  JsonObjectWriter& w = *out;
+  w.Add("requests", s.requests);
+  w.Add("runs_started", s.runs_started);
+  w.Add("ok_requests", s.ok);
+  w.Add("rejected_busy", s.rejected_busy);
+  w.Add("errors", s.errors);
+  w.AddRaw("registry", registry.Str());
+  w.AddRaw("cache", cache.Str());
+  w.AddRaw("admission", admission.Str());
+}
+
+std::string RenderPatternsBody(Server& server, const MineCall& call,
+                               const MineOutcome& outcome) {
+  if (outcome.result == nullptr) return "";
+  auto handle = server.Dataset(call.dataset);
+  if (!handle.ok()) return "";
+  core::MineRequest probe;
+  probe.group_attr = call.group_attr;
+  probe.group_values = call.group_values;
+  auto gi = core::ResolveRequestGroups((*handle)->db, probe);
+  if (!gi.ok()) return "";
+  return core::PatternsToJson((*handle)->db, *gi,
+                              outcome.result->contrasts);
+}
+
+}  // namespace sdadcs::serve

@@ -28,6 +28,15 @@ ResultCache::Lookup ResultCache::Acquire(const core::RequestKey& key,
   return Lookup{LookupKind::kLeader, nullptr, flight};
 }
 
+ResultCache::ResultPtr ResultCache::Peek(const core::RequestKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = entries_.find(key);
+  if (hit == entries_.end()) return nullptr;
+  ++counters_.hits;
+  TouchLocked(key);
+  return hit->second.result;
+}
+
 void ResultCache::Publish(const std::shared_ptr<InFlight>& flight,
                           ResultPtr result) {
   std::lock_guard<std::mutex> lock(mu_);

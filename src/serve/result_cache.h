@@ -60,6 +60,13 @@ class ResultCache {
   /// `dataset_name` tags the eventual cache entry for invalidation.
   Lookup Acquire(const core::RequestKey& key, const std::string& dataset_name);
 
+  /// Non-blocking probe: the stored result for `key`, or nullptr. A hit
+  /// counts (and refreshes recency) exactly like Acquire's; a miss
+  /// counts nothing — the caller is expected to follow up with Acquire,
+  /// which accounts the miss and takes the single-flight role. Never
+  /// joins an in-flight run.
+  ResultPtr Peek(const core::RequestKey& key);
+
   /// Leader success path: stores the result (it must be kComplete),
   /// wakes every follower with it, and retires the flight.
   void Publish(const std::shared_ptr<InFlight>& flight, ResultPtr result);

@@ -27,6 +27,8 @@ const char* VerdictToString(Verdict verdict) {
       return "ok";
     case Verdict::kRejectedBusy:
       return "rejected_busy";
+    case Verdict::kRejectedQuota:
+      return "rejected_quota";
     case Verdict::kExpiredInQueue:
       return "expired_in_queue";
     case Verdict::kCancelled:
@@ -260,6 +262,39 @@ MineOutcome Server::Mine(const MineCall& call) {
         return finish(outcome);
     }
   }
+}
+
+bool Server::TryCacheHit(const MineCall& call, MineOutcome* out) {
+  if (!call.use_cache || options_.result_cache_capacity == 0) return false;
+  if (!call.config.Validate().ok()) return false;  // Mine reports it
+  // Peek is stat-neutral on the registry and the cache counts only the
+  // hit, so a false return leaves every miss for Mine to account.
+  std::shared_ptr<const ServedDataset> ds = registry_.Peek(call.dataset);
+  if (ds == nullptr) return false;
+  const core::EngineKind engine =
+      ResolveEngine(call.engine, ds->db.num_rows());
+  const core::RequestKey key = core::CanonicalRequestKey(
+      ds->fingerprint, call.config, call.group_attr, call.group_values,
+      engine);
+  ResultCache::ResultPtr result = cache_.Peek(key);
+  if (result == nullptr) return false;
+  MineOutcome outcome;
+  outcome.verdict = Verdict::kOk;
+  outcome.cache = CacheStatus::kHit;
+  outcome.engine = engine;
+  outcome.key = key;
+  outcome.result = std::move(result);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_;
+    ++ok_;
+  }
+  *out = std::move(outcome);
+  return true;
+}
+
+bool Server::WaitIdle(int64_t timeout_ms) const {
+  return admission_.WaitIdle(timeout_ms);
 }
 
 ServerStats Server::Stats() const {

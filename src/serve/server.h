@@ -64,6 +64,7 @@ enum class Verdict {
   kOk = 0,          ///< a result was produced (possibly partial — see
                     ///< result->completion)
   kRejectedBusy,    ///< shed at admission: queue full
+  kRejectedQuota,   ///< shed by the front end: per-tenant quota exhausted
   kExpiredInQueue,  ///< the request's own deadline passed while waiting
                     ///< (in the admission queue or on a shared in-flight
                     ///< run) before any result existed
@@ -145,6 +146,20 @@ class Server {
   /// selection, run, publish. Never blocks indefinitely: the queue is
   /// bounded and every wait honours the request's RunControl.
   MineOutcome Mine(const MineCall& call);
+
+  /// Non-blocking warm probe: when `call` is answerable from the result
+  /// cache right now, fills `out` exactly as Mine would (verdict kOk,
+  /// CacheStatus::kHit, key, counters) and returns true. Returns false —
+  /// with `out` untouched and no counters charged beyond the cache-hit
+  /// bookkeeping — whenever serving would need an engine run, a
+  /// single-flight wait, or would raise an error; the caller then goes
+  /// through Mine. The socket front end answers hits on the network
+  /// thread with this and dispatches only real work to its executor.
+  bool TryCacheHit(const MineCall& call, MineOutcome* out);
+
+  /// Drain hook: blocks until no mining run holds an admission slot and
+  /// no request waits in its queue (see AdmissionController::WaitIdle).
+  bool WaitIdle(int64_t timeout_ms = 0) const;
 
   ServerStats Stats() const;
 

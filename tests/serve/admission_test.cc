@@ -167,5 +167,71 @@ TEST(AdmissionTest, OverCapacityBurstAlwaysResolves) {
   EXPECT_EQ(s.rejected_busy, static_cast<uint64_t>(rejected.load()));
 }
 
+// WaitIdle is the drain hook of the front ends: it must block while any
+// slot or queue position is held and release as soon as both empty.
+TEST(AdmissionTest, WaitIdleBlocksUntilReleased) {
+  AdmissionController admission(1, 4);
+  util::RunControl control;
+  ASSERT_EQ(admission.Admit(control), Outcome::kAdmitted);
+  EXPECT_FALSE(admission.WaitIdle(/*timeout_ms=*/20));
+
+  std::thread releaser([&admission] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    admission.Release();
+  });
+  EXPECT_TRUE(admission.WaitIdle(/*timeout_ms=*/2000));
+  releaser.join();
+  EXPECT_TRUE(admission.WaitIdle(/*timeout_ms=*/1));  // already idle
+}
+
+TEST(AdmissionTest, WaitIdleSeesQueuedWaiters) {
+  AdmissionController admission(1, 4);
+  util::RunControl control;
+  ASSERT_EQ(admission.Admit(control), Outcome::kAdmitted);
+  std::thread waiter([&admission] {
+    util::RunControl inner;
+    EXPECT_EQ(admission.Admit(inner), Outcome::kAdmitted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    admission.Release();
+  });
+  while (admission.stats().queued < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Slot held AND a waiter queued: not idle yet.
+  EXPECT_FALSE(admission.WaitIdle(/*timeout_ms=*/10));
+  admission.Release();
+  EXPECT_TRUE(admission.WaitIdle(/*timeout_ms=*/2000));
+  waiter.join();
+}
+
+TEST(TenantQuotaTest, CapsInFlightPerTenant) {
+  TenantQuota quota(2);
+  EXPECT_TRUE(quota.TryAcquire("a"));
+  EXPECT_TRUE(quota.TryAcquire("a"));
+  EXPECT_FALSE(quota.TryAcquire("a"));  // a's quota is spent...
+  EXPECT_TRUE(quota.TryAcquire("b"));   // ...but b's is untouched
+  quota.Release("a");
+  EXPECT_TRUE(quota.TryAcquire("a"));
+
+  TenantQuota::Stats s = quota.stats();
+  EXPECT_EQ(s.max_inflight, 2);
+  EXPECT_EQ(s.tenants_inflight, 2);  // a and b both hold something
+  EXPECT_EQ(s.acquired, 4u);
+  EXPECT_EQ(s.rejected, 1u);
+}
+
+TEST(TenantQuotaTest, ZeroMeansUnlimited) {
+  TenantQuota quota(0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(quota.TryAcquire("t"));
+  EXPECT_EQ(quota.stats().rejected, 0u);
+}
+
+TEST(TenantQuotaTest, ReleaseForgetsDrainedTenants) {
+  TenantQuota quota(1);
+  EXPECT_TRUE(quota.TryAcquire("t"));
+  quota.Release("t");
+  EXPECT_EQ(quota.stats().tenants_inflight, 0);
+}
+
 }  // namespace
 }  // namespace sdadcs::serve

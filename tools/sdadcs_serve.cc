@@ -1,4 +1,6 @@
-// sdadcs_serve — newline-delimited JSON mining server over stdin/stdout.
+// sdadcs_serve — newline-delimited JSON mining server over stdin/stdout,
+// speaking the versioned wire protocol of serve/protocol.h (the same
+// protocol sdadcs_netd serves over TCP — see docs/API.md).
 //
 //   ./sdadcs_serve [--max-concurrent N] [--queue N] [--cache-capacity N]
 //                  [--memory-budget-mb N] [--deadline-ms N]
@@ -22,14 +24,15 @@
 //            engine (auto or any registry   key, timings
 //            name: serial|parallel|beam|window|binned:<method>),
 //            deadline_ms, node_budget, cache (bool),
-//            emit ("summary"|"patterns"), burst (int),
-//            anytime (bool, burst 1 only: stream
+//            emit ("summary"|"patterns"), burst (int), id (string,
+//            echoed), anytime (bool, burst 1 only: stream
 //            {"event":"partial",...} lines with best-so-far progress
 //            before the final response),
 //            config {depth, delta, alpha, top, measure, np,
 //                    kernel ("auto"|"scalar"|"avx2"), seed_sample}
 //   stats                               → registry/cache/admission counters
 //   evict    name                       → evicted (bool)
+//   ping                                → acknowledges
 //   shutdown                            → acknowledges, then exits
 //
 // `burst` fires N copies of the request concurrently through the
@@ -37,33 +40,32 @@
 // observe single-flight coalescing ("cache":"shared") and load shedding
 // ("verdict":"rejected_busy") without a second process.
 //
-// Every response carries "ok" plus the echoed "op"; protocol errors
-// (bad JSON, unknown op) answer {"ok":false,"error":...} and keep the
-// session alive. Responses never interleave: requests are handled one
-// line at a time.
+// Every response carries "v" (the protocol version), "ok", the echoed
+// "op" and "id"; errors are structured {code, field, message} objects
+// from the shared taxonomy and keep the session alive. Responses never
+// interleave: requests are handled one line at a time.
 
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/report.h"
-#include "core/run_state.h"
-#include "data/group_info.h"
-#include "serve/ndjson.h"
+#include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
 namespace {
 
-using sdadcs::core::EngineKind;
+using sdadcs::serve::ErrorCode;
 using sdadcs::serve::JsonObjectWriter;
 using sdadcs::serve::JsonValue;
 using sdadcs::serve::MineCall;
+using sdadcs::serve::MineFrame;
 using sdadcs::serve::MineOutcome;
 using sdadcs::serve::Server;
 using sdadcs::serve::ServerOptions;
+using sdadcs::serve::WireError;
 
 void Respond(const JsonObjectWriter& w) {
   std::string line = w.Str();
@@ -72,84 +74,29 @@ void Respond(const JsonObjectWriter& w) {
   std::fflush(stdout);
 }
 
-void RespondError(const std::string& op, const std::string& error) {
-  JsonObjectWriter w;
-  w.Add("ok", false);
-  if (!op.empty()) w.Add("op", op);
-  w.Add("error", error);
-  Respond(w);
+void RespondError(const std::string& op, const WireError& error,
+                  const std::string& id = "") {
+  Respond(sdadcs::serve::ErrorResponse(op, error, id));
 }
 
-sdadcs::core::MinerConfig ConfigFromJson(const JsonValue& request) {
-  sdadcs::core::MinerConfig cfg;
-  const JsonValue* config = request.Find("config");
-  if (config == nullptr || !config->IsObject()) return cfg;
-  cfg.max_depth = static_cast<int>(config->GetInt("depth", cfg.max_depth));
-  cfg.delta = config->GetNumber("delta", cfg.delta);
-  cfg.alpha = config->GetNumber("alpha", cfg.alpha);
-  cfg.top_k = static_cast<int>(config->GetInt("top", cfg.top_k));
-  std::string measure = config->GetString("measure", "diff");
-  if (measure == "pr") {
-    cfg.measure = sdadcs::core::MeasureKind::kPurityRatio;
-  } else if (measure == "surprising") {
-    cfg.measure = sdadcs::core::MeasureKind::kSurprising;
-  } else if (measure == "entropy") {
-    cfg.measure = sdadcs::core::MeasureKind::kEntropyPurity;
-  }
-  if (config->GetBool("np", false)) {
-    cfg.meaningful_pruning = false;
-    cfg.optimistic_pruning = false;
-  }
-  std::string kernel = config->GetString("kernel", "auto");
-  if (kernel == "scalar") {
-    cfg.kernel = sdadcs::core::KernelKind::kScalar;
-  } else if (kernel == "avx2") {
-    cfg.kernel = sdadcs::core::KernelKind::kAvx2;
-  }
-  cfg.seed_sample_rows =
-      static_cast<size_t>(config->GetInt("seed_sample", 0));
-  return cfg;
-}
-
-// Appends one MineOutcome's fields to `w`. `patterns_json` is spliced in
-// when non-empty.
-void OutcomeToJson(const MineOutcome& outcome,
-                   const std::string& patterns_json, JsonObjectWriter* out) {
-  JsonObjectWriter& w = *out;
-  w.Add("verdict", sdadcs::serve::VerdictToString(outcome.verdict));
-  w.Add("cache", sdadcs::serve::CacheStatusToString(outcome.cache));
-  w.Add("engine", sdadcs::core::EngineKindToString(outcome.engine));
-  w.Add("key", outcome.key.ToString());
-  w.Add("queue_ms", outcome.queue_seconds * 1e3);
-  w.Add("run_ms", outcome.run_seconds * 1e3);
-  w.Add("total_ms", outcome.total_seconds * 1e3);
-  if (outcome.result != nullptr) {
-    w.Add("completion",
-          sdadcs::core::CompletionToString(outcome.result->completion));
-    w.Add("patterns_found",
-          static_cast<uint64_t>(outcome.result->contrasts.size()));
-  }
-  if (outcome.verdict == sdadcs::serve::Verdict::kError) {
-    w.Add("error", outcome.status.ToString());
-  }
-  if (!patterns_json.empty()) w.AddRaw("patterns", patterns_json);
-}
-
-void HandleLoad(Server& server, const JsonValue& request) {
+void HandleLoad(Server& server, const JsonValue& request,
+                const std::string& id) {
   std::string name = request.GetString("name");
   std::string spec = request.GetString("spec");
   if (name.empty() || spec.empty()) {
-    RespondError("load", "load requires \"name\" and \"spec\"");
+    RespondError("load",
+                 WireError{ErrorCode::kInvalidArgument,
+                           name.empty() ? "name" : "spec",
+                           "load requires \"name\" and \"spec\""},
+                 id);
     return;
   }
   auto loaded = server.Load(name, spec);
   if (!loaded.ok()) {
-    RespondError("load", loaded.status().ToString());
+    RespondError("load", WireError::FromStatus(loaded.status(), "spec"), id);
     return;
   }
-  JsonObjectWriter w;
-  w.Add("ok", true);
-  w.Add("op", "load");
+  JsonObjectWriter w = sdadcs::serve::ResponseEnvelope(true, "load", id);
   w.Add("name", name);
   w.Add("rows", static_cast<uint64_t>((*loaded)->db.num_rows()));
   w.Add("attributes",
@@ -159,69 +106,35 @@ void HandleLoad(Server& server, const JsonValue& request) {
   Respond(w);
 }
 
-void HandleMine(Server& server, const JsonValue& request) {
-  MineCall call;
-  call.dataset = request.GetString("dataset");
-  call.group_attr = request.GetString("group");
-  call.group_values = request.GetStringArray("groups");
-  call.config = ConfigFromJson(request);
-  call.use_cache = request.GetBool("cache", true);
-  std::string engine = request.GetString("engine", "auto");
-  // Any registered engine name (or "auto") is accepted; anything else is
-  // an error naming the offending field — never a silent fall back to
-  // auto.
-  sdadcs::util::StatusOr<EngineKind> kind =
-      sdadcs::core::EngineKindFromString(engine);
-  if (!kind.ok()) {
-    RespondError("mine", "\"engine\": " + kind.status().ToString());
-    return;
-  }
-  call.engine = *kind;
-  if (call.dataset.empty() || call.group_attr.empty()) {
-    RespondError("mine", "mine requires \"dataset\" and \"group\"");
-    return;
-  }
-  int64_t deadline_ms = request.GetInt("deadline_ms", 0);
-  int64_t node_budget = request.GetInt("node_budget", 0);
-  bool emit_patterns = request.GetString("emit", "summary") == "patterns";
-  bool anytime = request.GetBool("anytime", false);
-
-  int64_t burst = request.GetInt("burst", 1);
-  if (burst < 1) burst = 1;
-  if (burst > 256) {
-    RespondError("mine", "burst is capped at 256");
-    return;
-  }
-  if (anytime && burst > 1) {
-    // Concurrent burst copies would interleave their partial streams.
-    RespondError("mine", "anytime requires burst 1");
+void HandleMine(Server& server, const JsonValue& request,
+                const std::string& id) {
+  MineFrame frame;
+  if (auto error = sdadcs::serve::ParseMineCall(request, &frame)) {
+    RespondError("mine", *error, id);
     return;
   }
 
   // Each burst copy gets its own RunControl: limits and cancellation are
   // per request, and sharing one handle would serialize deadlines.
   auto make_call = [&]() {
-    MineCall c = call;
+    MineCall c = frame.call;
     c.run_control = sdadcs::util::RunControl();
-    if (deadline_ms > 0) {
-      c.run_control.set_deadline_after(
-          std::chrono::milliseconds(deadline_ms));
-    }
-    if (node_budget > 0) {
-      c.run_control.set_node_budget(static_cast<uint64_t>(node_budget));
-    }
-    if (anytime) {
+    sdadcs::serve::ApplyFrameLimits(frame, &c.run_control);
+    if (frame.anytime) {
       // Stream best-so-far snapshots as ND-JSON events ahead of the
       // final response. The mine call blocks this handler until done, so
       // partial lines never interleave with another response; a
       // cache-hit answer simply emits no partials.
       c.run_control.set_anytime(true);
+      std::string event_id = frame.id;
       c.run_control.set_progress_callback(
-          [](const sdadcs::util::RunProgress& p) {
+          [event_id](const sdadcs::util::RunProgress& p) {
             if (p.payload == nullptr) return;
             JsonObjectWriter event;
+            event.Add("v", sdadcs::serve::kProtocolVersion);
             event.Add("event", "partial");
             event.Add("op", "mine");
+            if (!event_id.empty()) event.Add("id", event_id);
             event.Add("level", static_cast<int64_t>(p.level));
             event.Add("patterns", static_cast<uint64_t>(p.patterns_found));
             event.Add("best", p.best_measure);
@@ -232,35 +145,24 @@ void HandleMine(Server& server, const JsonValue& request) {
     return c;
   };
 
-  // Serving the patterns body needs the GroupInfo for attribute names;
-  // rebuild it from the request spec against the resident dataset.
-  auto patterns_body = [&](const MineOutcome& outcome) -> std::string {
-    if (!emit_patterns || outcome.result == nullptr) return "";
-    auto handle = server.Dataset(call.dataset);
-    if (!handle.ok()) return "";
-    sdadcs::core::MineRequest probe;
-    probe.group_attr = call.group_attr;
-    probe.group_values = call.group_values;
-    auto gi = sdadcs::core::ResolveRequestGroups((*handle)->db, probe);
-    if (!gi.ok()) return "";
-    return sdadcs::core::PatternsToJson((*handle)->db, *gi,
-                                        outcome.result->contrasts);
-  };
-
-  if (burst == 1) {
+  if (frame.burst == 1) {
     MineOutcome outcome = server.Mine(make_call());
-    JsonObjectWriter w;
-    w.Add("ok", outcome.verdict != sdadcs::serve::Verdict::kError);
-    w.Add("op", "mine");
-    OutcomeToJson(outcome, patterns_body(outcome), &w);
+    JsonObjectWriter w = sdadcs::serve::ResponseEnvelope(
+        outcome.verdict != sdadcs::serve::Verdict::kError, "mine", id);
+    sdadcs::serve::RenderMineOutcome(
+        outcome,
+        frame.emit_patterns
+            ? sdadcs::serve::RenderPatternsBody(server, frame.call, outcome)
+            : "",
+        &w);
     Respond(w);
     return;
   }
 
-  std::vector<MineOutcome> outcomes(static_cast<size_t>(burst));
+  std::vector<MineOutcome> outcomes(static_cast<size_t>(frame.burst));
   {
-    sdadcs::util::ThreadPool pool(static_cast<size_t>(burst));
-    for (int64_t i = 0; i < burst; ++i) {
+    sdadcs::util::ThreadPool pool(static_cast<size_t>(frame.burst));
+    for (int64_t i = 0; i < frame.burst; ++i) {
       MineCall c = make_call();
       pool.Submit([&server, &outcomes, i, c]() {
         outcomes[static_cast<size_t>(i)] = server.Mine(c);
@@ -272,82 +174,33 @@ void HandleMine(Server& server, const JsonValue& request) {
   for (size_t i = 0; i < outcomes.size(); ++i) {
     if (i > 0) results += ",";
     JsonObjectWriter one;
-    OutcomeToJson(outcomes[i], "", &one);
+    sdadcs::serve::RenderMineOutcome(outcomes[i], "", &one);
     results += one.Str();
   }
   results += "]";
-  JsonObjectWriter w;
-  w.Add("ok", true);
-  w.Add("op", "mine");
-  w.Add("burst", static_cast<int64_t>(burst));
+  JsonObjectWriter w = sdadcs::serve::ResponseEnvelope(true, "mine", id);
+  w.Add("burst", frame.burst);
   w.AddRaw("results", results);
   Respond(w);
 }
 
-void HandleStats(Server& server) {
-  sdadcs::serve::ServerStats s = server.Stats();
-  JsonObjectWriter registry;
-  registry.Add("resident", static_cast<uint64_t>(s.registry.resident));
-  registry.Add("resident_bytes",
-               static_cast<uint64_t>(s.registry.resident_bytes));
-  registry.Add("budget_bytes",
-               static_cast<uint64_t>(s.registry.budget_bytes));
-  registry.Add("loads", s.registry.loads);
-  registry.Add("replacements", s.registry.replacements);
-  registry.Add("hits", s.registry.hits);
-  registry.Add("misses", s.registry.misses);
-  registry.Add("evictions", s.registry.evictions);
-  registry.Add("artifact_bytes",
-               static_cast<uint64_t>(s.registry.artifact_bytes));
-  registry.Add("artifact_builds", s.registry.artifact_builds);
-  registry.Add("artifact_hits", s.registry.artifact_hits);
-
-  JsonObjectWriter cache;
-  cache.Add("size", static_cast<uint64_t>(s.cache.size));
-  cache.Add("capacity", static_cast<uint64_t>(s.cache.capacity));
-  cache.Add("hits", s.cache.hits);
-  cache.Add("misses", s.cache.misses);
-  cache.Add("coalesced", s.cache.coalesced);
-  cache.Add("inserts", s.cache.inserts);
-  cache.Add("evictions", s.cache.evictions);
-  cache.Add("invalidations", s.cache.invalidations);
-  cache.Add("abandons", s.cache.abandons);
-
-  JsonObjectWriter admission;
-  admission.Add("max_concurrent", s.admission.max_concurrent);
-  admission.Add("max_queue", s.admission.max_queue);
-  admission.Add("running", s.admission.running);
-  admission.Add("queued", s.admission.queued);
-  admission.Add("admitted", s.admission.admitted);
-  admission.Add("admitted_after_wait", s.admission.admitted_after_wait);
-  admission.Add("rejected_busy", s.admission.rejected_busy);
-  admission.Add("expired_in_queue", s.admission.expired_in_queue);
-  admission.Add("total_queue_wait_ms",
-                s.admission.total_queue_wait_seconds * 1e3);
-
-  JsonObjectWriter w;
-  w.Add("ok", true);
-  w.Add("op", "stats");
-  w.Add("requests", s.requests);
-  w.Add("runs_started", s.runs_started);
-  w.Add("ok_requests", s.ok);
-  w.Add("rejected_busy", s.rejected_busy);
-  w.Add("errors", s.errors);
-  w.AddRaw("registry", registry.Str());
-  w.AddRaw("cache", cache.Str());
-  w.AddRaw("admission", admission.Str());
+void HandleStats(Server& server, const std::string& id) {
+  JsonObjectWriter w = sdadcs::serve::ResponseEnvelope(true, "stats", id);
+  sdadcs::serve::RenderStats(server.Stats(), &w);
   Respond(w);
 }
 
-void HandleEvict(Server& server, const JsonValue& request) {
+void HandleEvict(Server& server, const JsonValue& request,
+                 const std::string& id) {
   std::string name = request.GetString("name");
   if (name.empty()) {
-    RespondError("evict", "evict requires \"name\"");
+    RespondError("evict",
+                 WireError{ErrorCode::kInvalidArgument, "name",
+                           "evict requires \"name\""},
+                 id);
     return;
   }
-  JsonObjectWriter w;
-  w.Add("ok", true);
-  w.Add("op", "evict");
+  JsonObjectWriter w = sdadcs::serve::ResponseEnvelope(true, "evict", id);
   w.Add("name", name);
   w.Add("evicted", server.Evict(name));
   Respond(w);
@@ -398,31 +251,37 @@ int main(int argc, char** argv) {
     if (line.empty()) continue;
 
     auto request = JsonValue::Parse(line);
-    if (!request.ok()) {
-      RespondError("", request.status().ToString());
-      continue;
-    }
-    if (!request->IsObject()) {
-      RespondError("", "request must be a JSON object");
+    if (!request.ok() || !request->IsObject()) {
+      RespondError("", WireError{ErrorCode::kParseError, "",
+                                 request.ok()
+                                     ? "request must be a JSON object"
+                                     : request.status().message()});
       continue;
     }
     std::string op = request->GetString("op");
+    std::string id = request->GetString("id");
+    if (auto error = sdadcs::serve::CheckProtocolVersion(*request)) {
+      RespondError(op, *error, id);
+      continue;
+    }
     if (op == "load") {
-      HandleLoad(server, *request);
+      HandleLoad(server, *request, id);
     } else if (op == "mine") {
-      HandleMine(server, *request);
+      HandleMine(server, *request, id);
     } else if (op == "stats") {
-      HandleStats(server);
+      HandleStats(server, id);
     } else if (op == "evict") {
-      HandleEvict(server, *request);
+      HandleEvict(server, *request, id);
+    } else if (op == "ping") {
+      Respond(sdadcs::serve::ResponseEnvelope(true, "ping", id));
     } else if (op == "shutdown") {
-      JsonObjectWriter w;
-      w.Add("ok", true);
-      w.Add("op", "shutdown");
-      Respond(w);
+      Respond(sdadcs::serve::ResponseEnvelope(true, "shutdown", id));
       return 0;
     } else {
-      RespondError(op, "unknown op '" + op + "'");
+      RespondError(op,
+                   WireError{ErrorCode::kUnknownOp, "op",
+                             "unknown op '" + op + "'"},
+                   id);
     }
   }
   return 0;

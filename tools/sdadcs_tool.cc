@@ -73,6 +73,7 @@
 #include "discretize/srikant.h"
 #include "engine/registry.h"
 #include "serve/dataset_registry.h"
+#include "serve/protocol.h"
 #include "util/flags.h"
 #include "util/run_control.h"
 #include "util/string_util.h"
@@ -133,29 +134,33 @@ sdadcs::core::MinerConfig ConfigFromArgs(const Flags& args) {
   cfg.delta = args.GetDouble("delta", 0.1);
   cfg.alpha = args.GetDouble("alpha", 0.05);
   cfg.top_k = args.GetInt("top", 100);
-  std::string measure = args.Get("measure", "diff");
-  if (measure == "pr") {
-    cfg.measure = sdadcs::core::MeasureKind::kPurityRatio;
-  } else if (measure == "surprising") {
-    cfg.measure = sdadcs::core::MeasureKind::kSurprising;
-  } else if (measure == "entropy") {
-    cfg.measure = sdadcs::core::MeasureKind::kEntropyPurity;
+  // The string-level enum parsers are shared with the wire protocol, so
+  // the CLI and the servers accept the same names and reject with the
+  // same taxonomy ("invalid_argument[measure]: ...").
+  auto measure = sdadcs::serve::MeasureFromString(args.Get("measure", "diff"));
+  if (!measure.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 sdadcs::serve::WireError::FromStatus(measure.status(),
+                                                      "measure")
+                     .ToText()
+                     .c_str());
+    std::exit(2);
   }
+  cfg.measure = *measure;
   if (args.Has("np")) {
     cfg.meaningful_pruning = false;
     cfg.optimistic_pruning = false;
   }
-  std::string kernel = args.Get("kernel", "auto");
-  if (kernel == "scalar") {
-    cfg.kernel = sdadcs::core::KernelKind::kScalar;
-  } else if (kernel == "avx2") {
-    cfg.kernel = sdadcs::core::KernelKind::kAvx2;
-  } else if (kernel != "auto") {
-    std::fprintf(stderr,
-                 "unknown --kernel '%s' (want auto | scalar | avx2)\n",
-                 kernel.c_str());
+  auto kernel = sdadcs::serve::KernelFromString(args.Get("kernel", "auto"));
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 sdadcs::serve::WireError::FromStatus(kernel.status(),
+                                                      "kernel")
+                     .ToText()
+                     .c_str());
     std::exit(2);
   }
+  cfg.kernel = *kernel;
   cfg.seed_sample_rows =
       static_cast<size_t>(args.GetInt("seed-sample", 0));
   return cfg;
@@ -217,8 +222,11 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
       sdadcs::engine::EngineRegistry::Global().Create(
           args.Get("engine", "serial"), cfg, eopts);
   if (!miner.ok()) {
-    std::fprintf(stderr, "--engine: %s\n",
-                 miner.status().ToString().c_str());
+    std::fprintf(stderr, "%s\n",
+                 sdadcs::serve::WireError::FromStatus(miner.status(),
+                                                      "engine")
+                     .ToText()
+                     .c_str());
     return 2;
   }
   sdadcs::util::RunControl control = RunControlFromArgs(args);
