@@ -25,6 +25,7 @@
 #include "data/group_info.h"
 #include "data/index.h"
 #include "data/sort_index.h"
+#include "parallel/sharded_miner.h"
 #include "stats/chi_squared.h"
 #include "stats/fisher.h"
 #include "stream/window_miner.h"
@@ -394,6 +395,76 @@ void AddColdMineCases(bench::BenchJson* json, bool smoke) {
   json->SetCase("seeded_pruned_oe", seeded->counters.pruned_oe_measure);
 }
 
+// Sharded cold mine: the serial miner against the shard-merge engine
+// (4 row shards) on the same end-to-end mine. The sharded engine's
+// contract is byte-identity — the coordinator replays the serial
+// decision order and only the counting scans fan out — so beyond the
+// wall times this asserts the two pattern lists match exactly.
+void AddShardedColdMineCase(bench::BenchJson* json, bool smoke) {
+  synth::ScalingOptions opt;
+  opt.rows = smoke ? 8000 : 60000;
+  opt.continuous_features = 6;
+  opt.categorical_features = 2;
+  synth::NamedDataset nd = synth::MakeScalingDataset(opt);
+  auto attr = nd.db.schema().IndexOf(nd.group_attr);
+  SDADCS_CHECK(attr.ok());
+  auto gi_or = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+  SDADCS_CHECK(gi_or.ok());
+  const data::GroupInfo& gi = *gi_or;
+
+  core::MinerConfig cfg;
+  cfg.max_depth = 2;
+  cfg.top_k = 10;
+  core::MineRequest req;
+  req.groups = &gi;
+  constexpr size_t kShards = 4;
+  constexpr int kReps = 3;
+
+  util::StatusOr<core::MiningResult> serial =
+      util::Status::Internal("unset");
+  double serial_sec = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    util::WallTimer timer;
+    serial = core::Miner(cfg).Mine(nd.db, req);
+    serial_sec = std::min(serial_sec, timer.Seconds());
+    SDADCS_CHECK(serial.ok());
+  }
+
+  parallel::ShardedMiner sharded_miner(cfg, kShards);
+  util::StatusOr<core::MiningResult> sharded =
+      util::Status::Internal("unset");
+  double sharded_sec = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    util::WallTimer timer;
+    sharded = sharded_miner.Mine(nd.db, req);
+    sharded_sec = std::min(sharded_sec, timer.Seconds());
+    SDADCS_CHECK(sharded.ok());
+  }
+
+  SDADCS_CHECK(sharded->contrasts.size() == serial->contrasts.size());
+  for (size_t i = 0; i < sharded->contrasts.size(); ++i) {
+    SDADCS_CHECK(sharded->contrasts[i].itemset.Key() ==
+                 serial->contrasts[i].itemset.Key());
+    SDADCS_CHECK(sharded->contrasts[i].measure ==
+                 serial->contrasts[i].measure);
+  }
+
+  const double speedup = sharded_sec > 0.0 ? serial_sec / sharded_sec : 0.0;
+  std::printf("\n== cold mine: serial vs sharded:%zu (%s rows) ==\n",
+              kShards, std::to_string(nd.db.num_rows()).c_str());
+  std::printf("serial %.4fs | sharded %.4fs | speedup %.2fx "
+              "(identical patterns)\n",
+              serial_sec, sharded_sec, speedup);
+
+  json->BeginCase("cold_mine_sharded");
+  json->SetCase("rows", static_cast<uint64_t>(nd.db.num_rows()));
+  json->SetCase("shards", static_cast<uint64_t>(kShards));
+  json->SetCase("serial_wall_seconds", serial_sec);
+  json->SetCase("sharded_wall_seconds", sharded_sec);
+  json->SetCase("sharded_speedup", speedup);
+  json->SetCase("patterns", static_cast<uint64_t>(serial->contrasts.size()));
+}
+
 // Fused-vs-naive split+count comparison on the Section 6 scaling
 // dataset. The naive reference is exactly the seed hot path: FindCombs
 // (per-cell Selection::Filter) followed by per-cell CountGroups. Writes
@@ -513,6 +584,7 @@ void RunKernelComparison(bool smoke) {
   }
   json.Set("min_speedup", min_speedup);
   AddColdMineCases(&json, smoke);
+  AddShardedColdMineCase(&json, smoke);
   json.Write();
 }
 

@@ -4,7 +4,12 @@
 // latency percentiles (p50/p99/p999), the shed rate, and a drain check
 // proving a graceful shutdown answers every request it accepted.
 //
-//   bench_net_load [--smoke] [--connections N] [--requests N]
+//   bench_net_load [--smoke] [--connections N[,N...]] [--requests N]
+//
+// `--connections` takes a comma-separated sweep (e.g. 16,64,128); every
+// point runs against a fresh Server/NetServer pair (fresh result cache,
+// so cold keys stay cold at every point) and lands as its own group of
+// cases in one BENCH_net_load.json.
 //
 // Traffic mix: every client issues `requests` synchronous mines on its
 // own connection; every `kColdEvery`-th request carries a fresh request
@@ -24,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -111,15 +117,15 @@ double Percentile(std::vector<double>& sorted, double p) {
   return sorted[index];
 }
 
-void EmitLatencyCase(BenchJson* json, const char* name,
-                     std::vector<double> values) {
+void EmitLatencyCase(BenchJson* json, const std::string& name,
+                     const char* label, std::vector<double> values) {
   std::sort(values.begin(), values.end());
   json->BeginCase(name);
   json->SetCase("count", static_cast<uint64_t>(values.size()));
   json->SetCase("p50_ms", Percentile(values, 0.50));
   json->SetCase("p99_ms", Percentile(values, 0.99));
   json->SetCase("p999_ms", Percentile(values, 0.999));
-  std::printf("%8s %10zu %12.3f %12.3f %12.3f\n", name, values.size(),
+  std::printf("%8s %10zu %12.3f %12.3f %12.3f\n", label, values.size(),
               Percentile(values, 0.50), Percentile(values, 0.99),
               Percentile(values, 0.999));
 }
@@ -172,9 +178,10 @@ DrainReport RunDrainCheck(serve::Server& server, int clients, int per_client) {
   return {sent, answered.load()};
 }
 
-void Run(int connections, int requests, bool smoke) {
-  PrintHeader("Socket front-end load: mixed cold/warm traffic");
-
+/// One sweep point: `connections` clients against a fresh server stack
+/// (fresh result cache, so this point's cold keys are really cold).
+/// Returns the wire-error count so the sweep can assert on the total.
+uint64_t RunPoint(BenchJson* json, int connections, int requests) {
   serve::ServerOptions options;
   options.max_concurrent_runs = 2;
   options.max_queue = 32;
@@ -196,8 +203,8 @@ void Run(int connections, int requests, bool smoke) {
     SDADCS_CHECK(response.ok() && response->GetBool("ok", false));
   }
 
-  std::printf("%d connections x %d requests, 1 cold per %d (the rest warm "
-              "cache hits)\n\n",
+  std::printf("-- %d connections x %d requests, 1 cold per %d (the rest "
+              "warm cache hits)\n\n",
               connections, requests, kColdEvery);
 
   std::vector<ClientResult> results(static_cast<size_t>(connections));
@@ -229,28 +236,27 @@ void Run(int connections, int requests, bool smoke) {
   const double shed_rate =
       total > 0 ? static_cast<double>(shed) / static_cast<double>(total) : 0.0;
 
-  BenchJson json("net_load");
-  json.Set("connections", static_cast<uint64_t>(connections));
-  json.Set("requests_per_connection", static_cast<uint64_t>(requests));
-  json.Set("cold_every", static_cast<uint64_t>(kColdEvery));
-  json.Set("dataset", "synth:scaling:1000");
-  json.Set("wall_seconds", wall_seconds);
-  json.Set("throughput_rps",
-           wall_seconds > 0 ? static_cast<double>(total) / wall_seconds : 0.0);
-  json.Set("ok", ok);
-  json.Set("shed", shed);
-  json.Set("shed_rate", shed_rate);
-  json.Set("protocol_errors", wire_errors);
+  const std::string prefix = "c" + std::to_string(connections) + ".";
+  json->BeginCase(prefix + "summary");
+  json->SetCase("connections", static_cast<uint64_t>(connections));
+  json->SetCase("wall_seconds", wall_seconds);
+  json->SetCase("throughput_rps",
+                wall_seconds > 0 ? static_cast<double>(total) / wall_seconds
+                                 : 0.0);
+  json->SetCase("ok", ok);
+  json->SetCase("shed", shed);
+  json->SetCase("shed_rate", shed_rate);
+  json->SetCase("wire_errors", wire_errors);
 
   std::printf("%8s %10s %12s %12s %12s\n", "class", "count", "p50 ms",
               "p99 ms", "p999 ms");
-  EmitLatencyCase(&json, "overall", std::move(all));
-  EmitLatencyCase(&json, "cold", std::move(cold));
-  EmitLatencyCase(&json, "warm", std::move(warm));
+  EmitLatencyCase(json, prefix + "overall", "overall", std::move(all));
+  EmitLatencyCase(json, prefix + "cold", "cold", std::move(cold));
+  EmitLatencyCase(json, prefix + "warm", "warm", std::move(warm));
 
   serve::NetServer::Stats net_stats = net.stats();
   std::printf("\n%llu ok, %llu shed (rate %.4f), %llu protocol errors, "
-              "%.2f req/s, warm fast-path answers %llu\n",
+              "%.2f req/s, warm fast-path answers %llu\n\n",
               static_cast<unsigned long long>(ok),
               static_cast<unsigned long long>(shed), shed_rate,
               static_cast<unsigned long long>(wire_errors),
@@ -258,11 +264,41 @@ void Run(int connections, int requests, bool smoke) {
                                : 0.0,
               static_cast<unsigned long long>(net_stats.warm_fast_path));
   net.Drain();
+  return wire_errors;
+}
+
+void Run(const std::vector<int>& sweep, int requests, bool smoke) {
+  PrintHeader("Socket front-end load: mixed cold/warm traffic");
+
+  BenchJson json("net_load");
+  std::string sweep_str;
+  for (int c : sweep) {
+    if (!sweep_str.empty()) sweep_str += ",";
+    sweep_str += std::to_string(c);
+  }
+  json.Set("connections_sweep", sweep_str);
+  json.Set("requests_per_connection", static_cast<uint64_t>(requests));
+  json.Set("cold_every", static_cast<uint64_t>(kColdEvery));
+  json.Set("dataset", "synth:scaling:1000");
+
+  uint64_t wire_errors = 0;
+  for (int connections : sweep) {
+    wire_errors += RunPoint(&json, connections, requests);
+  }
+  json.Set("protocol_errors", wire_errors);
 
   // Every mine answered with a verdict or a structured error; a wire
   // error would mean the protocol broke under concurrency.
   SDADCS_CHECK(wire_errors == 0);
 
+  // The drain check gets a server of its own: it half-kills the stack
+  // by design, so it must not share one with a timed sweep point.
+  serve::ServerOptions options;
+  options.max_concurrent_runs = 2;
+  options.max_queue = 32;
+  options.result_cache_capacity = 8192;
+  serve::Server server(options);
+  SDADCS_CHECK(server.Load("d", "synth:scaling:1000").ok());
   DrainReport drain =
       RunDrainCheck(server, smoke ? 4 : 16, /*per_client=*/4);
   json.BeginCase("drain");
@@ -279,24 +315,47 @@ void Run(int connections, int requests, bool smoke) {
   if (!path.empty()) std::printf("metrics: %s\n", path.c_str());
 }
 
+/// "16,64,128" -> {16, 64, 128}; entries must be positive integers.
+std::vector<int> ParseConnectionsList(const char* arg) {
+  std::vector<int> sweep;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    long value = std::strtol(p, &end, 10);
+    if (end == p || value <= 0 || (*end != '\0' && *end != ',')) {
+      std::fprintf(stderr, "bad --connections list: %s\n", arg);
+      std::exit(2);
+    }
+    sweep.push_back(static_cast<int>(value));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (sweep.empty()) {
+    std::fprintf(stderr, "bad --connections list: %s\n", arg);
+    std::exit(2);
+  }
+  return sweep;
+}
+
 }  // namespace
 }  // namespace sdadcs::bench
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  int connections = 128;
+  std::vector<int> sweep;
   int requests = 24;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-      connections = 12;
       requests = 8;
     } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
-      connections = std::atoi(argv[++i]);
+      sweep = sdadcs::bench::ParseConnectionsList(argv[++i]);
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       requests = std::atoi(argv[++i]);
     }
   }
-  sdadcs::bench::Run(connections, requests, smoke);
+  if (sweep.empty()) {
+    sweep = smoke ? std::vector<int>{12} : std::vector<int>{32, 64, 128};
+  }
+  sdadcs::bench::Run(sweep, requests, smoke);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/optimistic.h"
+#include "core/shard_exec.h"
 #include "core/support.h"
 #include "stats/chi_squared.h"
 #include "util/logging.h"
@@ -194,8 +195,7 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
                          &ctx.split_scratch.values, ctx.prepared,
                          &ctx.split_scratch.ranks, &ctx.split_scratch.select,
                          ctx.kernel == KernelKind::kAvx2);
-    SplitResult split = SplitAndCount(*ctx.db, *ctx.gi, call.space, cuts,
-                                      &ctx.split_scratch, ctx.kernel);
+    SplitResult split = SplitAndCountSharded(ctx, call.space, cuts);
     cells = std::move(split.cells);
     fused_counts = std::move(split.counts);
   } else {
@@ -225,7 +225,7 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
 
     GroupCounts gc = cfg.columnar_kernels
                          ? std::move(fused_counts[ci])
-                         : CountGroups(*ctx.gi, cell.rows);
+                         : CountGroupsSharded(ctx, cell.rows);
     std::vector<double> supports = gc.Supports(*ctx.gi);
     double diff = SupportDifference(supports);
     double purity = PurityRatio(supports);
@@ -279,14 +279,14 @@ std::vector<ContrastPattern> RunSdadCs(MiningContext& ctx,
       if (MeasureNeedsTrivialBound(cfg.measure)) {
         oe = gc.total() > 0.0 ? 1.0 : 0.0;
       } else {
-        OptimisticInput oe_in;
-        oe_in.db_size = call.outer_db_size;
-        oe_in.level = call.level;
-        oe_in.num_continuous = static_cast<int>(call.cont_attrs.size());
-        oe_in.counts = gc.counts;
-        oe_in.space_total = gc.total();
-        oe_in.group_sizes = ctx.group_sizes;
-        oe = OptimisticMeasure(oe_in);
+        // The bound inputs flow through the mergeable accumulator even
+        // on this (already merged) path, so the serial and sharded
+        // engines feed OptimisticMeasure bit-identical arithmetic.
+        OptimisticInputAccumulator oe_acc(gc.counts.size());
+        oe_acc.Accumulate(gc);
+        oe = OptimisticMeasure(std::move(oe_acc).Finalize(
+            call.outer_db_size, call.level,
+            static_cast<int>(call.cont_attrs.size()), ctx.group_sizes));
       }
       if (oe <= ctx.topk->threshold()) {
         ++counters.pruned_oe_measure;

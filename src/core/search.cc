@@ -7,6 +7,7 @@
 #include "core/match_kernel.h"
 #include "core/optimistic.h"
 #include "core/productivity.h"
+#include "core/shard_exec.h"
 #include "core/support.h"
 #include "stats/chi_squared.h"
 #include "util/logging.h"
@@ -60,26 +61,19 @@ std::vector<std::vector<int>> GenerateLevelCandidates(
   return candidates;
 }
 
-void LatticeSearch::Run(const std::vector<int>& attrs) {
-  const int max_depth =
-      std::min<int>(ctx_.cfg->max_depth, static_cast<int>(attrs.size()));
-  std::vector<std::vector<int>> alive_prev;
-
-  for (int level = 1; level <= max_depth; ++level) {
-    std::vector<std::vector<int>> candidates =
-        GenerateLevelCandidates(level, attrs, alive_prev);
-    if (candidates.empty()) break;
-    const size_t cap = ctx_.cfg->max_candidates_per_level;
-    if (cap > 0 && candidates.size() > cap) {
-      ctx_.counters->truncated_candidates += candidates.size() - cap;
-      candidates.resize(cap);
-    }
-    // Candidate generation for a wide level is itself non-trivial work;
-    // re-check the limits before committing to the level.
-    if (ctx_.run.CheckNow()) {
-      ctx_.counters->abandoned_candidates += candidates.size();
-      break;
-    }
+std::vector<std::vector<int>> BuildLevelFrontier(
+    const data::Dataset& db, const MinerConfig& cfg, int level,
+    const std::vector<int>& attrs,
+    const std::vector<std::vector<int>>& alive_prev, bool cheap_first,
+    MiningCounters* counters) {
+  std::vector<std::vector<int>> candidates =
+      GenerateLevelCandidates(level, attrs, alive_prev);
+  const size_t cap = cfg.max_candidates_per_level;
+  if (cap > 0 && candidates.size() > cap) {
+    counters->truncated_candidates += candidates.size() - cap;
+    candidates.resize(cap);
+  }
+  if (cheap_first) {
     // Cheap-first ordering: combinations with fewer continuous
     // attributes are single-scan STUCCO enumerations (or smaller SDAD
     // spaces), so running them first establishes a top-k threshold
@@ -89,10 +83,10 @@ void LatticeSearch::Run(const std::vector<int>& attrs) {
     // SET is unchanged; the stable sort keeps the order deterministic,
     // so results are identical across runs and kernels (up to top-k
     // boundary ties, which the goldens pin).
-    auto num_cont = [this](const std::vector<int>& combo) {
+    auto num_cont = [&db](const std::vector<int>& combo) {
       size_t c = 0;
       for (int a : combo) {
-        if (ctx_.db->is_continuous(a)) ++c;
+        if (db.is_continuous(a)) ++c;
       }
       return c;
     };
@@ -101,6 +95,26 @@ void LatticeSearch::Run(const std::vector<int>& attrs) {
                                  const std::vector<int>& b) {
                        return num_cont(a) < num_cont(b);
                      });
+  }
+  return candidates;
+}
+
+void LatticeSearch::Run(const std::vector<int>& attrs) {
+  const int max_depth =
+      std::min<int>(ctx_.cfg->max_depth, static_cast<int>(attrs.size()));
+  std::vector<std::vector<int>> alive_prev;
+
+  for (int level = 1; level <= max_depth; ++level) {
+    std::vector<std::vector<int>> candidates =
+        BuildLevelFrontier(*ctx_.db, *ctx_.cfg, level, attrs, alive_prev,
+                           /*cheap_first=*/true, ctx_.counters);
+    if (candidates.empty()) break;
+    // Candidate generation for a wide level is itself non-trivial work;
+    // re-check the limits before committing to the level.
+    if (ctx_.run.CheckNow()) {
+      ctx_.counters->abandoned_candidates += candidates.size();
+      break;
+    }
     ReportProgress(level, 0, candidates.size());
 
     std::vector<std::vector<int>> alive_cur;
@@ -190,9 +204,7 @@ void LatticeSearch::EnumerateCategorical(const std::vector<int>& cat_attrs,
     // pass. Partial-itemset minimum deviation: supports only shrink as
     // items are added, so a below-δ prefix can be abandoned outright.
     GroupCounts gc;
-    data::Selection sub =
-        FilterCountItemKernel(*ctx_.db, *ctx_.gi, item, rows, &gc,
-                              ctx_.kernel);
+    data::Selection sub = FilterCountItemSharded(ctx_, item, rows, &gc);
     if (BelowMinimumDeviation(gc.Supports(*ctx_.gi), ctx_.cfg->delta)) {
       if (ctx_.cfg->meaningful_pruning) {
         ctx_.prune_table->Insert(candidate, PruneReason::kMinSupport);
@@ -214,7 +226,7 @@ void LatticeSearch::EvaluateCategoricalLeaf(const Itemset& itemset,
   const MinerConfig& cfg = *ctx_.cfg;
   ++counters.partitions_evaluated;
 
-  GroupCounts gc = CountGroups(*ctx_.gi, rows);
+  GroupCounts gc = CountGroupsSharded(ctx_, rows);
   std::vector<double> supports = gc.Supports(*ctx_.gi);
   double diff = SupportDifference(supports);
   double purity = PurityRatio(supports);
@@ -292,7 +304,6 @@ void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
                                      const data::Selection& rows,
                                      bool* alive) {
   if (ctx_.run.CheckPoint(RunState::NodeWeight(rows.size()))) return;
-  const data::Dataset& db = *ctx_.db;
   SdadCall call;
   call.cat_items = cat_items;
   call.cont_attrs = cont_attrs;
@@ -305,8 +316,8 @@ void LatticeSearch::EvaluateSdadLeaf(const Itemset& cat_items,
     call.space.bounds.push_back({attr, it->second.lo, it->second.hi});
   }
   GroupCounts root_counts;
-  call.space.rows = FilterAllPresentKernel(db, *ctx_.gi, cont_attrs, rows,
-                                           &root_counts, ctx_.kernel);
+  call.space.rows =
+      FilterAllPresentSharded(ctx_, cont_attrs, rows, &root_counts);
   if (call.space.rows.empty()) return;
   call.outer_db_size = static_cast<double>(call.space.rows.size());
   call.parent_supports = root_counts.Supports(*ctx_.gi);
@@ -339,8 +350,8 @@ const std::vector<double>* LatticeSearch::CachedSupports(
   std::string key = itemset.Key();
   auto it = support_cache_.find(key);
   if (it != support_cache_.end()) return &it->second;
-  GroupCounts gc = CountMatchesKernel(*ctx_.db, *ctx_.gi, itemset,
-                                      ctx_.gi->base_selection(), ctx_.kernel);
+  GroupCounts gc =
+      CountMatchesSharded(ctx_, itemset, ctx_.gi->base_selection());
   auto [ins, unused] =
       support_cache_.emplace(std::move(key), gc.Supports(*ctx_.gi));
   (void)unused;

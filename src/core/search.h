@@ -19,6 +19,25 @@ std::vector<std::vector<int>> GenerateLevelCandidates(
     int level, const std::vector<int>& attrs,
     const std::vector<std::vector<int>>& alive_prev);
 
+/// Level-synchronous frontier API: the candidate list one level of the
+/// lattice actually evaluates, in evaluation order. Wraps
+/// GenerateLevelCandidates with the two deterministic frontier policies
+/// every engine shares — the per-level candidate cap
+/// (cfg.max_candidates_per_level, overflow charged to
+/// counters->truncated_candidates) and, with `cheap_first` set, the
+/// stable cheap-first ordering (fewest continuous attributes first, so
+/// a top-k threshold exists before the expensive recursive splits).
+/// The serial and sharded engines consume the frontier in this order on
+/// one coordinator; the level-parallel engine deals the same frontier
+/// (cheap_first = false, its workers interleave anyway) across threads.
+/// Pure frontier generation: no mining, no pruning — pruning decisions
+/// happen downstream, off merged statistics only.
+std::vector<std::vector<int>> BuildLevelFrontier(
+    const data::Dataset& db, const MinerConfig& cfg, int level,
+    const std::vector<int>& attrs,
+    const std::vector<std::vector<int>>& alive_prev, bool cheap_first,
+    MiningCounters* counters);
+
 /// Level-wise search over attribute combinations (Figure 1). The paper
 /// adopts Webb & Zhang's ordering because it maximizes pruning with less
 /// storage than plain BFS; this implementation keeps the same level-wise

@@ -1,0 +1,255 @@
+#include "core/shard_exec.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sdadcs::core {
+
+namespace {
+
+// Fan out only when a plan with real parallelism is attached and the
+// scan is large enough to amortize the task overhead.
+bool ShouldFanOut(const MiningContext& ctx, size_t rows) {
+  const ShardExec* ex = ctx.shards;
+  return ex != nullptr && ex->plan != nullptr && ex->pool != nullptr &&
+         ex->plan->num_shards() > 1 && rows >= ex->min_fanout_rows;
+}
+
+// Materializes the slice of `sel` inside shard `i` as an owning
+// Selection (the kernels take Selections). Rows stay ascending.
+data::Selection ShardSlice(const ShardExec& ex, const data::Selection& sel,
+                           size_t i) {
+  return data::ToSelection(data::SliceSelection(sel, ex.plan->range(i)));
+}
+
+// Runs `task(shard)` for every shard on the pool and blocks at the
+// merge barrier; then flushes a RunState checkpoint so a cancel /
+// deadline / budget stop raised during the fan-out is observed before
+// the coordinator commits to more work. CheckNow charges no extra
+// nodes, so a run that completes is byte-identical to serial.
+template <typename Task>
+void FanOut(MiningContext& ctx, const Task& task) {
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  for (size_t i = 0; i < n; ++i) {
+    ex.pool->Submit([&task, i]() { task(i); });
+  }
+  ex.pool->Wait();
+  (void)ctx.run.CheckNow();
+}
+
+}  // namespace
+
+void GroupCountsAccumulator::Accumulate(const GroupCounts& shard) {
+  SDADCS_CHECK(shard.counts.size() == merged_.counts.size());
+  for (size_t g = 0; g < shard.counts.size(); ++g) {
+    merged_.counts[g] += shard.counts[g];
+  }
+}
+
+void SelectionAccumulator::Accumulate(const data::Selection& shard) {
+  rows_.insert(rows_.end(), shard.rows().begin(), shard.rows().end());
+}
+
+void SelectionAccumulator::Merge(SelectionAccumulator&& other) {
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
+data::Selection SelectionAccumulator::Finalize() && {
+  return data::Selection(std::move(rows_));
+}
+
+void Contingency2x2Accumulator::Accumulate(const Contingency2x2& shard) {
+  merged_.n11 += shard.n11;
+  merged_.n10 += shard.n10;
+  merged_.n01 += shard.n01;
+  merged_.n00 += shard.n00;
+}
+
+void SplitAccumulator::Accumulate(SplitResult&& shard) {
+  if (cells_.empty()) {
+    // First shard fixes the cell lattice: bounds depend only on
+    // (space.bounds, cuts), which every shard shares.
+    cells_.reserve(shard.cells.size());
+    rows_.resize(shard.cells.size());
+    counts_.reserve(shard.cells.size());
+    for (size_t c = 0; c < shard.cells.size(); ++c) {
+      Space cell;
+      cell.bounds = std::move(shard.cells[c].bounds);
+      cells_.push_back(std::move(cell));
+      rows_[c].Accumulate(shard.cells[c].rows);
+      counts_.push_back(std::move(shard.counts[c]));
+    }
+    return;
+  }
+  SDADCS_CHECK(shard.cells.size() == cells_.size());
+  for (size_t c = 0; c < shard.cells.size(); ++c) {
+    rows_[c].Accumulate(shard.cells[c].rows);
+    GroupCountsAccumulator acc(counts_[c].counts.size());
+    acc.Accumulate(counts_[c]);
+    acc.Accumulate(shard.counts[c]);
+    counts_[c] = std::move(acc).Finalize();
+  }
+}
+
+SplitResult SplitAccumulator::Finalize() && {
+  SplitResult out;
+  out.cells = std::move(cells_);
+  out.counts = std::move(counts_);
+  for (size_t c = 0; c < out.cells.size(); ++c) {
+    out.cells[c].rows = std::move(rows_[c]).Finalize();
+  }
+  return out;
+}
+
+OptimisticInput OptimisticInputAccumulator::Finalize(
+    double db_size, int level, int num_continuous,
+    const std::vector<double>& group_sizes) && {
+  OptimisticInput in;
+  in.db_size = db_size;
+  in.level = level;
+  in.num_continuous = num_continuous;
+  GroupCounts merged = std::move(counts_).Finalize();
+  in.space_total = merged.total();
+  in.counts = std::move(merged.counts);
+  in.group_sizes = group_sizes;
+  return in;
+}
+
+GroupCounts CountGroupsSharded(MiningContext& ctx,
+                               const data::Selection& sel) {
+  if (!ShouldFanOut(ctx, sel.size())) return CountGroups(*ctx.gi, sel);
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  std::vector<GroupCounts> partials(n);
+  FanOut(ctx, [&](size_t i) {
+    partials[i] = CountGroups(*ctx.gi, ShardSlice(ex, sel, i));
+  });
+  GroupCountsAccumulator acc(
+      static_cast<size_t>(ctx.gi->num_groups()));
+  for (const GroupCounts& p : partials) acc.Accumulate(p);
+  return std::move(acc).Finalize();
+}
+
+GroupCounts CountMatchesSharded(MiningContext& ctx, const Itemset& itemset,
+                                const data::Selection& sel) {
+  if (!ShouldFanOut(ctx, sel.size())) {
+    return CountMatchesKernel(*ctx.db, *ctx.gi, itemset, sel, ctx.kernel);
+  }
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  std::vector<GroupCounts> partials(n);
+  FanOut(ctx, [&](size_t i) {
+    partials[i] = CountMatchesKernel(*ctx.db, *ctx.gi, itemset,
+                                     ShardSlice(ex, sel, i), ctx.kernel);
+  });
+  GroupCountsAccumulator acc(
+      static_cast<size_t>(ctx.gi->num_groups()));
+  for (const GroupCounts& p : partials) acc.Accumulate(p);
+  return std::move(acc).Finalize();
+}
+
+data::Selection FilterCountItemSharded(MiningContext& ctx, const Item& item,
+                                       const data::Selection& sel,
+                                       GroupCounts* gc) {
+  if (!ShouldFanOut(ctx, sel.size())) {
+    return FilterCountItemKernel(*ctx.db, *ctx.gi, item, sel, gc,
+                                 ctx.kernel);
+  }
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  std::vector<data::Selection> rows(n);
+  std::vector<GroupCounts> partials(n);
+  FanOut(ctx, [&](size_t i) {
+    rows[i] = FilterCountItemKernel(*ctx.db, *ctx.gi, item,
+                                    ShardSlice(ex, sel, i), &partials[i],
+                                    ctx.kernel);
+  });
+  GroupCountsAccumulator counts(
+      static_cast<size_t>(ctx.gi->num_groups()));
+  SelectionAccumulator merged;
+  for (size_t i = 0; i < n; ++i) {
+    counts.Accumulate(partials[i]);
+    merged.Accumulate(rows[i]);
+  }
+  *gc = std::move(counts).Finalize();
+  return std::move(merged).Finalize();
+}
+
+data::Selection FilterAllPresentSharded(MiningContext& ctx,
+                                        const std::vector<int>& cont_attrs,
+                                        const data::Selection& sel,
+                                        GroupCounts* gc) {
+  if (!ShouldFanOut(ctx, sel.size())) {
+    return FilterAllPresentKernel(*ctx.db, *ctx.gi, cont_attrs, sel, gc,
+                                  ctx.kernel);
+  }
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  std::vector<data::Selection> rows(n);
+  std::vector<GroupCounts> partials(n);
+  FanOut(ctx, [&](size_t i) {
+    rows[i] = FilterAllPresentKernel(*ctx.db, *ctx.gi, cont_attrs,
+                                     ShardSlice(ex, sel, i), &partials[i],
+                                     ctx.kernel);
+  });
+  GroupCountsAccumulator counts(
+      static_cast<size_t>(ctx.gi->num_groups()));
+  SelectionAccumulator merged;
+  for (size_t i = 0; i < n; ++i) {
+    counts.Accumulate(partials[i]);
+    merged.Accumulate(rows[i]);
+  }
+  *gc = std::move(counts).Finalize();
+  return std::move(merged).Finalize();
+}
+
+SplitResult SplitAndCountSharded(MiningContext& ctx, const Space& space,
+                                 const std::vector<double>& cuts) {
+  if (!ShouldFanOut(ctx, space.rows.size())) {
+    return SplitAndCount(*ctx.db, *ctx.gi, space, cuts, &ctx.split_scratch,
+                         ctx.kernel);
+  }
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  SDADCS_CHECK(ex.scratches != nullptr && ex.scratches->size() >= n);
+  std::vector<SplitResult> partials(n);
+  FanOut(ctx, [&](size_t i) {
+    Space shard_space;
+    shard_space.bounds = space.bounds;
+    shard_space.rows = ShardSlice(ex, space.rows, i);
+    partials[i] = SplitAndCount(*ctx.db, *ctx.gi, shard_space, cuts,
+                                &(*ex.scratches)[i], ctx.kernel);
+  });
+  SplitAccumulator acc;
+  for (SplitResult& p : partials) {
+    // A shard whose slice is empty still materializes the full cell
+    // lattice (it depends only on bounds and cuts), so every partial
+    // merges positionally.
+    acc.Accumulate(std::move(p));
+  }
+  return std::move(acc).Finalize();
+}
+
+Contingency2x2 CountPartsInGroupSharded(MiningContext& ctx, const Itemset& a,
+                                        const Itemset& b, int group,
+                                        const data::Selection& sel) {
+  if (!ShouldFanOut(ctx, sel.size())) {
+    return CountPartsInGroupKernel(*ctx.db, *ctx.gi, a, b, group, sel,
+                                   ctx.kernel);
+  }
+  const ShardExec& ex = *ctx.shards;
+  const size_t n = ex.plan->num_shards();
+  std::vector<Contingency2x2> partials(n);
+  FanOut(ctx, [&](size_t i) {
+    partials[i] = CountPartsInGroupKernel(*ctx.db, *ctx.gi, a, b, group,
+                                          ShardSlice(ex, sel, i),
+                                          ctx.kernel);
+  });
+  Contingency2x2Accumulator acc;
+  for (const Contingency2x2& p : partials) acc.Accumulate(p);
+  return std::move(acc).Finalize();
+}
+
+}  // namespace sdadcs::core

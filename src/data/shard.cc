@@ -1,0 +1,41 @@
+#include "data/shard.h"
+
+#include <algorithm>
+
+namespace sdadcs::data {
+
+ShardPlan::ShardPlan(size_t num_rows, size_t shards) {
+  if (shards == 0) shards = 1;
+  // Never plan more shards than rows: an empty shard is legal but
+  // useless, and capping keeps per-shard scratch allocations bounded
+  // by the data, not by the requested fan-out.
+  if (shards > num_rows) shards = std::max<size_t>(num_rows, 1);
+  ranges_.reserve(shards);
+  const size_t base = num_rows / shards;
+  const size_t extra = num_rows % shards;
+  uint32_t begin = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    ShardRange r;
+    r.begin_row = begin;
+    r.end_row = static_cast<uint32_t>(begin + len);
+    ranges_.push_back(r);
+    begin = r.end_row;
+  }
+}
+
+ShardView SliceSelection(const Selection& sel, const ShardRange& range) {
+  const std::vector<uint32_t>& rows = sel.rows();
+  auto lo = std::lower_bound(rows.begin(), rows.end(), range.begin_row);
+  auto hi = std::lower_bound(lo, rows.end(), range.end_row);
+  ShardView view;
+  view.rows = rows.data() + (lo - rows.begin());
+  view.size = static_cast<size_t>(hi - lo);
+  return view;
+}
+
+Selection ToSelection(const ShardView& view) {
+  return Selection(std::vector<uint32_t>(view.rows, view.rows + view.size));
+}
+
+}  // namespace sdadcs::data

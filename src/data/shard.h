@@ -1,0 +1,67 @@
+#ifndef SDADCS_DATA_SHARD_H_
+#define SDADCS_DATA_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/selection.h"
+
+namespace sdadcs::data {
+
+/// Half-open row range [begin_row, end_row) of one shard. Shards are
+/// contiguous ascending slices of the sealed dataset's row space, so a
+/// shard never assumes rows outside its range are resident: every
+/// kernel invocation against a shard only dereferences column values
+/// of rows inside the range.
+struct ShardRange {
+  uint32_t begin_row = 0;
+  uint32_t end_row = 0;
+
+  size_t size() const { return end_row - begin_row; }
+  bool empty() const { return end_row <= begin_row; }
+};
+
+/// Static partition of [0, num_rows) into `shards` contiguous ranges of
+/// near-equal size (the first `num_rows % shards` ranges hold one extra
+/// row). The ranges cover the row space exactly, in ascending order —
+/// the property every merge step leans on: concatenating per-shard
+/// outputs in plan order reproduces the global row order, so merged
+/// selections come out sorted without a sort.
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+  ShardPlan(size_t num_rows, size_t shards);
+
+  size_t num_shards() const { return ranges_.size(); }
+  const ShardRange& range(size_t i) const { return ranges_[i]; }
+  const std::vector<ShardRange>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<ShardRange> ranges_;
+};
+
+/// Borrowed view of the slice of a sorted Selection that falls inside
+/// one shard's row range. Valid only while the Selection it was sliced
+/// from is alive and unmodified.
+struct ShardView {
+  const uint32_t* rows = nullptr;
+  size_t size = 0;
+
+  bool empty() const { return size == 0; }
+};
+
+/// The rows of `sel` inside `range`, as a borrowed view. Selections are
+/// sorted, so the slice is one binary search per edge — no copy. The
+/// concatenation of SliceSelection over a ShardPlan's ranges, in plan
+/// order, is exactly `sel`.
+ShardView SliceSelection(const Selection& sel, const ShardRange& range);
+
+/// Materializes a view as an owning Selection (for kernels that take a
+/// Selection). The rows stay in ascending order, so the result honours
+/// the Selection sortedness invariant.
+Selection ToSelection(const ShardView& view);
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SHARD_H_

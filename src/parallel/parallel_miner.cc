@@ -98,14 +98,12 @@ util::StatusOr<core::MiningResult> ParallelMiner::Mine(
 
     for (int level = 1; level <= max_depth; ++level) {
       if (coord_run.CheckNow()) break;
-      std::vector<std::vector<int>> candidates =
-          core::GenerateLevelCandidates(level, attrs, alive_prev);
+      // cheap_first is off: the strided workers interleave candidates, so
+      // a global cost ordering would not buy an earlier threshold.
+      std::vector<std::vector<int>> candidates = core::BuildLevelFrontier(
+          db, config_, level, attrs, alive_prev, /*cheap_first=*/false,
+          &global_counters);
       if (candidates.empty()) break;
-      const size_t cap = config_.max_candidates_per_level;
-      if (cap > 0 && candidates.size() > cap) {
-        global_counters.truncated_candidates += candidates.size() - cap;
-        candidates.resize(cap);
-      }
       ReportLevel(control, global_topk, level, 0, candidates.size(),
                   &last_snapshot_version);
 

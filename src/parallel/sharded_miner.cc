@@ -1,0 +1,74 @@
+#include "parallel/sharded_miner.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pruning.h"
+#include "core/search.h"
+#include "core/shard_exec.h"
+#include "core/split_kernel.h"
+#include "core/topk.h"
+#include "data/shard.h"
+#include "engine/session.h"
+#include "util/thread_pool.h"
+
+namespace sdadcs::parallel {
+
+ShardedMiner::ShardedMiner(core::MinerConfig config, size_t num_shards)
+    : config_(std::move(config)), num_shards_(num_shards) {
+  if (num_shards_ == 0) {
+    num_shards_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+util::StatusOr<core::MiningResult> ShardedMiner::Mine(
+    const data::Dataset& db, const core::MineRequest& request) const {
+  // Identical structure to the serial Miner::Mine — shared session
+  // prologue/epilogue, seeded/unseeded retry loop, one LatticeSearch per
+  // attempt. The only addition is the ShardExec wired into the context:
+  // the search itself is oblivious to how its counting scans execute.
+  util::StatusOr<engine::MiningSession> session =
+      engine::MiningSession::Begin(db, config_, request);
+  if (!session.ok()) return session.status();
+
+  data::ShardPlan plan(db.num_rows(), num_shards_);
+  util::ThreadPool pool(std::min<size_t>(
+      plan.num_shards(),
+      std::max(1u, std::thread::hardware_concurrency())));
+  // One split scratch per shard: the recursive-split kernel's scratch is
+  // single-owner, and each shard's slice runs on its own pool thread.
+  std::vector<core::SplitScratch> scratches(plan.num_shards());
+  core::ShardExec exec;
+  exec.plan = &plan;
+  exec.pool = &pool;
+  exec.scratches = &scratches;
+
+  double seed_floor = session->seed_floor();
+  for (;;) {
+    core::PruneTable prune_table;
+    core::TopK topk(static_cast<size_t>(config_.top_k), config_.delta);
+    if (seed_floor > 0.0) topk.SeedFloor(seed_floor);
+    core::MiningCounters counters;
+    core::MiningContext ctx =
+        session->MakeContext(&prune_table, &topk, &counters);
+    ctx.shards = &exec;
+
+    core::LatticeSearch search(ctx);
+    search.Run(session->attributes());
+
+    std::vector<core::ContrastPattern> sorted = topk.Sorted();
+    core::Completion completion = ctx.run.completion();
+    if (seed_floor > 0.0 && completion == core::Completion::kComplete &&
+        !engine::SeedFloorJustified(sorted,
+                                    static_cast<size_t>(config_.top_k),
+                                    seed_floor)) {
+      seed_floor = 0.0;
+      continue;
+    }
+    return session->Finalize(std::move(sorted), counters, completion);
+  }
+}
+
+}  // namespace sdadcs::parallel

@@ -1,0 +1,49 @@
+#ifndef SDADCS_PARALLEL_SHARDED_MINER_H_
+#define SDADCS_PARALLEL_SHARDED_MINER_H_
+
+#include <cstddef>
+
+#include "core/miner.h"
+#include "util/status.h"
+
+namespace sdadcs::parallel {
+
+/// Shard-merge contrast miner: one coordinator thread walks the exact
+/// serial lattice (same frontier order, same pruning decisions, same
+/// top-k evolution), but every counting scan — group counts, item
+/// filters, match counts, recursive splits, 2x2 part tables — fans out
+/// across `num_shards` contiguous row ranges of the dataset and merges
+/// the per-shard partials before any statistic is read.
+///
+/// Because shards are ascending row ranges, per-shard selections
+/// concatenate back into the globally sorted selection, and counts are
+/// small-integer doubles whose shard sums are exact. Pruning therefore
+/// sees bit-identical merged statistics for every shard count, and the
+/// result is byte-identical to the serial engine's — which is why the
+/// shard count lives in EngineOptions, outside the request key.
+///
+/// The request's RunControl is observed at the coordinator's usual
+/// checkpoints plus a CheckNow() at every fan-out merge barrier, so
+/// cancel/deadline/budget drains the in-flight level and returns the
+/// sorted partial top-k with the matching completion.
+class ShardedMiner {
+ public:
+  /// `num_shards == 0` resolves to std::thread::hardware_concurrency()
+  /// (at least 1); num_shards() reports the resolved value.
+  ShardedMiner(core::MinerConfig config, size_t num_shards);
+
+  const core::MinerConfig& config() const { return config_; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// Unified entry point; see Miner::Mine.
+  util::StatusOr<core::MiningResult> Mine(
+      const data::Dataset& db, const core::MineRequest& request) const;
+
+ private:
+  core::MinerConfig config_;
+  size_t num_shards_;
+};
+
+}  // namespace sdadcs::parallel
+
+#endif  // SDADCS_PARALLEL_SHARDED_MINER_H_

@@ -266,6 +266,8 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     HandleLoad(conn, *request, id);
   } else if (op == "stats") {
     HandleStats(conn, id);
+  } else if (op == "engines") {
+    HandleEngines(conn, id);
   } else if (op == "evict") {
     HandleEvict(conn, *request, id);
   } else if (op == "ping") {
@@ -494,6 +496,13 @@ void NetServer::HandleStats(const std::shared_ptr<Connection>& conn,
   n.Add("quota_acquired", net.quota.acquired);
   n.Add("quota_rejected", net.quota.rejected);
   w.AddRaw("net", n.Str());
+  WriteFrame(conn, w);
+}
+
+void NetServer::HandleEngines(const std::shared_ptr<Connection>& conn,
+                              const std::string& id) {
+  JsonObjectWriter w = ResponseEnvelope(true, "engines", id);
+  RenderEngines(&w);
   WriteFrame(conn, w);
 }
 

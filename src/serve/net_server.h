@@ -122,6 +122,8 @@ class NetServer {
                   const JsonValue& request, const std::string& id);
   void HandleStats(const std::shared_ptr<Connection>& conn,
                    const std::string& id);
+  void HandleEngines(const std::shared_ptr<Connection>& conn,
+                     const std::string& id);
   void HandleEvict(const std::shared_ptr<Connection>& conn,
                    const JsonValue& request, const std::string& id);
 

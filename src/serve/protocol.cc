@@ -5,6 +5,7 @@
 #include "core/report.h"
 #include "core/request_key.h"
 #include "core/run_state.h"
+#include "engine/registry.h"
 
 namespace sdadcs::serve {
 
@@ -172,12 +173,14 @@ std::optional<WireError> ParseMineCall(const JsonValue& request,
   if (auto error = ParseMinerConfig(request, &frame.call.config)) {
     return error;
   }
-  // Any registered engine name (or "auto") is accepted; anything else is
-  // an error naming the offending field — never a silent fall back.
-  util::StatusOr<core::EngineKind> kind =
-      core::EngineKindFromString(request.GetString("engine", "auto"));
-  if (!kind.ok()) return WireError::FromStatus(kind.status(), "engine");
-  frame.call.engine = *kind;
+  // Any registered engine name (or "auto", or the parameterized
+  // "sharded:<n>") is accepted; anything else is an error naming the
+  // offending field — never a silent fall back.
+  util::StatusOr<core::EngineSpec> spec =
+      core::EngineSpecFromString(request.GetString("engine", "auto"));
+  if (!spec.ok()) return WireError::FromStatus(spec.status(), "engine");
+  frame.call.engine = spec->kind;
+  frame.call.shards = spec->shard_count;
 
   frame.deadline_ms = request.GetInt("deadline_ms", 0);
   frame.node_budget =
@@ -247,6 +250,22 @@ void RenderMineOutcome(const MineOutcome& outcome,
     w.AddRaw("error", WireError::FromStatus(outcome.status).ToJson());
   }
   if (!patterns_json.empty()) w.AddRaw("patterns", patterns_json);
+}
+
+void RenderEngines(JsonObjectWriter* out) {
+  std::string engines = "[";
+  for (const auto& entry : engine::EngineRegistry::Global().entries()) {
+    if (engines.size() > 1) engines += ",";
+    JsonObjectWriter e;
+    e.Add("name", entry.name);
+    e.Add("description", entry.description);
+    engines += e.Str();
+  }
+  engines += "]";
+  out->AddRaw("engines", engines);
+  // Accepted names that are not registry entries of their own: the
+  // server-resolved default and the count-parameterized sharded form.
+  out->AddRaw("aliases", "[\"auto\",\"sharded:<n>\"]");
 }
 
 void RenderStats(const ServerStats& s, JsonObjectWriter* out) {

@@ -18,7 +18,9 @@ namespace sdadcs::serve {
 /// the server does not speak it. Version history:
 ///   1 — initial versioned protocol: envelope {v, ok, op, id?},
 ///       structured errors {code, field, message}, ops load / mine /
-///       stats / evict / cancel / ping / shutdown.
+///       stats / evict / cancel / ping / shutdown. Later additive (no
+///       version bump): the "engines" op enumerating the engine
+///       registry, and "sharded:<n>" accepted as a mine engine name.
 inline constexpr int64_t kProtocolVersion = 1;
 
 /// The error taxonomy shared by every front end. Stable lower_snake wire
@@ -117,6 +119,12 @@ void RenderMineOutcome(const MineOutcome& outcome,
 /// Appends the aggregated server counters (registry / cache / admission
 /// sub-objects) to `out`.
 void RenderStats(const ServerStats& stats, JsonObjectWriter* out);
+
+/// The "engines" op body: every EngineRegistry entry as
+/// {"name":...,"description":...} under "engines", plus the
+/// parameterized forms ("sharded:<n>", "auto") under "aliases". Shared
+/// by the stdin and socket front ends and `sdadcs_tool --engine list`.
+void RenderEngines(JsonObjectWriter* out);
 
 /// The "emit":"patterns" body: the outcome's contrasts rendered against
 /// the resident dataset the result was mined from (attribute names live

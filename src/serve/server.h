@@ -42,10 +42,14 @@ struct ServerOptions {
   size_t window_rows = 0;
   /// Bin count of the binned:equal_width / binned:equal_freq engines.
   int equal_bins = 10;
-  // parallel_threads / window_rows / equal_bins are deployment-wide
-  // constants, not per-request knobs, so they stay out of the request
-  // key: within one server process a key can never alias two different
-  // effective configurations.
+  /// Row shards of the shard-merge engine when the request does not
+  /// carry its own "sharded:<n>" count (0 = hardware concurrency).
+  size_t shard_count = 0;
+  // parallel_threads / window_rows / equal_bins / shard_count are
+  // deployment-wide constants, not per-request knobs, so they stay out
+  // of the request key: within one server process a key can never alias
+  // two different effective configurations. (shard_count additionally
+  // never changes results — sharded mining is byte-identical to serial.)
 };
 
 /// One mining request against a registered dataset.
@@ -55,6 +59,9 @@ struct MineCall {
   std::string group_attr;
   std::vector<std::string> group_values;  ///< empty = every value
   core::EngineKind engine = core::EngineKind::kAuto;
+  /// Explicit shard count from a "sharded:<n>" engine spec; 0 defers to
+  /// ServerOptions::shard_count. Deployment knob — not keyed.
+  size_t shards = 0;
   util::RunControl run_control;
   bool use_cache = true;
 };

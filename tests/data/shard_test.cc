@@ -1,0 +1,73 @@
+#include "data/shard.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/selection.h"
+
+namespace sdadcs::data {
+namespace {
+
+TEST(ShardPlanTest, PartitionsRowsContiguouslyAndExactly) {
+  for (size_t rows : {0u, 1u, 7u, 100u, 101u, 4096u}) {
+    for (size_t shards : {1u, 2u, 3u, 8u, 200u}) {
+      ShardPlan plan(rows, shards);
+      ASSERT_GE(plan.num_shards(), 1u);
+      // Ranges must tile [0, rows) in ascending order with no gaps.
+      uint32_t next = 0;
+      size_t total = 0;
+      for (size_t i = 0; i < plan.num_shards(); ++i) {
+        ShardRange r = plan.range(i);
+        EXPECT_EQ(r.begin_row, next) << rows << "/" << shards << " #" << i;
+        EXPECT_GE(r.end_row, r.begin_row);
+        next = r.end_row;
+        total += r.size();
+      }
+      EXPECT_EQ(next, rows) << rows << "/" << shards;
+      EXPECT_EQ(total, rows);
+      // Balanced to within one row.
+      if (plan.num_shards() > 1) {
+        size_t lo = rows, hi = 0;
+        for (size_t i = 0; i < plan.num_shards(); ++i) {
+          lo = std::min(lo, static_cast<size_t>(plan.range(i).size()));
+          hi = std::max(hi, static_cast<size_t>(plan.range(i).size()));
+        }
+        EXPECT_LE(hi - lo, 1u) << rows << "/" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, NeverMakesMoreShardsThanRows) {
+  EXPECT_EQ(ShardPlan(3, 10).num_shards(), 3u);
+  EXPECT_EQ(ShardPlan(0, 10).num_shards(), 1u);
+  EXPECT_EQ(ShardPlan(10, 0).num_shards(), 1u);
+}
+
+TEST(ShardViewTest, SliceSelectionSplitsSortedRowsByRange) {
+  // A sparse ascending selection; slices must concatenate back exactly.
+  Selection sel({2, 5, 9, 10, 31, 64, 65, 99});
+  ShardPlan plan(100, 4);  // ranges [0,25) [25,50) [50,75) [75,100)
+  std::vector<uint32_t> rebuilt;
+  for (size_t i = 0; i < plan.num_shards(); ++i) {
+    ShardView view = SliceSelection(sel, plan.range(i));
+    for (size_t k = 0; k < view.size; ++k) {
+      uint32_t row = view.rows[k];
+      EXPECT_GE(row, plan.range(i).begin_row);
+      EXPECT_LT(row, plan.range(i).end_row);
+      rebuilt.push_back(row);
+    }
+  }
+  EXPECT_EQ(rebuilt,
+            std::vector<uint32_t>(sel.rows().begin(), sel.rows().end()));
+
+  // Ranges with no covered rows produce empty views, not errors.
+  ShardView empty = SliceSelection(sel, ShardRange{40, 60});
+  EXPECT_TRUE(empty.empty());
+  Selection round = ToSelection(SliceSelection(sel, ShardRange{0, 11}));
+  EXPECT_EQ(round.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sdadcs::data

@@ -50,7 +50,8 @@ TEST(EngineRegistryTest, RegistersEveryDocumentedName) {
   const std::vector<std::string> expected = {
       "serial",         "parallel",          "beam",
       "binned:fayyad",  "binned:mvd",        "binned:srikant",
-      "binned:equal_width", "binned:equal_freq", "window"};
+      "binned:equal_width", "binned:equal_freq", "window",
+      "sharded"};
   std::vector<std::string> names = EngineRegistry::Global().Names();
   std::sort(names.begin(), names.end());
   std::vector<std::string> want = expected;
@@ -79,6 +80,55 @@ TEST(EngineRegistryTest, EngineKindRoundTripsForEveryRegistryName) {
   ASSERT_TRUE(auto_kind.ok());
   EXPECT_EQ(*auto_kind, EngineKind::kAuto);
   EXPECT_EQ(kinds.count(EngineKind::kAuto), 0u);
+}
+
+TEST(EngineRegistryTest, ShardedNameParsesWithOptionalCount) {
+  // Bare "sharded" is a plain kind; "sharded:<n>" carries the count.
+  auto bare = core::EngineSpecFromString("sharded");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->kind, EngineKind::kSharded);
+  EXPECT_EQ(bare->shard_count, 0u);
+
+  auto counted = core::EngineSpecFromString("sharded:4");
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->kind, EngineKind::kSharded);
+  EXPECT_EQ(counted->shard_count, 4u);
+
+  // Every plain registry name parses as a spec with no count.
+  for (const auto& entry : EngineRegistry::Global().entries()) {
+    auto spec = core::EngineSpecFromString(entry.name);
+    ASSERT_TRUE(spec.ok()) << entry.name;
+    EXPECT_EQ(spec->kind, entry.kind) << entry.name;
+    EXPECT_EQ(spec->shard_count, 0u) << entry.name;
+  }
+
+  for (const char* bad : {"sharded:", "sharded:0", "sharded:x",
+                          "sharded:-1", "sharded:4x", "shard:4"}) {
+    auto spec = core::EngineSpecFromString(bad);
+    EXPECT_FALSE(spec.ok()) << bad;
+    EXPECT_EQ(spec.status().code(), util::StatusCode::kInvalidArgument)
+        << bad;
+  }
+}
+
+TEST(EngineRegistryTest, ParameterizedShardedNameCreatesEngine) {
+  EXPECT_TRUE(EngineRegistry::Global().Has("sharded:4"));
+  EXPECT_FALSE(EngineRegistry::Global().Has("sharded:0"));
+  EXPECT_FALSE(EngineRegistry::Global().Has("auto"));
+
+  auto eng = EngineRegistry::Global().Create("sharded:4", MinerConfig());
+  ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+  EXPECT_EQ((*eng)->Name(), "sharded");
+  EXPECT_NE((*eng)->Describe().find("4 row shards"), std::string::npos)
+      << (*eng)->Describe();
+
+  // An explicit shard_count in the options reaches the bare name too.
+  EngineOptions opts;
+  opts.shard_count = 2;
+  auto bare = EngineRegistry::Global().Create("sharded", MinerConfig(), opts);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_NE((*bare)->Describe().find("2 row shards"), std::string::npos)
+      << (*bare)->Describe();
 }
 
 TEST(EngineRegistryTest, UnknownNameIsInvalidArgumentListingEveryName) {

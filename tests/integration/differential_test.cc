@@ -336,6 +336,53 @@ TEST(DifferentialTest, SerialEngineByteIdenticalToPreRefactorBaseline) {
   }
 }
 
+TEST(DifferentialTest, ShardedEngineByteIdenticalToSerialForEveryCount) {
+  // The shard-merge engine's whole contract: the coordinator replays the
+  // serial decision order and only the counting scans fan out, so for
+  // EVERY shard count the rendered output must hit the same golden
+  // hashes as the serial baseline — not "equivalent", byte-identical.
+  // (Shards are ascending row ranges, so per-shard selections
+  // concatenate into the globally sorted selection, and counts are
+  // small-integer doubles whose shard sums are exact.) This is what
+  // licenses keeping shard_count out of the request key.
+  struct Golden {
+    const char* name;
+    size_t patterns;
+    uint64_t hash;
+  };
+  const Golden kGolden[] = {
+      {"adult", 21u, 0x40db30498c64e5d5ULL},
+      {"breast", 27u, 0x3b481c9b1db9b66aULL},
+      {"transfusion", 7u, 0xab3632eabc712362ULL},
+      {"shuttle", 6u, 0x804b93759db9254cULL},
+  };
+  for (const Golden& golden : kGolden) {
+    synth::NamedDataset nd = synth::MakeUciLike(golden.name, /*seed=*/7);
+    auto attr = nd.db.schema().IndexOf(nd.group_attr);
+    ASSERT_TRUE(attr.ok());
+    auto gi = data::GroupInfo::CreateForValues(nd.db, *attr, nd.groups);
+    ASSERT_TRUE(gi.ok());
+
+    MinerConfig cfg;
+    cfg.max_depth = 2;
+    cfg.top_k = 50;
+    for (size_t shards : {1u, 2u, 4u, 8u}) {
+      // Through the registry's parameterized name — the exact path the
+      // servers and CLI take, with no separate dispatch to drift.
+      std::string spec = "sharded:" + std::to_string(shards);
+      auto eng = engine::EngineRegistry::Global().Create(spec, cfg);
+      ASSERT_TRUE(eng.ok()) << spec;
+      auto result = (*eng)->Mine(nd.db, GroupsRequest(*gi));
+      ASSERT_TRUE(result.ok()) << spec << " on " << golden.name;
+      EXPECT_EQ(result->contrasts.size(), golden.patterns)
+          << spec << " on " << golden.name;
+      EXPECT_EQ(Fnv1a(RenderResult(result->contrasts)), golden.hash)
+          << spec << " on " << golden.name
+          << ": sharded output drifted from the serial baseline";
+    }
+  }
+}
+
 TEST(DifferentialTest, PreparedPathByteIdenticalToBaseline) {
   // The prepared-artifact warm path — rank-based medians, precomputed
   // root bounds, the cached group artifact — must be a pure

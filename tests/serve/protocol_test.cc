@@ -133,6 +133,51 @@ TEST(ParseMineCallTest, FullConfigRoundTrips) {
   EXPECT_EQ(frame.call.config.kernel, core::KernelKind::kScalar);
 }
 
+TEST(ParseMineCallTest, ShardedEngineSpecCarriesCount) {
+  MineFrame frame;
+  auto error = ParseMineCall(
+      Parse("{\"op\":\"mine\",\"dataset\":\"d\",\"group\":\"g\","
+            "\"engine\":\"sharded:4\"}"),
+      &frame);
+  ASSERT_FALSE(error.has_value()) << error->ToText();
+  EXPECT_EQ(frame.call.engine, core::EngineKind::kSharded);
+  EXPECT_EQ(frame.call.shards, 4u);
+
+  // Bare name: the count defers to the server's deployment default.
+  error = ParseMineCall(
+      Parse("{\"op\":\"mine\",\"dataset\":\"d\",\"group\":\"g\","
+            "\"engine\":\"sharded\"}"),
+      &frame);
+  ASSERT_FALSE(error.has_value());
+  EXPECT_EQ(frame.call.engine, core::EngineKind::kSharded);
+  EXPECT_EQ(frame.call.shards, 0u);
+
+  error = ParseMineCall(
+      Parse("{\"op\":\"mine\",\"dataset\":\"d\",\"group\":\"g\","
+            "\"engine\":\"sharded:0\"}"),
+      &frame);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->field, "engine");
+}
+
+TEST(RenderEnginesTest, ListsRegistryAndAliases) {
+  JsonObjectWriter w;
+  RenderEngines(&w);
+  std::string body = w.Str();
+  EXPECT_NE(body.find("\"engines\":["), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"serial\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"sharded\""), std::string::npos);
+  EXPECT_NE(body.find("\"aliases\":[\"auto\",\"sharded:<n>\"]"),
+            std::string::npos);
+  // The body itself must be splice-safe JSON.
+  auto parsed = JsonValue::Parse(body);
+  ASSERT_TRUE(parsed.ok());
+  const auto* engines = parsed->Find("engines");
+  ASSERT_NE(engines, nullptr);
+  EXPECT_TRUE(engines->IsArray());
+  EXPECT_GE(engines->AsArray().size(), 10u);
+}
+
 TEST(ParseMineCallTest, UnknownMeasureKernelEngineAreErrors) {
   MineFrame frame;
   auto error = ParseMineCall(

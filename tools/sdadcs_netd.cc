@@ -8,7 +8,7 @@
 //                 [--memory-budget-mb N] [--deadline-ms N]
 //                 [--node-budget N] [--threads N]
 //                 [--parallel-threshold ROWS] [--window-rows N]
-//                 [--equal-bins N]
+//                 [--equal-bins N] [--shards N]
 //
 // --port 0 (the default) binds an ephemeral port; the resolved port is
 // printed on the "listening" line and, with --port-file, written to PATH
@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags->GetInt("parallel-threshold", 100000));
   options.window_rows = static_cast<size_t>(flags->GetInt("window-rows", 0));
   options.equal_bins = flags->GetInt("equal-bins", 10);
+  options.shard_count = static_cast<size_t>(flags->GetInt("shards", 0));
 
   NetServerOptions net_options;
   net_options.host = flags->Get("host", "127.0.0.1");

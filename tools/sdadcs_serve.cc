@@ -6,7 +6,7 @@
 //                  [--memory-budget-mb N] [--deadline-ms N]
 //                  [--node-budget N] [--threads N]
 //                  [--parallel-threshold ROWS] [--window-rows N]
-//                  [--equal-bins N]
+//                  [--equal-bins N] [--shards N]
 //
 // One JSON object per input line, one JSON response line per request —
 // scriptable from shell pipes and CI with no network dependency:
@@ -22,7 +22,8 @@
 //   load     name, spec                 → rows/attributes/bytes/version
 //   mine     dataset, group, groups[],  → verdict, cache status, request
 //            engine (auto or any registry   key, timings
-//            name: serial|parallel|beam|window|binned:<method>),
+//            name: serial|parallel|beam|window|binned:<method>|
+//            sharded, or sharded:<n> with an explicit shard count),
 //            deadline_ms, node_budget, cache (bool),
 //            emit ("summary"|"patterns"), burst (int), id (string,
 //            echoed), anytime (bool, burst 1 only: stream
@@ -31,6 +32,7 @@
 //            config {depth, delta, alpha, top, measure, np,
 //                    kernel ("auto"|"scalar"|"avx2"), seed_sample}
 //   stats                               → registry/cache/admission counters
+//   engines                             → registered engine names + descriptions
 //   evict    name                       → evicted (bool)
 //   ping                                → acknowledges
 //   shutdown                            → acknowledges, then exits
@@ -190,6 +192,12 @@ void HandleStats(Server& server, const std::string& id) {
   Respond(w);
 }
 
+void HandleEngines(const std::string& id) {
+  JsonObjectWriter w = sdadcs::serve::ResponseEnvelope(true, "engines", id);
+  sdadcs::serve::RenderEngines(&w);
+  Respond(w);
+}
+
 void HandleEvict(Server& server, const JsonValue& request,
                  const std::string& id) {
   std::string name = request.GetString("name");
@@ -233,6 +241,7 @@ int main(int argc, char** argv) {
   options.window_rows =
       static_cast<size_t>(flags->GetInt("window-rows", 0));
   options.equal_bins = static_cast<int>(flags->GetInt("equal-bins", 10));
+  options.shard_count = static_cast<size_t>(flags->GetInt("shards", 0));
 
   Server server(options);
 
@@ -270,6 +279,8 @@ int main(int argc, char** argv) {
       HandleMine(server, *request, id);
     } else if (op == "stats") {
       HandleStats(server, id);
+    } else if (op == "engines") {
+      HandleEngines(id);
     } else if (op == "evict") {
       HandleEvict(server, *request, id);
     } else if (op == "ping") {

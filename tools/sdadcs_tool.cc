@@ -10,9 +10,11 @@
 //
 // Common mining options:
 //   --engine NAME       mining engine, any registry name: serial |
-//                       parallel | beam | window | binned:<method>
-//                       (default serial); --threads, --window-rows and
-//                       --bins tune the parallel/window/binned engines
+//                       parallel | beam | window | binned:<method> |
+//                       sharded | sharded:<n> (default serial);
+//                       --engine list prints every registered engine;
+//                       --threads, --window-rows, --bins and --shards
+//                       tune the parallel/window/binned/sharded engines
 //   --groups a,b        contrast exactly these two group values
 //   --depth N           max items per pattern          (default 2)
 //   --delta D           minimum support difference     (default 0.1)
@@ -218,6 +220,7 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
       static_cast<size_t>(args.GetInt("threads", 0));
   eopts.window_rows = static_cast<size_t>(args.GetInt("window-rows", 0));
   eopts.equal_bins = static_cast<int>(args.GetInt("bins", 10));
+  eopts.shard_count = static_cast<size_t>(args.GetInt("shards", 0));
   sdadcs::util::StatusOr<std::unique_ptr<sdadcs::engine::Engine>> miner =
       sdadcs::engine::EngineRegistry::Global().Create(
           args.Get("engine", "serial"), cfg, eopts);
@@ -426,6 +429,20 @@ int RunOneVsRest(const Flags& args, const sdadcs::data::Dataset& db) {
 
 int main(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv, /*boolean_flags=*/{"np", "anytime"});
+  if (flags.ok() && flags->Get("engine") == "list") {
+    // `--engine list` enumerates the registry — the same catalogue the
+    // servers expose through the "engines" wire op.
+    std::printf("registered engines:\n");
+    for (const auto& entry :
+         sdadcs::engine::EngineRegistry::Global().entries()) {
+      std::printf("  %-20s %s\n", entry.name.c_str(),
+                  entry.description.c_str());
+    }
+    std::printf(
+        "also accepted: sharded:<n> (explicit shard count), auto "
+        "(server-side row-threshold resolution)\n");
+    return 0;
+  }
   if (!flags.ok() || flags->positional().size() < 2) {
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
