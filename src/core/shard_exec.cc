@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "data/chunks.h"
 #include "util/logging.h"
 
 namespace sdadcs::core {
@@ -21,6 +22,25 @@ bool ShouldFanOut(const MiningContext& ctx, size_t rows) {
 data::Selection ShardSlice(const ShardExec& ex, const data::Selection& sel,
                            size_t i) {
   return data::ToSelection(data::SliceSelection(sel, ex.plan->range(i)));
+}
+
+// Best-effort residency hint for one shard task on a paged dataset:
+// holds the chunks of `attrs` covering the shard's row range pinned
+// across the task's kernel calls, so the per-span hard pins inside the
+// kernel hit resident buffers instead of reloading them. Returns an
+// empty set for resident datasets (the ctor no-ops without a store).
+data::ChunkPinSet ShardHint(const MiningContext& ctx, const ShardExec& ex,
+                            const std::vector<int>& attrs, size_t i) {
+  const data::ShardRange& range = ex.plan->range(i);
+  return data::ChunkPinSet(*ctx.db, attrs, range.begin_row, range.end_row);
+}
+
+// The column attributes an itemset scan touches.
+std::vector<int> AttrsOf(const Itemset& is) {
+  std::vector<int> attrs;
+  attrs.reserve(is.size());
+  for (const Item& it : is.items()) attrs.push_back(it.attr);
+  return attrs;
 }
 
 // Runs `task(shard)` for every shard on the pool and blocks at the
@@ -140,7 +160,9 @@ GroupCounts CountMatchesSharded(MiningContext& ctx, const Itemset& itemset,
   const ShardExec& ex = *ctx.shards;
   const size_t n = ex.plan->num_shards();
   std::vector<GroupCounts> partials(n);
+  const std::vector<int> attrs = AttrsOf(itemset);
   FanOut(ctx, [&](size_t i) {
+    data::ChunkPinSet hint = ShardHint(ctx, ex, attrs, i);
     partials[i] = CountMatchesKernel(*ctx.db, *ctx.gi, itemset,
                                      ShardSlice(ex, sel, i), ctx.kernel);
   });
@@ -161,7 +183,9 @@ data::Selection FilterCountItemSharded(MiningContext& ctx, const Item& item,
   const size_t n = ex.plan->num_shards();
   std::vector<data::Selection> rows(n);
   std::vector<GroupCounts> partials(n);
+  const std::vector<int> attrs = {item.attr};
   FanOut(ctx, [&](size_t i) {
+    data::ChunkPinSet hint = ShardHint(ctx, ex, attrs, i);
     rows[i] = FilterCountItemKernel(*ctx.db, *ctx.gi, item,
                                     ShardSlice(ex, sel, i), &partials[i],
                                     ctx.kernel);
@@ -190,6 +214,7 @@ data::Selection FilterAllPresentSharded(MiningContext& ctx,
   std::vector<data::Selection> rows(n);
   std::vector<GroupCounts> partials(n);
   FanOut(ctx, [&](size_t i) {
+    data::ChunkPinSet hint = ShardHint(ctx, ex, cont_attrs, i);
     rows[i] = FilterAllPresentKernel(*ctx.db, *ctx.gi, cont_attrs,
                                      ShardSlice(ex, sel, i), &partials[i],
                                      ctx.kernel);
@@ -215,7 +240,12 @@ SplitResult SplitAndCountSharded(MiningContext& ctx, const Space& space,
   const size_t n = ex.plan->num_shards();
   SDADCS_CHECK(ex.scratches != nullptr && ex.scratches->size() >= n);
   std::vector<SplitResult> partials(n);
+  std::vector<int> attrs;
+  for (int axis : SplittableAxes(cuts)) {
+    attrs.push_back(space.bounds[axis].attr);
+  }
   FanOut(ctx, [&](size_t i) {
+    data::ChunkPinSet hint = ShardHint(ctx, ex, attrs, i);
     Space shard_space;
     shard_space.bounds = space.bounds;
     shard_space.rows = ShardSlice(ex, space.rows, i);
@@ -242,7 +272,10 @@ Contingency2x2 CountPartsInGroupSharded(MiningContext& ctx, const Itemset& a,
   const ShardExec& ex = *ctx.shards;
   const size_t n = ex.plan->num_shards();
   std::vector<Contingency2x2> partials(n);
+  std::vector<int> attrs = AttrsOf(a);
+  for (int attr : AttrsOf(b)) attrs.push_back(attr);
   FanOut(ctx, [&](size_t i) {
+    data::ChunkPinSet hint = ShardHint(ctx, ex, attrs, i);
     partials[i] = CountPartsInGroupKernel(*ctx.db, *ctx.gi, a, b, group,
                                           ShardSlice(ex, sel, i),
                                           ctx.kernel);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "data/chunks.h"
 #include "util/logging.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -17,9 +18,10 @@ namespace sdadcs::core {
 
 namespace {
 
-// Columnar view of one splittable axis: raw value pointer plus the
-// parent bounds and the cut. Kept in a flat array so the per-row loop
-// touches no indirection beyond the column data itself.
+// Columnar view of one splittable axis inside one pinned chunk: the
+// chunk's value buffer (indexed by row - row_base) plus the parent
+// bounds and the cut. Kept in a flat array so the per-row loop touches
+// no indirection beyond the chunk data itself.
 struct AxisView {
   const double* values;
   double lo;
@@ -27,20 +29,22 @@ struct AxisView {
   double cut;
 };
 
-// Pass 1 of SplitAndCount over `rows[0..n)`: classify each row into its
-// cell (or drop it), append survivors to the scratch row/cell arrays and
-// accumulate cell sizes and per-group counts. Factored out so the
-// vectorized kernel can reuse it for the tail rows.
-void Pass1Scalar(const uint32_t* rows, size_t n, const AxisView* axes,
-                 size_t k, const int16_t* groups, size_t num_groups,
-                 SplitScratch* scratch) {
+// Pass 1 of SplitAndCount over one chunk span `rows[0..n)` (global row
+// ids, all inside the chunk starting at row_base): classify each row
+// into its cell (or drop it), append survivors to the scratch row/cell
+// arrays and accumulate cell sizes and per-group counts. Factored out so
+// the vectorized kernel can reuse it for the tail rows.
+void Pass1Scalar(const uint32_t* rows, size_t n, uint32_t row_base,
+                 const AxisView* axes, size_t k, const int16_t* groups,
+                 size_t num_groups, SplitScratch* scratch) {
   for (size_t i = 0; i < n; ++i) {
     uint32_t r = rows[i];
+    uint32_t local = r - row_base;
     uint32_t cell = 0;
     bool inside = true;
     for (size_t bit = 0; bit < k; ++bit) {
       const AxisView& a = axes[bit];
-      double v = a.values[r];
+      double v = a.values[local];
       // NaN fails both comparisons' complements, so the single ordered
       // test below rejects missing values too.
       if (!(v > a.lo && v <= a.hi)) {
@@ -60,19 +64,23 @@ void Pass1Scalar(const uint32_t* rows, size_t n, const AxisView* axes,
 
 #if SDADCS_SPLIT_KERNEL_X86
 
-// AVX2 pass 1: four rows per iteration. Only the interval comparisons
-// run vectorized — values are gathered per axis and tested with ordered
+// AVX2 pass 1 over one chunk span: four rows per iteration. The gather
+// indices are rebased to the chunk (row - row_base) so the value pointer
+// is never biased outside its buffer. Only the interval comparisons run
+// vectorized — values are gathered per axis and tested with ordered
 // predicates (_CMP_GT_OQ / _CMP_LE_OQ reject NaN exactly like the scalar
 // `!(v > lo && v <= hi)` test). Surviving lanes are then committed one
 // by one *in row order* with the same scalar scatter/count arithmetic as
 // Pass1Scalar, so the output is byte-identical by construction.
 __attribute__((target("avx2"))) void Pass1Avx2(
-    const uint32_t* rows, size_t n, const AxisView* axes, size_t k,
-    const int16_t* groups, size_t num_groups, SplitScratch* scratch) {
+    const uint32_t* rows, size_t n, uint32_t row_base, const AxisView* axes,
+    size_t k, const int16_t* groups, size_t num_groups,
+    SplitScratch* scratch) {
+  const __m128i base = _mm_set1_epi32(static_cast<int32_t>(row_base));
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    __m128i rid =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    __m128i rid = _mm_sub_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i)), base);
     unsigned inside = 0xFu;   // lane l bit set = row i+l inside so far
     unsigned cell_bits[4] = {0, 0, 0, 0};
     for (size_t bit = 0; bit < k && inside != 0; ++bit) {
@@ -99,7 +107,8 @@ __attribute__((target("avx2"))) void Pass1Avx2(
       if (g >= 0) scratch->counts[cell * num_groups + g] += 1.0;
     }
   }
-  Pass1Scalar(rows + i, n - i, axes, k, groups, num_groups, scratch);
+  Pass1Scalar(rows + i, n - i, row_base, axes, k, groups, num_groups,
+              scratch);
 }
 
 bool Avx2Supported() {
@@ -150,18 +159,15 @@ SplitResult SplitAndCount(const data::Dataset& db, const data::GroupInfo& gi,
   const size_t num_cells = size_t{1} << k;
   const size_t num_groups = static_cast<size_t>(gi.num_groups());
 
-  AxisView axes[kMaxSplitAxes];
-  for (size_t bit = 0; bit < k; ++bit) {
-    const AxisBound& b = space.bounds[splittable[bit]];
-    axes[bit] = {db.continuous(b.attr).values().data(), b.lo, b.hi,
-                 cuts[splittable[bit]]};
-  }
-
   // Pass 1 — one scan of the parent rows: compute each row's cell index
   // (bit b = right half of splittable axis b), drop rows that are
   // missing or outside the parent bounds on a splittable axis (exactly
   // the rows the naive per-cell Filter rejects everywhere), and fuse the
-  // per-cell group counting into the same scan.
+  // per-cell group counting into the same scan. The scan walks the
+  // selection chunk span by chunk span, pinning the k axis chunks of the
+  // current span; rows are committed in selection order across spans, so
+  // the chunked loop produces byte-identical output to the monolithic
+  // one.
   scratch->row_ids.clear();
   scratch->row_cells.clear();
   scratch->row_ids.reserve(space.rows.size());
@@ -172,16 +178,35 @@ SplitResult SplitAndCount(const data::Dataset& db, const data::GroupInfo& gi,
 
   const uint32_t* rows = space.rows.rows().data();
   const size_t n = space.rows.size();
+  const KernelKind resolved = ResolveKernel(kernel);
+  data::ColumnChunks chunks = db.chunks();
+  data::ForEachChunkSpan(
+      chunks.layout(), rows, n, [&](uint32_t chunk, size_t b, size_t e) {
+        data::PinnedChunk pins[kMaxSplitAxes];
+        AxisView axes[kMaxSplitAxes];
+        for (size_t bit = 0; bit < k; ++bit) {
+          pins[bit] =
+              chunks.Continuous(space.bounds[splittable[bit]].attr, chunk);
+          axes[bit] = {pins[bit].values(),
+                       space.bounds[splittable[bit]].lo,
+                       space.bounds[splittable[bit]].hi,
+                       cuts[splittable[bit]]};
+        }
+        const uint32_t row_base = pins[0].row_base();
 #if SDADCS_SPLIT_KERNEL_X86
-  if (ResolveKernel(kernel) == KernelKind::kAvx2) {
-    Pass1Avx2(rows, n, axes, k, groups, num_groups, scratch);
-  } else {
-    Pass1Scalar(rows, n, axes, k, groups, num_groups, scratch);
-  }
+        if (resolved == KernelKind::kAvx2) {
+          Pass1Avx2(rows + b, e - b, row_base, axes, k, groups, num_groups,
+                    scratch);
+        } else {
+          Pass1Scalar(rows + b, e - b, row_base, axes, k, groups, num_groups,
+                      scratch);
+        }
 #else
-  (void)kernel;
-  Pass1Scalar(rows, n, axes, k, groups, num_groups, scratch);
+        Pass1Scalar(rows + b, e - b, row_base, axes, k, groups, num_groups,
+                    scratch);
 #endif
+      });
+  (void)resolved;
 
   // Pass 2 — materialize the cells in mask order. Scattering rows in
   // selection order keeps every cell's row vector sorted.

@@ -1,5 +1,7 @@
 #include "data/column.h"
 
+#include "util/logging.h"
+
 namespace sdadcs::data {
 
 int32_t CategoricalColumn::CodeOf(const std::string& value) const {
@@ -16,7 +18,35 @@ int32_t CategoricalColumn::Intern(const std::string& value) {
   return code;
 }
 
+const std::vector<int32_t>& CategoricalColumn::codes() const {
+  SDADCS_CHECK(store_ == nullptr);  // paged: use Dataset::chunks()
+  return codes_;
+}
+
+void CategoricalColumn::SetDictionary(std::vector<std::string> dictionary) {
+  dictionary_ = std::move(dictionary);
+  index_.clear();
+  for (size_t i = 0; i < dictionary_.size(); ++i) {
+    index_.emplace(dictionary_[i], static_cast<int32_t>(i));
+  }
+}
+
+void CategoricalColumn::BindStore(const ChunkStore* store, int attr,
+                                  size_t rows) {
+  store_ = store;
+  attr_ = attr;
+  rows_ = rows;
+  codes_.clear();
+  codes_.shrink_to_fit();
+}
+
+const std::vector<double>& ContinuousColumn::values() const {
+  SDADCS_CHECK(store_ == nullptr);  // paged: use Dataset::chunks()
+  return values_;
+}
+
 double ContinuousColumn::Min() const {
+  if (stats_sealed_) return min_;
   double m = std::numeric_limits<double>::infinity();
   for (double v : values_) {
     if (!std::isnan(v) && v < m) m = v;
@@ -25,6 +55,7 @@ double ContinuousColumn::Min() const {
 }
 
 double ContinuousColumn::Max() const {
+  if (stats_sealed_) return max_;
   double m = -std::numeric_limits<double>::infinity();
   for (double v : values_) {
     if (!std::isnan(v) && v > m) m = v;
@@ -32,26 +63,43 @@ double ContinuousColumn::Max() const {
   return m;
 }
 
-namespace {
-
-bool ScanAllIntegral(const std::vector<double>& values) {
-  for (double v : values) {
+bool ContinuousColumn::AllIntegral() const {
+  if (stats_sealed_) return all_integral_;
+  for (double v : values_) {
     if (std::isnan(v)) continue;
     if (v != std::floor(v)) return false;
   }
   return true;
 }
 
-}  // namespace
-
-bool ContinuousColumn::AllIntegral() const {
-  if (integral_sealed_) return all_integral_;
-  return ScanAllIntegral(values_);
+void ContinuousColumn::SealStats() {
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  all_integral_ = true;
+  for (double v : values_) {
+    if (std::isnan(v)) continue;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    if (v != std::floor(v)) all_integral_ = false;
+  }
+  stats_sealed_ = true;
 }
 
-void ContinuousColumn::SealIntegrality() {
-  all_integral_ = ScanAllIntegral(values_);
-  integral_sealed_ = true;
+void ContinuousColumn::SealStatsFrom(double min, double max,
+                                     bool all_integral) {
+  min_ = min;
+  max_ = max;
+  all_integral_ = all_integral;
+  stats_sealed_ = true;
+}
+
+void ContinuousColumn::BindStore(const ChunkStore* store, int attr,
+                                 size_t rows) {
+  store_ = store;
+  attr_ = attr;
+  rows_ = rows;
+  values_.clear();
+  values_.shrink_to_fit();
 }
 
 size_t CategoricalColumn::MemoryUsage() const {

@@ -32,6 +32,25 @@ std::string Dataset::DebugRow(uint32_t row) const {
   return out;
 }
 
+void Dataset::SetChunkRows(size_t n) {
+  SDADCS_CHECK(chunk_store_ == nullptr);  // paged layout is fixed at open
+  chunk_rows_ = n == 0 ? kDefaultChunkRows : n;
+}
+
+Dataset Dataset::MakePaged(
+    Schema schema, size_t num_rows, std::shared_ptr<ChunkStore> store,
+    std::vector<std::unique_ptr<CategoricalColumn>> categorical,
+    std::vector<std::unique_ptr<ContinuousColumn>> continuous) {
+  Dataset ds;
+  ds.schema_ = std::move(schema);
+  ds.num_rows_ = num_rows;
+  ds.chunk_rows_ = store->layout().chunk_rows();
+  ds.chunk_store_ = std::move(store);
+  ds.categorical_ = std::move(categorical);
+  ds.continuous_ = std::move(continuous);
+  return ds;
+}
+
 size_t Dataset::MemoryUsage() const {
   size_t bytes = sizeof(Dataset);
   for (size_t a = 0; a < num_attributes(); ++a) {
@@ -104,7 +123,7 @@ util::StatusOr<Dataset> DatasetBuilder::Build() && {
   }
   ds_.num_rows_ = n;
   for (auto& col : ds_.continuous_) {
-    if (col != nullptr) col->SealIntegrality();
+    if (col != nullptr) col->SealStats();
   }
   return std::move(ds_);
 }

@@ -92,19 +92,21 @@ __attribute__((target("avx2"))) std::pair<size_t, size_t> PartitionAvx2(
   return {n_lt, n_gt};
 }
 
-// Gather + NaN-compress + running max in one pass. `dst` needs 4 lanes
-// of slack past the survivor count. Returns the survivor count; *max_out
-// is -inf when nothing survives.
+// Gather + NaN-compress + running max in one pass over one chunk span:
+// indices are rebased to the chunk (rows[i] - row_base) before the
+// gather. `dst` needs 4 lanes of slack past the survivor count. Returns
+// the survivor count; *max_out is -inf when nothing survives.
 __attribute__((target("avx2"))) size_t GatherNonNanMaxAvx2(
-    const double* values, const uint32_t* rows, size_t n, double* dst,
-    double* max_out) {
+    const double* values, uint32_t row_base, const uint32_t* rows, size_t n,
+    double* dst, double* max_out) {
   const __m256d neg_inf = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const __m128i base = _mm_set1_epi32(static_cast<int32_t>(row_base));
   __m256d vmax = neg_inf;
   size_t cnt = 0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    __m128i idx =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    __m128i idx = _mm_sub_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i)), base);
     __m256d v = _mm256_i32gather_pd(values, idx, 8);
     __m256d ord = _mm256_cmp_pd(v, v, _CMP_ORD_Q);
     int mask = _mm256_movemask_pd(ord);
@@ -121,7 +123,7 @@ __attribute__((target("avx2"))) size_t GatherNonNanMaxAvx2(
   _mm256_store_pd(lanes, vmax);
   for (double l : lanes) mx = l > mx ? l : mx;
   for (; i < n; ++i) {
-    double v = values[rows[i]];
+    double v = values[rows[i] - row_base];
     if (v == v) {  // not NaN
       dst[cnt++] = v;
       if (v > mx) mx = v;
@@ -184,27 +186,33 @@ double SelectKth(double* vals, size_t n, size_t k, bool simd,
   return vals[k];
 }
 
-size_t GatherNonNanMax(const double* values, const uint32_t* rows, size_t n,
-                       std::vector<double>* out, double* max_out, bool simd) {
-  if (out->size() < n + 4) out->resize(n + 4);
-  double* dst = out->data();
+size_t GatherNonNanMaxSpan(const double* values, uint32_t row_base,
+                           const uint32_t* rows, size_t n, double* dst,
+                           double* max_out, bool simd) {
 #if defined(SDADCS_SIMD_SELECT_X86)
   if (simd && SimdSelectSupported()) {
-    double mx;
-    size_t cnt = GatherNonNanMaxAvx2(values, rows, n, dst, &mx);
-    *max_out = cnt > 0 ? mx : std::numeric_limits<double>::quiet_NaN();
-    return cnt;
+    return GatherNonNanMaxAvx2(values, row_base, rows, n, dst, max_out);
   }
 #endif
   (void)simd;
   size_t cnt = 0;
   double mx = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < n; ++i) {
-    double v = values[rows[i]];
+    double v = values[rows[i] - row_base];
     if (std::isnan(v)) continue;
     dst[cnt++] = v;
     if (v > mx) mx = v;
   }
+  *max_out = mx;
+  return cnt;
+}
+
+size_t GatherNonNanMax(const double* values, const uint32_t* rows, size_t n,
+                       std::vector<double>* out, double* max_out, bool simd) {
+  if (out->size() < n + 4) out->resize(n + 4);
+  double mx;
+  size_t cnt = GatherNonNanMaxSpan(values, /*row_base=*/0, rows, n,
+                                   out->data(), &mx, simd);
   *max_out = cnt > 0 ? mx : std::numeric_limits<double>::quiet_NaN();
   return cnt;
 }

@@ -41,6 +41,19 @@ double SelectKth(double* vals, size_t n, size_t k, bool simd,
 size_t GatherNonNanMax(const double* values, const uint32_t* rows, size_t n,
                        std::vector<double>* out, double* max_out, bool simd);
 
+/// Chunk-span form of GatherNonNanMax: `values` is one pinned chunk's
+/// buffer, `rows` are *global* row ids inside that chunk, and elements
+/// are read at the chunk-local index rows[i] - row_base (the SIMD path
+/// subtracts the base from the gather indices, so no pointer is ever
+/// biased outside its buffer). Appends survivors at `dst`, which needs 4
+/// doubles of slack past the survivor count for the full-width SIMD
+/// stores. Returns the survivor count; *max_out gets the span's maximum
+/// survivor (-inf when none — a raw partial, unlike the wrapper's NaN,
+/// so per-span maxima fold with a plain comparison).
+size_t GatherNonNanMaxSpan(const double* values, uint32_t row_base,
+                           const uint32_t* rows, size_t n, double* dst,
+                           double* max_out, bool simd);
+
 }  // namespace sdadcs::data
 
 #endif  // SDADCS_DATA_SIMD_SELECT_H_

@@ -1,0 +1,55 @@
+#ifndef SDADCS_DATA_SPILL_H_
+#define SDADCS_DATA_SPILL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sdadcs::data {
+
+/// Columnar spill file: the paged backend's on-disk format, and — by
+/// design — the mmap-able snapshot format the warm-restart tier needs
+/// next (ROADMAP "Snapshot persistence"). Layout (version 1, little
+/// endian, native field widths):
+///
+///   magic "SDCSPIL1"
+///   u64 version, u64 num_rows, u64 num_attrs, u64 default_chunk_rows
+///   per attr:
+///     u32 name_len, name bytes
+///     u8 type (0 = categorical, 1 = continuous)
+///     categorical: u32 dict_size, then {u32 len, bytes} per entry
+///     continuous:  f64 min, f64 max, u8 all_integral   (sealed stats)
+///     u64 data_offset (8-aligned, absolute)
+///   data sections, 8-aligned, column-contiguous:
+///     categorical: num_rows * i32 codes
+///     continuous:  num_rows * f64 values
+///
+/// Data is column-contiguous (not pre-chunked) so the chunk size is an
+/// *open-time* choice: any chunk_rows slices the same file.
+
+/// Serializes a sealed resident dataset to `path`. Overwrites.
+util::Status WriteSpill(const Dataset& db, const std::string& path);
+
+/// How OpenSpill pages the file back in.
+struct SpillOptions {
+  /// Rows per chunk (0 = the file's default_chunk_rows).
+  size_t chunk_rows = 0;
+  /// Byte cap on materialized chunk buffers (0 = unlimited). Unpinned
+  /// LRU chunks are evicted before a load so residency stays under the
+  /// cap while the pinned working set fits.
+  size_t max_resident_bytes = 0;
+};
+
+/// Opens a spill file as a paged Dataset: header parsed eagerly
+/// (schema, dictionaries, sealed stats resident), column data mmap'd
+/// and materialized chunk-by-chunk on demand. The mapping lives as long
+/// as the Dataset; the file may be unlinked immediately after opening
+/// (the standard temp-spill pattern — the kernel keeps the inode alive).
+util::StatusOr<Dataset> OpenSpill(const std::string& path,
+                                  const SpillOptions& options = {});
+
+}  // namespace sdadcs::data
+
+#endif  // SDADCS_DATA_SPILL_H_

@@ -1,45 +1,97 @@
 #include "serve/dataset_registry.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <utility>
 
 #include "core/request_key.h"
 #include "data/csv.h"
+#include "data/spill.h"
 #include "synth/scaling.h"
 #include "synth/uci_like.h"
 #include "util/string_util.h"
 
 namespace sdadcs::serve {
 
-util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec) {
-  if (!util::StartsWith(spec, "synth:")) {
-    return data::ReadCsvFile(spec);
-  }
-  std::string rest = spec.substr(6);
-  std::string name = rest;
-  size_t rows = 0;
-  size_t colon = rest.find(':');
-  if (colon != std::string::npos) {
-    name = rest.substr(0, colon);
-    rows = static_cast<size_t>(
-        std::strtoull(rest.c_str() + colon + 1, nullptr, 10));
-  }
-  if (name == "scaling") {
-    synth::ScalingOptions options;
-    if (rows > 0) options.rows = rows;
-    return std::move(synth::MakeScalingDataset(options).db);
-  }
-  for (const std::string& known : synth::UciLikeNames()) {
-    if (name == known) {
-      return std::move(synth::MakeUciLike(name).db);
-    }
-  }
-  return util::Status::InvalidArgument("unknown synthetic dataset '" + name +
-                                       "'");
+namespace {
+
+// Converts a dense dataset into a paged one: spill to a columnar temp
+// file, reopen mmap-backed with the requested chunk geometry and byte
+// cap, and unlink the file immediately — the mapping keeps the inode
+// alive, and nothing leaks if the process dies.
+util::StatusOr<data::Dataset> PageThroughSpill(
+    const data::Dataset& db, const DatasetLoadOptions& options) {
+  static std::atomic<uint64_t> counter{0};
+  std::string dir = options.spill_dir.empty() ? "/tmp" : options.spill_dir;
+  std::string path = dir + "/sdadcs_spill_" +
+                     std::to_string(static_cast<long>(::getpid())) + "_" +
+                     std::to_string(counter.fetch_add(1)) + ".spill";
+  util::Status st = data::WriteSpill(db, path);
+  if (!st.ok()) return st;
+  data::SpillOptions sopt;
+  sopt.chunk_rows = options.chunk_rows;
+  sopt.max_resident_bytes = options.max_resident_bytes;
+  util::StatusOr<data::Dataset> paged = data::OpenSpill(path, sopt);
+  ::unlink(path.c_str());
+  return paged;
 }
 
-DatasetRegistry::DatasetRegistry(size_t memory_budget_bytes)
-    : budget_bytes_(memory_budget_bytes) {
+}  // namespace
+
+util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec) {
+  return LoadDatasetFromSpec(spec, DatasetLoadOptions{});
+}
+
+util::StatusOr<data::Dataset> LoadDatasetFromSpec(
+    const std::string& spec, const DatasetLoadOptions& options) {
+  if (util::StartsWith(spec, "spill:")) {
+    data::SpillOptions sopt;
+    sopt.chunk_rows = options.chunk_rows;
+    sopt.max_resident_bytes = options.max_resident_bytes;
+    return data::OpenSpill(spec.substr(6), sopt);
+  }
+  util::StatusOr<data::Dataset> db = [&]() -> util::StatusOr<data::Dataset> {
+    if (!util::StartsWith(spec, "synth:")) {
+      return data::ReadCsvFile(spec);
+    }
+    std::string rest = spec.substr(6);
+    std::string name = rest;
+    size_t rows = 0;
+    size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      name = rest.substr(0, colon);
+      rows = static_cast<size_t>(
+          std::strtoull(rest.c_str() + colon + 1, nullptr, 10));
+    }
+    if (name == "scaling") {
+      synth::ScalingOptions opt;
+      if (rows > 0) opt.rows = rows;
+      return std::move(synth::MakeScalingDataset(opt).db);
+    }
+    for (const std::string& known : synth::UciLikeNames()) {
+      if (name == known) {
+        return std::move(synth::MakeUciLike(name).db);
+      }
+    }
+    return util::Status::InvalidArgument("unknown synthetic dataset '" +
+                                         name + "'");
+  }();
+  if (!db.ok()) return db;
+  if (options.max_resident_bytes > 0) {
+    return PageThroughSpill(*db, options);
+  }
+  if (options.chunk_rows > 0) {
+    db->SetChunkRows(options.chunk_rows);
+  }
+  return db;
+}
+
+DatasetRegistry::DatasetRegistry(size_t memory_budget_bytes,
+                                 DatasetLoadOptions load_options)
+    : budget_bytes_(memory_budget_bytes),
+      load_options_(std::move(load_options)) {
   counters_.budget_bytes = memory_budget_bytes;
 }
 
@@ -55,7 +107,7 @@ util::StatusOr<std::shared_ptr<const ServedDataset>> DatasetRegistry::Load(
   }
   // Parse/generate outside the lock: loads are the slow path and must
   // not stall concurrent Get()s.
-  util::StatusOr<data::Dataset> db = LoadDatasetFromSpec(spec);
+  util::StatusOr<data::Dataset> db = LoadDatasetFromSpec(spec, load_options_);
   if (!db.ok()) return db.status();
 
   auto served = std::make_shared<ServedDataset>(std::move(*db));
@@ -145,11 +197,20 @@ DatasetRegistry::Stats DatasetRegistry::stats() const {
   // resident entries and topped up with the retired totals.
   s.artifact_builds = retired_artifact_builds_;
   s.artifact_hits = retired_artifact_hits_;
+  s.chunk_loads = retired_chunk_loads_;
+  s.chunk_evictions = retired_chunk_evictions_;
   for (const auto& [name, entry] : entries_) {
     data::PreparedStats ps = entry.ds->prepared->stats();
     s.artifact_bytes += ps.bytes;
     s.artifact_builds += ps.sort_builds + ps.group_builds;
     s.artifact_hits += ps.hits;
+    const data::ChunkStore* store = entry.ds->db.chunk_store();
+    if (store != nullptr) {
+      data::ChunkStats cs = store->stats();
+      s.resident_chunk_bytes += cs.resident_bytes;
+      s.chunk_loads += cs.loads;
+      s.chunk_evictions += cs.evictions;
+    }
   }
   return s;
 }
@@ -163,11 +224,17 @@ void DatasetRegistry::EnforceBudgetLocked(
     const std::string& keep,
     std::vector<std::shared_ptr<const ServedDataset>>* out) {
   if (budget_bytes_ == 0) return;
-  // Artifact bytes count against the same budget as the datasets they
-  // derive from; since bundles grow lazily between loads, the sum is
-  // recomputed after every eviction.
-  while (resident_bytes_ + ArtifactBytesLocked() > budget_bytes_ &&
-         entries_.size() > 1) {
+  // Artifact and resident chunk bytes count against the same budget as
+  // the datasets they derive from; since bundles grow and chunks
+  // materialize lazily between loads, the sums are recomputed after
+  // every release.
+  while (resident_bytes_ + ArtifactBytesLocked() + ChunkBytesLocked() >
+         budget_bytes_) {
+    // Cold chunks go first: dropping a paged dataset's unpinned buffers
+    // costs one reload from its mapping, dropping a whole dataset costs
+    // a full reload + reparse. Only then fall back to LRU datasets.
+    if (TrimChunksLocked() > 0) continue;
+    if (entries_.size() <= 1) return;
     // Walk from the LRU end, skipping the entry we must keep.
     auto victim = recency_.end();
     do {
@@ -192,10 +259,38 @@ size_t DatasetRegistry::ArtifactBytesLocked() const {
   return total;
 }
 
+size_t DatasetRegistry::ChunkBytesLocked() const {
+  size_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    const data::ChunkStore* store = entry.ds->db.chunk_store();
+    if (store != nullptr) total += store->stats().resident_bytes;
+  }
+  return total;
+}
+
+size_t DatasetRegistry::TrimChunksLocked() {
+  // LRU end first: the coldest dataset loses its cold chunks before a
+  // warm one does.
+  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+    const data::ChunkStore* store =
+        entries_.find(*it)->second.ds->db.chunk_store();
+    if (store == nullptr) continue;
+    size_t freed = store->TrimUnpinned();
+    if (freed > 0) return freed;
+  }
+  return 0;
+}
+
 void DatasetRegistry::RetireArtifactsLocked(const ServedDataset& ds) {
   data::PreparedStats ps = ds.prepared->stats();
   retired_artifact_builds_ += ps.sort_builds + ps.group_builds;
   retired_artifact_hits_ += ps.hits;
+  const data::ChunkStore* store = ds.db.chunk_store();
+  if (store != nullptr) {
+    data::ChunkStats cs = store->stats();
+    retired_chunk_loads_ += cs.loads;
+    retired_chunk_evictions_ += cs.evictions;
+  }
 }
 
 void DatasetRegistry::TouchLocked(const std::string& name) {

@@ -24,7 +24,7 @@ struct ServedDataset {
   explicit ServedDataset(data::Dataset dataset) : db(std::move(dataset)) {}
 
   std::string name;
-  std::string spec;          ///< CSV path or "synth:<name>[:rows]"
+  std::string spec;  ///< CSV path, "synth:<name>[:rows]" or "spill:<path>"
   uint64_t generation = 0;   ///< global monotonic load counter
   uint64_t fingerprint = 0;  ///< core::DatasetFingerprint(name, generation)
   size_t memory_bytes = 0;   ///< Dataset::MemoryUsage() at load time
@@ -37,10 +37,28 @@ struct ServedDataset {
   std::shared_ptr<data::PreparedDataset> prepared;
 };
 
-/// Loads a dataset spec directly (no registry): a CSV path, or
+/// Knobs of the chunked data layer applied at dataset load time. Shared
+/// by sdadcs_tool and the registry (where they come from ServerOptions).
+struct DatasetLoadOptions {
+  /// Chunk geometry override; 0 keeps data::kDefaultChunkRows (or, for
+  /// `spill:` specs, the chunk size recorded in the file).
+  size_t chunk_rows = 0;
+  /// When nonzero, the dataset is served through the paged backend with
+  /// at most this many bytes of chunk buffers resident: dense loads are
+  /// spilled to a columnar temp file (unlinked immediately; the mapping
+  /// keeps it alive) and reopened mmap-backed.
+  size_t max_resident_bytes = 0;
+  /// Directory for the temp spill files; empty = /tmp.
+  std::string spill_dir;
+};
+
+/// Loads a dataset spec directly (no registry): a CSV path,
 /// `synth:<name>[:rows]` for a built-in generator (`synth:scaling:50000`,
-/// `synth:adult`, ...). Shared by sdadcs_tool and the serving layer.
+/// `synth:adult`, ...), or `spill:<path>` for a columnar spill file
+/// opened mmap-backed. Shared by sdadcs_tool and the serving layer.
 util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec);
+util::StatusOr<data::Dataset> LoadDatasetFromSpec(
+    const std::string& spec, const DatasetLoadOptions& options);
 
 /// Keeps datasets resident under string handles so repeated queries skip
 /// the load/seal cost, with LRU eviction against a byte budget.
@@ -64,8 +82,10 @@ util::StatusOr<data::Dataset> LoadDatasetFromSpec(const std::string& spec);
 /// Thread-safe; all methods may be called concurrently.
 class DatasetRegistry {
  public:
-  /// `memory_budget_bytes` = 0 means unlimited.
-  explicit DatasetRegistry(size_t memory_budget_bytes = 0);
+  /// `memory_budget_bytes` = 0 means unlimited. `load_options` applies
+  /// to every Load (chunk geometry + paged-backend cap).
+  explicit DatasetRegistry(size_t memory_budget_bytes = 0,
+                           DatasetLoadOptions load_options = {});
 
   /// Invoked (outside the registry lock) for every dataset that leaves
   /// the registry — evicted, replaced, or explicitly removed. The
@@ -105,6 +125,12 @@ class DatasetRegistry {
     size_t artifact_bytes = 0;     ///< resident bundles only
     uint64_t artifact_builds = 0;  ///< sort + group artifact builds
     uint64_t artifact_hits = 0;    ///< artifact reuses (no build)
+    /// Chunk-residency accounting over paged datasets: live byte sum of
+    /// resident chunk buffers, plus monotonic load/eviction counters
+    /// (retired totals of departed datasets included).
+    size_t resident_chunk_bytes = 0;
+    uint64_t chunk_loads = 0;
+    uint64_t chunk_evictions = 0;
   };
   Stats stats() const;
 
@@ -121,12 +147,21 @@ class DatasetRegistry {
   /// Bytes held by resident prepared-artifact bundles (live sum: the
   /// bundles grow lazily after load).
   size_t ArtifactBytesLocked() const;
+  /// Bytes held by resident chunk buffers of paged datasets (live sum:
+  /// chunks materialize and evict between loads).
+  size_t ChunkBytesLocked() const;
+  /// Frees the unpinned chunk buffers of the least-recently-used paged
+  /// dataset that yields any; returns the bytes released. Budget
+  /// enforcement drains cold chunks this way before touching whole
+  /// datasets.
+  size_t TrimChunksLocked();
   /// Folds a departing entry's artifact counters into the retired
   /// totals so stats() stays monotonic across evictions and replaces.
   void RetireArtifactsLocked(const ServedDataset& ds);
 
   mutable std::mutex mu_;
   size_t budget_bytes_;
+  DatasetLoadOptions load_options_;
   uint64_t next_generation_ = 1;
   // MRU-first recency list; the map holds the list iterator for O(1)
   // touch.
@@ -141,6 +176,9 @@ class DatasetRegistry {
   // Builds/hits of bundles no longer resident (their bytes are freed).
   uint64_t retired_artifact_builds_ = 0;
   uint64_t retired_artifact_hits_ = 0;
+  // Chunk loads/evictions of paged datasets no longer resident.
+  uint64_t retired_chunk_loads_ = 0;
+  uint64_t retired_chunk_evictions_ = 0;
   EvictionListener listener_;
 };
 

@@ -284,6 +284,10 @@ void RenderStats(const ServerStats& s, JsonObjectWriter* out) {
                static_cast<uint64_t>(s.registry.artifact_bytes));
   registry.Add("artifact_builds", s.registry.artifact_builds);
   registry.Add("artifact_hits", s.registry.artifact_hits);
+  registry.Add("resident_chunk_bytes",
+               static_cast<uint64_t>(s.registry.resident_chunk_bytes));
+  registry.Add("chunk_loads", s.registry.chunk_loads);
+  registry.Add("chunk_evictions", s.registry.chunk_evictions);
 
   JsonObjectWriter cache;
   cache.Add("size", static_cast<uint64_t>(s.cache.size));

@@ -55,7 +55,10 @@ const char* CacheStatusToString(CacheStatus status) {
 
 Server::Server(ServerOptions options)
     : options_(options),
-      registry_(options.dataset_memory_budget),
+      registry_(options.dataset_memory_budget,
+                DatasetLoadOptions{options.chunk_rows,
+                                   options.max_resident_bytes,
+                                   /*spill_dir=*/""}),
       cache_(options.result_cache_capacity),
       admission_(options.max_concurrent_runs, options.max_queue) {
   // A replaced or evicted dataset takes its cached results with it.

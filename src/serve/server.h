@@ -45,6 +45,13 @@ struct ServerOptions {
   /// Row shards of the shard-merge engine when the request does not
   /// carry its own "sharded:<n>" count (0 = hardware concurrency).
   size_t shard_count = 0;
+  /// Chunked data layer: chunk geometry override for every loaded
+  /// dataset (0 = data::kDefaultChunkRows) and the paged-backend chunk
+  /// byte cap (0 = datasets stay fully resident). With a nonzero cap,
+  /// loads are spilled to a columnar temp file and served mmap-backed;
+  /// results are byte-identical either way, so neither knob is keyed.
+  size_t chunk_rows = 0;
+  size_t max_resident_bytes = 0;
   // parallel_threads / window_rows / equal_bins / shard_count are
   // deployment-wide constants, not per-request knobs, so they stay out
   // of the request key: within one server process a key can never alias

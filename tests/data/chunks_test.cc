@@ -1,0 +1,296 @@
+#include "data/chunks.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/selection.h"
+#include "data/shard.h"
+#include "data/spill.h"
+#include "util/random.h"
+
+namespace sdadcs::data {
+namespace {
+
+TEST(ChunkLayoutTest, GeometryTilesRowsExactlyForEveryChunkSize) {
+  // Degenerate sizes included: chunk_rows 1 (every row its own chunk)
+  // and chunk_rows > num_rows (the whole column is one short chunk).
+  for (size_t rows : {0u, 1u, 7u, 100u, 4096u}) {
+    for (size_t chunk_rows :
+         {size_t{1}, size_t{7}, size_t{64}, rows + 1, size_t{10000}}) {
+      ChunkLayout layout(rows, chunk_rows);
+      ASSERT_EQ(layout.chunk_rows(), chunk_rows);
+      if (rows == 0) {
+        EXPECT_EQ(layout.num_chunks(), 0u);
+        continue;
+      }
+      EXPECT_EQ(layout.num_chunks(), (rows + chunk_rows - 1) / chunk_rows);
+      // Chunks tile [0, rows) contiguously and agree with chunk_of.
+      uint32_t next = 0;
+      for (size_t c = 0; c < layout.num_chunks(); ++c) {
+        EXPECT_EQ(layout.begin(c), next);
+        EXPECT_GT(layout.end(c), layout.begin(c));
+        EXPECT_EQ(layout.size(c), layout.end(c) - layout.begin(c));
+        EXPECT_EQ(layout.chunk_of(layout.begin(c)), c);
+        EXPECT_EQ(layout.chunk_of(layout.end(c) - 1), c);
+        next = layout.end(c);
+      }
+      EXPECT_EQ(next, rows) << rows << "/" << chunk_rows;
+      // Every chunk but the last is full.
+      for (size_t c = 0; c + 1 < layout.num_chunks(); ++c) {
+        EXPECT_EQ(layout.size(c), chunk_rows);
+      }
+    }
+  }
+}
+
+TEST(ChunkLayoutTest, ZeroChunkRowsFallsBackToDefault) {
+  ChunkLayout layout(100, 0);
+  EXPECT_EQ(layout.chunk_rows(), kDefaultChunkRows);
+  EXPECT_EQ(layout.num_chunks(), 1u);
+}
+
+TEST(ForEachChunkSpanTest, PartitionsSortedSelectionAtChunkSeams) {
+  // A sparse sorted selection with rows straddling several seams; the
+  // spans must rebuild the selection exactly and never cross a seam.
+  std::vector<uint32_t> rows = {0, 1, 6, 7, 8, 13, 14, 20, 27, 34, 99};
+  for (size_t chunk_rows : {1u, 7u, 50u, 1000u}) {
+    ChunkLayout layout(100, chunk_rows);
+    std::vector<uint32_t> rebuilt;
+    size_t spans = 0;
+    ForEachChunkSpan(layout, rows.data(), rows.size(),
+                     [&](uint32_t chunk, size_t b, size_t e) {
+                       ++spans;
+                       ASSERT_LT(b, e);
+                       for (size_t i = b; i < e; ++i) {
+                         EXPECT_GE(rows[i], layout.begin(chunk));
+                         EXPECT_LT(rows[i], layout.end(chunk));
+                         rebuilt.push_back(rows[i]);
+                       }
+                     });
+    EXPECT_EQ(rebuilt, rows) << "chunk_rows " << chunk_rows;
+    if (chunk_rows == 1) EXPECT_EQ(spans, rows.size());
+    if (chunk_rows == 1000) EXPECT_EQ(spans, 1u);  // one span: dense path
+  }
+  // Empty selection: no spans, no crash.
+  ForEachChunkSpan(ChunkLayout(100, 7), rows.data(), 0,
+                   [&](uint32_t, size_t, size_t) { FAIL(); });
+}
+
+TEST(ForEachChunkSpanTest, ShardSlicesComposeWithMisalignedChunkSeams) {
+  // Shard boundaries (rows/4 = 25) deliberately misaligned with chunk
+  // seams (7): slicing a selection by shard and then spanning each slice
+  // by chunk must cover the selection exactly once, with every span
+  // inside both its shard range and its chunk.
+  std::vector<uint32_t> picked;
+  util::Rng rng(17);
+  for (uint32_t r = 0; r < 100; ++r) {
+    if (rng.Bernoulli(0.4)) picked.push_back(r);
+  }
+  Selection sel(picked);
+  ShardPlan plan(100, 4);
+  ChunkLayout layout(100, 7);
+  std::vector<uint32_t> rebuilt;
+  for (size_t s = 0; s < plan.num_shards(); ++s) {
+    const ShardRange& range = plan.range(s);
+    ShardView view = SliceSelection(sel, range);
+    ForEachChunkSpan(layout, view.rows, view.size,
+                     [&](uint32_t chunk, size_t b, size_t e) {
+                       for (size_t i = b; i < e; ++i) {
+                         uint32_t row = view.rows[i];
+                         EXPECT_GE(row, range.begin_row);
+                         EXPECT_LT(row, range.end_row);
+                         EXPECT_EQ(layout.chunk_of(row), chunk);
+                         rebuilt.push_back(row);
+                       }
+                     });
+  }
+  EXPECT_EQ(rebuilt, picked);
+}
+
+// A small mixed dataset with NaNs and repeated tokens, plus its spill.
+Dataset MakeMixed(size_t rows) {
+  DatasetBuilder b;
+  int g = b.AddCategorical("g");
+  int x = b.AddContinuous("x");
+  int y = b.AddContinuous("y");
+  util::Rng rng(5);
+  for (size_t i = 0; i < rows; ++i) {
+    b.AppendCategorical(g, (i % 3 == 0) ? "a" : (i % 3 == 1) ? "b" : "c");
+    b.AppendContinuous(x, (i % 11 == 0) ? std::nan("")
+                                        : rng.Uniform(-10.0, 10.0));
+    b.AppendContinuous(y, static_cast<double>(i));
+  }
+  auto db = std::move(b).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(*db);
+}
+
+std::string SpillPath(const char* tag) {
+  return testing::TempDir() + "chunks_test_" + tag + ".spill";
+}
+
+TEST(SpillTest, RoundTripIsExactForEveryChunkSize) {
+  const size_t kRows = 103;
+  Dataset dense = MakeMixed(kRows);
+  std::string path = SpillPath("roundtrip");
+  ASSERT_TRUE(WriteSpill(dense, path).ok());
+  for (size_t chunk_rows : {size_t{1}, size_t{7}, size_t{64}, kRows + 1}) {
+    SpillOptions opt;
+    opt.chunk_rows = chunk_rows;
+    auto paged = OpenSpill(path, opt);
+    ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+    ASSERT_TRUE(paged->paged());
+    ASSERT_EQ(paged->num_rows(), kRows);
+    ASSERT_EQ(paged->chunk_rows(), chunk_rows);
+    // Schema and dictionary survive.
+    ASSERT_EQ(paged->schema().num_attributes(), 3u);
+    EXPECT_EQ(paged->schema().attribute(0).name, "g");
+    EXPECT_EQ(paged->categorical(0).ValueOf(dense.categorical(0).code(3)),
+              dense.categorical(0).ValueOf(dense.categorical(0).code(3)));
+    // Every element, through the scalar paged accessors.
+    for (uint32_t r = 0; r < kRows; ++r) {
+      EXPECT_EQ(paged->categorical(0).code(r), dense.categorical(0).code(r));
+      double pv = paged->continuous(1).value(r);
+      double dv = dense.continuous(1).value(r);
+      if (std::isnan(dv)) {
+        EXPECT_TRUE(std::isnan(pv)) << "row " << r;
+      } else {
+        EXPECT_EQ(pv, dv) << "row " << r;
+      }
+      EXPECT_EQ(paged->continuous(2).value(r), dense.continuous(2).value(r));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SpillTest, PinnedChunksServeChunkLocalIndices) {
+  const size_t kRows = 50;
+  Dataset dense = MakeMixed(kRows);
+  std::string path = SpillPath("pins");
+  ASSERT_TRUE(WriteSpill(dense, path).ok());
+  SpillOptions opt;
+  opt.chunk_rows = 7;
+  auto paged = OpenSpill(path, opt);
+  ASSERT_TRUE(paged.ok());
+  ColumnChunks chunks = paged->chunks();
+  for (size_t c = 0; c < chunks.layout().num_chunks(); ++c) {
+    PinnedChunk pin = chunks.Continuous(2, static_cast<uint32_t>(c));
+    ASSERT_TRUE(pin.valid());
+    EXPECT_EQ(pin.row_base(), chunks.layout().begin(c));
+    EXPECT_EQ(pin.rows(), chunks.layout().size(c));
+    for (uint32_t r = pin.row_base(); r < pin.row_base() + pin.rows(); ++r) {
+      EXPECT_EQ(pin.values()[r - pin.row_base()],
+                dense.continuous(2).value(r));
+    }
+    PinnedChunk codes = chunks.Categorical(0, static_cast<uint32_t>(c));
+    for (uint32_t r = codes.row_base(); r < codes.row_base() + codes.rows();
+         ++r) {
+      EXPECT_EQ(codes.codes()[r - codes.row_base()],
+                dense.categorical(0).code(r));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SpillTest, ResidentBackendHandsOutBorrowedSlices) {
+  Dataset dense = MakeMixed(50);
+  dense.SetChunkRows(7);
+  ColumnChunks chunks = dense.chunks();
+  ASSERT_FALSE(chunks.paged());
+  EXPECT_EQ(chunks.layout().num_chunks(), 8u);
+  PinnedChunk pin = chunks.Continuous(2, 3);
+  EXPECT_EQ(pin.row_base(), 21u);
+  EXPECT_EQ(pin.values(), dense.continuous(2).values().data() + 21);
+  // Borrowed slices never touch a store: no stats to account.
+  EXPECT_EQ(dense.chunk_store(), nullptr);
+}
+
+TEST(ChunkStoreTest, CapEvictsUnpinnedBeforeLoadingAndTryPinDeclines) {
+  const size_t kRows = 64;  // chunk_rows 16 -> 4 chunks of 128 bytes each
+  Dataset dense = MakeMixed(kRows);
+  std::string path = SpillPath("cap");
+  ASSERT_TRUE(WriteSpill(dense, path).ok());
+  SpillOptions opt;
+  opt.chunk_rows = 16;
+  opt.max_resident_bytes = 2 * 16 * sizeof(double);  // two chunks of "y"
+  auto paged = OpenSpill(path, opt);
+  ASSERT_TRUE(paged.ok());
+  const ChunkStore* store = paged->chunk_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->stats().max_resident_bytes, opt.max_resident_bytes);
+
+  // Attribute 2 ("y") is continuous: 128 bytes per chunk.
+  const void* c0 = store->Pin(2, 0);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_EQ(store->stats().loads, 1u);
+  EXPECT_EQ(store->stats().resident_bytes, 128u);
+
+  // Second pin fits exactly; a third must evict — but everything is
+  // pinned, so Pin overshoots (never fails) while TryPin declines.
+  const void* c1 = store->Pin(2, 1);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(store->stats().resident_bytes, 256u);
+  EXPECT_EQ(store->TryPin(2, 2), nullptr);
+  EXPECT_EQ(store->stats().loads, 2u);  // the decline loaded nothing
+  const void* c2 = store->Pin(2, 2);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_GT(store->stats().resident_bytes, opt.max_resident_bytes);
+
+  // Release everything: the next load evicts LRU cold chunks back under
+  // the cap instead of growing.
+  store->Unpin(2, 0);
+  store->Unpin(2, 1);
+  store->Unpin(2, 2);
+  const void* c3 = store->Pin(2, 3);
+  ASSERT_NE(c3, nullptr);
+  EXPECT_LE(store->stats().resident_bytes, opt.max_resident_bytes);
+  EXPECT_GT(store->stats().evictions, 0u);
+  store->Unpin(2, 3);
+
+  // TrimUnpinned drops everything once no pins remain.
+  size_t freed = store->TrimUnpinned();
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(store->stats().resident_bytes, 0u);
+  // Peak never lies: it must cover the 3-chunk overshoot above.
+  EXPECT_GE(store->stats().peak_resident_bytes, 3 * 128u);
+  std::remove(path.c_str());
+}
+
+TEST(ChunkStoreTest, PinSetHintsRespectTheCapAndResidentIsNoOp) {
+  Dataset dense = MakeMixed(64);
+  // Resident dataset: the hint is a no-op.
+  EXPECT_EQ(ChunkPinSet(dense, {1, 2}, 0, 64).size(), 0u);
+
+  std::string path = SpillPath("pinset");
+  ASSERT_TRUE(WriteSpill(dense, path).ok());
+  SpillOptions opt;
+  opt.chunk_rows = 16;
+  opt.max_resident_bytes = 3 * 16 * sizeof(double);
+  auto paged = OpenSpill(path, opt);
+  ASSERT_TRUE(paged.ok());
+  {
+    // Rows [0, 32) of one attribute: two chunks, fits.
+    ChunkPinSet hint(*paged, {2}, 0, 32);
+    EXPECT_EQ(hint.size(), 2u);
+    EXPECT_LE(paged->chunk_store()->stats().resident_bytes,
+              opt.max_resident_bytes);
+    // The whole column would blow the cap: the hint stops early rather
+    // than overshoot.
+    ChunkPinSet greedy(*paged, {2}, 0, 64);
+    EXPECT_LT(greedy.size(), 4u);
+    EXPECT_LE(paged->chunk_store()->stats().resident_bytes,
+              opt.max_resident_bytes);
+  }
+  // Hints release their pins on destruction.
+  EXPECT_GT(paged->chunk_store()->TrimUnpinned(), 0u);
+  EXPECT_EQ(paged->chunk_store()->stats().resident_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdadcs::data

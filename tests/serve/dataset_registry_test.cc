@@ -232,6 +232,72 @@ TEST(DatasetRegistryTest, ArtifactBytesChargeAgainstTheBudget) {
   EXPECT_EQ(registry.ResidentNames(), (std::vector<std::string>{"c", "a"}));
 }
 
+TEST(DatasetRegistryTest, LoadOptionsPageDatasetsThroughTheSpillBackend) {
+  // With a byte cap in the load options, every Load spills to a temp
+  // columnar file and serves the dataset mmap-backed: the registry
+  // charges only the (small) resident parts up front and the chunk
+  // counters come alive as soon as anything touches column data.
+  DatasetLoadOptions load_options;
+  load_options.chunk_rows = 64;
+  load_options.max_resident_bytes = 16 * 1024;
+  DatasetRegistry registry(/*memory_budget_bytes=*/0, load_options);
+  auto loaded = registry.Load("t", "synth:transfusion");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE((*loaded)->db.paged());
+  EXPECT_EQ((*loaded)->db.chunk_rows(), 64u);
+
+  const size_t dense =
+      DatasetRegistry().Load("probe", "synth:transfusion").value()->memory_bytes;
+  EXPECT_LT((*loaded)->memory_bytes, dense);
+
+  // A scalar read materializes the covering chunk; stats() sees it.
+  (void)(*loaded)->db.continuous(1).value(0);
+  DatasetRegistry::Stats s = registry.stats();
+  EXPECT_GT(s.chunk_loads, 0u);
+  EXPECT_GT(s.resident_chunk_bytes, 0u);
+  EXPECT_LE(s.resident_chunk_bytes, load_options.max_resident_bytes);
+
+  // Retired counters keep the totals monotonic across eviction.
+  ASSERT_TRUE(registry.Evict("t"));
+  DatasetRegistry::Stats after = registry.stats();
+  EXPECT_EQ(after.resident_chunk_bytes, 0u);
+  EXPECT_GE(after.chunk_loads, s.chunk_loads);
+}
+
+TEST(DatasetRegistryTest, BudgetTrimsColdChunksBeforeEvictingDatasets) {
+  // Measure the paged load size first, then set a budget that fits two
+  // paged datasets but not two plus their materialized chunks: the
+  // enforcement must free cold chunk buffers and keep both datasets.
+  DatasetLoadOptions load_options;
+  load_options.chunk_rows = 64;
+  load_options.max_resident_bytes = 1024 * 1024;
+  const size_t one = DatasetRegistry(0, load_options)
+                         .Load("probe", "synth:transfusion")
+                         .value()
+                         ->memory_bytes;
+
+  DatasetRegistry registry(2 * one + 4096, load_options);
+  std::vector<std::string> evicted;
+  registry.set_eviction_listener(
+      [&](const std::shared_ptr<const ServedDataset>& ds) {
+        evicted.push_back(ds->name);
+      });
+  auto a = registry.Load("a", "synth:transfusion");
+  ASSERT_TRUE(a.ok());
+  // Materialize well over the 4KB of headroom in cold chunks.
+  for (uint32_t r = 0; r < (*a)->db.num_rows(); r += 32) {
+    (void)(*a)->db.continuous(1).value(r);
+    (void)(*a)->db.continuous(2).value(r);
+  }
+  ASSERT_GT(registry.stats().resident_chunk_bytes, 4096u);
+
+  ASSERT_TRUE(registry.Load("b", "synth:transfusion").ok());
+  EXPECT_TRUE(evicted.empty()) << "a whole dataset was evicted where "
+                                  "trimming cold chunks sufficed";
+  EXPECT_EQ(registry.stats().resident, 2u);
+  EXPECT_GT(registry.stats().chunk_evictions, 0u);
+}
+
 TEST(DatasetRegistryTest, ResidentNamesIsMruFirst) {
   DatasetRegistry registry;
   ASSERT_TRUE(registry.Load("a", "synth:breast").ok());

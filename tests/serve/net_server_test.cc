@@ -260,8 +260,14 @@ TEST(NetServerTest, StatsOpReportsNetCounters) {
   EXPECT_GE(net->GetNumber("connections_accepted", 0), 2.0);  // loader + us
   EXPECT_GE(net->GetNumber("mines_dispatched", 0), 1.0);
   // The server-side sections are the same ones sdadcs_serve renders.
-  EXPECT_NE(stats.Find("registry"), nullptr);
+  const JsonValue* registry = stats.Find("registry");
+  ASSERT_NE(registry, nullptr);
   EXPECT_NE(stats.Find("admission"), nullptr);
+  // Chunk-residency keys are always present; with the default resident
+  // backend they read zero (nothing pages).
+  EXPECT_EQ(registry->GetNumber("resident_chunk_bytes", -1), 0.0);
+  EXPECT_EQ(registry->GetNumber("chunk_loads", -1), 0.0);
+  EXPECT_EQ(registry->GetNumber("chunk_evictions", -1), 0.0);
 }
 
 TEST(NetServerTest, ConnectionLimitAnsweredWithBusy) {

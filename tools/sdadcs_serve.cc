@@ -7,6 +7,7 @@
 //                  [--node-budget N] [--threads N]
 //                  [--parallel-threshold ROWS] [--window-rows N]
 //                  [--equal-bins N] [--shards N]
+//                  [--chunk-rows N] [--max-resident-bytes N]
 //
 // One JSON object per input line, one JSON response line per request —
 // scriptable from shell pipes and CI with no network dependency:
@@ -242,6 +243,9 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags->GetInt("window-rows", 0));
   options.equal_bins = static_cast<int>(flags->GetInt("equal-bins", 10));
   options.shard_count = static_cast<size_t>(flags->GetInt("shards", 0));
+  options.chunk_rows = static_cast<size_t>(flags->GetInt("chunk-rows", 0));
+  options.max_resident_bytes =
+      static_cast<size_t>(flags->GetInt("max-resident-bytes", 0));
 
   Server server(options);
 

@@ -5,8 +5,9 @@
 //   sdadcs_tool discretize <file.csv> --group <attr> --method <m> [options]
 //   sdadcs_tool onevsrest <file.csv> --group <attr> [options]
 //
-// The dataset argument is a CSV path, or `synth:<name>[:<rows>]` for a
-// built-in generated dataset (`synth:scaling:50000`, `synth:adult`, ...).
+// The dataset argument is a CSV path, `synth:<name>[:<rows>]` for a
+// built-in generated dataset (`synth:scaling:50000`, `synth:adult`, ...),
+// or `spill:<path>` for a columnar spill file served mmap-backed.
 //
 // Common mining options:
 //   --engine NAME       mining engine, any registry name: serial |
@@ -42,7 +43,15 @@
 //   --repeat N          mine the same request N times against one
 //                       prepared-artifact bundle (per-iteration wall
 //                       time on stderr; iteration 1 pays the artifact
-//                       builds, the rest run warm)
+//                       builds, the rest run warm; on a paged dataset
+//                       each line also reports chunk residency)
+//   --chunk-rows N      rows per column chunk (default 65536); results
+//                       are byte-identical for every chunk size
+//   --max-resident-bytes N
+//                       serve the dataset through the paged backend
+//                       with at most N bytes of chunk buffers resident
+//                       (spill to a temp file + mmap; 0 = fully
+//                       resident)
 //
 // Ctrl-C (SIGINT) cancels a running mine the same way: the search
 // drains cleanly and the partial results are printed.
@@ -306,8 +315,16 @@ int RunMine(const Flags& args, const sdadcs::data::Dataset& db) {
     result = (*miner)->Mine(db, request);
     if (!result.ok()) break;
     if (repeat > 1) {
-      std::fprintf(stderr, "repeat %d/%d: %.1f ms\n", i + 1, repeat,
-                   iteration_timer.Seconds() * 1e3);
+      std::string residency;
+      if (db.chunk_store() != nullptr) {
+        sdadcs::data::ChunkStats cs = db.chunk_store()->stats();
+        residency = " chunks: resident=" + std::to_string(cs.resident_bytes) +
+                    "B peak=" + std::to_string(cs.peak_resident_bytes) +
+                    "B loads=" + std::to_string(cs.loads) +
+                    " evictions=" + std::to_string(cs.evictions);
+      }
+      std::fprintf(stderr, "repeat %d/%d: %.1f ms%s\n", i + 1, repeat,
+                   iteration_timer.Seconds() * 1e3, residency.c_str());
     }
   }
   if (!result.ok()) {
@@ -454,7 +471,12 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSigint);
 
-  auto db = sdadcs::serve::LoadDatasetFromSpec(csv_path);
+  sdadcs::serve::DatasetLoadOptions load_options;
+  load_options.chunk_rows =
+      static_cast<size_t>(flags->GetInt("chunk-rows", 0));
+  load_options.max_resident_bytes =
+      static_cast<size_t>(flags->GetInt("max-resident-bytes", 0));
+  auto db = sdadcs::serve::LoadDatasetFromSpec(csv_path, load_options);
   if (!db.ok()) {
     std::fprintf(stderr, "failed to read '%s': %s\n", csv_path.c_str(),
                  db.status().ToString().c_str());
